@@ -1,0 +1,376 @@
+package repro
+
+// One benchmark per table and figure of the paper's evaluation section,
+// plus the ablations called out in DESIGN.md. Cycle and energy figures
+// from the simulated Cortex-M0+ are attached as custom benchmark
+// metrics (cycles/op, pJ/op, µJ/op) next to the host-side ns/op, so
+// `go test -bench .` regenerates the paper's numbers alongside Go-level
+// performance.
+
+import (
+	"math/big"
+	"math/rand"
+	"sync"
+	"testing"
+
+	"repro/internal/codegen"
+	"repro/internal/core"
+	"repro/internal/ec"
+	"repro/internal/energy"
+	"repro/internal/gf233"
+	"repro/internal/model"
+	"repro/internal/opcount"
+	"repro/internal/profile"
+)
+
+var (
+	benchOnce     sync.Once
+	benchRoutines *codegen.Routines
+	benchCosts    *profile.OpCosts
+)
+
+func benchSetup(b *testing.B) (*codegen.Routines, *profile.OpCosts) {
+	b.Helper()
+	benchOnce.Do(func() {
+		r, err := codegen.Build()
+		if err != nil {
+			panic(err)
+		}
+		benchRoutines = r
+		c, err := profile.MeasureOpCosts()
+		if err != nil {
+			panic(err)
+		}
+		benchCosts = c
+	})
+	return benchRoutines, benchCosts
+}
+
+func benchScalar() *big.Int {
+	k, _ := new(big.Int).SetString(
+		"5e2b1c4d3f6a798081929394a5b6c7d8e9fa0b1c2d3e4f506172839", 16)
+	return k
+}
+
+// BenchmarkTable1OpFormulas measures the instrumented word-level
+// engines behind Table 1 and attaches their operation totals.
+func BenchmarkTable1OpFormulas(b *testing.B) {
+	rnd := rand.New(rand.NewSource(1))
+	x, y := gf233.Rand(rnd.Uint32), gf233.Rand(rnd.Uint32)
+	for _, m := range opcount.Methods() {
+		b.Run(m.String(), func(b *testing.B) {
+			var counts opcount.Counts
+			for i := 0; i < b.N; i++ {
+				_, counts = opcount.Measure(m, x, y)
+			}
+			b.ReportMetric(float64(counts.Read), "reads/op")
+			b.ReportMetric(float64(counts.Write), "writes/op")
+			b.ReportMetric(float64(counts.XOR), "xors/op")
+			b.ReportMetric(float64(counts.Shift), "shifts/op")
+		})
+	}
+}
+
+// BenchmarkTable2CycleEstimates reports the paper's closed-form cycle
+// estimates (mem = 2 cycles) for the three methods.
+func BenchmarkTable2CycleEstimates(b *testing.B) {
+	for _, m := range opcount.Methods() {
+		b.Run(m.String(), func(b *testing.B) {
+			var cycles int
+			for i := 0; i < b.N; i++ {
+				cycles = opcount.Formula(m, 8).Cycles()
+			}
+			b.ReportMetric(float64(cycles), "modelcycles/op")
+		})
+	}
+}
+
+// BenchmarkTable3InstructionEnergy re-measures one Table 3 row per
+// sub-benchmark on the synthetic rig.
+func BenchmarkTable3InstructionEnergy(b *testing.B) {
+	for _, cls := range energy.Table3Instructions() {
+		b.Run(cls.String(), func(b *testing.B) {
+			rig := energy.NewRig(4*energy.ClockHz, 50e-6, 7)
+			var row energy.InstructionMeasurement
+			var err error
+			for i := 0; i < b.N; i++ {
+				row, err = rig.MeasureInstruction(cls)
+				if err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ReportMetric(row.MeasuredPJ, "pJ/cycle")
+		})
+	}
+}
+
+// BenchmarkTable4PointMult runs the real Go point multiplications (host
+// time) and attaches the simulated-M0+ cycle and energy figures of the
+// Table 4 "This work" and RELIC rows.
+func BenchmarkTable4PointMult(b *testing.B) {
+	_, costs := benchSetup(b)
+	k := benchScalar()
+	g := ec.Gen()
+	kpMeas, err := profile.MeasuredKP(costs, k)
+	if err != nil {
+		b.Fatal(err)
+	}
+	kgMeas, err := profile.MeasuredKG(costs, k)
+	if err != nil {
+		b.Fatal(err)
+	}
+	rows := []struct {
+		name  string
+		model profile.Breakdown
+		run   func()
+	}{
+		{"ThisWork_kP", kpMeas, func() { core.ScalarMult(k, g) }},
+		{"ThisWork_kG", kgMeas, func() { core.ScalarBaseMult(k) }},
+		{"Relic_kP", profile.RelicKP(costs, k), func() { core.ScalarMultW(k, g, 4) }},
+		{"Relic_kG", profile.RelicKG(costs, k), func() { core.ScalarMultW(k, g, 4) }},
+	}
+	for _, row := range rows {
+		b.Run(row.name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				row.run()
+			}
+			b.ReportMetric(float64(row.model.Cycles), "m0cycles/op")
+			b.ReportMetric(row.model.TimeMS, "m0ms/op")
+			b.ReportMetric(row.model.EnergyMicroJ, "µJ/op")
+		})
+	}
+}
+
+// BenchmarkTable5FieldOps measures the "This work" field-arithmetic row
+// (sqr 395 / mul 3672 in the paper) on the simulator.
+func BenchmarkTable5FieldOps(b *testing.B) {
+	routines, _ := benchSetup(b)
+	rnd := rand.New(rand.NewSource(2))
+	x, y := gf233.Rand(rnd.Uint32), gf233.Rand(rnd.Uint32)
+	b.Run("Mul", func(b *testing.B) {
+		var st codegen.Stats
+		for i := 0; i < b.N; i++ {
+			var err error
+			_, st, err = routines.MulFixedASM.RunMul(x, y)
+			if err != nil {
+				b.Fatal(err)
+			}
+		}
+		b.ReportMetric(float64(st.Cycles), "m0cycles/op")
+	})
+	b.Run("Sqr", func(b *testing.B) {
+		var st codegen.Stats
+		for i := 0; i < b.N; i++ {
+			var err error
+			_, st, err = routines.SqrASM.RunSqr(x)
+			if err != nil {
+				b.Fatal(err)
+			}
+		}
+		b.ReportMetric(float64(st.Cycles), "m0cycles/op")
+	})
+}
+
+// BenchmarkTable6FieldRoutines covers every Table 6 variant: C vs
+// assembly for multiplication and squaring, plus the modelled EEA
+// inversion.
+func BenchmarkTable6FieldRoutines(b *testing.B) {
+	routines, costs := benchSetup(b)
+	rnd := rand.New(rand.NewSource(3))
+	x, y := gf233.Rand(rnd.Uint32), gf233.Rand(rnd.Uint32)
+	muls := []struct {
+		name string
+		r    *codegen.Routine
+	}{
+		{"MulRotating_C", routines.MulRotC},
+		{"MulFixed_C", routines.MulFixedC},
+		{"MulFixed_ASM", routines.MulFixedASM},
+	}
+	for _, m := range muls {
+		b.Run(m.name, func(b *testing.B) {
+			var st codegen.Stats
+			for i := 0; i < b.N; i++ {
+				var err error
+				_, st, err = m.r.RunMul(x, y)
+				if err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ReportMetric(float64(st.Cycles), "m0cycles/op")
+		})
+	}
+	for _, s := range []struct {
+		name string
+		r    *codegen.Routine
+	}{{"Sqr_C", routines.SqrC}, {"Sqr_ASM", routines.SqrASM}} {
+		b.Run(s.name, func(b *testing.B) {
+			var st codegen.Stats
+			for i := 0; i < b.N; i++ {
+				var err error
+				_, st, err = s.r.RunSqr(x)
+				if err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ReportMetric(float64(st.Cycles), "m0cycles/op")
+		})
+	}
+	b.Run("Inversion_C_model", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			profile.InvCycleModel()
+		}
+		b.ReportMetric(float64(costs.InvCycles), "m0cycles/op")
+	})
+	b.Run("Inversion_Go", func(b *testing.B) {
+		v := x
+		for i := 0; i < b.N; i++ {
+			v = gf233.MustInv(v)
+		}
+	})
+}
+
+// BenchmarkTable7PhaseBreakdown reports the per-phase totals of the
+// paper's Table 7 for kP and kG.
+func BenchmarkTable7PhaseBreakdown(b *testing.B) {
+	_, costs := benchSetup(b)
+	k := benchScalar()
+	for _, cfg := range []struct {
+		name string
+		f    func() profile.Breakdown
+	}{
+		{"kP", func() profile.Breakdown { return profile.ThisWorkKP(costs, k) }},
+		{"kG", func() profile.Breakdown { return profile.ThisWorkKG(costs, k) }},
+	} {
+		b.Run(cfg.name, func(b *testing.B) {
+			var bd profile.Breakdown
+			for i := 0; i < b.N; i++ {
+				bd = cfg.f()
+			}
+			b.ReportMetric(float64(bd.Multiply), "mulcycles/op")
+			b.ReportMetric(float64(bd.Square), "sqrcycles/op")
+			b.ReportMetric(float64(bd.Cycles), "totalcycles/op")
+		})
+	}
+}
+
+// BenchmarkFig1Trace regenerates the Figure 1 layout rendering.
+func BenchmarkFig1Trace(b *testing.B) {
+	var s string
+	for i := 0; i < b.N; i++ {
+		s = opcount.Fig1()
+	}
+	b.ReportMetric(float64(len(s)), "bytes/op")
+}
+
+// BenchmarkCurveSelection runs the §3.1 binary-vs-prime model.
+func BenchmarkCurveSelection(b *testing.B) {
+	var c model.Conclusions
+	for i := 0; i < b.N; i++ {
+		c = model.Run()
+	}
+	b.ReportMetric(float64(c.Binary.PointCycles), "binarycycles/op")
+	b.ReportMetric(float64(c.Prime224.PointCycles), "primecycles/op")
+}
+
+// BenchmarkWindowWidth is the w ∈ {2..8} recoding-width ablation on the
+// real Go implementation.
+func BenchmarkWindowWidth(b *testing.B) {
+	k := benchScalar()
+	g := ec.Gen()
+	for w := 2; w <= 8; w++ {
+		b.Run(string(rune('0'+w)), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				core.ScalarMultW(k, g, w)
+			}
+		})
+	}
+}
+
+// BenchmarkMontgomeryLadder contrasts the §5 constant-time ladder with
+// the wTNAF path.
+func BenchmarkMontgomeryLadder(b *testing.B) {
+	k := benchScalar()
+	g := ec.Gen()
+	b.Run("Ladder", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			core.ScalarMultLadder(k, g)
+		}
+	})
+	b.Run("WTNAF", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			core.ScalarMult(k, g)
+		}
+	})
+}
+
+// BenchmarkInversionMethods is the EEA vs Itoh-Tsujii ablation.
+func BenchmarkInversionMethods(b *testing.B) {
+	rnd := rand.New(rand.NewSource(4))
+	x := gf233.Rand(rnd.Uint32)
+	b.Run("EEA", func(b *testing.B) {
+		v := x
+		for i := 0; i < b.N; i++ {
+			v = gf233.MustInv(v)
+		}
+	})
+	b.Run("ItohTsujii", func(b *testing.B) {
+		v := x
+		for i := 0; i < b.N; i++ {
+			v, _ = gf233.InvItohTsujii(v)
+		}
+	})
+}
+
+// BenchmarkReductionInterleaving is the separate-vs-interleaved
+// squaring-reduction ablation.
+func BenchmarkReductionInterleaving(b *testing.B) {
+	rnd := rand.New(rand.NewSource(5))
+	x := gf233.Rand(rnd.Uint32)
+	b.Run("Separate", func(b *testing.B) {
+		v := x
+		for i := 0; i < b.N; i++ {
+			v = gf233.SqrSeparate(v)
+		}
+	})
+	b.Run("Interleaved", func(b *testing.B) {
+		v := x
+		for i := 0; i < b.N; i++ {
+			v = gf233.SqrInterleaved(v)
+		}
+	})
+}
+
+// BenchmarkSimulatorThroughput measures raw ISS speed (host-side) for
+// context on the substrate itself.
+func BenchmarkSimulatorThroughput(b *testing.B) {
+	routines, _ := benchSetup(b)
+	rnd := rand.New(rand.NewSource(6))
+	x, y := gf233.Rand(rnd.Uint32), gf233.Rand(rnd.Uint32)
+	b.ReportAllocs()
+	var cycles uint64
+	for i := 0; i < b.N; i++ {
+		_, st, err := routines.MulFixedASM.RunMul(x, y)
+		if err != nil {
+			b.Fatal(err)
+		}
+		cycles += st.Cycles
+	}
+	b.ReportMetric(float64(cycles)/float64(b.N), "simcycles/op")
+}
+
+// BenchmarkPointMulOnSimulator executes the complete kP τ-and-add main
+// loop on the simulated M0+ per iteration — the end-to-end measurement
+// behind the Table 6 kP row.
+func BenchmarkPointMulOnSimulator(b *testing.B) {
+	k := benchScalar()
+	g := ec.Gen()
+	var loop uint64
+	for i := 0; i < b.N; i++ {
+		res, err := codegen.RunPointMulKP(k, g)
+		if err != nil {
+			b.Fatal(err)
+		}
+		loop = res.LoopCycles
+	}
+	b.ReportMetric(float64(loop), "m0loopcycles/op")
+}

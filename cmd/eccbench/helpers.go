@@ -1,0 +1,25 @@
+package main
+
+import (
+	"repro/internal/codegen"
+	"repro/internal/gf233"
+)
+
+// mustElem parses a trusted field-element constant.
+func mustElem(s string) gf233.Elem { return gf233.MustHex(s) }
+
+// rotCycles measures the rotating-window C multiplication variant on
+// the simulator.
+func rotCycles() (uint64, error) {
+	r, err := codegen.NewRoutine(codegen.MulRotatingC(), "mul_rotating_c")
+	if err != nil {
+		return 0, err
+	}
+	a := mustElem("0x1b2c3d4e5f60718293a4b5c6d7e8f9010203040506070809aabbccdde")
+	b := mustElem("0x0123456789abcdef0123456789abcdef0123456789abcdef012345678")
+	_, st, err := r.RunMul(a, b)
+	if err != nil {
+		return 0, err
+	}
+	return st.Cycles, nil
+}

@@ -1,0 +1,393 @@
+// Command eccbench regenerates every table and figure of the paper's
+// evaluation section from this repository's implementations, printing
+// our measured/modelled values next to the paper's published numbers.
+//
+// Usage:
+//
+//	eccbench [table1|table2|table3|table4|table5|table6|table7|fig1|select|wsn|claims|all]
+//
+// With no argument, `all` is assumed.
+package main
+
+import (
+	"fmt"
+	"math/big"
+	"os"
+
+	"repro/internal/energy"
+	"repro/internal/litdata"
+	"repro/internal/model"
+	"repro/internal/opcount"
+	"repro/internal/profile"
+	"repro/internal/tables"
+	"repro/internal/wsn"
+)
+
+func main() {
+	cmd := "all"
+	if len(os.Args) > 1 {
+		cmd = os.Args[1]
+	}
+	commands := map[string]func() error{
+		"table1": table1, "table2": table2, "table3": table3,
+		"table4": table4, "table5": table5, "table6": table6,
+		"table7": table7, "fig1": fig1, "select": selection,
+		"wsn": wsnCmd, "ablation": ablation, "claims": claims,
+	}
+	order := []string{"table1", "table2", "table3", "table4", "table5",
+		"table6", "table7", "fig1", "select", "wsn", "ablation", "claims"}
+	if cmd == "all" {
+		for _, name := range order {
+			if err := commands[name](); err != nil {
+				fatal(err)
+			}
+			fmt.Println()
+		}
+		return
+	}
+	fn, ok := commands[cmd]
+	if !ok {
+		fmt.Fprintf(os.Stderr, "eccbench: unknown command %q\nusage: eccbench [", cmd)
+		for i, n := range order {
+			if i > 0 {
+				fmt.Fprint(os.Stderr, "|")
+			}
+			fmt.Fprint(os.Stderr, n)
+		}
+		fmt.Fprintln(os.Stderr, "|all]")
+		os.Exit(2)
+	}
+	if err := fn(); err != nil {
+		fatal(err)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "eccbench:", err)
+	os.Exit(1)
+}
+
+// benchScalar is the fixed demonstration scalar used across tables.
+func benchScalar() *big.Int {
+	k, _ := new(big.Int).SetString(
+		"6c9b1f47a1b0c2d3e4f5061728394a5b6c7d8e9f0011223344556677", 16)
+	return k
+}
+
+var cachedCosts *profile.OpCosts
+
+func opCosts() (*profile.OpCosts, error) {
+	if cachedCosts == nil {
+		c, err := profile.MeasureOpCosts()
+		if err != nil {
+			return nil, err
+		}
+		cachedCosts = c
+	}
+	return cachedCosts, nil
+}
+
+func table1() error {
+	t := tables.New("Table 1. Estimated required operation formulas for field multiplication in F_2^233.",
+		"Method", "Read", "Write", "XOR")
+	for _, m := range opcount.Methods() {
+		fs := opcount.FormulaStrings(m)
+		t.Row(m.Letter(), fs[0], fs[1], fs[2])
+	}
+	for _, m := range opcount.Methods() {
+		t.Note("Method %s: %s", m.Letter(), m)
+	}
+	t.Note("Shift count is 42n − 21 for all three methods.")
+	fmt.Print(t)
+	return nil
+}
+
+func table2() error {
+	t := tables.New("Table 2. Estimated required operations for field multiplication in F_2^233 (n = 8).",
+		"Method", "Read", "Write", "XOR", "Shift", "Cycles*", "Measured R/W/X/S")
+	var sample [3]opcount.Counts
+	a := mustElem("0x1b2c3d4e5f60718293a4b5c6d7e8f9010203040506070809aabbccdde")
+	b := mustElem("0x0123456789abcdef0123456789abcdef0123456789abcdef012345678")
+	for i, m := range opcount.Methods() {
+		_, sample[i] = opcount.Measure(m, a, b)
+	}
+	for i, m := range opcount.Methods() {
+		f := opcount.Formula(m, 8)
+		meas := sample[i]
+		t.Row(m.Letter(), f.Read, f.Write, f.XOR, f.Shift, f.Cycles(),
+			fmt.Sprintf("%d/%d/%d/%d", meas.Read, meas.Write, meas.XOR, meas.Shift))
+	}
+	t.Note("* Paper model: memory operations cost 2 cycles, all others 1.")
+	t.Note("Measured columns come from the instrumented word-level engines.")
+	t.Note("C over B: %.1f%% faster;  C over A: %.1f%% faster (paper: 15%% / 40%%).",
+		100*opcount.SpeedupOver(opcount.MethodFixed, opcount.MethodRotating, 8),
+		100*opcount.SpeedupOver(opcount.MethodFixed, opcount.MethodLD, 8))
+	fmt.Print(t)
+	return nil
+}
+
+func table3() error {
+	rig := energy.NewRig(4*energy.ClockHz, 50e-6, 42)
+	rows, err := rig.Table3()
+	if err != nil {
+		return err
+	}
+	t := tables.New("Table 3. Energy used per cycle for different instructions (48 MHz clock).",
+		"Instruction", "Paper [pJ]", "Rig-measured [pJ]")
+	for _, r := range rows {
+		t.Row(r.Class.String(), r.ModelPJ, fmt.Sprintf("%.2f", r.MeasuredPJ))
+	}
+	t.Note("Measured on the synthetic rig: per-instruction loops, noisy current")
+	t.Note("waveform, numerical integration, baseline subtraction (§4.1 method).")
+	t.Note("Spread (max−min)/min: %.1f%% (paper reports up to 22.5%%).", 100*energy.Spread(rows))
+	fmt.Print(t)
+	return nil
+}
+
+func table4() error {
+	costs, err := opCosts()
+	if err != nil {
+		return err
+	}
+	k := benchScalar()
+	t := tables.New("Table 4. Timings and energy for point multiplications.",
+		"Platform", "Author", "Curve", "Mult [ms]", "[µJ]", "src")
+	for _, r := range litdata.PointMultRows() {
+		kind := "r"
+		if r.Fixed {
+			kind = "f"
+		}
+		t.Row(r.Platform, r.Author, r.Curve,
+			fmt.Sprintf("%.1f%s", r.TimeMS, kind), r.EnergyUJ, r.Source.String())
+	}
+	t.Sep()
+	kpMeas, err := profile.MeasuredKP(costs, k)
+	if err != nil {
+		return err
+	}
+	kgMeas, err := profile.MeasuredKG(costs, k)
+	if err != nil {
+		return err
+	}
+	rows := []struct {
+		name  string
+		fixed bool
+		b     profile.Breakdown
+		paper [2]float64 // ms, µJ
+	}{
+		{"Relic kG", true, profile.RelicKG(costs, k), [2]float64{115.7, 69.48}},
+		{"Relic kP", false, profile.RelicKP(costs, k), [2]float64{117.1, 70.26}},
+		{"This work kG", true, kgMeas, [2]float64{39.70, 20.63}},
+		{"This work kP", false, kpMeas, [2]float64{59.18, 34.16}},
+	}
+	for _, r := range rows {
+		kind := "r"
+		if r.fixed {
+			kind = "f"
+		}
+		t.Row("Cortex-M0+", r.name, "sect233k1",
+			fmt.Sprintf("%.2f%s", r.b.TimeMS, kind),
+			fmt.Sprintf("%.2f", r.b.EnergyMicroJ), "sim")
+		t.Row("", "  (paper)", "",
+			fmt.Sprintf("%.2f%s", r.paper[0], kind), r.paper[1], "m")
+	}
+	t.Note("sim: composed from simulated-M0+ routine cycles and the Table 3 energy")
+	t.Note("model; literature rows as published (e = estimated from typical power).")
+	fmt.Print(t)
+	return nil
+}
+
+func table5() error {
+	costs, err := opCosts()
+	if err != nil {
+		return err
+	}
+	t := tables.New("Table 5. Average cycle counts for modular multiplication and squaring.",
+		"Author", "Platform", "Word", "Sqr", "Mul", "Field")
+	for _, r := range litdata.FieldOpRows() {
+		sqr := "-"
+		if r.SqrCycles > 0 {
+			sqr = fmt.Sprintf("%.0f", r.SqrCycles)
+		}
+		t.Row(r.Author, r.Platform, r.WordSize, sqr, r.MulCycles, r.Field)
+	}
+	t.Sep()
+	t.Row("This work (sim)", "Cortex-M0+", 32, costs.SqrCycles, costs.MulCycles, "F_2^233")
+	t.Row("This work (paper)", "Cortex-M0+", 32, 395, 3672, "F_2^233")
+	fmt.Print(t)
+	return nil
+}
+
+func table6() error {
+	costs, err := opCosts()
+	if err != nil {
+		return err
+	}
+	k := benchScalar()
+	kp, err := profile.MeasuredKP(costs, k)
+	if err != nil {
+		return err
+	}
+	kg, err := profile.MeasuredKG(costs, k)
+	if err != nil {
+		return err
+	}
+	t := tables.New("Table 6. Cycle counts for field arithmetic in F_2^233: C vs assembly.",
+		"Operation", "C (paper)", "C (sim)", "asm (paper)", "asm (sim)")
+	t.Row("Modular squaring", 419, costs.SqrCCycles, 395, costs.SqrCycles)
+	t.Row("Inversion", 141916, costs.InvCycles, "-", "-")
+	t.Row("LD rotating registers", 5592, mulRotCycles(), "-", "-")
+	t.Row("LD fixed registers", 5964, costs.MulCCycles, 3672, costs.MulCycles)
+	t.Row("kP", 3516295, "-", 2761640, kp.Cycles)
+	t.Row("kG", 2494757, "-", 1864470, kg.Cycles)
+	t.Note("Simulated C variants are generated memory-resident routines; the")
+	t.Note("simulated inversion is the calibrated word-operation model. The kP/kG")
+	t.Note("figures run the full tau-and-add main loop on the simulator, plus the")
+	t.Note("modelled host-side recoding/precomputation/inversion phases.")
+	fmt.Print(t)
+	return nil
+}
+
+func table7() error {
+	costs, err := opCosts()
+	if err != nil {
+		return err
+	}
+	k := benchScalar()
+	kp, err := profile.MeasuredKP(costs, k)
+	if err != nil {
+		return err
+	}
+	kg, err := profile.MeasuredKG(costs, k)
+	if err != nil {
+		return err
+	}
+	t := tables.New("Table 7. Accumulated cycles per operation for kP and kG.",
+		"Operation", "kP (paper)", "kP (sim)", "kG (paper)", "kG (sim)")
+	t.Row("TNAF representation", 178135, kp.TNAFRepr, 185926, kg.TNAFRepr)
+	t.Row("TNAF precomputation", 398387, kp.TNAFPre, 0, kg.TNAFPre)
+	t.Row("Multiply", 1108890, kp.Multiply, 821178, kg.Multiply)
+	t.Row("Multiply precomputation", 249750, kp.MulPre, 184950, kg.MulPre)
+	t.Row("Square", 362379, kp.Square, 342294, kg.Square)
+	t.Row("Inversion", 139936, kp.Inversion, 139656, kg.Inversion)
+	t.Row("Support functions", 377350, kp.Support, 376392, kg.Support)
+	t.Sep()
+	t.Row("Total", 2814827, kp.Cycles, 1864470, kg.Cycles)
+	fmt.Print(t)
+	return nil
+}
+
+func fig1() error {
+	fmt.Print(opcount.Fig1())
+	return nil
+}
+
+func selection() error {
+	c := model.Run()
+	t := tables.New("§3.1 curve-selection model: binary Koblitz vs prime curves.",
+		"Candidate", "Field mul [cyc]", "Point mult [cyc]", "Power [µW]", "Energy [µJ]")
+	for _, e := range []model.CurveEstimate{c.Binary, c.Prime224, c.Prime256} {
+		t.Row(e.Name, e.MulCycles, e.PointCycles, fmt.Sprintf("%.1f", e.PowerUW),
+			fmt.Sprintf("%.2f", e.EnergyUJ))
+	}
+	t.Note("Conclusion 1 (Koblitz faster): %v   Conclusion 2 (binary less power): %v",
+		c.KoblitzFaster, c.BinaryLessPower)
+	fmt.Print(t)
+	return nil
+}
+
+func wsnCmd() error {
+	results, err := wsn.Compare(wsn.DefaultNode(), wsn.PaperProfiles())
+	if err != nil {
+		return err
+	}
+	t := tables.New("WSN node lifetime under different crypto implementations (CR2032-class, 15 min rekeying).",
+		"Implementation", "Exchange [µJ]", "Lifetime [days]", "PKC share")
+	for _, r := range results {
+		t.Row(r.Profile.Name,
+			fmt.Sprintf("%.1f", r.Profile.KeyExchangeUJ()),
+			fmt.Sprintf("%.0f", r.Lifetime.Hours()/24),
+			fmt.Sprintf("%.1f%%", 100*r.CryptoShare))
+	}
+	fmt.Print(t)
+	return nil
+}
+
+func ablation() error {
+	costs, err := opCosts()
+	if err != nil {
+		return err
+	}
+	k := benchScalar()
+	t := tables.New("Ablation: wTNAF window width (modelled cycles/energy on the simulated M0+).",
+		"w", "kP cycles", "kP µJ", "kG cycles", "kG µJ", "table points")
+	for w := 2; w <= 8; w++ {
+		kp := profile.Model(costs, k, profile.Config{W: w})
+		kg := profile.Model(costs, k, profile.Config{W: w, FixedBase: true})
+		t.Row(w, kp.Cycles, fmt.Sprintf("%.2f", kp.EnergyMicroJ),
+			kg.Cycles, fmt.Sprintf("%.2f", kg.EnergyMicroJ), 1<<(w-2))
+	}
+	t.Note("The paper picks w=4 for kP (precomputation is paid at runtime and grows")
+	t.Note("as 2^(w-2) point additions) and w=6 for kG (table computed offline).")
+	fmt.Print(t)
+
+	// Verify the paper's kP choice is the modelled optimum. For kG the
+	// cycle model improves monotonically with w (offline precomputation
+	// is free); the paper's w=6 is the RAM trade-off — the table costs
+	// 2^(w-2) × 61 bytes, so w=8 would spend 4 KiB of a small MCU's
+	// SRAM for a further ~5%.
+	bestKP := 0
+	minKP := ^uint64(0)
+	for w := 2; w <= 8; w++ {
+		if c := profile.Model(costs, k, profile.Config{W: w}).Cycles; c < minKP {
+			minKP, bestKP = c, w
+		}
+	}
+	fmt.Printf("modelled kP optimum: w=%d (paper: 4); kG: larger w keeps helping, capped\n", bestKP)
+	fmt.Printf("by table RAM (w=6 costs 976 B, w=8 would cost 3.9 KiB).\n")
+	return nil
+}
+
+func claims() error {
+	costs, err := opCosts()
+	if err != nil {
+		return err
+	}
+	k := benchScalar()
+	kp, err := profile.MeasuredKP(costs, k)
+	if err != nil {
+		return err
+	}
+	kg, err := profile.MeasuredKG(costs, k)
+	if err != nil {
+		return err
+	}
+	rkp := profile.RelicKP(costs, k)
+	rkg := profile.RelicKG(costs, k)
+
+	fmt.Println("Headline claims, reproduced (measured main loops on the simulator):")
+	fmt.Printf("  LD fixed vs rotating (model):  %.1f%% faster   (paper: 15%%)\n",
+		100*opcount.SpeedupOver(opcount.MethodFixed, opcount.MethodRotating, 8))
+	fmt.Printf("  LD fixed vs original LD:       %.1f%% faster   (paper: 40%%)\n",
+		100*opcount.SpeedupOver(opcount.MethodFixed, opcount.MethodLD, 8))
+	fmt.Printf("  kP vs RELIC kP:                %.2fx faster   (paper: 1.99x)\n",
+		float64(rkp.Cycles)/float64(kp.Cycles))
+	fmt.Printf("  kG vs RELIC kG:                %.2fx faster   (paper: 2.98x)\n",
+		float64(rkg.Cycles)/float64(kg.Cycles))
+	best := litdata.BestOtherEnergyUJ()
+	fmt.Printf("  energy vs best literature row: %.1fx lower    (%.1f µJ vs our kP %.2f µJ)\n",
+		best/kp.EnergyMicroJ, best, kp.EnergyMicroJ)
+	fmt.Printf("  energy vs RELIC kG:            %.2fx lower    (paper: 3.37x — the ≥3.3 claim)\n",
+		rkg.EnergyMicroJ/kg.EnergyMicroJ)
+	return nil
+}
+
+func mulRotCycles() uint64 {
+	// The rotating-window C variant is not part of OpCosts; measure it
+	// directly.
+	c, err := rotCycles()
+	if err != nil {
+		return 0
+	}
+	return c
+}

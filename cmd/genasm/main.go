@@ -1,0 +1,39 @@
+// Command genasm prints the generated Thumb field-arithmetic routines —
+// the reproduction of the paper's hand-written assembly — for
+// inspection or for running under cmd/m0sim.
+//
+// Usage:
+//
+//	genasm [mul_fixed_asm|mul_fixed_c|mul_rotating_c|sqr_asm|sqr_c|lut_only]
+package main
+
+import (
+	"fmt"
+	"os"
+
+	"repro/internal/codegen"
+)
+
+func main() {
+	routines := map[string]func() string{
+		"mul_fixed_asm":  codegen.MulFixedASM,
+		"mul_fixed_c":    codegen.MulFixedC,
+		"mul_rotating_c": codegen.MulRotatingC,
+		"sqr_asm":        codegen.SqrASM,
+		"sqr_c":          codegen.SqrC,
+		"lut_only":       codegen.LUTOnly,
+	}
+	name := "mul_fixed_asm"
+	if len(os.Args) > 1 {
+		name = os.Args[1]
+	}
+	gen, ok := routines[name]
+	if !ok {
+		fmt.Fprintf(os.Stderr, "genasm: unknown routine %q; available:\n", name)
+		for n := range routines {
+			fmt.Fprintln(os.Stderr, "  "+n)
+		}
+		os.Exit(2)
+	}
+	fmt.Print(gen())
+}

@@ -1,0 +1,128 @@
+// Command m0sim assembles a Thumb source file and executes it on the
+// Cortex-M0+ simulator, reporting registers, cycle counts, the
+// instruction-class histogram and the modelled energy at 48 MHz.
+//
+// Usage:
+//
+//	m0sim [-entry label] [-max cycles] [-mem bytes] [-trace] prog.s
+//
+// Execution starts at the entry label (default: offset 0) and ends when
+// the outermost routine returns (`bx lr`), the cycle budget is
+// exhausted, or the program faults.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/armv6m"
+	"repro/internal/energy"
+	"repro/internal/thumb"
+)
+
+func main() {
+	entry := flag.String("entry", "", "entry label (default: image offset 0)")
+	maxCycles := flag.Uint64("max", 10_000_000, "cycle budget")
+	memSize := flag.Int("mem", 64*1024, "RAM size in bytes")
+	trace := flag.Bool("trace", false, "print each executed instruction")
+	flag.Usage = func() {
+		fmt.Fprintln(os.Stderr, "usage: m0sim [flags] prog.s")
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+	if flag.NArg() != 1 {
+		flag.Usage()
+		os.Exit(2)
+	}
+	if err := run(flag.Arg(0), *entry, *maxCycles, *memSize, *trace); err != nil {
+		fmt.Fprintln(os.Stderr, "m0sim:", err)
+		os.Exit(1)
+	}
+}
+
+func run(path, entry string, maxCycles uint64, memSize int, trace bool) error {
+	src, err := os.ReadFile(path)
+	if err != nil {
+		return err
+	}
+	prog, err := thumb.Assemble(string(src))
+	if err != nil {
+		return err
+	}
+	start := uint32(0)
+	if entry != "" {
+		start, err = prog.Entry(entry)
+		if err != nil {
+			return err
+		}
+	}
+	m := armv6m.New(memSize)
+	m.LoadProgram(0, prog.Code)
+	var cycles uint64
+	var runErr error
+	if trace {
+		cycles, runErr = traceRun(m, prog, start, maxCycles)
+	} else {
+		cycles, runErr = m.Call(start, maxCycles)
+	}
+
+	fmt.Printf("image: %d bytes, entry %#x\n", prog.Len(), start)
+	if runErr != nil {
+		fmt.Printf("FAULT after %d cycles: %v\n", cycles, runErr)
+	} else {
+		fmt.Printf("halted cleanly after %d cycles, %d instructions (CPI %.2f)\n",
+			cycles, m.Retired, float64(cycles)/float64(m.Retired))
+	}
+	fmt.Println("\nregisters:")
+	for i := 0; i < 13; i++ {
+		fmt.Printf("  r%-2d = 0x%08x", i, m.R[i])
+		if i%4 == 3 {
+			fmt.Println()
+		}
+	}
+	fmt.Printf("\n  sp  = 0x%08x  lr  = 0x%08x  pc  = 0x%08x\n",
+		m.R[armv6m.SP], m.R[armv6m.LR], m.R[armv6m.PC])
+	fmt.Printf("  flags: N=%v Z=%v C=%v V=%v\n", m.N, m.Z, m.C, m.V)
+
+	fmt.Println("\ninstruction classes:")
+	for c := armv6m.Class(0); c < armv6m.NumClasses; c++ {
+		if m.ClassCount[c] == 0 {
+			continue
+		}
+		fmt.Printf("  %-7s %8d instrs  %8d cycles  %6.2f pJ/cycle\n",
+			c, m.ClassCount[c], m.ClassCyc[c], energy.PerCyclePJ(c))
+	}
+
+	pj := energy.EnergyPJ(m.ClassCyc)
+	power := energy.PowerWatts(m.ClassCyc, m.Cycles)
+	fmt.Printf("\nenergy @48 MHz: %.2f nJ total, average power %.1f µW, %.3f ms wall time\n",
+		pj/1e3, power*1e6, float64(m.Cycles)/energy.ClockHz*1e3)
+	if runErr != nil {
+		os.Exit(1)
+	}
+	return nil
+}
+
+// traceRun single-steps the machine, disassembling each instruction
+// before it executes.
+func traceRun(m *armv6m.Machine, prog *thumb.Program, start uint32, maxCycles uint64) (uint64, error) {
+	m.R[armv6m.PC] = start
+	for !m.Halted() {
+		if m.Cycles >= maxCycles {
+			return m.Cycles, fmt.Errorf("cycle budget of %d exhausted", maxCycles)
+		}
+		pc := m.R[armv6m.PC]
+		instr := m.ReadHalf(pc)
+		lo := uint32(0)
+		if int(pc)+4 <= len(m.Mem) {
+			lo = m.ReadHalf(pc + 2)
+		}
+		text, _ := thumb.Disassemble(instr, lo, pc)
+		before := m.Cycles
+		m.Step()
+		fmt.Printf("%8d  %06x: %-28s r0=%08x r1=%08x r2=%08x r3=%08x\n",
+			m.Cycles-before, pc, text, m.R[0], m.R[1], m.R[2], m.R[3])
+	}
+	return m.Cycles, m.Fault()
+}

@@ -1,0 +1,66 @@
+// Energy exploration: regenerate the paper's per-instruction energy
+// measurements (Table 3) on the synthetic rig, then run the generated
+// fixed-register multiplication on the simulated Cortex-M0+ and break
+// its energy down by instruction class — making the paper's core
+// argument (memory traffic and instruction mix drive energy) visible on
+// a single field operation.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/internal/armv6m"
+	"repro/internal/codegen"
+	"repro/internal/energy"
+	"repro/internal/gf233"
+	"repro/internal/tables"
+)
+
+func main() {
+	// Part 1: the measurement rig (§4.1).
+	rig := energy.NewRig(4*energy.ClockHz, 50e-6, 2024)
+	rows, err := rig.Table3()
+	if err != nil {
+		log.Fatal(err)
+	}
+	t := tables.New("Per-instruction energy, measured on the synthetic rig (48 MHz).",
+		"Instruction", "Model [pJ/cyc]", "Measured [pJ/cyc]", "Error")
+	for _, r := range rows {
+		t.Row(r.Class.String(), r.ModelPJ, fmt.Sprintf("%.3f", r.MeasuredPJ),
+			fmt.Sprintf("%+.2f%%", 100*(r.MeasuredPJ/r.ModelPJ-1)))
+	}
+	t.Note("Spread: %.1f%% (paper: up to 22.5%%); ADD is the hungriest instruction.",
+		100*energy.Spread(rows))
+	fmt.Println(t)
+
+	// Part 2: one field multiplication under the microscope.
+	routine, err := codegen.NewRoutine(codegen.MulFixedASM(), "mul_fixed_asm")
+	if err != nil {
+		log.Fatal(err)
+	}
+	a := gf233.MustHex("0x1fba9c44e21093d5f7a8b6c4d2e0f1325476980acbed0f1e2d3c4b5a6")
+	b := gf233.MustHex("0x0123456789abcdef0fedcba98765432100112233445566778899aabbc")
+	_, st, err := routine.RunMul(a, b)
+	if err != nil {
+		log.Fatal(err)
+	}
+	bt := tables.New(
+		fmt.Sprintf("One LD-with-fixed-registers multiplication: %d cycles, %d instructions.",
+			st.Cycles, st.Retired),
+		"Class", "Instructions", "Cycles", "Energy [pJ]", "Share")
+	totalPJ := energy.EnergyPJ(st.ClassCyc)
+	for c := armv6m.Class(0); c < armv6m.NumClasses; c++ {
+		if st.ClassCount[c] == 0 {
+			continue
+		}
+		pj := float64(st.ClassCyc[c]) * energy.PerCyclePJ(c)
+		bt.Row(c.String(), st.ClassCount[c], st.ClassCyc[c],
+			fmt.Sprintf("%.0f", pj), fmt.Sprintf("%.1f%%", 100*pj/totalPJ))
+	}
+	power := energy.PowerWatts(st.ClassCyc, st.Cycles)
+	bt.Note("Total %.2f nJ at %.1f µW average power — one of the ~380 multiplications",
+		totalPJ/1e3, power*1e6)
+	bt.Note("inside a %.1f µJ point multiplication.", 34.16)
+	fmt.Println(bt)
+}

@@ -1,0 +1,606 @@
+package armv6m_test
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/armv6m"
+	"repro/internal/thumb"
+)
+
+// run assembles src, loads it at address 0 and executes from offset 0
+// until a clean halt, returning the machine.
+func run(t *testing.T, src string) *armv6m.Machine {
+	t.Helper()
+	prog, err := thumb.Assemble(src)
+	if err != nil {
+		t.Fatalf("assemble: %v", err)
+	}
+	m := armv6m.New(64 * 1024)
+	m.LoadProgram(0, prog.Code)
+	if _, err := m.Call(0, 1_000_000); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	return m
+}
+
+// mustFault assembles and runs src, expecting an execution fault
+// containing the given substring.
+func mustFault(t *testing.T, src, want string) {
+	t.Helper()
+	prog, err := thumb.Assemble(src)
+	if err != nil {
+		t.Fatalf("assemble: %v", err)
+	}
+	m := armv6m.New(4 * 1024)
+	m.LoadProgram(0, prog.Code)
+	_, err = m.Call(0, 100_000)
+	if err == nil || !strings.Contains(err.Error(), want) {
+		t.Fatalf("expected fault containing %q, got %v", want, err)
+	}
+}
+
+func TestMovAndArithmetic(t *testing.T) {
+	m := run(t, `
+		movs r0, #100
+		movs r1, #23
+		adds r2, r0, r1
+		subs r3, r0, r1
+		adds r4, r0, #7
+		subs r5, r0, #7
+		movs r6, r2
+		bx lr
+	`)
+	for i, want := range []uint32{100, 23, 123, 77, 107, 93, 123} {
+		if m.R[i] != want {
+			t.Errorf("r%d = %d, want %d", i, m.R[i], want)
+		}
+	}
+}
+
+func TestFlagsAddSub(t *testing.T) {
+	// 0 - 1 = 0xFFFFFFFF: N set, C clear (borrow).
+	m := run(t, `
+		movs r0, #0
+		subs r0, r0, #1
+		bx lr
+	`)
+	if m.R[0] != 0xffffffff || !m.N || m.Z || m.C || m.V {
+		t.Errorf("0-1: r0=%#x N=%v Z=%v C=%v V=%v", m.R[0], m.N, m.Z, m.C, m.V)
+	}
+	// 5 - 5 = 0: Z and C set.
+	m = run(t, `
+		movs r0, #5
+		subs r0, r0, #5
+		bx lr
+	`)
+	if !m.Z || !m.C || m.N {
+		t.Errorf("5-5 flags: N=%v Z=%v C=%v", m.N, m.Z, m.C)
+	}
+	// 0x7FFFFFFF + 1 overflows into the sign bit: V set.
+	m = run(t, `
+		movs r0, #1
+		lsls r0, r0, #31
+		subs r0, r0, #1   ; r0 = 0x7fffffff
+		movs r1, #1
+		adds r0, r0, r1
+		bx lr
+	`)
+	if !m.V || !m.N || m.C {
+		t.Errorf("overflow flags: N=%v C=%v V=%v", m.N, m.C, m.V)
+	}
+}
+
+func TestMultiPrecisionAdc(t *testing.T) {
+	// 64-bit add: 0xFFFFFFFF_00000001 + 0x00000001_FFFFFFFF =
+	// 0x1_00000001_00000000.
+	m := run(t, `
+		movs r0, #1          ; lo a
+		movs r1, #0
+		mvns r1, r1          ; hi a = 0xffffffff
+		movs r2, #0
+		mvns r2, r2          ; lo b = 0xffffffff
+		movs r3, #1          ; hi b
+		adds r0, r0, r2      ; lo sum
+		adcs r1, r3          ; hi sum + carry
+		bx lr
+	`)
+	if m.R[0] != 0 {
+		t.Errorf("lo = %#x, want 0", m.R[0])
+	}
+	if m.R[1] != 1 {
+		t.Errorf("hi = %#x, want 1 (0xffffffff + 1 + carry wraps)", m.R[1])
+	}
+	if !m.C {
+		t.Error("final carry should be set")
+	}
+}
+
+func TestShifts(t *testing.T) {
+	m := run(t, `
+		movs r0, #1
+		lsls r1, r0, #31   ; 0x80000000
+		lsrs r2, r1, #31   ; 1
+		asrs r3, r1, #31   ; 0xffffffff
+		movs r4, #0xf0
+		movs r5, #4
+		lsrs r4, r5        ; 0x0f by register
+		movs r6, #3
+		lsls r6, r5        ; 0x30
+		bx lr
+	`)
+	want := map[int]uint32{1: 0x80000000, 2: 1, 3: 0xffffffff, 4: 0x0f, 6: 0x30}
+	for r, w := range want {
+		if m.R[r] != w {
+			t.Errorf("r%d = %#x, want %#x", r, m.R[r], w)
+		}
+	}
+}
+
+func TestShiftCarries(t *testing.T) {
+	// LSR #1 of 3 shifts out a 1 into C.
+	m := run(t, `
+		movs r0, #3
+		lsrs r0, r0, #1
+		bx lr
+	`)
+	if m.R[0] != 1 || !m.C {
+		t.Errorf("lsr carry: r0=%d C=%v", m.R[0], m.C)
+	}
+	// LSR #32 (encoded as 0): result 0, C = old bit 31.
+	m = run(t, `
+		movs r0, #1
+		lsls r0, r0, #31
+		lsrs r0, r0, #32
+		bx lr
+	`)
+	if m.R[0] != 0 || !m.C || !m.Z {
+		t.Errorf("lsr#32: r0=%d C=%v Z=%v", m.R[0], m.C, m.Z)
+	}
+	// Register shift by more than 32: result 0, C = 0.
+	m = run(t, `
+		movs r0, #0
+		mvns r0, r0
+		movs r1, #40
+		lsls r0, r1
+		bx lr
+	`)
+	if m.R[0] != 0 || m.C {
+		t.Errorf("lsl by 40: r0=%#x C=%v", m.R[0], m.C)
+	}
+}
+
+func TestLogicalAndMul(t *testing.T) {
+	m := run(t, `
+		movs r0, #0xf0
+		movs r1, #0x3c
+		movs r2, r0
+		ands r2, r1        ; 0x30
+		movs r3, r0
+		orrs r3, r1        ; 0xfc
+		movs r4, r0
+		eors r4, r1        ; 0xcc
+		movs r5, r0
+		bics r5, r1        ; 0xc0
+		movs r6, #7
+		movs r7, #6
+		muls r6, r7        ; 42
+		bx lr
+	`)
+	want := map[int]uint32{2: 0x30, 3: 0xfc, 4: 0xcc, 5: 0xc0, 6: 42}
+	for r, w := range want {
+		if m.R[r] != w {
+			t.Errorf("r%d = %#x, want %#x", r, m.R[r], w)
+		}
+	}
+}
+
+func TestRsbTstCmnMvn(t *testing.T) {
+	m := run(t, `
+		movs r0, #5
+		rsbs r1, r0, #0    ; -5
+		movs r2, #0
+		mvns r2, r2        ; 0xffffffff
+		movs r3, #1
+		tst r3, r3         ; Z clear
+		bx lr
+	`)
+	if m.R[1] != 0xfffffffb {
+		t.Errorf("rsbs: %#x", m.R[1])
+	}
+	if m.R[2] != 0xffffffff {
+		t.Errorf("mvns: %#x", m.R[2])
+	}
+	if m.Z {
+		t.Error("tst should clear Z")
+	}
+}
+
+func TestLoadStore(t *testing.T) {
+	m := run(t, `
+		movs r0, #0
+		mvns r0, r0        ; 0xffffffff
+		movs r1, #0x80     ; buffer at 0x80 (past the code)
+		lsls r1, r1, #4    ; 0x800
+		str r0, [r1, #0]
+		movs r2, #0x12
+		strb r2, [r1, #1]
+		ldr r3, [r1, #0]   ; 0xffff12ff
+		ldrb r4, [r1, #1]  ; 0x12
+		ldrh r5, [r1, #0]  ; 0x12ff
+		movs r6, #4
+		str r0, [r1, r6]
+		ldr r7, [r1, r6]
+		bx lr
+	`)
+	want := map[int]uint32{3: 0xffff12ff, 4: 0x12, 5: 0x12ff, 7: 0xffffffff}
+	for r, w := range want {
+		if m.R[r] != w {
+			t.Errorf("r%d = %#x, want %#x", r, m.R[r], w)
+		}
+	}
+}
+
+func TestSignedLoads(t *testing.T) {
+	m := run(t, `
+		movs r1, #0x80
+		lsls r1, r1, #4
+		movs r0, #0x80
+		strb r0, [r1, #0]
+		movs r2, #0
+		ldrsb r3, [r1, r2]  ; 0xffffff80
+		movs r0, #0x80
+		lsls r0, r0, #8     ; 0x8000
+		strh r0, [r1, #2]
+		movs r2, #2
+		ldrsh r4, [r1, r2]  ; 0xffff8000
+		bx lr
+	`)
+	if m.R[3] != 0xffffff80 {
+		t.Errorf("ldrsb = %#x", m.R[3])
+	}
+	if m.R[4] != 0xffff8000 {
+		t.Errorf("ldrsh = %#x", m.R[4])
+	}
+}
+
+func TestSpRelativeAndFrame(t *testing.T) {
+	m := run(t, `
+		sub sp, #16
+		movs r0, #42
+		str r0, [sp, #4]
+		movs r1, #13
+		str r1, [sp, #12]
+		ldr r2, [sp, #4]
+		ldr r3, [sp, #12]
+		add r4, sp, #4     ; address arithmetic
+		ldr r5, [r4, #0]
+		add sp, #16
+		bx lr
+	`)
+	if m.R[2] != 42 || m.R[3] != 13 || m.R[5] != 42 {
+		t.Errorf("sp-relative: r2=%d r3=%d r5=%d", m.R[2], m.R[3], m.R[5])
+	}
+	if m.R[SPreg()] != 64*1024&^7 {
+		t.Errorf("sp not restored: %#x", m.R[SPreg()])
+	}
+}
+
+// SPreg avoids importing the constant into the test namespace twice.
+func SPreg() int { return armv6m.SP }
+
+func TestPushPopCall(t *testing.T) {
+	m := run(t, `
+		push {lr}          ; preserve the exit sentinel across calls
+		movs r0, #5
+		bl double
+		movs r4, r0        ; 10
+		movs r0, #7
+		bl double
+		adds r4, r4, r0    ; 24
+		pop {pc}
+	double:
+		push {r4, lr}
+		movs r4, r0
+		adds r0, r4, r4
+		pop {r4, pc}
+	`)
+	if m.R[4] != 24 {
+		t.Errorf("r4 = %d, want 24", m.R[4])
+	}
+}
+
+func TestLdmStm(t *testing.T) {
+	m := run(t, `
+		movs r0, #1
+		movs r1, #2
+		movs r2, #3
+		movs r7, #0x80
+		lsls r7, r7, #4
+		movs r6, r7
+		stm r6!, {r0-r2}
+		movs r3, #0
+		movs r4, #0
+		movs r5, #0
+		movs r6, r7
+		ldm r6!, {r3-r5}
+		bx lr
+	`)
+	if m.R[3] != 1 || m.R[4] != 2 || m.R[5] != 3 {
+		t.Errorf("ldm: r3=%d r4=%d r5=%d", m.R[3], m.R[4], m.R[5])
+	}
+	if m.R[6] != 0x800+12 {
+		t.Errorf("writeback: r6=%#x", m.R[6])
+	}
+}
+
+func TestBranchesAndLoop(t *testing.T) {
+	// Sum 1..10 with a conditional loop.
+	m := run(t, `
+		movs r0, #0        ; sum
+		movs r1, #10       ; i
+	loop:
+		adds r0, r0, r1
+		subs r1, r1, #1
+		bne loop
+		bx lr
+	`)
+	if m.R[0] != 55 {
+		t.Errorf("sum = %d, want 55", m.R[0])
+	}
+}
+
+func TestConditionalBranches(t *testing.T) {
+	m := run(t, `
+		movs r7, #0
+		movs r0, #5
+		cmp r0, #5
+		beq eq_ok
+		b fail
+	eq_ok:
+		adds r7, r7, #1
+		cmp r0, #6
+		blo lo_ok          ; 5 < 6 unsigned
+		b fail
+	lo_ok:
+		adds r7, r7, #1
+		movs r1, #0
+		subs r1, r1, #1    ; -1
+		cmp r1, #0
+		blt lt_ok          ; signed less
+		b fail
+	lt_ok:
+		adds r7, r7, #1
+		cmp r1, #0
+		bhi hi_ok          ; 0xffffffff > 0 unsigned
+		b fail
+	hi_ok:
+		adds r7, r7, #1
+		bx lr
+	fail:
+		movs r7, #99
+		bx lr
+	`)
+	if m.R[7] != 4 {
+		t.Errorf("conditional chain reached %d/4 checkpoints", m.R[7])
+	}
+}
+
+func TestHiRegisters(t *testing.T) {
+	m := run(t, `
+		movs r0, #17
+		mov r8, r0
+		movs r0, #0
+		mov r1, r8
+		add r8, r8         ; r8 = 34
+		mov r2, r8
+		bx lr
+	`)
+	if m.R[1] != 17 || m.R[2] != 34 || m.R[8] != 34 {
+		t.Errorf("hi regs: r1=%d r2=%d r8=%d", m.R[1], m.R[2], m.R[8])
+	}
+}
+
+func TestExtendsAndRev(t *testing.T) {
+	m := run(t, `
+		movs r0, #0x80
+		sxtb r1, r0        ; 0xffffff80
+		uxtb r2, r0        ; 0x80
+		lsls r0, r0, #8    ; 0x8000
+		sxth r3, r0        ; 0xffff8000
+		uxth r4, r0        ; 0x8000
+		movs r5, #0x12
+		lsls r5, r5, #24
+		adds r5, #0x34     ; 0x12000034
+		rev r6, r5         ; 0x34000012
+		bx lr
+	`)
+	want := map[int]uint32{1: 0xffffff80, 2: 0x80, 3: 0xffff8000,
+		4: 0x8000, 6: 0x34000012}
+	for r, w := range want {
+		if m.R[r] != w {
+			t.Errorf("r%d = %#x, want %#x", r, m.R[r], w)
+		}
+	}
+}
+
+func TestLiteralPool(t *testing.T) {
+	m := run(t, `
+		ldr r0, =0xdeadbeef
+		ldr r1, =48000000
+		bx lr
+	`)
+	if m.R[0] != 0xdeadbeef || m.R[1] != 48000000 {
+		t.Errorf("literals: r0=%#x r1=%d", m.R[0], m.R[1])
+	}
+}
+
+func TestAdrAndWord(t *testing.T) {
+	m := run(t, `
+		adr r0, data
+		ldr r1, [r0, #0]
+		ldr r2, [r0, #4]
+		bx lr
+		.align
+	data:
+		.word 0x11223344
+		.word 0x55667788
+	`)
+	if m.R[1] != 0x11223344 || m.R[2] != 0x55667788 {
+		t.Errorf("adr/.word: r1=%#x r2=%#x", m.R[1], m.R[2])
+	}
+}
+
+func TestCycleModel(t *testing.T) {
+	// Known sequence: movs(1) + adds(1) + ldr(2) + str(2) + b taken(2)
+	// + movs(1) + bx(2) = 11 cycles.
+	prog := thumb.MustAssemble(`
+		movs r0, #64
+		adds r0, r0, #4
+		str r0, [r0, #0]
+		ldr r1, [r0, #0]
+		b skip
+	skip:
+		movs r2, #1
+		bx lr
+	`)
+	m := armv6m.New(4096)
+	m.LoadProgram(0, prog.Code)
+	cycles, err := m.Call(0, 1000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cycles != 11 {
+		t.Errorf("cycles = %d, want 11", cycles)
+	}
+	if m.Retired != 7 {
+		t.Errorf("retired = %d, want 7", m.Retired)
+	}
+}
+
+func TestCycleModelBranchNotTaken(t *testing.T) {
+	prog := thumb.MustAssemble(`
+		movs r0, #1
+		cmp r0, #2
+		beq never      ; not taken: 1 cycle
+		movs r1, #1
+		bx lr
+	never:
+		movs r1, #9
+		bx lr
+	`)
+	m := armv6m.New(4096)
+	m.LoadProgram(0, prog.Code)
+	cycles, err := m.Call(0, 1000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// movs(1) cmp(1) beq-not-taken(1) movs(1) bx(2) = 6
+	if cycles != 6 {
+		t.Errorf("cycles = %d, want 6", cycles)
+	}
+	if m.R[1] != 1 {
+		t.Errorf("wrong path taken")
+	}
+}
+
+func TestClassHistogram(t *testing.T) {
+	m := run(t, `
+		movs r0, #0x80
+		lsls r0, r0, #4
+		ldr r1, [r0, #0]
+		str r1, [r0, #4]
+		eors r1, r1
+		lsrs r0, r0, #1
+		bx lr
+	`)
+	checks := map[armv6m.Class]uint64{
+		armv6m.ClassLDR: 1,
+		armv6m.ClassSTR: 1,
+		armv6m.ClassXOR: 1,
+		armv6m.ClassLSL: 1,
+		armv6m.ClassLSR: 1,
+	}
+	for cls, want := range checks {
+		if got := m.ClassCount[cls]; got != want {
+			t.Errorf("%v count = %d, want %d", cls, got, want)
+		}
+	}
+	// Loads/stores charge 2 cycles per instruction.
+	if m.ClassCyc[armv6m.ClassLDR] != 2 || m.ClassCyc[armv6m.ClassSTR] != 2 {
+		t.Error("memory class cycles wrong")
+	}
+}
+
+func TestMulsClass(t *testing.T) {
+	m := run(t, `
+		movs r0, #6
+		movs r1, #7
+		muls r0, r1
+		bx lr
+	`)
+	if m.R[0] != 42 || m.ClassCount[armv6m.ClassMUL] != 1 {
+		t.Errorf("muls: r0=%d count=%d", m.R[0], m.ClassCount[armv6m.ClassMUL])
+	}
+	if m.ClassCyc[armv6m.ClassMUL] != 1 {
+		t.Error("muls should be single-cycle on the M0+")
+	}
+}
+
+func TestFaults(t *testing.T) {
+	mustFault(t, `
+		movs r0, #1
+		ldr r1, [r0, #0]    ; unaligned word read at 1... offset 0, base 1
+		bx lr
+	`, "unaligned")
+	mustFault(t, `
+		movs r0, #1
+		lsls r0, r0, #20    ; 0x100000, aligned but past 4KB memory
+		ldr r1, [r0, #0]
+		bx lr
+	`, "out of range")
+	mustFault(t, `
+		.word 0xde00de00    ; UDF-ish garbage executed as code
+	`, "")
+	mustFault(t, `
+		b self              ; infinite loop exhausts the cycle budget
+	self:
+		b self
+	`, "cycle budget")
+	mustFault(t, `
+		bkpt #0
+	`, "breakpoint")
+}
+
+func TestNopAndAlignPadding(t *testing.T) {
+	m := run(t, `
+		nop
+		movs r0, #1
+		bx lr
+	`)
+	if m.R[0] != 1 {
+		t.Error("nop broke execution")
+	}
+	if m.ClassCount[armv6m.ClassOther] != 1 {
+		t.Error("nop not classified as OTHER")
+	}
+}
+
+func TestMachineMemoryAccessors(t *testing.T) {
+	m := armv6m.New(1024)
+	m.WriteWord(0x100, 0xcafebabe)
+	if m.ReadWord(0x100) != 0xcafebabe {
+		t.Error("word round trip")
+	}
+	m.WriteHalf(0x200, 0x1234)
+	if m.ReadHalf(0x200) != 0x1234 {
+		t.Error("half round trip")
+	}
+	m.StoreByte(0x300, 0xab)
+	if m.LoadByte(0x300) != 0xab {
+		t.Error("byte round trip")
+	}
+	if m.Fault() != nil {
+		t.Error("unexpected fault")
+	}
+}

@@ -1,0 +1,283 @@
+package armv6m_test
+
+import (
+	"testing"
+
+	"repro/internal/armv6m"
+	"repro/internal/thumb"
+)
+
+// Additional edge-case semantics: the corners of the ARMv6-M manual
+// that the field-arithmetic routines do not exercise but a faithful
+// simulator must still get right.
+
+func TestLdmBaseInList(t *testing.T) {
+	// LDM with the base register in the list: no writeback; the loaded
+	// value wins.
+	m := run(t, `
+		movs r0, #0x80
+		lsls r0, r0, #4    ; base 0x800
+		movs r1, #0x11
+		str r1, [r0, #0]
+		movs r1, #0x22
+		str r1, [r0, #4]
+		ldm r0!, {r0, r1}  ; r0 in list: loads 0x11 into r0, no writeback
+		bx lr
+	`)
+	if m.R[0] != 0x11 || m.R[1] != 0x22 {
+		t.Errorf("ldm with base in list: r0=%#x r1=%#x", m.R[0], m.R[1])
+	}
+}
+
+func TestRev16AndRevsh(t *testing.T) {
+	m := run(t, `
+		ldr r0, =0x11223344
+		rev16 r1, r0       ; 0x22114433
+		ldr r0, =0x00008091
+		revsh r2, r0       ; sign-extended byte-swapped half: 0xffff9180
+		bx lr
+	`)
+	if m.R[1] != 0x22114433 {
+		t.Errorf("rev16 = %#x", m.R[1])
+	}
+	if m.R[2] != 0xffff9180 {
+		t.Errorf("revsh = %#x", m.R[2])
+	}
+}
+
+func TestAsrRegisterLargeAmounts(t *testing.T) {
+	m := run(t, `
+		movs r0, #1
+		lsls r0, r0, #31   ; 0x80000000
+		movs r1, #33
+		movs r2, r0
+		asrs r2, r1        ; >= 32: fills with sign, C = bit31
+		bx lr
+	`)
+	if m.R[2] != 0xffffffff || !m.C {
+		t.Errorf("asr by 33: r2=%#x C=%v", m.R[2], m.C)
+	}
+}
+
+func TestRorSemantics(t *testing.T) {
+	m := run(t, `
+		movs r0, #0x81
+		movs r1, #4
+		rors r0, r1        ; 0x10000008
+		bx lr
+	`)
+	if m.R[0] != 0x10000008 {
+		t.Errorf("ror: %#x", m.R[0])
+	}
+	// ROR by 32: value unchanged, C = bit 31.
+	m = run(t, `
+		movs r0, #1
+		lsls r0, r0, #31
+		adds r0, #1        ; 0x80000001
+		movs r1, #32
+		rors r0, r1
+		bx lr
+	`)
+	if m.R[0] != 0x80000001 || !m.C {
+		t.Errorf("ror by 32: %#x C=%v", m.R[0], m.C)
+	}
+}
+
+func TestShiftByZeroRegisterPreservesCarry(t *testing.T) {
+	m := run(t, `
+		movs r0, #3
+		lsrs r0, r0, #1    ; C = 1
+		movs r1, #0
+		movs r2, #0xf0
+		lsls r2, r1        ; shift by 0: C unchanged
+		bx lr
+	`)
+	if !m.C || m.R[2] != 0xf0 {
+		t.Errorf("shift by 0: C=%v r2=%#x", m.C, m.R[2])
+	}
+}
+
+func TestSbcsBorrowChain(t *testing.T) {
+	// 64-bit subtraction: 0x2_00000000 - 1 = 0x1_FFFFFFFF.
+	m := run(t, `
+		movs r0, #0        ; lo a
+		movs r1, #2        ; hi a
+		movs r2, #1        ; lo b
+		movs r3, #0        ; hi b
+		subs r0, r0, r2
+		sbcs r1, r3
+		bx lr
+	`)
+	if m.R[0] != 0xffffffff || m.R[1] != 1 {
+		t.Errorf("64-bit sub: lo=%#x hi=%#x", m.R[0], m.R[1])
+	}
+}
+
+func TestCmpHighRegisters(t *testing.T) {
+	m := run(t, `
+		movs r0, #7
+		mov r8, r0
+		movs r1, #7
+		cmp r1, r8
+		beq ok
+		movs r7, #1
+		bx lr
+	ok:
+		movs r7, #42
+		bx lr
+	`)
+	if m.R[7] != 42 {
+		t.Error("cmp against high register failed")
+	}
+}
+
+func TestMulWraparound(t *testing.T) {
+	m := run(t, `
+		ldr r0, =0x10001
+		ldr r1, =0x10001
+		muls r0, r1        ; 0x100020001 truncated to 0x00020001
+		bx lr
+	`)
+	if m.R[0] != 0x00020001 {
+		t.Errorf("mul wraparound: %#x", m.R[0])
+	}
+}
+
+func TestBlxSetsLr(t *testing.T) {
+	m := run(t, `
+		push {lr}
+		adr r0, func       ; address of func
+		adds r0, #1        ; thumb bit
+		blx r0
+		pop {pc}
+		.align
+	func:
+		movs r1, #9
+		bx lr
+	`)
+	if m.R[1] != 9 {
+		t.Errorf("blx call failed: r1=%d", m.R[1])
+	}
+}
+
+func TestStackedCallsDeep(t *testing.T) {
+	// Three-deep call chain with saved registers at each level.
+	m := run(t, `
+		push {lr}
+		movs r0, #1
+		bl f1
+		pop {pc}
+	f1:
+		push {r4, lr}
+		movs r4, #10
+		bl f2
+		adds r0, r0, r4    ; +10
+		pop {r4, pc}
+	f2:
+		push {r4, lr}
+		movs r4, #100
+		bl f3
+		adds r0, r0, r4    ; +100
+		pop {r4, pc}
+	f3:
+		adds r0, r0, #7    ; +7
+		bx lr
+	`)
+	if m.R[0] != 118 {
+		t.Errorf("call chain result: %d", m.R[0])
+	}
+}
+
+func TestConditionCodesSigned(t *testing.T) {
+	// Signed comparisons across the overflow boundary: -2 < 1 needs
+	// N/V logic, not just N.
+	m := run(t, `
+		movs r7, #0
+		movs r0, #2
+		rsbs r0, r0, #0    ; -2
+		cmp r0, #1
+		blt ok1            ; signed less-than
+		bx lr
+	ok1:
+		adds r7, #1
+		movs r1, #1
+		lsls r1, r1, #31   ; INT_MIN
+		cmp r1, #1
+		blt ok2            ; INT_MIN < 1 despite N clear... (N^V)
+		bx lr
+	ok2:
+		adds r7, #1
+		cmp r1, r1
+		bge ok3            ; equal: GE
+		bx lr
+	ok3:
+		adds r7, #1
+		bx lr
+	`)
+	if m.R[7] != 3 {
+		t.Errorf("signed condition chain: %d/3", m.R[7])
+	}
+}
+
+func TestVFlagConditions(t *testing.T) {
+	m := run(t, `
+		movs r7, #0
+		movs r0, #1
+		lsls r0, r0, #31
+		subs r0, r0, #1    ; 0x7fffffff
+		adds r0, r0, #1    ; overflow: V set
+		bvs ok
+		bx lr
+	ok:
+		movs r7, #5
+		bx lr
+	`)
+	if m.R[7] != 5 {
+		t.Error("bvs not taken on overflow")
+	}
+}
+
+func TestTracerCallback(t *testing.T) {
+	prog := thumb.MustAssemble(`
+		movs r0, #1
+		adds r0, #2
+		bx lr
+	`)
+	m := armv6m.New(4096)
+	m.LoadProgram(0, prog.Code)
+	var events int
+	var cycles uint64
+	m.Tracer = func(c armv6m.Class, cyc uint64) {
+		events++
+		cycles += cyc
+	}
+	got, err := m.Call(0, 1000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if events != 3 {
+		t.Errorf("tracer saw %d events, want 3", events)
+	}
+	if cycles != got {
+		t.Errorf("tracer cycles %d != machine cycles %d", cycles, got)
+	}
+}
+
+func TestAdrAlignment(t *testing.T) {
+	// ADR from an unaligned PC must still produce a 4-aligned address.
+	m := run(t, `
+		nop                ; force the adr to sit at offset 2
+		adr r0, data
+		ldr r1, [r0, #0]
+		bx lr
+		.align
+	data:
+		.word 0xabcd1234
+	`)
+	if m.R[0]%4 != 0 {
+		t.Errorf("adr produced unaligned address %#x", m.R[0])
+	}
+	if m.R[1] != 0xabcd1234 {
+		t.Errorf("adr load: %#x", m.R[1])
+	}
+}

@@ -1,0 +1,615 @@
+package armv6m
+
+import "fmt"
+
+// Step fetches, decodes and executes one instruction, charging the
+// Cortex-M0+ cycle cost:
+//
+//	data processing          1 cycle
+//	loads and stores         2 cycles
+//	LDM/STM/PUSH/POP         1 + N cycles (POP with PC: 3 + N)
+//	taken branch             2 cycles (pipeline refill), not taken 1
+//	BL                       3 cycles, BX/BLX 2
+//	MULS                     1 cycle (single-cycle multiplier option)
+func (m *Machine) Step() {
+	if m.halted {
+		return
+	}
+	pc := m.R[PC]
+	instr := m.ReadHalf(pc)
+	if m.fault != nil {
+		return
+	}
+	next := pc + 2
+
+	switch top5 := instr >> 11; top5 {
+	case 0b00000: // LSLS rd, rm, #imm5 (imm 0 = MOVS rd, rm)
+		imm := instr >> 6 & 31
+		rm, rd := instr>>3&7, instr&7
+		v, c := lslC(m.R[rm], imm, m.C)
+		m.R[rd] = v
+		m.setNZ(v)
+		m.C = c
+		if imm == 0 {
+			m.charge(ClassMove, 1)
+		} else {
+			m.charge(ClassLSL, 1)
+		}
+	case 0b00001: // LSRS rd, rm, #imm5 (imm 0 means 32)
+		imm := instr >> 6 & 31
+		if imm == 0 {
+			imm = 32
+		}
+		rm, rd := instr>>3&7, instr&7
+		v, c := lsrC(m.R[rm], imm, m.C)
+		m.R[rd] = v
+		m.setNZ(v)
+		m.C = c
+		m.charge(ClassLSR, 1)
+	case 0b00010: // ASRS rd, rm, #imm5 (imm 0 means 32)
+		imm := instr >> 6 & 31
+		if imm == 0 {
+			imm = 32
+		}
+		rm, rd := instr>>3&7, instr&7
+		v, c := asrC(m.R[rm], imm, m.C)
+		m.R[rd] = v
+		m.setNZ(v)
+		m.C = c
+		m.charge(ClassLSR, 1)
+	case 0b00011: // ADDS/SUBS register or 3-bit immediate
+		rd := instr & 7
+		rn := instr >> 3 & 7
+		val := instr >> 6 & 7 // rm or imm3
+		var b uint32
+		if instr>>10&1 == 0 {
+			b = m.R[val]
+		} else {
+			b = val
+		}
+		if instr>>9&1 == 0 {
+			m.R[rd] = m.addFlags(m.R[rn], b, 0)
+			m.charge(ClassADD, 1)
+		} else {
+			m.R[rd] = m.addFlags(m.R[rn], ^b, 1)
+			m.charge(ClassSUB, 1)
+		}
+	case 0b00100: // MOVS rd, #imm8
+		rd := instr >> 8 & 7
+		v := instr & 0xff
+		m.R[rd] = v
+		m.setNZ(v)
+		m.charge(ClassMove, 1)
+	case 0b00101: // CMP rn, #imm8
+		rn := instr >> 8 & 7
+		m.addFlags(m.R[rn], ^(instr & 0xff), 1)
+		m.charge(ClassSUB, 1)
+	case 0b00110: // ADDS rd, #imm8
+		rd := instr >> 8 & 7
+		m.R[rd] = m.addFlags(m.R[rd], instr&0xff, 0)
+		m.charge(ClassADD, 1)
+	case 0b00111: // SUBS rd, #imm8
+		rd := instr >> 8 & 7
+		m.R[rd] = m.addFlags(m.R[rd], ^(instr & 0xff), 1)
+		m.charge(ClassSUB, 1)
+	case 0b01000:
+		if instr>>10&1 == 0 {
+			m.dataProcessing(instr)
+		} else {
+			if m.hiRegOps(instr, pc) {
+				return // branch redirected control flow
+			}
+		}
+	case 0b01001: // LDR rd, [pc, #imm8*4]
+		rd := instr >> 8 & 7
+		base := (pc + 4) &^ 3
+		m.R[rd] = m.ReadWord(base + (instr&0xff)*4)
+		m.charge(ClassLDR, 2)
+	case 0b01010, 0b01011: // load/store with register offset
+		op := instr >> 9 & 7
+		rm, rn, rt := instr>>6&7, instr>>3&7, instr&7
+		addr := m.R[rn] + m.R[rm]
+		switch op {
+		case 0:
+			m.WriteWord(addr, m.R[rt])
+			m.charge(ClassSTR, 2)
+		case 1:
+			m.WriteHalf(addr, m.R[rt])
+			m.charge(ClassSTR, 2)
+		case 2:
+			m.StoreByte(addr, m.R[rt])
+			m.charge(ClassSTR, 2)
+		case 3: // LDRSB
+			m.R[rt] = signExtend(m.LoadByte(addr), 8)
+			m.charge(ClassLDR, 2)
+		case 4:
+			m.R[rt] = m.ReadWord(addr)
+			m.charge(ClassLDR, 2)
+		case 5:
+			m.R[rt] = m.ReadHalf(addr)
+			m.charge(ClassLDR, 2)
+		case 6:
+			m.R[rt] = m.LoadByte(addr)
+			m.charge(ClassLDR, 2)
+		case 7: // LDRSH
+			m.R[rt] = signExtend(m.ReadHalf(addr), 16)
+			m.charge(ClassLDR, 2)
+		}
+	case 0b01100: // STR rt, [rn, #imm5*4]
+		imm, rn, rt := instr>>6&31, instr>>3&7, instr&7
+		m.WriteWord(m.R[rn]+imm*4, m.R[rt])
+		m.charge(ClassSTR, 2)
+	case 0b01101: // LDR rt, [rn, #imm5*4]
+		imm, rn, rt := instr>>6&31, instr>>3&7, instr&7
+		m.R[rt] = m.ReadWord(m.R[rn] + imm*4)
+		m.charge(ClassLDR, 2)
+	case 0b01110: // STRB
+		imm, rn, rt := instr>>6&31, instr>>3&7, instr&7
+		m.StoreByte(m.R[rn]+imm, m.R[rt])
+		m.charge(ClassSTR, 2)
+	case 0b01111: // LDRB
+		imm, rn, rt := instr>>6&31, instr>>3&7, instr&7
+		m.R[rt] = m.LoadByte(m.R[rn] + imm)
+		m.charge(ClassLDR, 2)
+	case 0b10000: // STRH rt, [rn, #imm5*2]
+		imm, rn, rt := instr>>6&31, instr>>3&7, instr&7
+		m.WriteHalf(m.R[rn]+imm*2, m.R[rt])
+		m.charge(ClassSTR, 2)
+	case 0b10001: // LDRH
+		imm, rn, rt := instr>>6&31, instr>>3&7, instr&7
+		m.R[rt] = m.ReadHalf(m.R[rn] + imm*2)
+		m.charge(ClassLDR, 2)
+	case 0b10010: // STR rt, [sp, #imm8*4]
+		rt := instr >> 8 & 7
+		m.WriteWord(m.R[SP]+(instr&0xff)*4, m.R[rt])
+		m.charge(ClassSTR, 2)
+	case 0b10011: // LDR rt, [sp, #imm8*4]
+		rt := instr >> 8 & 7
+		m.R[rt] = m.ReadWord(m.R[SP] + (instr&0xff)*4)
+		m.charge(ClassLDR, 2)
+	case 0b10100: // ADR rd, label
+		rd := instr >> 8 & 7
+		m.R[rd] = ((pc + 4) &^ 3) + (instr&0xff)*4
+		m.charge(ClassADD, 1)
+	case 0b10101: // ADD rd, sp, #imm8*4
+		rd := instr >> 8 & 7
+		m.R[rd] = m.R[SP] + (instr&0xff)*4
+		m.charge(ClassADD, 1)
+	case 0b10110, 0b10111:
+		if m.misc(instr) {
+			return // POP with PC redirected control flow
+		}
+	case 0b11000: // STM rn!, {reglist}
+		rn := instr >> 8 & 7
+		addr := m.R[rn]
+		cnt := uint64(0)
+		for r := uint32(0); r < 8; r++ {
+			if instr>>r&1 != 0 {
+				m.WriteWord(addr, m.R[r])
+				addr += 4
+				cnt++
+			}
+		}
+		m.R[rn] = addr
+		m.charge(ClassSTR, 1+cnt)
+	case 0b11001: // LDM rn!, {reglist}
+		rn := instr >> 8 & 7
+		addr := m.R[rn]
+		cnt := uint64(0)
+		wb := instr>>rn&1 == 0 // writeback unless rn in list
+		for r := uint32(0); r < 8; r++ {
+			if instr>>r&1 != 0 {
+				m.R[r] = m.ReadWord(addr)
+				addr += 4
+				cnt++
+			}
+		}
+		if wb {
+			m.R[rn] = addr
+		}
+		m.charge(ClassLDR, 1+cnt)
+	case 0b11010, 0b11011: // conditional branch / UDF / SVC
+		cond := instr >> 8 & 0xf
+		switch cond {
+		case 0xe:
+			m.setFault("UDF instruction")
+			return
+		case 0xf:
+			m.setFault("SVC not supported")
+			return
+		}
+		if m.condition(cond) {
+			off := signExtend(instr&0xff, 8) << 1
+			m.charge(ClassBranch, 2)
+			m.branchTo((pc + 4 + off) | 1)
+			return
+		}
+		m.charge(ClassBranch, 1)
+	case 0b11100: // B unconditional
+		off := signExtend(instr&0x7ff, 11) << 1
+		m.charge(ClassBranch, 2)
+		m.branchTo((pc + 4 + off) | 1)
+		return
+	case 0b11110: // BL prefix (32-bit encoding)
+		lo := m.ReadHalf(pc + 2)
+		if m.fault != nil {
+			return
+		}
+		if lo>>14&3 != 3 || lo>>12&1 != 1 {
+			m.setFault(fmt.Sprintf("unsupported 32-bit instruction %04x %04x", instr, lo))
+			return
+		}
+		s := instr >> 10 & 1
+		imm10 := instr & 0x3ff
+		j1, j2 := lo>>13&1, lo>>11&1
+		imm11 := lo & 0x7ff
+		i1 := ^(j1 ^ s) & 1
+		i2 := ^(j2 ^ s) & 1
+		off := s<<24 | i1<<23 | i2<<22 | imm10<<12 | imm11<<1
+		off = uint32(signExtend(off, 25))
+		m.R[LR] = (pc + 4) | 1
+		m.charge(ClassBranch, 3)
+		m.branchTo((pc + 4 + off) | 1)
+		return
+	default:
+		m.setFault(fmt.Sprintf("undefined instruction %04x", instr))
+		return
+	}
+	if m.halted || m.fault != nil {
+		return
+	}
+	m.R[PC] = next
+}
+
+// dataProcessing executes the 010000 group (register-to-register ALU).
+func (m *Machine) dataProcessing(instr uint32) {
+	op := instr >> 6 & 0xf
+	rm, rdn := instr>>3&7, instr&7
+	a, b := m.R[rdn], m.R[rm]
+	switch op {
+	case 0x0: // ANDS
+		v := a & b
+		m.R[rdn] = v
+		m.setNZ(v)
+		m.charge(ClassLogic, 1)
+	case 0x1: // EORS
+		v := a ^ b
+		m.R[rdn] = v
+		m.setNZ(v)
+		m.charge(ClassXOR, 1)
+	case 0x2: // LSLS (register)
+		v, c := lslC(a, b&0xff, m.C)
+		m.R[rdn] = v
+		m.setNZ(v)
+		m.C = c
+		m.charge(ClassLSL, 1)
+	case 0x3: // LSRS (register)
+		v, c := lsrC(a, b&0xff, m.C)
+		m.R[rdn] = v
+		m.setNZ(v)
+		m.C = c
+		m.charge(ClassLSR, 1)
+	case 0x4: // ASRS (register)
+		v, c := asrC(a, b&0xff, m.C)
+		m.R[rdn] = v
+		m.setNZ(v)
+		m.C = c
+		m.charge(ClassLSR, 1)
+	case 0x5: // ADCS
+		m.R[rdn] = m.addFlags(a, b, boolBit(m.C))
+		m.charge(ClassADD, 1)
+	case 0x6: // SBCS
+		m.R[rdn] = m.addFlags(a, ^b, boolBit(m.C))
+		m.charge(ClassSUB, 1)
+	case 0x7: // RORS
+		v, c := rorC(a, b&0xff, m.C)
+		m.R[rdn] = v
+		m.setNZ(v)
+		m.C = c
+		m.charge(ClassLSR, 1)
+	case 0x8: // TST
+		m.setNZ(a & b)
+		m.charge(ClassLogic, 1)
+	case 0x9: // RSBS (NEG)
+		m.R[rdn] = m.addFlags(^b, 0, 1)
+		m.charge(ClassSUB, 1)
+	case 0xa: // CMP
+		m.addFlags(a, ^b, 1)
+		m.charge(ClassSUB, 1)
+	case 0xb: // CMN
+		m.addFlags(a, b, 0)
+		m.charge(ClassADD, 1)
+	case 0xc: // ORRS
+		v := a | b
+		m.R[rdn] = v
+		m.setNZ(v)
+		m.charge(ClassLogic, 1)
+	case 0xd: // MULS
+		v := a * b
+		m.R[rdn] = v
+		m.setNZ(v)
+		m.charge(ClassMUL, 1)
+	case 0xe: // BICS
+		v := a &^ b
+		m.R[rdn] = v
+		m.setNZ(v)
+		m.charge(ClassLogic, 1)
+	case 0xf: // MVNS
+		v := ^b
+		m.R[rdn] = v
+		m.setNZ(v)
+		m.charge(ClassLogic, 1)
+	}
+}
+
+// hiRegOps executes the 010001 group (high-register ADD/CMP/MOV and
+// BX/BLX). It reports whether control flow was redirected.
+func (m *Machine) hiRegOps(instr, pc uint32) bool {
+	op := instr >> 8 & 3
+	rm := instr >> 3 & 0xf
+	rdn := instr&7 | instr>>4&8
+	readReg := func(r uint32) uint32 {
+		if r == PC {
+			return pc + 4
+		}
+		return m.R[r]
+	}
+	switch op {
+	case 0: // ADD rdn, rm (no flags)
+		v := readReg(rdn) + readReg(rm)
+		if rdn == PC {
+			m.charge(ClassBranch, 2)
+			m.branchTo(v | 1)
+			return true
+		}
+		m.R[rdn] = v
+		m.charge(ClassADD, 1)
+	case 1: // CMP rn, rm
+		m.addFlags(readReg(rdn), ^readReg(rm), 1)
+		m.charge(ClassSUB, 1)
+	case 2: // MOV rd, rm (no flags)
+		v := readReg(rm)
+		if rdn == PC {
+			m.charge(ClassBranch, 2)
+			m.branchTo(v | 1)
+			return true
+		}
+		m.R[rdn] = v
+		m.charge(ClassMove, 1)
+	case 3: // BX / BLX
+		target := readReg(rm)
+		if instr>>7&1 == 1 { // BLX
+			m.R[LR] = (pc + 2) | 1
+		}
+		m.charge(ClassBranch, 2)
+		m.branchTo(target)
+		return true
+	}
+	m.R[PC] = pc + 2
+	return true // PC already advanced
+}
+
+// misc executes the 1011 group. It reports whether control flow was
+// redirected (POP including PC).
+func (m *Machine) misc(instr uint32) bool {
+	switch {
+	case instr>>8 == 0b10110000: // ADD/SUB SP, #imm7*4
+		imm := (instr & 0x7f) * 4
+		if instr>>7&1 == 0 {
+			m.R[SP] += imm
+			m.charge(ClassADD, 1)
+		} else {
+			m.R[SP] -= imm
+			m.charge(ClassSUB, 1)
+		}
+	case instr>>8 == 0b10110010: // SXTH/SXTB/UXTH/UXTB
+		rm, rd := instr>>3&7, instr&7
+		switch instr >> 6 & 3 {
+		case 0:
+			m.R[rd] = uint32(signExtend(m.R[rm]&0xffff, 16))
+		case 1:
+			m.R[rd] = uint32(signExtend(m.R[rm]&0xff, 8))
+		case 2:
+			m.R[rd] = m.R[rm] & 0xffff
+		case 3:
+			m.R[rd] = m.R[rm] & 0xff
+		}
+		m.charge(ClassMove, 1)
+	case instr>>9 == 0b1011010: // PUSH {reglist[, lr]}
+		list := instr & 0xff
+		lr := instr >> 8 & 1
+		cnt := uint64(0)
+		addr := m.R[SP] - 4*uint32(popCount(list)+int(lr))
+		m.R[SP] = addr
+		for r := uint32(0); r < 8; r++ {
+			if list>>r&1 != 0 {
+				m.WriteWord(addr, m.R[r])
+				addr += 4
+				cnt++
+			}
+		}
+		if lr == 1 {
+			m.WriteWord(addr, m.R[LR])
+			cnt++
+		}
+		m.charge(ClassSTR, 1+cnt)
+	case instr>>8 == 0b10111010: // REV family
+		rm, rd := instr>>3&7, instr&7
+		v := m.R[rm]
+		switch instr >> 6 & 3 {
+		case 0: // REV
+			m.R[rd] = v<<24 | v>>24 | v<<8&0xff0000 | v>>8&0xff00
+		case 1: // REV16
+			m.R[rd] = v<<8&0xff00ff00 | v>>8&0x00ff00ff
+		case 3: // REVSH
+			m.R[rd] = uint32(signExtend(v<<8&0xff00|v>>8&0xff, 16))
+		default:
+			m.setFault("undefined REV variant")
+			return true
+		}
+		m.charge(ClassMove, 1)
+	case instr>>9 == 0b1011110: // POP {reglist[, pc]}
+		list := instr & 0xff
+		pcBit := instr >> 8 & 1
+		addr := m.R[SP]
+		cnt := uint64(0)
+		for r := uint32(0); r < 8; r++ {
+			if list>>r&1 != 0 {
+				m.R[r] = m.ReadWord(addr)
+				addr += 4
+				cnt++
+			}
+		}
+		if pcBit == 1 {
+			target := m.ReadWord(addr)
+			addr += 4
+			m.R[SP] = addr
+			m.charge(ClassLDR, 3+cnt)
+			m.branchTo(target)
+			return true
+		}
+		m.R[SP] = addr
+		m.charge(ClassLDR, 1+cnt)
+	case instr>>8 == 0b10111110: // BKPT
+		m.setFault("breakpoint")
+		return true
+	case instr>>8 == 0b10111111: // hints: NOP, WFI, ...
+		m.charge(ClassOther, 1)
+	default:
+		m.setFault(fmt.Sprintf("unsupported misc instruction %04x", instr))
+		return true
+	}
+	return false
+}
+
+// condition evaluates a branch condition code.
+func (m *Machine) condition(cond uint32) bool {
+	switch cond {
+	case 0x0: // EQ
+		return m.Z
+	case 0x1: // NE
+		return !m.Z
+	case 0x2: // CS/HS
+		return m.C
+	case 0x3: // CC/LO
+		return !m.C
+	case 0x4: // MI
+		return m.N
+	case 0x5: // PL
+		return !m.N
+	case 0x6: // VS
+		return m.V
+	case 0x7: // VC
+		return !m.V
+	case 0x8: // HI
+		return m.C && !m.Z
+	case 0x9: // LS
+		return !m.C || m.Z
+	case 0xa: // GE
+		return m.N == m.V
+	case 0xb: // LT
+		return m.N != m.V
+	case 0xc: // GT
+		return !m.Z && m.N == m.V
+	case 0xd: // LE
+		return m.Z || m.N != m.V
+	default: // AL
+		return true
+	}
+}
+
+// setNZ updates the negative and zero flags from a result.
+func (m *Machine) setNZ(v uint32) {
+	m.N = v>>31 == 1
+	m.Z = v == 0
+}
+
+// addFlags computes a + b + carry, setting all four flags, and returns
+// the result. Subtraction is a + ^b + 1 per the ARM convention (carry =
+// NOT borrow).
+func (m *Machine) addFlags(a, b, carry uint32) uint32 {
+	sum := uint64(a) + uint64(b) + uint64(carry)
+	v := uint32(sum)
+	m.setNZ(v)
+	m.C = sum > 0xffffffff
+	m.V = (^(a ^ b) & (a ^ v) >> 31) == 1
+	return v
+}
+
+// boolBit converts a flag to 0/1.
+func boolBit(b bool) uint32 {
+	if b {
+		return 1
+	}
+	return 0
+}
+
+// lslC is logical shift left with carry-out (amount already masked).
+func lslC(v, amt uint32, carryIn bool) (uint32, bool) {
+	switch {
+	case amt == 0:
+		return v, carryIn
+	case amt < 32:
+		return v << amt, v>>(32-amt)&1 == 1
+	case amt == 32:
+		return 0, v&1 == 1
+	default:
+		return 0, false
+	}
+}
+
+// lsrC is logical shift right with carry-out.
+func lsrC(v, amt uint32, carryIn bool) (uint32, bool) {
+	switch {
+	case amt == 0:
+		return v, carryIn
+	case amt < 32:
+		return v >> amt, v>>(amt-1)&1 == 1
+	case amt == 32:
+		return 0, v>>31 == 1
+	default:
+		return 0, false
+	}
+}
+
+// asrC is arithmetic shift right with carry-out.
+func asrC(v, amt uint32, carryIn bool) (uint32, bool) {
+	switch {
+	case amt == 0:
+		return v, carryIn
+	case amt < 32:
+		return uint32(int32(v) >> amt), v>>(amt-1)&1 == 1
+	default:
+		return uint32(int32(v) >> 31), v>>31 == 1
+	}
+}
+
+// rorC is rotate right with carry-out.
+func rorC(v, amt uint32, carryIn bool) (uint32, bool) {
+	if amt == 0 {
+		return v, carryIn
+	}
+	amt &= 31
+	if amt == 0 {
+		return v, v>>31 == 1
+	}
+	r := v>>amt | v<<(32-amt)
+	return r, r>>31 == 1
+}
+
+// signExtend sign-extends the low bits of v.
+func signExtend(v uint32, bits uint) uint32 {
+	shift := 32 - bits
+	return uint32(int32(v<<shift) >> shift)
+}
+
+// popCount counts set bits in the low byte.
+func popCount(v uint32) int {
+	n := 0
+	for i := 0; i < 8; i++ {
+		if v>>i&1 != 0 {
+			n++
+		}
+	}
+	return n
+}

@@ -1,0 +1,74 @@
+package codegen
+
+import (
+	"encoding/binary"
+	"math/rand"
+	"testing"
+
+	"repro/internal/armv6m"
+	"repro/internal/gf233"
+)
+
+// TestCorruptedProgramNeverHangs injects random bit flips into the
+// generated multiplication image and executes it: the simulator must
+// always terminate (clean halt, fault, or cycle-budget exhaustion) and
+// never panic — the robustness property that makes the ISS safe to
+// drive with generated or fuzzed code.
+func TestCorruptedProgramNeverHangs(t *testing.T) {
+	rnd := rand.New(rand.NewSource(99))
+	base := routines.MulFixedASM
+	a, b := gf233.Rand(rnd.Uint32), gf233.Rand(rnd.Uint32)
+	faults, budget, clean := 0, 0, 0
+	for trial := 0; trial < 200; trial++ {
+		// Fresh machine with a corrupted copy of the image.
+		m := armv6m.New(0x10000)
+		img := append([]byte(nil), base.prog.Code...)
+		for flips := 0; flips < 1+rnd.Intn(3); flips++ {
+			pos := rnd.Intn(len(img)/2) * 2
+			v := binary.LittleEndian.Uint16(img[pos:])
+			v ^= 1 << rnd.Intn(16)
+			binary.LittleEndian.PutUint16(img[pos:], v)
+		}
+		m.LoadProgram(0, img)
+		for i, w := range a {
+			m.WriteWord(uint32(0x8000+4*i), w)
+		}
+		for i, w := range b {
+			m.WriteWord(uint32(0x8040+4*i), w)
+		}
+		m.R[0], m.R[1], m.R[2], m.R[3] = 0x8000, 0x8040, 0x8080, 0x8100
+		_, err := m.Call(base.entry, 200_000)
+		switch {
+		case err == nil:
+			clean++ // corruption happened to be benign or unreached
+		case m.Fault() != nil:
+			faults++
+			if f, ok := err.(*armv6m.Fault); ok && f.Reason == "" {
+				t.Fatal("fault with empty reason")
+			}
+		default:
+			budget++
+		}
+	}
+	t.Logf("200 corrupted runs: %d clean, %d faulted, %d budget-capped",
+		clean, faults, budget)
+	if faults == 0 {
+		t.Error("no corruption ever faulted — the decoder is suspiciously permissive")
+	}
+}
+
+// TestRandomInstructionSoup executes pure random bytes as code: same
+// termination guarantee.
+func TestRandomInstructionSoup(t *testing.T) {
+	rnd := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 100; trial++ {
+		m := armv6m.New(0x4000)
+		img := make([]byte, 256)
+		rnd.Read(img)
+		m.LoadProgram(0, img)
+		_, _ = m.Call(0, 50_000) // must return; outcome may be anything
+		if !m.Halted() {
+			t.Fatal("machine still running after Call returned")
+		}
+	}
+}

@@ -1,0 +1,173 @@
+// Package codegen generates the Thumb assembly field-arithmetic
+// routines the paper hand-writes (§4.2.2), to be executed on the
+// internal/armv6m simulator. One generator parameterised by an
+// accumulator *placement* emits all the Table 6 variants:
+//
+//   - MulFixedASM: the paper's LD with fixed registers — the n+1 most
+//     used accumulator words pinned in registers (5 low registers for
+//     the hottest words, 4 high registers for the next tier), the rest
+//     on the stack;
+//   - MulFixedC: the same algorithm the way a C compiler materialises
+//     it — the whole 2n-word accumulator in memory (a compiler cannot
+//     pin nine words of a 16-word array in registers across the loop,
+//     which is why the paper's Table 6 shows the fixed-register method
+//     *slower* than rotating registers when both are written in C);
+//   - MulRotatingC: a 4-word register window sliding with the column
+//     index, the allocation a compiler plausibly achieves for the
+//     rotating-registers formulation.
+//
+// All routines follow the same ABI: r0 = &x (8 words), r1 = &y
+// (8 words), r2 = &out (8 words, reduced product), r3 = scratch for the
+// 16-row lookup table. Multiplication is interleaved with reduction as
+// in the paper, so the routines return fully reduced field elements.
+package codegen
+
+import (
+	"fmt"
+	"strings"
+)
+
+// locKind says where an accumulator word lives at a given moment.
+type locKind int
+
+const (
+	locLow  locKind = iota // a low register (r0-r7), directly usable in ALU ops
+	locHigh                // a high register (r8-r12), needs MOV shuffles
+	locMem                 // a stack slot, needs LDR/STR
+)
+
+// loc is a concrete location.
+type loc struct {
+	kind locKind
+	reg  string // for locLow/locHigh
+	off  int    // byte offset from SP for locMem
+}
+
+// placement assigns a location to each of the 16 accumulator words,
+// possibly varying with the column index k (rotating window). k = -1
+// asks for the placement outside the column loop (shift events,
+// reduction, writeback), which equals the placement at the final
+// column.
+type placement interface {
+	name() string
+	// loc returns where accumulator word i (0..15) lives during column k.
+	loc(i, k int) loc
+	// frameVWords is the number of stack slots reserved for
+	// memory-resident accumulator words (they occupy [sp, frameVWords*4)).
+	frameVWords() int
+	// preColumn emits window-maintenance code before column k of pass j
+	// (rotating placements flush/load window edges here).
+	preColumn(g *gen, j, k int)
+}
+
+// gen accumulates assembly text.
+type gen struct {
+	b strings.Builder
+}
+
+func (g *gen) emit(format string, args ...any) {
+	fmt.Fprintf(&g.b, "\t"+format+"\n", args...)
+}
+
+func (g *gen) label(l string) {
+	fmt.Fprintf(&g.b, "%s:\n", l)
+}
+
+func (g *gen) comment(format string, args ...any) {
+	fmt.Fprintf(&g.b, "\t; "+format+"\n", args...)
+}
+
+// ---- fixed placement (the paper's Algorithm 1) ----
+
+// fixedPlacement pins v[3..11] in registers: the five hottest words
+// v[5..9] in low registers r2-r6, the next four v[3], v[4], v[10],
+// v[11] in high registers r8-r11. v[0..2] and v[12..15] live on the
+// stack, exactly the split of Algorithm 1 and Figure 1.
+type fixedPlacement struct{}
+
+func (fixedPlacement) name() string { return "mul_fixed_asm" }
+
+func (fixedPlacement) loc(i, k int) loc {
+	switch {
+	case i >= 5 && i <= 9:
+		return loc{kind: locLow, reg: fmt.Sprintf("r%d", 2+i-5)}
+	case i == 3:
+		return loc{kind: locHigh, reg: "r8"}
+	case i == 4:
+		return loc{kind: locHigh, reg: "r9"}
+	case i == 10:
+		return loc{kind: locHigh, reg: "r10"}
+	case i == 11:
+		return loc{kind: locHigh, reg: "r11"}
+	case i < 3:
+		return loc{kind: locMem, off: 4 * i}
+	default: // 12..15
+		return loc{kind: locMem, off: 4 * (i - 12 + 3)}
+	}
+}
+
+func (fixedPlacement) frameVWords() int         { return 7 }
+func (fixedPlacement) preColumn(*gen, int, int) {}
+
+// ---- all-memory placement (compiler-style "C") ----
+
+type memPlacement struct{ label string }
+
+func (p memPlacement) name() string { return p.label }
+
+func (memPlacement) loc(i, k int) loc { return loc{kind: locMem, off: 4 * i} }
+
+func (memPlacement) frameVWords() int         { return 16 }
+func (memPlacement) preColumn(*gen, int, int) {}
+
+// ---- rotating window placement (compiler-style rotating registers) ----
+
+// rotPlacement keeps the 4-word window v[k..k+3] in r4-r7 (word i maps
+// to r4+(i mod 4), so the rotation moves no data: the retiring word is
+// stored and the incoming word loaded into the same register).
+type rotPlacement struct{}
+
+func (rotPlacement) name() string { return "mul_rotating_c" }
+
+func (rotPlacement) loc(i, k int) loc {
+	if k == -1 {
+		k = 7 // placement after the column loop
+	}
+	if i >= k && i < k+4 {
+		return loc{kind: locLow, reg: fmt.Sprintf("r%d", 4+i%4)}
+	}
+	return loc{kind: locMem, off: 4 * i}
+}
+
+func (rotPlacement) frameVWords() int { return 16 }
+
+func (p rotPlacement) preColumn(g *gen, j, k int) {
+	if k == 0 {
+		if j == 7 {
+			return // initial window is zeroed with everything else
+		}
+		// New pass: flush the final window of the previous pass
+		// (v[7..10]) and load v[0..3].
+		g.comment("rotate window: flush v[7..10], load v[0..3]")
+		for i := 7; i <= 10; i++ {
+			g.emit("str r%d, [sp, #%d]", 4+i%4, 4*i)
+		}
+		for i := 0; i <= 3; i++ {
+			g.emit("ldr r%d, [sp, #%d]", 4+i%4, 4*i)
+		}
+		return
+	}
+	// Retire v[k-1], pull in v[k+3]; both map to the same register.
+	r := 4 + (k-1)%4
+	g.comment("rotate window: v[%d] out, v[%d] in", k-1, k+3)
+	g.emit("str r%d, [sp, #%d]", r, 4*(k-1))
+	g.emit("ldr r%d, [sp, #%d]", r, 4*(k+3))
+}
+
+// registersUsed reports whether the placement uses low registers r2-r6
+// as accumulators (the fixed placement does; the others leave them as
+// temporaries).
+func usesFixedRegs(p placement) bool {
+	_, ok := p.(fixedPlacement)
+	return ok
+}

@@ -1,0 +1,403 @@
+package codegen
+
+// Generator for the window-4 López-Dahab multiplication with
+// interleaved reduction, parameterised by accumulator placement. The
+// emitted routine is fully unrolled straight-line code (no branches),
+// as the paper's hand assembly is.
+
+const (
+	numWords = 8
+	passes   = 8 // 32-bit words scanned 4 bits at a time
+)
+
+// tmpReg returns the scratch low register the placement leaves free for
+// high-register shuffles and memory read-modify-writes.
+func tmpReg(p placement) string {
+	if usesFixedRegs(p) {
+		return "r7" // r2-r6 are accumulators, r0/r1 are busy
+	}
+	return "r3" // memory and rotating placements leave r3 free
+}
+
+// readInto emits code materialising accumulator word at l into low
+// register dst.
+func readInto(g *gen, l loc, dst string) {
+	switch l.kind {
+	case locLow:
+		if l.reg != dst {
+			g.emit("movs %s, %s", dst, l.reg)
+		}
+	case locHigh:
+		g.emit("mov %s, %s", dst, l.reg)
+	case locMem:
+		g.emit("ldr %s, [sp, #%d]", dst, l.off)
+	}
+}
+
+// writeFrom emits code storing low register src into accumulator word l.
+func writeFrom(g *gen, l loc, src string) {
+	switch l.kind {
+	case locLow:
+		if l.reg != src {
+			g.emit("movs %s, %s", l.reg, src)
+		}
+	case locHigh:
+		g.emit("mov %s, %s", l.reg, src)
+	case locMem:
+		g.emit("str %s, [sp, #%d]", src, l.off)
+	}
+}
+
+// xorInto emits v ^= src for the accumulator word at l, clobbering tmp
+// when l is not a directly usable low register.
+func xorInto(g *gen, l loc, src, tmp string) {
+	switch l.kind {
+	case locLow:
+		g.emit("eors %s, %s", l.reg, src)
+	case locHigh:
+		g.emit("mov %s, %s", tmp, l.reg)
+		g.emit("eors %s, %s", tmp, src)
+		g.emit("mov %s, %s", l.reg, tmp)
+	case locMem:
+		g.emit("ldr %s, [sp, #%d]", tmp, l.off)
+		g.emit("eors %s, %s", tmp, src)
+		g.emit("str %s, [sp, #%d]", tmp, l.off)
+	}
+}
+
+// genLUT emits the 16-entry table generation T(u) = u(z)·y(z) at the
+// scratch base (r3), reading y through r1. Free temporaries: r0, r2,
+// r4-r7 (accumulator registers are not live yet). When cacheY is set
+// (the hand-assembly variant, whose prologue saved the high registers)
+// y[0..5] are parked in r8-r12 and lr while the table is built, saving
+// a load per odd-row word.
+func genLUT(g *gen, cacheY bool) {
+	yCache := map[int]string{}
+	g.comment("lookup table: T[u] = u(z)*y(z), rows of 8 words at [r3]")
+	g.comment("T[0] = 0")
+	g.emit("movs r0, #0")
+	for i := 0; i < numWords; i++ {
+		g.emit("str r0, [r3, #%d]", 4*i)
+	}
+	g.comment("T[1] = y")
+	highHomes := []string{"r8", "r9", "r10", "r11", "r12", "lr"}
+	for i := 0; i < numWords; i++ {
+		g.emit("ldr r0, [r1, #%d]", 4*i)
+		if cacheY && i < len(highHomes) {
+			g.emit("mov %s, r0", highHomes[i])
+			yCache[i] = highHomes[i]
+		}
+		g.emit("str r0, [r3, #%d]", 32+4*i)
+	}
+	g.comment("rows 2..15 in pairs: T[2i] = T[i]<<1, and T[2i+1] = T[2i]^y")
+	g.comment("is produced word by word while the even word is still in a register")
+	g.emit("mov r4, r3") // destination pointer, stepped a pair at a time
+	g.emit("adds r4, #64")
+	for e := 2; e < 16; e += 2 {
+		g.comment("T[%d] and T[%d]", e, e+1)
+		g.emit("mov r5, r3")
+		if off := e / 2 * 32; off > 0 {
+			g.emit("adds r5, #%d", off)
+		}
+		g.emit("movs r2, #0") // carry of the <<1 chain
+		for i := 0; i < numWords; i++ {
+			g.emit("ldr r7, [r5, #%d]", 4*i)
+			g.emit("lsls r0, r7, #1")
+			g.emit("orrs r0, r2")
+			g.emit("str r0, [r4, #%d]", 4*i) // even word
+			if i != numWords-1 {
+				g.emit("lsrs r2, r7, #31")
+			}
+			if home, ok := yCache[i]; ok {
+				g.emit("mov r6, %s", home)
+			} else {
+				g.emit("ldr r6, [r1, #%d]", 4*i)
+			}
+			g.emit("eors r0, r6")
+			g.emit("str r0, [r4, #%d]", 32+4*i) // odd word, same base
+		}
+		if e != 14 {
+			g.emit("adds r4, #64")
+		}
+	}
+}
+
+// genShiftEvent emits the multi-precision v <<= 4 across the mixed
+// register/memory accumulator, from the most significant word down so
+// each word still sees its unshifted lower neighbour.
+//
+// The hand-assembly placement uses a rolling pair of holder registers
+// (r0/r7 are free between passes): the raw neighbour value loaded for
+// word i's carry is kept and becomes word i-1's own value, so every
+// memory-resident word is loaded exactly once per event. The
+// compiler-style placements keep the straightforward reload form.
+func genShiftEvent(g *gen, p placement) {
+	g.comment("v <<= 4")
+	if usesFixedRegs(p) {
+		genShiftEventRolled(g, p)
+		return
+	}
+	for i := 15; i >= 1; i-- {
+		li, lp := p.loc(i, -1), p.loc(i-1, -1)
+		// r1 = v[i-1] >> 28
+		if lp.kind == locLow {
+			g.emit("lsrs r1, %s, #28", lp.reg)
+		} else {
+			readInto(g, lp, "r1")
+			g.emit("lsrs r1, r1, #28")
+		}
+		if li.kind == locLow {
+			g.emit("lsls %s, %s, #4", li.reg, li.reg)
+			g.emit("orrs %s, r1", li.reg)
+		} else {
+			readInto(g, li, "r0")
+			g.emit("lsls r0, r0, #4")
+			g.emit("orrs r0, r1")
+			writeFrom(g, li, "r0")
+		}
+	}
+	l0 := p.loc(0, -1)
+	if l0.kind == locLow {
+		g.emit("lsls %s, %s, #4", l0.reg, l0.reg)
+	} else {
+		readInto(g, l0, "r0")
+		g.emit("lsls r0, r0, #4")
+		writeFrom(g, l0, "r0")
+	}
+}
+
+// genShiftEventRolled is the rolling-holder variant of the shift event
+// for the fixed placement (holders r0 and r7, carry temp r1).
+func genShiftEventRolled(g *gen, p placement) {
+	holders := [2]string{"r7", "r0"}
+	sel := 0
+	cachedIdx, cachedReg := -1, ""
+	alloc := func(avoid string) string {
+		h := holders[sel]
+		if h == avoid {
+			sel ^= 1
+			h = holders[sel]
+		}
+		sel ^= 1
+		return h
+	}
+	for i := 15; i >= 0; i-- {
+		li := p.loc(i, -1)
+		// Materialise the raw current value for non-low words.
+		var cur string
+		if li.kind != locLow {
+			if cachedIdx == i {
+				cur = cachedReg
+				cachedIdx = -1
+			} else {
+				cur = alloc("")
+				readInto(g, li, cur)
+			}
+		}
+		// Carry source: raw v[i-1] (none for word 0).
+		rawPrev := ""
+		if i > 0 {
+			lp := p.loc(i-1, -1)
+			if lp.kind == locLow {
+				rawPrev = lp.reg
+			} else {
+				rawPrev = alloc(cur)
+				readInto(g, lp, rawPrev)
+				cachedIdx, cachedReg = i-1, rawPrev
+			}
+			g.emit("lsrs r1, %s, #28", rawPrev)
+		}
+		if li.kind == locLow {
+			g.emit("lsls %s, %s, #4", li.reg, li.reg)
+			if i > 0 {
+				g.emit("orrs %s, r1", li.reg)
+			}
+		} else {
+			g.emit("lsls %s, %s, #4", cur, cur)
+			if i > 0 {
+				g.emit("orrs %s, r1", cur)
+			}
+			writeFrom(g, li, cur)
+		}
+	}
+}
+
+// genReduce emits the word-at-a-time reduction of the 16-word
+// accumulator modulo x^233 + x^74 + 1, interleaved at the end of the
+// multiplication as the paper does (§3.2.1: "the field multiplication
+// algorithm can be interleaved with the reduction algorithm").
+func genReduce(g *gen, p placement) {
+	tmp := tmpReg(p)
+	g.comment("reduction mod x^233 + x^74 + 1")
+	for i := 15; i >= 8; i-- {
+		g.comment("fold v[%d]", i)
+		readInto(g, p.loc(i, -1), "r0")
+		folds := []struct {
+			target int
+			op     string
+			amt    int
+		}{
+			{i - 8, "lsls", 23},
+			{i - 7, "lsrs", 9},
+			{i - 5, "lsls", 1},
+			{i - 4, "lsrs", 31},
+		}
+		for _, f := range folds {
+			g.emit("%s r1, r0, #%d", f.op, f.amt)
+			xorInto(g, p.loc(f.target, -1), "r1", tmp)
+		}
+	}
+	g.comment("fold bits 233..255 of v[7]")
+	readInto(g, p.loc(7, -1), "r0")
+	g.emit("lsrs r0, r0, #9") // t
+	g.emit("movs r1, r0")
+	xorInto(g, p.loc(0, -1), "r1", tmp)
+	g.emit("lsls r1, r0, #10")
+	xorInto(g, p.loc(2, -1), "r1", tmp)
+	g.emit("lsrs r1, r0, #22")
+	xorInto(g, p.loc(3, -1), "r1", tmp)
+	l7 := p.loc(7, -1)
+	if l7.kind == locLow {
+		g.emit("lsls %s, %s, #23", l7.reg, l7.reg)
+		g.emit("lsrs %s, %s, #23", l7.reg, l7.reg)
+	} else {
+		readInto(g, l7, "r0")
+		g.emit("lsls r0, r0, #23")
+		g.emit("lsrs r0, r0, #23")
+		writeFrom(g, l7, "r0")
+	}
+}
+
+// genMul emits a complete multiplication routine for the placement.
+func genMul(p placement) string {
+	g := &gen{}
+	outOff := p.frameVWords() * 4
+	xOff := outOff + 4
+	frame := xOff + 4*numWords
+
+	g.label(p.name())
+	g.comment("ABI: r0=&x, r1=&y, r2=&out, r3=&scratch(512B LUT)")
+	g.emit("push {r4-r7, lr}")
+	if usesFixedRegs(p) {
+		g.emit("mov r4, r8")
+		g.emit("mov r5, r9")
+		g.emit("mov r6, r10")
+		g.emit("mov r7, r11")
+		g.emit("push {r4-r7}")
+	}
+	g.emit("sub sp, #%d", frame)
+	g.emit("str r2, [sp, #%d]", outOff)
+	g.comment("copy x into the frame: 2-cycle SP-relative access per column")
+	for i := 0; i < numWords; i++ {
+		g.emit("ldr r2, [r0, #%d]", 4*i)
+		g.emit("str r2, [sp, #%d]", xOff+4*i)
+	}
+
+	genLUT(g, usesFixedRegs(p))
+	g.emit("mov lr, r3") // LUT base for the main loop
+
+	g.comment("zero the accumulator")
+	g.emit("movs r0, #0")
+	zeroedLow := map[string]bool{}
+	for i := 0; i < 16; i++ {
+		l := p.loc(i, 0)
+		switch l.kind {
+		case locLow:
+			if !zeroedLow[l.reg] {
+				g.emit("movs %s, #0", l.reg)
+				zeroedLow[l.reg] = true
+			}
+		case locHigh:
+			g.emit("mov %s, r0", l.reg)
+		case locMem:
+			g.emit("str r0, [sp, #%d]", l.off)
+		}
+		// Rotating placements alias memory slots behind window words;
+		// zero the backing slots too.
+		if l.kind != locMem {
+			if lm := (loc{kind: locMem, off: 4 * i}); p.frameVWords() == 16 {
+				g.emit("str r0, [sp, #%d]", lm.off)
+			}
+		}
+	}
+
+	tmp := tmpReg(p)
+	for j := passes - 1; j >= 0; j-- {
+		g.comment("==== pass j=%d ====", j)
+		for k := 0; k < numWords; k++ {
+			p.preColumn(g, j, k)
+			g.comment("column k=%d: u = (x[%d] >> %d) & 0xF", k, k, 4*j)
+			g.emit("ldr r0, [sp, #%d]", xOff+4*k)
+			// Isolate the nibble and scale by the 32-byte row size
+			// (u<<5). The first and last passes need only two shifts:
+			// j=7 has nothing above the nibble, j=0 nothing below it
+			// (LSL shifts in zeros).
+			switch j {
+			case 7:
+				g.emit("lsrs r0, r0, #28")
+				g.emit("lsls r0, r0, #5")
+			case 0:
+				g.emit("lsls r0, r0, #28")
+				g.emit("lsrs r0, r0, #23")
+			default:
+				g.emit("lsls r0, r0, #%d", 28-4*j)
+				g.emit("lsrs r0, r0, #28")
+				g.emit("lsls r0, r0, #5")
+			}
+			g.emit("add r0, lr") // row pointer = LUT base + 32u
+			for l := 0; l < numWords; l++ {
+				g.emit("ldr r1, [r0, #%d]", 4*l)
+				xorInto(g, p.loc(k+l, k), "r1", tmp)
+			}
+		}
+		if j != 0 {
+			genShiftEvent(g, p)
+		}
+	}
+
+	genReduce(g, p)
+
+	g.comment("write the reduced result")
+	g.emit("ldr r0, [sp, #%d]", outOff)
+	for i := 0; i < numWords; i++ {
+		readInto(g, p.loc(i, -1), "r1")
+		g.emit("str r1, [r0, #%d]", 4*i)
+	}
+	g.emit("add sp, #%d", frame)
+	if usesFixedRegs(p) {
+		g.emit("pop {r4-r7}")
+		g.emit("mov r8, r4")
+		g.emit("mov r9, r5")
+		g.emit("mov r10, r6")
+		g.emit("mov r11, r7")
+	}
+	g.emit("pop {r4-r7, pc}")
+	return g.b.String()
+}
+
+// LUTOnly returns a routine that performs just the lookup-table
+// generation of a multiplication (ABI: r1 = &y, r3 = scratch). Its cycle
+// count is the per-multiplication "Multiply Precomputation" share that
+// Table 7 reports separately from the multiply core.
+func LUTOnly() string {
+	g := &gen{}
+	g.label("lut_only")
+	g.comment("ABI: r1=&y, r3=&scratch(512B LUT)")
+	g.emit("push {r4-r7, lr}")
+	genLUT(g, true)
+	g.emit("pop {r4-r7, pc}")
+	return g.b.String()
+}
+
+// MulFixedASM returns the paper's hand-optimised LD with fixed
+// registers multiplication (the 3672-cycle routine of Table 6).
+func MulFixedASM() string { return genMul(fixedPlacement{}) }
+
+// MulFixedC returns the compiler-style rendering of the fixed-register
+// algorithm: the accumulator fully memory-resident (Table 6's 5964-cycle
+// C figure).
+func MulFixedC() string { return genMul(memPlacement{label: "mul_fixed_c"}) }
+
+// MulRotatingC returns the compiler-style rotating-registers variant
+// with a 4-word register window (Table 6's 5592-cycle C figure).
+func MulRotatingC() string { return genMul(rotPlacement{}) }

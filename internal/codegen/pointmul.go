@@ -1,0 +1,358 @@
+package codegen
+
+import (
+	"fmt"
+	"math/big"
+
+	"repro/internal/armv6m"
+	"repro/internal/core"
+	"repro/internal/ec"
+	"repro/internal/gf233"
+	"repro/internal/koblitz"
+)
+
+// This file assembles a complete τ-and-add point-multiplication main
+// loop for the simulator: a generated driver walks the width-w TNAF
+// digits (computed host-side, as the paper delegates recoding to the
+// host RELIC library), applying the Frobenius map via the squaring
+// routine and mixed LD-affine additions composed from BL calls into the
+// generated multiplication/squaring/addition routines. Running it
+// measures the Multiply, Multiply-precomputation, Square and in-loop
+// Support phases of Table 7 on the simulated M0+ directly, instead of
+// composing them from per-operation costs.
+
+// Data-segment layout of the point-multiplication program (offsets from
+// pmBase). Every buffer is 8 words (32 bytes) unless noted.
+const (
+	pmBase   = 0x8000
+	pmQX     = 0x000 // accumulator X (LD coordinates)
+	pmQY     = 0x020
+	pmQZ     = 0x040
+	pmEX     = 0x060 // staged affine table entry
+	pmEY     = 0x080
+	pmT1     = 0x0a0  // eight temporaries T1..T8
+	pmFB     = 0x2a0  // squaring feedback (8 words)
+	pmDigits = 0x2c0  // up to 256 recoding digits, int8, MSB first
+	pmSqrTab = 0x800  // 256 halfword squaring table
+	pmLUT    = 0xc00  // multiplication LUT scratch (512 B)
+	pmTable  = 0x1000 // 2^(w-1) affine points (x ‖ y), 64 B each (2 KiB at w=6)
+	pmEnd    = 0x1800
+)
+
+// tOff returns the offset of temporary Ti (1-based).
+func tOff(i int) int { return pmT1 + 32*(i-1) }
+
+// emitAddr emits code materialising pmBase+off into the low register
+// dst (r7 holds pmBase).
+func emitAddr(g *gen, dst string, off int) {
+	switch {
+	case off == 0:
+		g.emit("mov %s, r7", dst)
+	case off <= 255:
+		g.emit("mov %s, r7", dst)
+		g.emit("adds %s, #%d", dst, off)
+	default:
+		shift := 4
+		for off>>shift > 255 {
+			shift += 4
+		}
+		g.emit("movs %s, #%d", dst, off>>shift)
+		g.emit("lsls %s, %s, #%d", dst, dst, shift)
+		if low := off & (1<<shift - 1); low != 0 {
+			g.emit("adds %s, #%d", dst, low)
+		}
+		g.emit("add %s, r7", dst)
+	}
+}
+
+// emitFieldCall emits a BL to a field routine with buffer-offset
+// arguments in r0..: args[i] is the data-segment offset for register i.
+func emitFieldCall(g *gen, routine string, args ...int) {
+	for i, off := range args {
+		emitAddr(g, fmt.Sprintf("r%d", i), off)
+	}
+	g.emit("bl %s", routine)
+}
+
+// emitMul emits out = a*b through the fixed-register routine.
+func emitMul(g *gen, a, b, out int) {
+	emitFieldCall(g, "mul_fixed_asm", a, b, out, pmLUT)
+}
+
+// emitSqr emits out = in² (out must differ from in).
+func emitSqr(g *gen, in, out int) {
+	emitFieldCall(g, "sqr_asm", in, out, pmSqrTab, pmFB)
+}
+
+// emitAdd emits out = a ^ b.
+func emitAdd(g *gen, a, b, out int) {
+	emitFieldCall(g, "field_add", a, b, out)
+}
+
+// genFieldAdd emits the 8-word XOR helper (r0 = &a, r1 = &b, r2 = &out).
+func genFieldAdd(g *gen) {
+	g.label("field_add")
+	g.emit("push {r4, lr}")
+	for i := 0; i < numWords; i++ {
+		g.emit("ldr r3, [r0, #%d]", 4*i)
+		g.emit("ldr r4, [r1, #%d]", 4*i)
+		g.emit("eors r3, r4")
+		g.emit("str r3, [r2, #%d]", 4*i)
+	}
+	g.emit("pop {r4, pc}")
+}
+
+// genFieldCopy emits the 8-word copy helper (r0 = &src, r1 = &dst).
+func genFieldCopy(g *gen) {
+	g.label("field_copy")
+	for i := 0; i < numWords; i++ {
+		g.emit("ldr r3, [r0, #%d]", 4*i)
+		g.emit("str r3, [r1, #%d]", 4*i)
+	}
+	g.emit("bx lr")
+}
+
+// genFrobenius emits Q <- τ(Q) = (X², Y², Z²) as a subroutine.
+func genFrobenius(g *gen) {
+	g.label("frobenius")
+	g.emit("push {lr}")
+	for _, c := range []int{pmQX, pmQY, pmQZ} {
+		emitSqr(g, c, tOff(1))
+		emitFieldCall(g, "field_copy", tOff(1), c)
+	}
+	g.emit("pop {pc}")
+}
+
+// genPointAdd emits the mixed LD-affine addition Q <- Q + E (Hankerson
+// Alg. 3.27 for a = 0, the sequence of internal/ec.AddMixed) as a
+// subroutine over the staged entry (EX, EY). General position is
+// assumed (no exceptional cases), which holds for wTNAF digit streams
+// of random scalars.
+func genPointAdd(g *gen) {
+	g.label("point_add")
+	g.emit("push {lr}")
+	emitSqr(g, pmQZ, tOff(1))          // T1 = Z1²
+	emitMul(g, pmEY, tOff(1), tOff(2)) // T2 = y2·Z1²
+	emitAdd(g, tOff(2), pmQY, tOff(2)) // T2 = A = y2·Z1² + Y1
+	emitMul(g, pmEX, pmQZ, tOff(3))    // T3 = x2·Z1
+	emitAdd(g, tOff(3), pmQX, tOff(3)) // T3 = B = x2·Z1 + X1
+	emitMul(g, pmQZ, tOff(3), tOff(4)) // T4 = C = Z1·B
+	emitSqr(g, tOff(4), tOff(5))       // T5 = Z3 = C²
+	emitMul(g, pmEX, tOff(5), tOff(6)) // T6 = D = x2·Z3
+	emitSqr(g, tOff(3), tOff(7))       // T7 = B²
+	emitAdd(g, tOff(2), tOff(7), tOff(7))
+	emitMul(g, tOff(4), tOff(7), tOff(7)) // T7 = C·(A+B²)
+	emitSqr(g, tOff(2), tOff(8))          // T8 = A²
+	emitAdd(g, tOff(8), tOff(7), pmQX)    // X3 = A² + C·(A+B²)
+	emitMul(g, tOff(2), tOff(4), tOff(8)) // T8 = E = A·C
+	emitAdd(g, tOff(6), pmQX, tOff(6))    // T6 = D + X3
+	emitAdd(g, tOff(8), tOff(5), tOff(1)) // T1 = E + Z3
+	emitMul(g, tOff(6), tOff(1), tOff(6)) // T6 = (D+X3)(E+Z3)
+	emitAdd(g, pmEX, pmEY, tOff(1))       // T1 = x2 + y2
+	emitSqr(g, tOff(5), tOff(7))          // T7 = Z3²
+	emitMul(g, tOff(1), tOff(7), tOff(7)) // T7 = (x2+y2)Z3²
+	emitAdd(g, tOff(6), tOff(7), pmQY)    // Y3
+	emitFieldCall(g, "field_copy", tOff(5), pmQZ)
+	g.emit("pop {pc}")
+}
+
+// PointMulProgram generates the complete main-loop program: driver +
+// point_add + frobenius + helpers + the field routines, as one image.
+// The driver expects (written by the runner):
+//
+//	pmDigits: the MSB-first digit string, excluding the leading digit
+//	          (the accumulator is pre-seeded with its table point);
+//	r0:       the number of remaining digits (> 0);
+//	Q, table, squaring table: pre-loaded.
+func PointMulProgram(w int) string {
+	g := &gen{}
+	g.label("point_mul")
+	g.comment("r0 = digit count; digits at pmDigits, MSB first")
+	g.emit("push {r4-r7, lr}")
+	g.comment("r7 = data-segment base, live across every call")
+	g.emit("movs r7, #%d", pmBase>>12)
+	g.emit("lsls r7, r7, #12")
+	emitAddr(g, "r5", pmDigits) // r5 walks the digit string
+	g.emit("mov r6, r5")
+	g.emit("add r6, r0") // r6 = end pointer
+	g.label("pm_loop")
+	g.comment("Q <- τ(Q)")
+	g.emit("bl frobenius")
+	g.comment("fetch the next digit")
+	g.emit("movs r0, #0")
+	g.emit("ldrsb r4, [r5, r0]")
+	g.emit("adds r5, #1")
+	g.emit("cmp r4, #0")
+	g.emit("beq pm_next")
+	g.comment("table entry: u>0 at index u>>1, u<0 at 2^(w-2) + (-u)>>1")
+	g.emit("bgt pm_pos")
+	g.emit("rsbs r4, r4, #0")
+	g.emit("asrs r4, r4, #1")
+	g.emit("adds r4, #%d", 1<<(w-2))
+	g.emit("b pm_stage")
+	g.label("pm_pos")
+	g.emit("asrs r4, r4, #1")
+	g.label("pm_stage")
+	g.emit("lsls r4, r4, #6") // 64 bytes per entry
+	emitAddr(g, "r0", pmTable)
+	g.emit("add r4, r0") // r4 = &entry
+	g.comment("stage the entry into (EX, EY) and add")
+	g.emit("mov r0, r4")
+	emitAddr(g, "r1", pmEX)
+	g.emit("bl field_copy")
+	g.emit("mov r0, r4")
+	g.emit("adds r0, #32")
+	emitAddr(g, "r1", pmEY)
+	g.emit("bl field_copy")
+	g.emit("bl point_add")
+	g.label("pm_next")
+	g.emit("cmp r5, r6")
+	g.emit("bne pm_loop")
+	g.emit("pop {r4-r7, pc}")
+	g.b.WriteString("\n")
+
+	genPointAdd(g)
+	g.b.WriteString("\n")
+	genFrobenius(g)
+	g.b.WriteString("\n")
+	genFieldAdd(g)
+	g.b.WriteString("\n")
+	genFieldCopy(g)
+	g.b.WriteString("\n")
+	// The field routines themselves, concatenated as plain text.
+	g.b.WriteString(MulFixedASM())
+	g.b.WriteString("\n")
+	g.b.WriteString(SqrASM())
+	return g.b.String()
+}
+
+// PointMulResult reports an on-simulator point multiplication.
+type PointMulResult struct {
+	Point      ec.Affine // the final (host-normalised) result
+	LoopCycles uint64    // main-loop cycles (Multiply+MulPre+Square+in-loop Support)
+	Additions  int       // mixed additions performed
+	Digits     int       // τ-and-add iterations
+	Stats      Stats
+}
+
+// pmPrograms caches the assembled images per window width.
+var pmPrograms = map[int]*Routine{}
+
+// buildPointMul assembles the point-multiplication program for a
+// window width once.
+func buildPointMul(w int) (*Routine, error) {
+	if r, ok := pmPrograms[w]; ok {
+		return r, nil
+	}
+	if w < 2 || w > 6 {
+		return nil, fmt.Errorf("codegen: unsupported driver window width %d", w)
+	}
+	r, err := NewRoutine(PointMulProgram(w), "point_mul")
+	if err != nil {
+		return nil, err
+	}
+	pmPrograms[w] = r
+	return r, nil
+}
+
+func writeElemAt(m *armv6m.Machine, off int, e gf233.Elem) {
+	for i, w := range e {
+		m.WriteWord(uint32(pmBase+off+4*i), w)
+	}
+}
+
+func readElemAt(m *armv6m.Machine, off int) gf233.Elem {
+	var e gf233.Elem
+	for i := range e {
+		e[i] = m.ReadWord(uint32(pmBase + off + 4*i))
+	}
+	return e
+}
+
+// RunPointMulDigits executes the main loop for a prepared digit string
+// and table (digits least-significant first, as koblitz.WTNAF returns;
+// the table must hold the 2^(w-2) positive odd multiples).
+func RunPointMulDigits(digits []int8, table []ec.Affine, w int) (*PointMulResult, error) {
+	if len(digits) < 2 {
+		return nil, fmt.Errorf("codegen: digit string too short")
+	}
+	if len(digits) > 255 {
+		return nil, fmt.Errorf("codegen: digit string too long for the driver (%d)", len(digits))
+	}
+	if len(table) != 1<<(w-2) {
+		return nil, fmt.Errorf("codegen: table size %d does not match w=%d", len(table), w)
+	}
+	r, err := buildPointMul(w)
+	if err != nil {
+		return nil, err
+	}
+	m := armv6m.New(memSize)
+	m.LoadProgram(0, r.prog.Code)
+	// Squaring table.
+	tab := gf233.SquareTable()
+	for i, v := range tab {
+		m.WriteHalf(uint32(pmBase+pmSqrTab+2*i), uint32(v))
+	}
+	// Table points: positives then negatives, affine (x ‖ y).
+	half := 1 << (w - 2)
+	for i, pt := range table {
+		writeElemAt(m, pmTable+64*i, pt.X)
+		writeElemAt(m, pmTable+64*i+32, pt.Y)
+		n := pt.Neg()
+		writeElemAt(m, pmTable+64*(half+i), n.X)
+		writeElemAt(m, pmTable+64*(half+i)+32, n.Y)
+	}
+	// Seed the accumulator with the leading (most significant, always
+	// nonzero) digit's point and store the rest MSB first.
+	top := digits[len(digits)-1]
+	var seed ec.Affine
+	if top > 0 {
+		seed = table[top>>1]
+	} else {
+		seed = table[(-top)>>1].Neg()
+	}
+	writeElemAt(m, pmQX, seed.X)
+	writeElemAt(m, pmQY, seed.Y)
+	writeElemAt(m, pmQZ, gf233.One)
+	rest := len(digits) - 1
+	adds := 0
+	for i := 0; i < rest; i++ {
+		d := digits[len(digits)-2-i]
+		m.StoreByte(uint32(pmBase+pmDigits+i), uint32(uint8(d)))
+		if d != 0 {
+			adds++
+		}
+	}
+	m.R[0] = uint32(rest)
+	cycles, err := m.Call(r.entry, maxCycles)
+	if err != nil {
+		return nil, err
+	}
+	q := ec.LD{X: readElemAt(m, pmQX), Y: readElemAt(m, pmQY), Z: readElemAt(m, pmQZ)}
+	return &PointMulResult{
+		Point:      q.Affine(),
+		LoopCycles: cycles,
+		Additions:  adds + 1, // + the seeded leading digit
+		Digits:     len(digits),
+		Stats:      stats(m, cycles),
+	}, nil
+}
+
+// RunPointMulKP runs the paper's kP main loop for a scalar on base
+// point p: host-side partial reduction and width-4 recoding (the
+// TNAF-representation and precomputation phases of Table 7, which the
+// paper's implementation also delegates to host-library code), then
+// every field multiplication, squaring and addition of the
+// ~233-iteration τ-and-add loop on the simulated M0+.
+func RunPointMulKP(k *big.Int, p ec.Affine) (*PointMulResult, error) {
+	digits := koblitz.WTNAF(koblitz.PartMod(k), core.WRandom)
+	table := core.AlphaPoints(p, core.WRandom)
+	return RunPointMulDigits(digits, table, core.WRandom)
+}
+
+// RunPointMulKG runs the fixed-point main loop (w = 6, the paper's kG
+// configuration) against a precomputed width-6 table for p.
+func RunPointMulKG(k *big.Int, p ec.Affine, table []ec.Affine) (*PointMulResult, error) {
+	digits := koblitz.WTNAF(koblitz.PartMod(k), core.WFixed)
+	return RunPointMulDigits(digits, table, core.WFixed)
+}

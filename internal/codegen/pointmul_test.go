@@ -1,0 +1,122 @@
+package codegen
+
+import (
+	"math/big"
+	"math/rand"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/ec"
+)
+
+func TestPointMulProgramAssembles(t *testing.T) {
+	if _, err := buildPointMul(core.WRandom); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestPointMulMatchesHost runs complete kP main loops on the simulator
+// and compares against the native implementation — the strongest
+// end-to-end validation in the repository: recoding, table, driver,
+// point formulas, field routines and simulator must all agree.
+func TestPointMulMatchesHost(t *testing.T) {
+	rnd := rand.New(rand.NewSource(31))
+	g := ec.Gen()
+	for i := 0; i < 3; i++ {
+		k := new(big.Int).Rand(rnd, ec.Order)
+		if k.Sign() == 0 {
+			continue
+		}
+		res, err := RunPointMulKP(k, g)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := core.ScalarMult(k, g)
+		if !res.Point.Equal(want) {
+			t.Fatalf("simulated kP disagrees with host for k=%v", k)
+		}
+		if res.LoopCycles == 0 || res.Additions == 0 {
+			t.Fatal("no work recorded")
+		}
+		t.Logf("k #%d: %d digits, %d additions, %d main-loop cycles",
+			i, res.Digits, res.Additions, res.LoopCycles)
+	}
+}
+
+// TestPointMulLoopCyclesVsModel cross-validates the measured main loop
+// against the profile-model phases it corresponds to (Multiply +
+// Multiply precomputation + Square + the in-loop share of Support).
+func TestPointMulLoopCyclesVsModel(t *testing.T) {
+	rnd := rand.New(rand.NewSource(32))
+	k := new(big.Int).Rand(rnd, ec.Order)
+	res, err := RunPointMulKP(k, ec.Gen())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Reconstruct the model's corresponding phases from the same digit
+	// statistics: mulCalls*(mul) + sqrCalls*(sqr), leaving call overhead
+	// and copies as the flexible share.
+	_, mulStats, err := routines.MulFixedASM.RunMul(
+		ec.Gen().X, ec.Gen().Y)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, sqrStats, err := routines.SqrASM.RunSqr(ec.Gen().X)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mulCalls := uint64(res.Additions * 8)
+	sqrCalls := uint64(res.Digits*3 + res.Additions*5)
+	floor := mulCalls*mulStats.Cycles + sqrCalls*sqrStats.Cycles
+	if res.LoopCycles <= floor {
+		t.Fatalf("measured loop (%d) below its field-op floor (%d)", res.LoopCycles, floor)
+	}
+	// Overhead (calls, staging, copies, loop control) should be a
+	// modest fraction on top of the floor.
+	overhead := float64(res.LoopCycles-floor) / float64(floor)
+	t.Logf("loop=%d floor=%d overhead=%.1f%%", res.LoopCycles, floor, 100*overhead)
+	if overhead > 0.35 {
+		t.Errorf("call/support overhead %.1f%% implausibly high", 100*overhead)
+	}
+}
+
+func TestPointMulRejectsBadInput(t *testing.T) {
+	table := core.AlphaPoints(ec.Gen(), core.WRandom)
+	if _, err := RunPointMulDigits([]int8{1}, table, core.WRandom); err == nil {
+		t.Error("single-digit string accepted")
+	}
+	long := make([]int8, 300)
+	long[299] = 1
+	if _, err := RunPointMulDigits(long, table, core.WRandom); err == nil {
+		t.Error("over-long digit string accepted")
+	}
+}
+
+// TestPointMulKGMatchesHost runs the fixed-point (w = 6) main loop on
+// the simulator.
+func TestPointMulKGMatchesHost(t *testing.T) {
+	rnd := rand.New(rand.NewSource(33))
+	g := ec.Gen()
+	table := core.AlphaPoints(g, core.WFixed)
+	k := new(big.Int).Rand(rnd, ec.Order)
+	res, err := RunPointMulKG(k, g, table)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Point.Equal(core.ScalarBaseMult(k)) {
+		t.Fatal("simulated kG disagrees with host")
+	}
+	// Fewer additions than kP at the same scalar (w = 6 density 1/7).
+	kp, err := RunPointMulKP(k, g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Additions >= kp.Additions {
+		t.Errorf("kG additions (%d) not below kP additions (%d)", res.Additions, kp.Additions)
+	}
+	if res.LoopCycles >= kp.LoopCycles {
+		t.Errorf("kG loop (%d) not below kP loop (%d)", res.LoopCycles, kp.LoopCycles)
+	}
+	t.Logf("kG: %d additions, %d main-loop cycles (kP: %d, %d)",
+		res.Additions, res.LoopCycles, kp.Additions, kp.LoopCycles)
+}

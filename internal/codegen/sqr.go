@@ -1,0 +1,181 @@
+package codegen
+
+// Generators for the table-based modular squaring (§3.2.4): a byte of
+// the input is spread to 16 bits through a 256-entry table (the paper's
+// "16-bit lookup table with 256 entries"), and reduction is interleaved
+// so the upper half of the expansion is folded into the result as it is
+// produced instead of being stored for a second pass.
+//
+// ABI: r0 = &x (8 words), r1 = &out (8 words), r2 = &table (256
+// halfwords), r3 = &scratch (16 words for the separate variant, 8
+// feedback words for the interleaved one).
+
+// emitExpandHalf emits code spreading the low 16 bits of src into dst
+// (dst = table[src&0xff] | table[src>>8&0xff]<<16), clobbering aux.
+// src must survive; dst, aux are distinct low registers != src.
+func emitExpandHalf(g *gen, src, dst, aux string) {
+	g.emit("uxtb %s, %s", dst, src)
+	g.emit("lsls %s, %s, #1", dst, dst)
+	g.emit("ldrh %s, [r2, %s]", dst, dst)
+	g.emit("lsrs %s, %s, #8", aux, src)
+	g.emit("uxtb %s, %s", aux, aux)
+	g.emit("lsls %s, %s, #1", aux, aux)
+	g.emit("ldrh %s, [r2, %s]", aux, aux)
+	g.emit("lsls %s, %s, #16", aux, aux)
+	g.emit("orrs %s, %s", dst, aux)
+}
+
+// SqrC returns the compiler-style squaring: expand all 16 words of x²
+// into scratch memory, then run a separate reduction pass (Table 6's
+// 419-cycle C figure).
+func SqrC() string {
+	g := &gen{}
+	g.label("sqr_c")
+	g.comment("ABI: r0=&x, r1=&out, r2=&table, r3=&scratch(16 words)")
+	g.emit("push {r4-r7, lr}")
+	g.comment("expansion: exp[2i], exp[2i+1] = spread(x[i])")
+	for i := 0; i < numWords; i++ {
+		g.emit("ldr r7, [r0, #%d]", 4*i)
+		emitExpandHalf(g, "r7", "r4", "r5")
+		g.emit("str r4, [r3, #%d]", 8*i)
+		g.emit("lsrs r7, r7, #16")
+		emitExpandHalf(g, "r7", "r4", "r5")
+		g.emit("str r4, [r3, #%d]", 8*i+4)
+	}
+	g.comment("separate reduction pass over scratch")
+	for i := 15; i >= 8; i-- {
+		g.emit("ldr r4, [r3, #%d]", 4*i)
+		folds := []struct {
+			target int
+			op     string
+			amt    int
+		}{
+			{i - 8, "lsls", 23}, {i - 7, "lsrs", 9},
+			{i - 5, "lsls", 1}, {i - 4, "lsrs", 31},
+		}
+		for _, f := range folds {
+			g.emit("%s r5, r4, #%d", f.op, f.amt)
+			g.emit("ldr r6, [r3, #%d]", 4*f.target)
+			g.emit("eors r6, r5")
+			g.emit("str r6, [r3, #%d]", 4*f.target)
+		}
+	}
+	g.comment("fold bits 233..255 of word 7 and mask")
+	g.emit("ldr r4, [r3, #28]")
+	g.emit("lsrs r5, r4, #9")
+	g.emit("ldr r6, [r3, #0]")
+	g.emit("eors r6, r5")
+	g.emit("str r6, [r3, #0]")
+	g.emit("lsls r6, r5, #10")
+	g.emit("ldr r7, [r3, #8]")
+	g.emit("eors r7, r6")
+	g.emit("str r7, [r3, #8]")
+	g.emit("lsrs r6, r5, #22")
+	g.emit("ldr r7, [r3, #12]")
+	g.emit("eors r7, r6")
+	g.emit("str r7, [r3, #12]")
+	g.emit("lsls r4, r4, #23")
+	g.emit("lsrs r4, r4, #23")
+	g.emit("str r4, [r3, #28]")
+	g.comment("copy the reduced low half to out")
+	for i := 0; i < numWords; i++ {
+		g.emit("ldr r4, [r3, #%d]", 4*i)
+		g.emit("str r4, [r1, #%d]", 4*i)
+	}
+	g.emit("pop {r4-r7, pc}")
+	return g.b.String()
+}
+
+// SqrASM returns the paper's interleaved squaring (Table 6's 395-cycle
+// assembly figure): the lower half of the expansion goes straight to
+// the result and each upper word is folded the moment it is produced —
+// upper words are never stored for a later reduction pass. Cross-fold
+// contributions between upper words accumulate in an 8-word feedback
+// buffer.
+func SqrASM() string {
+	g := &gen{}
+	g.label("sqr_asm")
+	g.comment("ABI: r0=&x, r1=&out, r2=&table, r3=&feedback(8 words)")
+	g.emit("push {r4-r7, lr}")
+	// Cross-fold feedback can only land on expansion words 8..11 (word
+	// 8+i folds to indices <= i+4 <= 11), so only four feedback slots
+	// exist and only words 8..11 read one back.
+	g.comment("clear the feedback slots for expansion words 8..11")
+	g.emit("movs r4, #0")
+	for i := 0; i < 4; i++ {
+		g.emit("str r4, [r3, #%d]", 4*i)
+	}
+	g.comment("lower half: out[0..7] = spread(x[0..3])")
+	for i := 0; i < numWords/2; i++ {
+		g.emit("ldr r7, [r0, #%d]", 4*i)
+		emitExpandHalf(g, "r7", "r4", "r5")
+		g.emit("str r4, [r1, #%d]", 8*i)
+		g.emit("lsrs r7, r7, #16")
+		emitExpandHalf(g, "r7", "r4", "r5")
+		g.emit("str r4, [r1, #%d]", 8*i+4)
+	}
+	g.comment("upper half, folded on the fly; words 12..15 feed back into 8..11,")
+	g.comment("so x[6], x[7] are processed before x[4], x[5]")
+	emitFold := func(i int) {
+		// Fold expansion word 8+i (value in r4) into its four targets.
+		folds := []struct {
+			target int
+			op     string
+			amt    int
+		}{
+			{i, "lsls", 23}, {i + 1, "lsrs", 9},
+			{i + 3, "lsls", 1}, {i + 4, "lsrs", 31},
+		}
+		for _, f := range folds {
+			g.emit("%s r5, r4, #%d", f.op, f.amt)
+			if f.target < numWords {
+				g.emit("ldr r6, [r1, #%d]", 4*f.target)
+				g.emit("eors r6, r5")
+				g.emit("str r6, [r1, #%d]", 4*f.target)
+			} else {
+				off := 4 * (f.target - numWords)
+				g.emit("ldr r6, [r3, #%d]", off)
+				g.emit("eors r6, r5")
+				g.emit("str r6, [r3, #%d]", off)
+			}
+		}
+	}
+	for _, t := range []int{7, 6, 5, 4} { // x word; expansion words 2t and 2t+1
+		g.emit("ldr r7, [r0, #%d]", 4*t)
+		lo, hi := 2*t-numWords, 2*t+1-numWords // i indices of the pair
+		// Low half first: the folds preserve r7, so the high half
+		// reuses the loaded word.
+		emitExpandHalf(g, "r7", "r4", "r5")
+		if lo < 4 {
+			g.emit("ldr r5, [r3, #%d]", 4*lo) // accumulated feedback
+			g.emit("eors r4, r5")
+		}
+		emitFold(lo)
+		g.emit("lsrs r7, r7, #16")
+		emitExpandHalf(g, "r7", "r4", "r5")
+		if hi < 4 {
+			g.emit("ldr r5, [r3, #%d]", 4*hi)
+			g.emit("eors r4, r5")
+		}
+		emitFold(hi)
+	}
+	g.comment("fold bits 233..255 of out[7] and mask")
+	g.emit("ldr r4, [r1, #28]")
+	g.emit("lsrs r5, r4, #9")
+	g.emit("ldr r6, [r1, #0]")
+	g.emit("eors r6, r5")
+	g.emit("str r6, [r1, #0]")
+	g.emit("lsls r6, r5, #10")
+	g.emit("ldr r7, [r1, #8]")
+	g.emit("eors r7, r6")
+	g.emit("str r7, [r1, #8]")
+	g.emit("lsrs r6, r5, #22")
+	g.emit("ldr r7, [r1, #12]")
+	g.emit("eors r7, r6")
+	g.emit("str r7, [r1, #12]")
+	g.emit("lsls r4, r4, #23")
+	g.emit("lsrs r4, r4, #23")
+	g.emit("str r4, [r1, #28]")
+	g.emit("pop {r4-r7, pc}")
+	return g.b.String()
+}

@@ -1,0 +1,252 @@
+// Package core implements the paper's primary contribution at the
+// system level: fast sect233k1 point multiplication on top of the
+// LD-with-fixed-registers field arithmetic.
+//
+// Random-point multiplication k·P uses the left-to-right width-w TNAF
+// method with w = 4; fixed-point multiplication k·G uses w = 6 with a
+// precomputed table of α_u·G (§4.2.2 of the paper). Point additions are
+// done in mixed LD-affine coordinates, so a full multiplication costs a
+// single field inversion (the final normalisation).
+//
+// The package also provides the constant-time Montgomery-ladder variant
+// the paper lists as future work (§5).
+package core
+
+import (
+	"errors"
+	"io"
+	"math/big"
+
+	"repro/internal/ec"
+	"repro/internal/gf233"
+	"repro/internal/koblitz"
+)
+
+// Window widths selected by the paper (§4.2.2).
+const (
+	// WRandom is the wTNAF width for random-point multiplication (kP).
+	WRandom = 4
+	// WFixed is the wTNAF width for fixed-point multiplication (kG).
+	WFixed = 6
+)
+
+// AlphaPoints precomputes the table P_u = α_u·P for odd u < 2^(w−1),
+// indexed by u>>1 — the "TNAF Precomputation" phase of Table 7 (16
+// points for w = 6, 4 points for w = 4). The table entries are returned
+// in affine coordinates so the main loop can use mixed addition.
+func AlphaPoints(p ec.Affine, w int) []ec.Affine {
+	alphas := koblitz.Alpha(w)
+	tp := p.Frobenius()
+	points := make([]ec.Affine, len(alphas))
+	for i, a := range alphas {
+		// α_u = a + b·τ, so P_u = a·P + b·τ(P).
+		points[i] = ec.ScalarMultGeneric(a.A, p).Add(ec.ScalarMultGeneric(a.B, tp))
+	}
+	return points
+}
+
+// scalarMultDigits evaluates Σ ξ_i τ^i applied to the precomputed table
+// with a left-to-right Horner loop over the recoded digits: the
+// accumulator is hit with the (cheap) Frobenius once per digit and a
+// mixed LD-affine addition once per nonzero digit.
+func scalarMultDigits(digits []int8, table []ec.Affine) ec.Affine {
+	q := ec.LDInfinity
+	for i := len(digits) - 1; i >= 0; i-- {
+		q = q.Frobenius()
+		switch d := digits[i]; {
+		case d > 0:
+			q = q.AddMixed(table[d>>1])
+		case d < 0:
+			q = q.SubMixed(table[(-d)>>1])
+		}
+	}
+	return q.Affine()
+}
+
+// ScalarMult computes k·P with the paper's random-point method: partial
+// reduction of k modulo δ, width-4 TNAF recoding, and a τ-and-add loop
+// in mixed LD-affine coordinates.
+//
+// P must lie in the prime-order subgroup: the partial reduction relies
+// on δ annihilating that subgroup. Points outside it (the curve has
+// cofactor 4) give unrelated results — validate untrusted points first
+// (see internal/ecdh.Validate).
+func ScalarMult(k *big.Int, p ec.Affine) ec.Affine {
+	return ScalarMultW(k, p, WRandom)
+}
+
+// ScalarMultW is ScalarMult with an explicit window width w ∈ [2, 8],
+// used by the window-width ablation bench.
+func ScalarMultW(k *big.Int, p ec.Affine, w int) ec.Affine {
+	if p.Inf || k.Sign() == 0 {
+		return ec.Infinity
+	}
+	rho := koblitz.PartMod(k)
+	digits := koblitz.WTNAF(rho, w)
+	table := AlphaPoints(p, w)
+	return scalarMultDigits(digits, table)
+}
+
+// FixedBase holds the per-point precomputation for fixed-point
+// multiplication: the α_u·P table computed once and reused across
+// multiplications (which is why the "TNAF Precomputation" row of
+// Table 7 is zero for kG).
+type FixedBase struct {
+	w     int
+	point ec.Affine
+	table []ec.Affine
+}
+
+// NewFixedBase builds the width-w precomputation for p.
+func NewFixedBase(p ec.Affine, w int) *FixedBase {
+	return &FixedBase{w: w, point: p, table: AlphaPoints(p, w)}
+}
+
+// Point returns the fixed point this table belongs to.
+func (fb *FixedBase) Point() ec.Affine { return fb.point }
+
+// W returns the window width of the table.
+func (fb *FixedBase) W() int { return fb.w }
+
+// TableSize returns the number of precomputed points.
+func (fb *FixedBase) TableSize() int { return len(fb.table) }
+
+// ScalarMult computes k·P for the fixed point using the precomputed
+// table.
+func (fb *FixedBase) ScalarMult(k *big.Int) ec.Affine {
+	if fb.point.Inf || k.Sign() == 0 {
+		return ec.Infinity
+	}
+	rho := koblitz.PartMod(k)
+	digits := koblitz.WTNAF(rho, fb.w)
+	return scalarMultDigits(digits, fb.table)
+}
+
+// generator table, built on first use.
+var genTable *FixedBase
+
+func genBase() *FixedBase {
+	if genTable == nil {
+		genTable = NewFixedBase(ec.Gen(), WFixed)
+	}
+	return genTable
+}
+
+// ScalarBaseMult computes k·G with the paper's fixed-point method
+// (wTNAF, w = 6, precomputed table).
+func ScalarBaseMult(k *big.Int) ec.Affine {
+	return genBase().ScalarMult(k)
+}
+
+// ScalarMultLadder computes k·P with the López-Dahab x-coordinate
+// Montgomery ladder (Hankerson et al. Alg. 3.40), the constant-time
+// algorithm the paper's future-work section (§5) proposes against
+// power-analysis attacks: every ladder step performs the same
+// add-and-double work regardless of the key bit.
+func ScalarMultLadder(k *big.Int, p ec.Affine) ec.Affine {
+	if p.Inf || k.Sign() == 0 {
+		return ec.Infinity
+	}
+	if k.Sign() < 0 {
+		return ScalarMultLadder(new(big.Int).Neg(k), p.Neg())
+	}
+	if p.X == gf233.Zero {
+		// Order-2 point: k·P = P for odd k, ∞ for even.
+		if k.Bit(0) == 1 {
+			return p
+		}
+		return ec.Infinity
+	}
+	x, y := p.X, p.Y
+	// (X1:Z1) tracks j·P, (X2:Z2) tracks (j+1)·P.
+	x1, z1 := x, gf233.One
+	x2 := gf233.Add(gf233.SqrN(x, 2), ec.B) // x⁴ + b
+	z2 := gf233.Sqr(x)
+	for i := k.BitLen() - 2; i >= 0; i-- {
+		if k.Bit(i) == 1 {
+			x1, z1 = madd(x, x1, z1, x2, z2)
+			x2, z2 = mdouble(x2, z2)
+		} else {
+			x2, z2 = madd(x, x2, z2, x1, z1)
+			x1, z1 = mdouble(x1, z1)
+		}
+	}
+	return mxy(x, y, x1, z1, x2, z2)
+}
+
+// mdouble doubles in the x-only Montgomery representation:
+// X' = X⁴ + b·Z⁴, Z' = X²·Z².
+func mdouble(x1, z1 gf233.Elem) (gf233.Elem, gf233.Elem) {
+	xx := gf233.Sqr(x1)
+	zz := gf233.Sqr(z1)
+	// b = 1 for sect233k1.
+	return gf233.Add(gf233.Sqr(xx), gf233.Sqr(zz)), gf233.Mul(xx, zz)
+}
+
+// madd adds two x-only representations whose difference is the base
+// point with abscissa x: Z' = (X1Z2 + X2Z1)², X' = x·Z' + X1Z2·X2Z1.
+func madd(x, x1, z1, x2, z2 gf233.Elem) (gf233.Elem, gf233.Elem) {
+	a := gf233.Mul(x1, z2)
+	b := gf233.Mul(x2, z1)
+	z3 := gf233.Sqr(gf233.Add(a, b))
+	x3 := gf233.Add(gf233.Mul(x, z3), gf233.Mul(a, b))
+	return x3, z3
+}
+
+// mxy recovers the affine result from the two ladder legs
+// (Hankerson et al. Alg. 3.40 step 3):
+//
+//	x_k = X1/Z1
+//	y_k = (x + x_k)·[(X1 + xZ1)(X2 + xZ2) + (x² + y)·Z1Z2] / (x·Z1Z2) + y
+func mxy(x, y, x1, z1, x2, z2 gf233.Elem) ec.Affine {
+	if z1 == gf233.Zero {
+		return ec.Infinity
+	}
+	if z2 == gf233.Zero {
+		// (k+1)·P = ∞, so k·P = −P = (x, x+y).
+		return ec.Affine{X: x, Y: gf233.Add(x, y)}
+	}
+	xk, _ := gf233.Div(x1, z1)
+	t1 := gf233.Add(x1, gf233.Mul(x, z1))
+	t2 := gf233.Add(x2, gf233.Mul(x, z2))
+	t3 := gf233.Add(gf233.Sqr(x), y)
+	z1z2 := gf233.Mul(z1, z2)
+	num := gf233.Add(gf233.Mul(t1, t2), gf233.Mul(t3, z1z2))
+	den := gf233.Mul(x, z1z2)
+	frac, _ := gf233.Div(num, den)
+	yk := gf233.Add(gf233.Mul(gf233.Add(x, xk), frac), y)
+	return ec.Affine{X: xk, Y: yk}
+}
+
+// ErrRandom is returned when the random source fails during key
+// generation.
+var ErrRandom = errors.New("core: random source failure")
+
+// PrivateKey is a sect233k1 key pair.
+type PrivateKey struct {
+	// D is the secret scalar, uniform in [1, n−1].
+	D *big.Int
+	// Public is D·G.
+	Public ec.Affine
+}
+
+// GenerateKey draws a key pair from the given random source using
+// rejection sampling (so D is uniform modulo the group order). The
+// public key is computed with the paper's fixed-point method.
+func GenerateKey(rand io.Reader) (*PrivateKey, error) {
+	byteLen := (ec.Order.BitLen() + 7) / 8
+	buf := make([]byte, byteLen)
+	for tries := 0; tries < 1000; tries++ {
+		if _, err := io.ReadFull(rand, buf); err != nil {
+			return nil, errors.Join(ErrRandom, err)
+		}
+		d := new(big.Int).SetBytes(buf)
+		// Strip excess bits above the order's bit length.
+		d.Rsh(d, uint(8*byteLen-ec.Order.BitLen()))
+		if d.Sign() == 0 || d.Cmp(ec.Order) >= 0 {
+			continue
+		}
+		return &PrivateKey{D: d, Public: ScalarBaseMult(d)}, nil
+	}
+	return nil, ErrRandom
+}

@@ -1,0 +1,137 @@
+package ec
+
+import "repro/internal/gf233"
+
+// LD is a point in López-Dahab projective coordinates: (X, Y, Z) with
+// Z != 0 represents the affine point (X/Z, Y/Z²). The point at infinity
+// is any triple with Z = 0 (canonically (1, 0, 0)).
+//
+// The paper performs "point additions in mixed LD-affine coordinates"
+// (§4.2.2): the accumulator is kept in LD coordinates so the inner loop
+// of the point multiplication needs no field inversions — only the final
+// conversion back to affine pays the single EEA inversion accounted in
+// Table 7.
+type LD struct {
+	X, Y, Z gf233.Elem
+}
+
+// LDInfinity is the identity in LD coordinates.
+var LDInfinity = LD{X: gf233.One}
+
+// IsInfinity reports whether p is the point at infinity.
+func (p LD) IsInfinity() bool { return p.Z == gf233.Zero }
+
+// FromAffine lifts an affine point to LD coordinates with Z = 1.
+func FromAffine(p Affine) LD {
+	if p.Inf {
+		return LDInfinity
+	}
+	return LD{X: p.X, Y: p.Y, Z: gf233.One}
+}
+
+// Affine converts p back to affine coordinates, paying one field
+// inversion: x = X/Z, y = Y/Z².
+func (p LD) Affine() Affine {
+	if p.IsInfinity() {
+		return Infinity
+	}
+	zi := gf233.MustInv(p.Z)
+	x := gf233.Mul(p.X, zi)
+	y := gf233.Mul(p.Y, gf233.Sqr(zi))
+	return Affine{X: x, Y: y}
+}
+
+// Neg returns -p: in LD coordinates -(X, Y, Z) = (X, XZ + Y, Z).
+func (p LD) Neg() LD {
+	if p.IsInfinity() {
+		return p
+	}
+	return LD{X: p.X, Y: gf233.Add(gf233.Mul(p.X, p.Z), p.Y), Z: p.Z}
+}
+
+// Double returns 2p with the LD doubling formulas for a = 0, b = 1
+// (Hankerson et al., Alg. 3.25): 4 field multiplications and 4 squarings,
+// no inversion.
+//
+//	Z3 = X1²·Z1²
+//	X3 = X1⁴ + b·Z1⁴
+//	Y3 = b·Z1⁴·Z3 + X3·(a·Z3 + Y1² + b·Z1⁴)
+func (p LD) Double() LD {
+	if p.IsInfinity() {
+		return p
+	}
+	if p.X == gf233.Zero {
+		// (0, y, z) is the order-2 point.
+		return LDInfinity
+	}
+	x2 := gf233.Sqr(p.X) // X1²
+	z2 := gf233.Sqr(p.Z) // Z1²
+	z4 := gf233.Sqr(z2)  // b·Z1⁴ with b = 1
+	x4 := gf233.Sqr(x2)  // X1⁴
+	y2 := gf233.Sqr(p.Y) // Y1²
+	z3 := gf233.Mul(x2, z2)
+	x3 := gf233.Add(x4, z4)
+	// a = 0 drops the a·Z3 term.
+	y3 := gf233.Add(gf233.Mul(z4, z3), gf233.Mul(x3, gf233.Add(y2, z4)))
+	return LD{X: x3, Y: y3, Z: z3}
+}
+
+// AddMixed returns p + q where p is projective and q affine, using the
+// mixed LD-affine addition (Hankerson et al., Alg. 3.27; Al-Daoud et
+// al.): 8 field multiplications and 5 squarings, no inversion. Exceptional
+// cases (either operand at infinity, q = ±p) are detected and dispatched
+// so the routine is a total group operation.
+func (p LD) AddMixed(q Affine) LD {
+	if q.Inf {
+		return p
+	}
+	if p.IsInfinity() {
+		return FromAffine(q)
+	}
+	z12 := gf233.Sqr(p.Z)                    // Z1²
+	a := gf233.Add(gf233.Mul(q.Y, z12), p.Y) // A = y2·Z1² + Y1
+	b := gf233.Add(gf233.Mul(q.X, p.Z), p.X) // B = x2·Z1 + X1
+	if b == gf233.Zero {
+		if a == gf233.Zero {
+			// Same affine point: double.
+			return p.Double()
+		}
+		// q = -p.
+		return LDInfinity
+	}
+	c := gf233.Mul(p.Z, b)  // C = Z1·B
+	z3 := gf233.Sqr(c)      // Z3 = C²
+	d := gf233.Mul(q.X, z3) // D = x2·Z3
+	// X3 = A² + C·(A + B²)  (the a·C² term vanishes for a = 0)
+	b2 := gf233.Sqr(b)
+	x3 := gf233.Add(gf233.Sqr(a), gf233.Mul(c, gf233.Add(a, b2)))
+	// Y3 = (D + X3)·(A·C + Z3) + (x2 + y2)·Z3²
+	e := gf233.Mul(a, c)
+	y3 := gf233.Add(
+		gf233.Mul(gf233.Add(d, x3), gf233.Add(e, z3)),
+		gf233.Mul(gf233.Add(q.X, q.Y), gf233.Sqr(z3)),
+	)
+	return LD{X: x3, Y: y3, Z: z3}
+}
+
+// SubMixed returns p - q for affine q.
+func (p LD) SubMixed(q Affine) LD { return p.AddMixed(q.Neg()) }
+
+// Frobenius returns τ(p) = (X², Y², Z²), which commutes with the
+// projective representation since (X/Z)² = X²/Z² and (Y/Z²)² = Y²/(Z²)².
+func (p LD) Frobenius() LD {
+	return LD{X: gf233.Sqr(p.X), Y: gf233.Sqr(p.Y), Z: gf233.Sqr(p.Z)}
+}
+
+// Equal reports whether p and q represent the same point, comparing the
+// underlying affine coordinates cross-multiplied to avoid inversions:
+// X1·Z2 = X2·Z1 and Y1·Z2² = Y2·Z1².
+func (p LD) Equal(q LD) bool {
+	if p.IsInfinity() || q.IsInfinity() {
+		return p.IsInfinity() == q.IsInfinity()
+	}
+	if gf233.Mul(p.X, q.Z) != gf233.Mul(q.X, p.Z) {
+		return false
+	}
+	return gf233.Mul(p.Y, gf233.Sqr(q.Z)) == gf233.Mul(q.Y, gf233.Sqr(p.Z))
+}

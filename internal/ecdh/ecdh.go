@@ -1,0 +1,83 @@
+// Package ecdh implements elliptic-curve Diffie-Hellman key agreement
+// over sect233k1 — the public-key half of the hybrid cryptosystem the
+// paper's introduction motivates for wireless sensor networks (PKC for
+// key exchange, symmetric cryptography for bulk data).
+package ecdh
+
+import (
+	"crypto/sha256"
+	"errors"
+	"io"
+
+	"repro/internal/core"
+	"repro/internal/ec"
+)
+
+// Errors returned by the key-agreement functions.
+var (
+	ErrInvalidPublicKey = errors.New("ecdh: invalid public key")
+	ErrWeakSharedPoint  = errors.New("ecdh: degenerate shared point")
+)
+
+// GenerateKey draws a fresh key pair (the node's ephemeral or static
+// identity) from the random source.
+func GenerateKey(rand io.Reader) (*core.PrivateKey, error) {
+	return core.GenerateKey(rand)
+}
+
+// Validate checks an incoming public key: on curve, not the identity,
+// and in the prime-order subgroup (n·Q = ∞), rejecting small-subgroup
+// confinement before any secret-dependent computation.
+//
+// The membership check deliberately uses the generic double-and-add
+// ladder: the τ-adic fast path of core.ScalarMult reduces the scalar
+// modulo δ = (τ^m−1)/(τ−1), an identity that only holds on the
+// prime-order subgroup — the very property being verified here.
+func Validate(peer ec.Affine) error {
+	if peer.Inf || !peer.OnCurve() {
+		return ErrInvalidPublicKey
+	}
+	if !ec.ScalarMultGeneric(ec.Order, peer).Inf {
+		return ErrInvalidPublicKey
+	}
+	return nil
+}
+
+// SharedSecret computes the raw shared abscissa d·Q using the paper's
+// random-point multiplication (kP path).
+func SharedSecret(priv *core.PrivateKey, peer ec.Affine) ([]byte, error) {
+	if err := Validate(peer); err != nil {
+		return nil, err
+	}
+	p := core.ScalarMult(priv.D, peer)
+	if p.Inf {
+		return nil, ErrWeakSharedPoint
+	}
+	x := p.X.Bytes()
+	return x[:], nil
+}
+
+// SharedKey derives a symmetric key of the requested length from the
+// shared secret with a SHA-256-based KDF (counter mode, SEC 1 style).
+func SharedKey(priv *core.PrivateKey, peer ec.Affine, length int) ([]byte, error) {
+	secret, err := SharedSecret(priv, peer)
+	if err != nil {
+		return nil, err
+	}
+	if length <= 0 || length > 255*sha256.Size {
+		return nil, errors.New("ecdh: invalid key length")
+	}
+	var out []byte
+	var counter uint32
+	for len(out) < length {
+		counter++
+		h := sha256.New()
+		h.Write(secret)
+		h.Write([]byte{
+			byte(counter >> 24), byte(counter >> 16),
+			byte(counter >> 8), byte(counter),
+		})
+		out = h.Sum(out)
+	}
+	return out[:length], nil
+}

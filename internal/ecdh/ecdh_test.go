@@ -1,0 +1,129 @@
+package ecdh
+
+import (
+	"bytes"
+	"math/big"
+	"math/rand"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/ec"
+	"repro/internal/gf233"
+)
+
+func TestKeyAgreement(t *testing.T) {
+	rnd := rand.New(rand.NewSource(1))
+	alice, err := GenerateKey(rnd)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bob, err := GenerateKey(rnd)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sa, err := SharedSecret(alice, bob.Public)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sb, err := SharedSecret(bob, alice.Public)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(sa, sb) {
+		t.Fatal("shared secrets disagree")
+	}
+	if len(sa) != gf233.ByteLen {
+		t.Fatalf("secret length %d", len(sa))
+	}
+}
+
+func TestSharedKeyDerivation(t *testing.T) {
+	rnd := rand.New(rand.NewSource(2))
+	alice, _ := GenerateKey(rnd)
+	bob, _ := GenerateKey(rnd)
+	for _, n := range []int{16, 32, 48, 100} {
+		ka, err := SharedKey(alice, bob.Public, n)
+		if err != nil {
+			t.Fatal(err)
+		}
+		kb, err := SharedKey(bob, alice.Public, n)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(ka, kb) || len(ka) != n {
+			t.Fatalf("derived keys disagree at length %d", n)
+		}
+	}
+	if _, err := SharedKey(alice, bob.Public, 0); err == nil {
+		t.Error("zero-length key accepted")
+	}
+	if _, err := SharedKey(alice, bob.Public, -4); err == nil {
+		t.Error("negative-length key accepted")
+	}
+}
+
+func TestDistinctPeersDistinctKeys(t *testing.T) {
+	rnd := rand.New(rand.NewSource(3))
+	alice, _ := GenerateKey(rnd)
+	bob, _ := GenerateKey(rnd)
+	carol, _ := GenerateKey(rnd)
+	k1, _ := SharedKey(alice, bob.Public, 32)
+	k2, _ := SharedKey(alice, carol.Public, 32)
+	if bytes.Equal(k1, k2) {
+		t.Fatal("different peers produced the same key")
+	}
+}
+
+func TestValidateRejectsBadKeys(t *testing.T) {
+	rnd := rand.New(rand.NewSource(4))
+	alice, _ := GenerateKey(rnd)
+	// Identity.
+	if _, err := SharedSecret(alice, ec.Infinity); err == nil {
+		t.Error("infinity accepted as a public key")
+	}
+	// Off-curve point.
+	bad := ec.Affine{X: gf233.MustHex("0x1"), Y: gf233.MustHex("0x2")}
+	if bad.OnCurve() {
+		t.Skip("surprisingly on-curve test point")
+	}
+	if _, err := SharedSecret(alice, bad); err == nil {
+		t.Error("off-curve point accepted")
+	}
+	// Small-subgroup point of order 2: (0, 1) is on the curve but not
+	// in the prime-order subgroup.
+	order2 := ec.Affine{X: gf233.Zero, Y: gf233.One}
+	if !order2.OnCurve() {
+		t.Fatal("order-2 point should be on curve")
+	}
+	if err := Validate(order2); err == nil {
+		t.Error("small-subgroup point accepted")
+	}
+}
+
+func TestAgreementMatchesDirectComputation(t *testing.T) {
+	rnd := rand.New(rand.NewSource(5))
+	alice, _ := GenerateKey(rnd)
+	bob, _ := GenerateKey(rnd)
+	// d_a · Q_b must equal (d_a·d_b) G.
+	prod := new(big.Int).Mul(alice.D, bob.D)
+	prod.Mod(prod, ec.Order)
+	want := core.ScalarBaseMult(prod)
+	secret, _ := SharedSecret(alice, bob.Public)
+	xb := want.X.Bytes()
+	if !bytes.Equal(secret, xb[:]) {
+		t.Fatal("shared secret != (d_a d_b)G abscissa")
+	}
+}
+
+func BenchmarkKeyExchange(b *testing.B) {
+	rnd := rand.New(rand.NewSource(1))
+	alice, _ := GenerateKey(rnd)
+	bob, _ := GenerateKey(rnd)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := SharedKey(alice, bob.Public, 32); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,386 @@
+// Package gf2 implements arbitrary-precision arithmetic on binary
+// polynomials, i.e. elements of the ring F2[x].
+//
+// A polynomial is stored as a little-endian slice of 32-bit words: bit i
+// of word j is the coefficient of x^(32j+i). The package is the
+// correctness oracle for the fixed-size field arithmetic in gf233: it is
+// written for clarity, not speed, and every specialised routine in the
+// repository is cross-checked against it.
+package gf2
+
+import (
+	"fmt"
+	"math/bits"
+	"strings"
+)
+
+// WordBits is the number of bits per limb.
+const WordBits = 32
+
+// Poly is a binary polynomial. The zero value (nil) is the zero
+// polynomial. Representations are not required to be normalised; use
+// Norm to strip leading zero words. All operations treat their operands
+// as read-only and return freshly allocated results.
+type Poly []uint32
+
+// Zero reports whether p is the zero polynomial.
+func (p Poly) Zero() bool {
+	for _, w := range p {
+		if w != 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// Norm returns p with trailing (most-significant) zero words removed.
+// The returned slice aliases p.
+func (p Poly) Norm() Poly {
+	n := len(p)
+	for n > 0 && p[n-1] == 0 {
+		n--
+	}
+	return p[:n]
+}
+
+// Clone returns an independent copy of p.
+func (p Poly) Clone() Poly {
+	q := make(Poly, len(p))
+	copy(q, p)
+	return q
+}
+
+// Degree returns the degree of p, or -1 for the zero polynomial.
+func (p Poly) Degree() int {
+	for i := len(p) - 1; i >= 0; i-- {
+		if p[i] != 0 {
+			return i*WordBits + bits.Len32(p[i]) - 1
+		}
+	}
+	return -1
+}
+
+// Bit returns coefficient i of p (0 or 1). Out-of-range indices read as 0.
+func (p Poly) Bit(i int) uint32 {
+	if i < 0 || i >= len(p)*WordBits {
+		return 0
+	}
+	return (p[i/WordBits] >> (i % WordBits)) & 1
+}
+
+// SetBit returns a copy of p with coefficient i set to b (0 or 1),
+// growing the representation if needed.
+func (p Poly) SetBit(i int, b uint32) Poly {
+	if i < 0 {
+		panic("gf2: negative bit index")
+	}
+	n := i/WordBits + 1
+	q := make(Poly, max(len(p), n))
+	copy(q, p)
+	if b&1 != 0 {
+		q[i/WordBits] |= 1 << (i % WordBits)
+	} else {
+		q[i/WordBits] &^= 1 << (i % WordBits)
+	}
+	return q
+}
+
+// One is the constant polynomial 1.
+func One() Poly { return Poly{1} }
+
+// X returns the monomial x^k.
+func X(k int) Poly {
+	if k < 0 {
+		panic("gf2: negative exponent")
+	}
+	p := make(Poly, k/WordBits+1)
+	p[k/WordBits] = 1 << (k % WordBits)
+	return p
+}
+
+// Add returns p + q (coefficient-wise XOR; identical to subtraction in F2[x]).
+func Add(p, q Poly) Poly {
+	if len(q) > len(p) {
+		p, q = q, p
+	}
+	r := p.Clone()
+	for i, w := range q {
+		r[i] ^= w
+	}
+	return r.Norm()
+}
+
+// Shl returns p * x^k.
+func Shl(p Poly, k int) Poly {
+	p = p.Norm()
+	if p.Zero() || k == 0 {
+		return p.Clone()
+	}
+	if k < 0 {
+		panic("gf2: negative shift")
+	}
+	words, rem := k/WordBits, uint(k%WordBits)
+	r := make(Poly, len(p)+words+1)
+	if rem == 0 {
+		copy(r[words:], p)
+		return r.Norm()
+	}
+	var carry uint32
+	for i, w := range p {
+		r[words+i] = w<<rem | carry
+		carry = w >> (WordBits - rem)
+	}
+	r[words+len(p)] = carry
+	return r.Norm()
+}
+
+// Shr returns p / x^k, discarding coefficients below x^k.
+func Shr(p Poly, k int) Poly {
+	if k < 0 {
+		panic("gf2: negative shift")
+	}
+	words, rem := k/WordBits, uint(k%WordBits)
+	if words >= len(p) {
+		return nil
+	}
+	r := make(Poly, len(p)-words)
+	if rem == 0 {
+		copy(r, p[words:])
+		return r.Norm()
+	}
+	for i := range r {
+		r[i] = p[words+i] >> rem
+		if words+i+1 < len(p) {
+			r[i] |= p[words+i+1] << (WordBits - rem)
+		}
+	}
+	return r.Norm()
+}
+
+// Mul returns p * q using word-by-word schoolbook (shift-and-add)
+// multiplication.
+func Mul(p, q Poly) Poly {
+	p, q = p.Norm(), q.Norm()
+	if p.Zero() || q.Zero() {
+		return nil
+	}
+	r := make(Poly, len(p)+len(q))
+	for i, w := range p {
+		for b := 0; b < WordBits; b++ {
+			if w>>b&1 == 0 {
+				continue
+			}
+			// r += q << (32 i + b)
+			var carry uint32
+			for j, v := range q {
+				if b == 0 {
+					r[i+j] ^= v
+					continue
+				}
+				r[i+j] ^= v<<b | carry
+				carry = v >> (WordBits - b)
+			}
+			if b != 0 {
+				r[i+len(q)] ^= carry
+			}
+		}
+	}
+	return r.Norm()
+}
+
+// karatsubaThreshold is the operand size in words below which Karatsuba
+// falls back to schoolbook multiplication.
+const karatsubaThreshold = 8
+
+// MulKaratsuba returns p * q using the Karatsuba-Ofman split, the method
+// Szczechowiak et al. and Gouvêa et al. use for large binary fields in
+// the paper's related work.
+func MulKaratsuba(p, q Poly) Poly {
+	p, q = p.Norm(), q.Norm()
+	if len(p) <= karatsubaThreshold || len(q) <= karatsubaThreshold {
+		return Mul(p, q)
+	}
+	half := max(len(p), len(q)) / 2
+	p0, p1 := p.low(half), p.high(half)
+	q0, q1 := q.low(half), q.high(half)
+	lo := MulKaratsuba(p0, q0)
+	hi := MulKaratsuba(p1, q1)
+	mid := MulKaratsuba(Add(p0, p1), Add(q0, q1))
+	mid = Add(Add(mid, lo), hi)
+	r := Add(lo, Shl(mid, half*WordBits))
+	return Add(r, Shl(hi, 2*half*WordBits))
+}
+
+func (p Poly) low(k int) Poly {
+	if len(p) <= k {
+		return p
+	}
+	return p[:k].Norm()
+}
+
+func (p Poly) high(k int) Poly {
+	if len(p) <= k {
+		return nil
+	}
+	return p[k:].Norm()
+}
+
+// Sqr returns p squared. Squaring in F2[x] simply interleaves zero bits
+// between the coefficients (the Frobenius map is linear).
+func Sqr(p Poly) Poly {
+	p = p.Norm()
+	r := make(Poly, 2*len(p))
+	for i, w := range p {
+		r[2*i] = spread16(uint16(w))
+		r[2*i+1] = spread16(uint16(w >> 16))
+	}
+	return r.Norm()
+}
+
+// spread16 inserts a zero bit after every bit of v.
+func spread16(v uint16) uint32 {
+	x := uint32(v)
+	x = (x | x<<8) & 0x00ff00ff
+	x = (x | x<<4) & 0x0f0f0f0f
+	x = (x | x<<2) & 0x33333333
+	x = (x | x<<1) & 0x55555555
+	return x
+}
+
+// DivMod returns the quotient and remainder of p divided by q.
+// It panics if q is zero.
+func DivMod(p, q Poly) (quo, rem Poly) {
+	q = q.Norm()
+	if q.Zero() {
+		panic("gf2: division by zero polynomial")
+	}
+	dq := q.Degree()
+	rem = p.Clone().Norm()
+	quo = nil
+	for {
+		dr := rem.Degree()
+		if dr < dq {
+			break
+		}
+		shift := dr - dq
+		quo = Add(quo, X(shift))
+		rem = Add(rem, Shl(q, shift))
+	}
+	return quo, rem
+}
+
+// Mod returns p reduced modulo q.
+func Mod(p, q Poly) Poly {
+	_, r := DivMod(p, q)
+	return r
+}
+
+// GCD returns the greatest common divisor of p and q.
+func GCD(p, q Poly) Poly {
+	p, q = p.Norm().Clone(), q.Norm().Clone()
+	for !q.Zero() {
+		p, q = q, Mod(p, q)
+	}
+	return p
+}
+
+// Inverse returns p^-1 mod f using the extended Euclidean algorithm for
+// binary polynomials (Hankerson, Menezes, Vanstone, Alg. 2.48 — the
+// inversion algorithm §3.2.3 of the paper is built on). It returns
+// ok=false when p is zero or not invertible modulo f.
+func Inverse(p, f Poly) (inv Poly, ok bool) {
+	u := Mod(p, f)
+	if u.Zero() {
+		return nil, false
+	}
+	v := f.Norm().Clone()
+	g1, g2 := One(), Poly(nil)
+	for u.Degree() != 0 {
+		j := u.Degree() - v.Degree()
+		if j < 0 {
+			u, v = v, u
+			g1, g2 = g2, g1
+			j = -j
+		}
+		u = Add(u, Shl(v, j))
+		g1 = Add(g1, Shl(g2, j))
+	}
+	if u.Degree() != 0 || u.Bit(0) != 1 {
+		return nil, false
+	}
+	return Mod(g1, f), true
+}
+
+// MulMod returns p*q mod f.
+func MulMod(p, q, f Poly) Poly {
+	return Mod(Mul(p, q), f)
+}
+
+// Equal reports whether p and q represent the same polynomial.
+func Equal(p, q Poly) bool {
+	p, q = p.Norm(), q.Norm()
+	if len(p) != len(q) {
+		return false
+	}
+	for i := range p {
+		if p[i] != q[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// FromHex parses a big-endian hexadecimal coefficient string
+// (as printed by sect233k1 parameter listings) into a polynomial.
+func FromHex(s string) (Poly, error) {
+	s = strings.TrimPrefix(strings.TrimSpace(s), "0x")
+	if s == "" {
+		return nil, fmt.Errorf("gf2: empty hex string")
+	}
+	var p Poly
+	bit := 0
+	for i := len(s) - 1; i >= 0; i-- {
+		var v uint32
+		switch c := s[i]; {
+		case c >= '0' && c <= '9':
+			v = uint32(c - '0')
+		case c >= 'a' && c <= 'f':
+			v = uint32(c-'a') + 10
+		case c >= 'A' && c <= 'F':
+			v = uint32(c-'A') + 10
+		default:
+			return nil, fmt.Errorf("gf2: invalid hex digit %q", c)
+		}
+		for b := 0; b < 4; b++ {
+			if v>>b&1 != 0 {
+				p = p.SetBit(bit+b, 1)
+			}
+		}
+		bit += 4
+	}
+	return p.Norm(), nil
+}
+
+// MustHex is FromHex for trusted constants; it panics on parse errors.
+func MustHex(s string) Poly {
+	p, err := FromHex(s)
+	if err != nil {
+		panic(err)
+	}
+	return p
+}
+
+// String renders p as big-endian hex, e.g. "0x1a3".
+func (p Poly) String() string {
+	p = p.Norm()
+	if len(p) == 0 {
+		return "0x0"
+	}
+	var b strings.Builder
+	b.WriteString("0x")
+	fmt.Fprintf(&b, "%x", p[len(p)-1])
+	for i := len(p) - 2; i >= 0; i-- {
+		fmt.Fprintf(&b, "%08x", p[i])
+	}
+	return b.String()
+}

@@ -1,0 +1,315 @@
+package gf2
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func randPoly(rnd *rand.Rand, words int) Poly {
+	p := make(Poly, words)
+	for i := range p {
+		p[i] = rnd.Uint32()
+	}
+	return p.Norm()
+}
+
+func TestDegree(t *testing.T) {
+	cases := []struct {
+		p    Poly
+		want int
+	}{
+		{nil, -1},
+		{Poly{0}, -1},
+		{Poly{1}, 0},
+		{Poly{2}, 1},
+		{Poly{0x80000000}, 31},
+		{Poly{0, 1}, 32},
+		{Poly{0xffffffff, 0, 0x100}, 72},
+	}
+	for _, c := range cases {
+		if got := c.p.Degree(); got != c.want {
+			t.Errorf("Degree(%v) = %d, want %d", c.p, got, c.want)
+		}
+	}
+}
+
+func TestBitSetBit(t *testing.T) {
+	p := Poly(nil)
+	for _, i := range []int{0, 5, 31, 32, 63, 233} {
+		p = p.SetBit(i, 1)
+	}
+	for _, i := range []int{0, 5, 31, 32, 63, 233} {
+		if p.Bit(i) != 1 {
+			t.Errorf("bit %d not set", i)
+		}
+	}
+	if p.Bit(1) != 0 || p.Bit(100) != 0 || p.Bit(-1) != 0 || p.Bit(9999) != 0 {
+		t.Error("unexpected set bit")
+	}
+	p = p.SetBit(32, 0)
+	if p.Bit(32) != 0 {
+		t.Error("SetBit(32, 0) did not clear")
+	}
+}
+
+func TestAddProperties(t *testing.T) {
+	rnd := rand.New(rand.NewSource(1))
+	for i := 0; i < 200; i++ {
+		a, b, c := randPoly(rnd, 9), randPoly(rnd, 4), randPoly(rnd, 12)
+		if !Equal(Add(a, b), Add(b, a)) {
+			t.Fatal("addition not commutative")
+		}
+		if !Equal(Add(Add(a, b), c), Add(a, Add(b, c))) {
+			t.Fatal("addition not associative")
+		}
+		if !Add(a, a).Zero() {
+			t.Fatal("a + a != 0")
+		}
+		if !Equal(Add(a, nil), a) {
+			t.Fatal("a + 0 != a")
+		}
+	}
+}
+
+func TestShlShr(t *testing.T) {
+	rnd := rand.New(rand.NewSource(2))
+	for i := 0; i < 200; i++ {
+		p := randPoly(rnd, 8)
+		k := rnd.Intn(200)
+		if got := Shr(Shl(p, k), k); !Equal(got, p) {
+			t.Fatalf("Shr(Shl(p,%d),%d) = %v, want %v", k, k, got, p)
+		}
+		if d := p.Degree(); d >= 0 {
+			if got := Shl(p, k).Degree(); got != d+k {
+				t.Fatalf("Shl degree: got %d want %d", got, d+k)
+			}
+		}
+	}
+}
+
+func TestShlWordAligned(t *testing.T) {
+	p := Poly{0xdeadbeef, 0x1234}
+	got := Shl(p, 64)
+	want := Poly{0, 0, 0xdeadbeef, 0x1234}
+	if !Equal(got, want) {
+		t.Fatalf("Shl word aligned: got %v want %v", got, want)
+	}
+}
+
+func TestMulSmall(t *testing.T) {
+	// (x+1)(x+1) = x^2+1 over F2.
+	a := Poly{3}
+	if got := Mul(a, a); !Equal(got, Poly{5}) {
+		t.Fatalf("(x+1)^2 = %v, want 0x5", got)
+	}
+	// (x^2+x)(x+1) = x^3 + x.
+	if got := Mul(Poly{6}, Poly{3}); !Equal(got, Poly{0xa}) {
+		t.Fatalf("got %v, want 0xa", got)
+	}
+	if !Mul(nil, a).Zero() || !Mul(a, nil).Zero() {
+		t.Fatal("multiplication by zero not zero")
+	}
+	if !Equal(Mul(a, One()), a) {
+		t.Fatal("a * 1 != a")
+	}
+}
+
+func TestMulProperties(t *testing.T) {
+	rnd := rand.New(rand.NewSource(3))
+	for i := 0; i < 100; i++ {
+		a, b, c := randPoly(rnd, 8), randPoly(rnd, 8), randPoly(rnd, 5)
+		if !Equal(Mul(a, b), Mul(b, a)) {
+			t.Fatal("multiplication not commutative")
+		}
+		if !Equal(Mul(Mul(a, b), c), Mul(a, Mul(b, c))) {
+			t.Fatal("multiplication not associative")
+		}
+		// Distributivity.
+		if !Equal(Mul(a, Add(b, c)), Add(Mul(a, b), Mul(a, c))) {
+			t.Fatal("multiplication not distributive")
+		}
+		// Degree additivity.
+		if !a.Zero() && !b.Zero() {
+			if Mul(a, b).Degree() != a.Degree()+b.Degree() {
+				t.Fatal("degree not additive")
+			}
+		}
+	}
+}
+
+func TestMulKaratsubaMatchesSchoolbook(t *testing.T) {
+	rnd := rand.New(rand.NewSource(4))
+	for i := 0; i < 50; i++ {
+		words := 1 + rnd.Intn(40)
+		a, b := randPoly(rnd, words), randPoly(rnd, words)
+		if got, want := MulKaratsuba(a, b), Mul(a, b); !Equal(got, want) {
+			t.Fatalf("karatsuba mismatch at %d words", words)
+		}
+	}
+}
+
+func TestSqrMatchesMul(t *testing.T) {
+	rnd := rand.New(rand.NewSource(5))
+	for i := 0; i < 200; i++ {
+		a := randPoly(rnd, 1+rnd.Intn(16))
+		if got, want := Sqr(a), Mul(a, a); !Equal(got, want) {
+			t.Fatalf("Sqr(%v) = %v, want %v", a, got, want)
+		}
+	}
+}
+
+func TestSpread16(t *testing.T) {
+	cases := []struct {
+		in   uint16
+		want uint32
+	}{
+		{0, 0},
+		{1, 1},
+		{0b11, 0b101},
+		{0xffff, 0x55555555},
+		{0x8000, 0x40000000},
+	}
+	for _, c := range cases {
+		if got := spread16(c.in); got != c.want {
+			t.Errorf("spread16(%#x) = %#x, want %#x", c.in, got, c.want)
+		}
+	}
+}
+
+func TestDivMod(t *testing.T) {
+	rnd := rand.New(rand.NewSource(6))
+	for i := 0; i < 200; i++ {
+		a := randPoly(rnd, 1+rnd.Intn(16))
+		b := randPoly(rnd, 1+rnd.Intn(8))
+		if b.Zero() {
+			continue
+		}
+		q, r := DivMod(a, b)
+		if r.Degree() >= b.Degree() {
+			t.Fatalf("remainder degree %d >= divisor degree %d", r.Degree(), b.Degree())
+		}
+		if got := Add(Mul(q, b), r); !Equal(got, a) {
+			t.Fatalf("q*b + r = %v, want %v", got, a)
+		}
+	}
+}
+
+func TestDivModPanicsOnZero(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic on division by zero")
+		}
+	}()
+	DivMod(Poly{1}, nil)
+}
+
+func TestGCD(t *testing.T) {
+	rnd := rand.New(rand.NewSource(7))
+	for i := 0; i < 100; i++ {
+		a, b, g := randPoly(rnd, 4), randPoly(rnd, 4), randPoly(rnd, 3)
+		if g.Zero() {
+			g = One()
+		}
+		d := GCD(Mul(a, g), Mul(b, g))
+		// gcd(ag, bg) must be divisible by g.
+		if _, r := DivMod(d, g); !r.Zero() {
+			t.Fatalf("g=%v does not divide gcd=%v", g, d)
+		}
+	}
+}
+
+// f233 is the sect233k1 reduction trinomial x^233 + x^74 + 1.
+func f233() Poly {
+	return Add(Add(X(233), X(74)), One())
+}
+
+func TestInverse(t *testing.T) {
+	f := f233()
+	rnd := rand.New(rand.NewSource(8))
+	for i := 0; i < 50; i++ {
+		a := Mod(randPoly(rnd, 8), f)
+		if a.Zero() {
+			continue
+		}
+		inv, ok := Inverse(a, f)
+		if !ok {
+			t.Fatalf("inverse of %v failed", a)
+		}
+		if got := MulMod(a, inv, f); !Equal(got, One()) {
+			t.Fatalf("a * a^-1 = %v, want 1", got)
+		}
+	}
+	if _, ok := Inverse(nil, f); ok {
+		t.Fatal("inverse of zero should fail")
+	}
+}
+
+func TestInverseSmallField(t *testing.T) {
+	// F_2^3 with f = x^3 + x + 1: every nonzero element invertible.
+	f := Poly{0b1011}
+	for v := uint32(1); v < 8; v++ {
+		inv, ok := Inverse(Poly{v}, f)
+		if !ok {
+			t.Fatalf("no inverse for %#b", v)
+		}
+		if got := MulMod(Poly{v}, inv, f); !Equal(got, One()) {
+			t.Fatalf("%#b * %v != 1", v, inv)
+		}
+	}
+}
+
+func TestHexRoundTrip(t *testing.T) {
+	cases := []string{"0x0", "0x1", "0x1a3", "0xdeadbeefcafebabe",
+		"0x17232ba853a7e731af129f22ff4149563a419c26bf50a4c9d6eefad6126"}
+	for _, s := range cases {
+		p, err := FromHex(s)
+		if err != nil {
+			t.Fatalf("FromHex(%q): %v", s, err)
+		}
+		if got := p.String(); got != s {
+			t.Errorf("round trip %q -> %q", s, got)
+		}
+	}
+	if _, err := FromHex("xyz"); err == nil {
+		t.Error("expected error for invalid hex")
+	}
+	if _, err := FromHex(""); err == nil {
+		t.Error("expected error for empty string")
+	}
+}
+
+func TestQuickMulDistributes(t *testing.T) {
+	f := func(a, b, c []uint32) bool {
+		pa, pb, pc := Poly(a).Norm(), Poly(b).Norm(), Poly(c).Norm()
+		return Equal(Mul(pa, Add(pb, pc)), Add(Mul(pa, pb), Mul(pa, pc)))
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickDivModIdentity(t *testing.T) {
+	f := func(a, b []uint32) bool {
+		pa, pb := Poly(a).Norm(), Poly(b).Norm()
+		if pb.Zero() {
+			return true
+		}
+		q, r := DivMod(pa, pb)
+		return Equal(Add(Mul(q, pb), r), pa) && r.Degree() < pb.Degree()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickSqrFrobenius(t *testing.T) {
+	// (a+b)^2 = a^2 + b^2 in characteristic 2.
+	f := func(a, b []uint32) bool {
+		pa, pb := Poly(a).Norm(), Poly(b).Norm()
+		return Equal(Sqr(Add(pa, pb)), Add(Sqr(pa), Sqr(pb)))
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,478 @@
+package gf233
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/gf2"
+)
+
+func randElem(rnd *rand.Rand) Elem {
+	return Rand(rnd.Uint32)
+}
+
+func TestConstants(t *testing.T) {
+	if TopBits != 9 || TopMask != 0x1ff {
+		t.Fatalf("top word layout: TopBits=%d TopMask=%#x", TopBits, TopMask)
+	}
+	f := Modulus()
+	if f.Degree() != M {
+		t.Fatalf("modulus degree %d, want %d", f.Degree(), M)
+	}
+	if f.Bit(0) != 1 || f.Bit(ReductionExp) != 1 || f.Bit(M) != 1 {
+		t.Fatal("modulus is not x^233 + x^74 + 1")
+	}
+	if got := gf2.Poly(modWords[:]).Norm(); !gf2.Equal(got, f) {
+		t.Fatalf("modWords = %v, want %v", got, f)
+	}
+}
+
+func TestAddOracle(t *testing.T) {
+	rnd := rand.New(rand.NewSource(1))
+	for i := 0; i < 100; i++ {
+		a, b := randElem(rnd), randElem(rnd)
+		got := Add(a, b).Poly()
+		want := gf2.Add(a.Poly(), b.Poly())
+		if !gf2.Equal(got, want) {
+			t.Fatalf("Add mismatch: %v + %v", a, b)
+		}
+	}
+}
+
+func TestReduceOracle(t *testing.T) {
+	rnd := rand.New(rand.NewSource(2))
+	f := Modulus()
+	for i := 0; i < 500; i++ {
+		var c [2 * NumWords]uint32
+		for j := range c {
+			c[j] = rnd.Uint32()
+		}
+		got := Reduce(c)
+		got.validate()
+		want := gf2.Mod(gf2.Poly(c[:]), f)
+		if !gf2.Equal(got.Poly(), want) {
+			t.Fatalf("Reduce mismatch on %v:\n got %v\nwant %v",
+				gf2.Poly(c[:]), got.Poly(), want)
+		}
+	}
+}
+
+func TestReduceSparseCases(t *testing.T) {
+	f := Modulus()
+	// Single-bit inputs exercise every fold path individually.
+	for bit := 0; bit < 512; bit++ {
+		var c [2 * NumWords]uint32
+		c[bit/32] = 1 << (bit % 32)
+		got := Reduce(c)
+		want := gf2.Mod(gf2.X(bit), f)
+		if !gf2.Equal(got.Poly(), want) {
+			t.Fatalf("Reduce(x^%d) = %v, want %v", bit, got.Poly(), want)
+		}
+	}
+}
+
+func TestMulVariantsOracle(t *testing.T) {
+	rnd := rand.New(rand.NewSource(3))
+	f := Modulus()
+	variants := []struct {
+		name string
+		mul  func(a, b Elem) Elem
+	}{
+		{"LD", MulLD},
+		{"LDRotating", MulLDRotating},
+		{"LDFixed", MulLDFixed},
+	}
+	for i := 0; i < 200; i++ {
+		a, b := randElem(rnd), randElem(rnd)
+		want := gf2.MulMod(a.Poly(), b.Poly(), f)
+		for _, v := range variants {
+			got := v.mul(a, b)
+			got.validate()
+			if !gf2.Equal(got.Poly(), want) {
+				t.Fatalf("%s(%v, %v) = %v, want %v", v.name, a, b, got.Poly(), want)
+			}
+		}
+	}
+}
+
+func TestMulEdgeCases(t *testing.T) {
+	rnd := rand.New(rand.NewSource(4))
+	a := randElem(rnd)
+	if Mul(a, Zero) != Zero || Mul(Zero, a) != Zero {
+		t.Fatal("a*0 != 0")
+	}
+	if Mul(a, One) != a || Mul(One, a) != a {
+		t.Fatal("a*1 != a")
+	}
+	// x^232 * x: wraps exactly once through the modulus.
+	var x232 Elem
+	x232[7] = 1 << 8
+	var x Elem
+	x[0] = 2
+	got := Mul(x232, x)
+	want := FromPoly(gf2.X(233))
+	if got != want {
+		t.Fatalf("x^232 * x = %v, want %v", got, want)
+	}
+	// All-ones operands stress every table entry.
+	var ones Elem
+	for i := range ones {
+		ones[i] = 0xffffffff
+	}
+	ones[7] &= TopMask
+	f := Modulus()
+	if !gf2.Equal(Mul(ones, ones).Poly(), gf2.MulMod(ones.Poly(), ones.Poly(), f)) {
+		t.Fatal("all-ones square mismatch")
+	}
+}
+
+func TestMulCommutativeAssociative(t *testing.T) {
+	rnd := rand.New(rand.NewSource(5))
+	for i := 0; i < 100; i++ {
+		a, b, c := randElem(rnd), randElem(rnd), randElem(rnd)
+		if Mul(a, b) != Mul(b, a) {
+			t.Fatal("mul not commutative")
+		}
+		if Mul(Mul(a, b), c) != Mul(a, Mul(b, c)) {
+			t.Fatal("mul not associative")
+		}
+		if Mul(a, Add(b, c)) != Add(Mul(a, b), Mul(a, c)) {
+			t.Fatal("mul not distributive")
+		}
+	}
+}
+
+func TestMulNoReduceOracle(t *testing.T) {
+	rnd := rand.New(rand.NewSource(6))
+	for i := 0; i < 100; i++ {
+		a, b := randElem(rnd), randElem(rnd)
+		raw := MulNoReduce(a, b)
+		want := gf2.Mul(a.Poly(), b.Poly())
+		if !gf2.Equal(gf2.Poly(raw[:]), want) {
+			t.Fatalf("MulNoReduce mismatch for %v * %v", a, b)
+		}
+	}
+}
+
+func TestSqrVariantsOracle(t *testing.T) {
+	rnd := rand.New(rand.NewSource(7))
+	f := Modulus()
+	for i := 0; i < 300; i++ {
+		a := randElem(rnd)
+		want := gf2.Mod(gf2.Sqr(a.Poly()), f)
+		for _, v := range []struct {
+			name string
+			sqr  func(Elem) Elem
+		}{{"Separate", SqrSeparate}, {"Interleaved", SqrInterleaved}} {
+			got := v.sqr(a)
+			got.validate()
+			if !gf2.Equal(got.Poly(), want) {
+				t.Fatalf("Sqr%s(%v) = %v, want %v", v.name, a, got.Poly(), want)
+			}
+		}
+		if Sqr(a) != Mul(a, a) {
+			t.Fatal("Sqr != Mul(a,a)")
+		}
+	}
+}
+
+func TestSqrtInvertsSqr(t *testing.T) {
+	rnd := rand.New(rand.NewSource(8))
+	for i := 0; i < 10; i++ {
+		a := randElem(rnd)
+		if got := Sqrt(Sqr(a)); got != a {
+			t.Fatalf("Sqrt(Sqr(%v)) = %v", a, got)
+		}
+		if got := Sqr(Sqrt(a)); got != a {
+			t.Fatalf("Sqr(Sqrt(%v)) = %v", a, got)
+		}
+	}
+}
+
+func TestFrobeniusOrder(t *testing.T) {
+	// a^(2^233) = a for every field element.
+	rnd := rand.New(rand.NewSource(9))
+	a := randElem(rnd)
+	if got := SqrN(a, M); got != a {
+		t.Fatalf("a^(2^233) != a")
+	}
+}
+
+func TestInvOracle(t *testing.T) {
+	rnd := rand.New(rand.NewSource(10))
+	f := Modulus()
+	for i := 0; i < 100; i++ {
+		a := randElem(rnd)
+		if a.IsZero() {
+			continue
+		}
+		inv, ok := Inv(a)
+		if !ok {
+			t.Fatalf("Inv(%v) failed", a)
+		}
+		inv.validate()
+		if Mul(a, inv) != One {
+			t.Fatalf("a * Inv(a) != 1 for %v", a)
+		}
+		want, _ := gf2.Inverse(a.Poly(), f)
+		if !gf2.Equal(inv.Poly(), want) {
+			t.Fatalf("Inv(%v) = %v, oracle %v", a, inv.Poly(), want)
+		}
+	}
+	if _, ok := Inv(Zero); ok {
+		t.Fatal("Inv(0) should fail")
+	}
+	if inv, _ := Inv(One); inv != One {
+		t.Fatal("Inv(1) != 1")
+	}
+}
+
+func TestInvItohTsujiiMatchesEEA(t *testing.T) {
+	rnd := rand.New(rand.NewSource(11))
+	for i := 0; i < 20; i++ {
+		a := randElem(rnd)
+		if a.IsZero() {
+			continue
+		}
+		it, ok := InvItohTsujii(a)
+		if !ok {
+			t.Fatal("InvItohTsujii failed")
+		}
+		eea := MustInv(a)
+		if it != eea {
+			t.Fatalf("Itoh-Tsujii %v != EEA %v", it, eea)
+		}
+	}
+	if _, ok := InvItohTsujii(Zero); ok {
+		t.Fatal("InvItohTsujii(0) should fail")
+	}
+}
+
+func TestDiv(t *testing.T) {
+	rnd := rand.New(rand.NewSource(12))
+	for i := 0; i < 50; i++ {
+		a, b := randElem(rnd), randElem(rnd)
+		if b.IsZero() {
+			continue
+		}
+		q, ok := Div(a, b)
+		if !ok {
+			t.Fatal("Div failed")
+		}
+		if Mul(q, b) != a {
+			t.Fatal("Div(a,b)*b != a")
+		}
+	}
+	if _, ok := Div(One, Zero); ok {
+		t.Fatal("Div by zero should fail")
+	}
+}
+
+func TestBytesRoundTrip(t *testing.T) {
+	rnd := rand.New(rand.NewSource(13))
+	for i := 0; i < 100; i++ {
+		a := randElem(rnd)
+		b, ok := FromBytes(a.Bytes())
+		if !ok || b != a {
+			t.Fatalf("byte round trip failed for %v", a)
+		}
+	}
+	// An encoding with bits above x^232 must be rejected.
+	var bad [ByteLen]byte
+	bad[0] = 0x02 // bit 233
+	if _, ok := FromBytes(bad); ok {
+		t.Fatal("FromBytes accepted an out-of-range encoding")
+	}
+}
+
+func TestHexRoundTrip(t *testing.T) {
+	const s = "0x17232ba853a7e731af129f22ff4149563a419c26bf50a4c9d6eefad6126"
+	e, err := FromHex(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := e.String(); got != s {
+		t.Fatalf("hex round trip: %s -> %s", s, got)
+	}
+	if _, err := FromHex("zz"); err == nil {
+		t.Fatal("expected parse error")
+	}
+}
+
+func TestDegreeAndBit(t *testing.T) {
+	if Zero.Degree() != -1 || One.Degree() != 0 {
+		t.Fatal("degree of constants wrong")
+	}
+	var a Elem
+	a[7] = 1 << 8 // x^232
+	if a.Degree() != 232 || a.Bit(232) != 1 || a.Bit(231) != 0 {
+		t.Fatal("degree/bit of x^232 wrong")
+	}
+	if a.Bit(-1) != 0 || a.Bit(10000) != 0 {
+		t.Fatal("out-of-range Bit should be 0")
+	}
+}
+
+func TestTraceLinear(t *testing.T) {
+	// Tr is F2-linear: Tr(a+b) = Tr(a)+Tr(b), and Tr(a^2) = Tr(a).
+	rnd := rand.New(rand.NewSource(14))
+	for i := 0; i < 5; i++ {
+		a, b := randElem(rnd), randElem(rnd)
+		if Trace(Add(a, b)) != Trace(a)^Trace(b) {
+			t.Fatal("trace not linear")
+		}
+		if Trace(Sqr(a)) != Trace(a) {
+			t.Fatal("trace not Frobenius-invariant")
+		}
+	}
+	// Tr(1) = 1 in odd-degree binary fields.
+	if Trace(One) != 1 {
+		t.Fatal("Tr(1) != 1")
+	}
+}
+
+func TestQuickMulMatchesOracle(t *testing.T) {
+	f := Modulus()
+	fn := func(aw, bw [NumWords]uint32) bool {
+		a, b := Elem(aw), Elem(bw)
+		a[7] &= TopMask
+		b[7] &= TopMask
+		return gf2.Equal(Mul(a, b).Poly(), gf2.MulMod(a.Poly(), b.Poly(), f))
+	}
+	if err := quick.Check(fn, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickFrobeniusAdditive(t *testing.T) {
+	fn := func(aw, bw [NumWords]uint32) bool {
+		a, b := Elem(aw), Elem(bw)
+		a[7] &= TopMask
+		b[7] &= TopMask
+		return Sqr(Add(a, b)) == Add(Sqr(a), Sqr(b))
+	}
+	if err := quick.Check(fn, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func BenchmarkMulLD(b *testing.B) {
+	rnd := rand.New(rand.NewSource(1))
+	x, y := randElem(rnd), randElem(rnd)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		x = MulLD(x, y)
+	}
+}
+
+func BenchmarkMulLDRotating(b *testing.B) {
+	rnd := rand.New(rand.NewSource(1))
+	x, y := randElem(rnd), randElem(rnd)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		x = MulLDRotating(x, y)
+	}
+}
+
+func BenchmarkMulLDFixed(b *testing.B) {
+	rnd := rand.New(rand.NewSource(1))
+	x, y := randElem(rnd), randElem(rnd)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		x = MulLDFixed(x, y)
+	}
+}
+
+func BenchmarkSqr(b *testing.B) {
+	rnd := rand.New(rand.NewSource(1))
+	x := randElem(rnd)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		x = Sqr(x)
+	}
+}
+
+func BenchmarkInv(b *testing.B) {
+	rnd := rand.New(rand.NewSource(1))
+	x := randElem(rnd)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		x = MustInv(x)
+	}
+}
+
+func BenchmarkInvItohTsujii(b *testing.B) {
+	rnd := rand.New(rand.NewSource(1))
+	x := randElem(rnd)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		x, _ = InvItohTsujii(x)
+	}
+}
+
+func TestTraceFastMatchesDefinition(t *testing.T) {
+	rnd := rand.New(rand.NewSource(15))
+	for i := 0; i < 10; i++ {
+		a := randElem(rnd)
+		if TraceFast(a) != Trace(a) {
+			t.Fatalf("TraceFast(%v) != Trace", a)
+		}
+	}
+	if TraceFast(Zero) != 0 || TraceFast(One) != 1 {
+		t.Fatal("trace of constants wrong")
+	}
+	// The mask for a trinomial field is very sparse.
+	bits := 0
+	for i := 0; i < M; i++ {
+		if traceMask.Bit(i) == 1 {
+			bits++
+		}
+	}
+	if bits > 4 {
+		t.Errorf("trace mask has %d bits; expected a sparse linear form", bits)
+	}
+}
+
+func TestInvBatch(t *testing.T) {
+	rnd := rand.New(rand.NewSource(16))
+	for _, n := range []int{0, 1, 2, 7, 32} {
+		orig := make([]Elem, n)
+		batch := make([]Elem, n)
+		for i := range orig {
+			for orig[i].IsZero() {
+				orig[i] = randElem(rnd)
+			}
+			batch[i] = orig[i]
+		}
+		InvBatch(batch)
+		for i := range orig {
+			if batch[i] != MustInv(orig[i]) {
+				t.Fatalf("n=%d: batch inverse %d wrong", n, i)
+			}
+		}
+	}
+}
+
+func TestInvBatchPanicsOnZero(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for zero element")
+		}
+	}()
+	InvBatch([]Elem{One, Zero})
+}
+
+func BenchmarkInvBatch32(b *testing.B) {
+	rnd := rand.New(rand.NewSource(1))
+	src := make([]Elem, 32)
+	for i := range src {
+		src[i] = randElem(rnd)
+	}
+	buf := make([]Elem, 32)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		copy(buf, src)
+		InvBatch(buf)
+	}
+}

@@ -1,0 +1,262 @@
+package gf233
+
+// This file implements the three window-4 López-Dahab field
+// multiplication variants compared in §3.3 of the paper:
+//
+//	method A — the original LD algorithm (all intermediate state in memory),
+//	method B — LD with rotating registers (Aranha et al. / Oliveira et al.),
+//	method C — LD with fixed registers (the paper's contribution, Alg. 1).
+//
+// All three compute the same 466-bit product followed by reduction; they
+// differ in where the 2n-word accumulator lives, which is what drives
+// the memory-access counts reproduced by internal/opcount and the
+// generated Thumb code in internal/codegen. The Go versions mirror the
+// respective state layouts so each variant reads like its assembly
+// counterpart.
+
+// W is the window width used throughout the paper (w = 4).
+const W = 4
+
+// lutSize is the number of lookup-table entries, 2^W.
+const lutSize = 1 << W
+
+// mulTable holds the LD precomputation table T(u) = u(z)·y(z) for all
+// polynomials u of degree < 4. Because deg(y) <= 232 <= nW-(w-1) = 253,
+// each entry fits in n = 8 words (paper eq. (1), second case).
+type mulTable [lutSize][NumWords]uint32
+
+// buildTable computes the LD lookup table for multiplicand y.
+func buildTable(y Elem) mulTable {
+	var t mulTable
+	copy(t[1][:], y[:])
+	for u := 2; u < lutSize; u++ {
+		if u&1 == 0 {
+			// T[u] = T[u/2] * z
+			var carry uint32
+			for i := 0; i < NumWords; i++ {
+				t[u][i] = t[u/2][i]<<1 | carry
+				carry = t[u/2][i] >> 31
+			}
+		} else {
+			for i := 0; i < NumWords; i++ {
+				t[u][i] = t[u-1][i] ^ y[i]
+			}
+		}
+	}
+	return t
+}
+
+// shl4 multiplies the 2n-word accumulator by z^4 in place.
+func shl4(c *[2 * NumWords]uint32) {
+	for i := 2*NumWords - 1; i > 0; i-- {
+		c[i] = c[i]<<4 | c[i-1]>>28
+	}
+	c[0] <<= 4
+}
+
+// MulLD multiplies a and b with the original López-Dahab windowed method
+// (method A): the full 2n-word accumulator is treated as memory-resident
+// state, exactly as a straightforward C implementation would keep it.
+func MulLD(a, b Elem) Elem {
+	t := buildTable(b)
+	var c [2 * NumWords]uint32
+	for j := 32/W - 1; j >= 0; j-- {
+		for k := 0; k < NumWords; k++ {
+			u := a[k] >> (W * j) & (lutSize - 1)
+			for l := 0; l < NumWords; l++ {
+				c[l+k] ^= t[u][l]
+			}
+		}
+		if j != 0 {
+			shl4(&c)
+		}
+	}
+	return reduce(&c)
+}
+
+// MulLDRotating multiplies a and b with the "LD with rotating registers"
+// scheme of Aranha et al. (method B): a window of n+1 registers slides
+// over the accumulator as the word index k advances, so each partial
+// product is accumulated in registers and each accumulator word is
+// written to memory only when the window rotates past it.
+func MulLDRotating(a, b Elem) Elem {
+	t := buildTable(b)
+	var c [2 * NumWords]uint32
+	// reg models the n+1 rotating registers holding c[base..base+8].
+	var reg [NumWords + 1]uint32
+	for j := 32/W - 1; j >= 0; j-- {
+		// Load the initial window c[0..8] into the registers.
+		copy(reg[:], c[:NumWords+1])
+		base := 0
+		for k := 0; k < NumWords; k++ {
+			u := a[k] >> (W * j) & (lutSize - 1)
+			for l := 0; l < NumWords; l++ {
+				reg[k-base+l] ^= t[u][l]
+			}
+			if k+1 < NumWords {
+				// Rotate: retire the lowest register to memory and
+				// pull in the next accumulator word.
+				c[base] = reg[0]
+				copy(reg[:NumWords], reg[1:])
+				base++
+				reg[NumWords] = c[base+NumWords]
+			}
+		}
+		// Flush the final window c[7..15].
+		copy(c[base:], reg[:])
+		if j != 0 {
+			shl4(&c)
+		}
+	}
+	return reduce(&c)
+}
+
+// MulLDFixed multiplies a and b with the paper's "LD with fixed
+// registers" method (Algorithm 1, Figure 1): the n+1 most frequently
+// used accumulator words v[3..11] are pinned in registers for the whole
+// multiplication, while the least frequently used words v[0..2] and
+// v[12..15] stay in memory. The Go code mirrors that layout — r3..r11
+// are scalar locals, m holds the memory-resident words — so the control
+// structure matches the generated Thumb assembly one to one.
+func MulLDFixed(a, b Elem) Elem {
+	t := buildTable(b)
+	// Memory-resident accumulator words: m[0..2] = v[0..2],
+	// m[3..6] = v[12..15] (the paper's m array in Algorithm 1).
+	var m [7]uint32
+	// Register-resident accumulator words v[3..11].
+	var r3, r4, r5, r6, r7, r8, r9, r10, r11 uint32
+
+	for j := 32/W - 1; j >= 0; j-- {
+		for k := 0; k < NumWords; k++ {
+			u := a[k] >> (W * j) & (lutSize - 1)
+			e := &t[u]
+			// v[k+l] ^= T[u][l] for l = 0..7. The window v[k..k+7]
+			// overlaps the register file differently for each k, so the
+			// assignment pattern is unrolled per k just as the assembly
+			// routine schedules it.
+			switch k {
+			case 0:
+				m[0] ^= e[0]
+				m[1] ^= e[1]
+				m[2] ^= e[2]
+				r3 ^= e[3]
+				r4 ^= e[4]
+				r5 ^= e[5]
+				r6 ^= e[6]
+				r7 ^= e[7]
+			case 1:
+				m[1] ^= e[0]
+				m[2] ^= e[1]
+				r3 ^= e[2]
+				r4 ^= e[3]
+				r5 ^= e[4]
+				r6 ^= e[5]
+				r7 ^= e[6]
+				r8 ^= e[7]
+			case 2:
+				m[2] ^= e[0]
+				r3 ^= e[1]
+				r4 ^= e[2]
+				r5 ^= e[3]
+				r6 ^= e[4]
+				r7 ^= e[5]
+				r8 ^= e[6]
+				r9 ^= e[7]
+			case 3:
+				r3 ^= e[0]
+				r4 ^= e[1]
+				r5 ^= e[2]
+				r6 ^= e[3]
+				r7 ^= e[4]
+				r8 ^= e[5]
+				r9 ^= e[6]
+				r10 ^= e[7]
+			case 4:
+				r4 ^= e[0]
+				r5 ^= e[1]
+				r6 ^= e[2]
+				r7 ^= e[3]
+				r8 ^= e[4]
+				r9 ^= e[5]
+				r10 ^= e[6]
+				r11 ^= e[7]
+			case 5:
+				r5 ^= e[0]
+				r6 ^= e[1]
+				r7 ^= e[2]
+				r8 ^= e[3]
+				r9 ^= e[4]
+				r10 ^= e[5]
+				r11 ^= e[6]
+				m[3] ^= e[7]
+			case 6:
+				r6 ^= e[0]
+				r7 ^= e[1]
+				r8 ^= e[2]
+				r9 ^= e[3]
+				r10 ^= e[4]
+				r11 ^= e[5]
+				m[3] ^= e[6]
+				m[4] ^= e[7]
+			case 7:
+				r7 ^= e[0]
+				r8 ^= e[1]
+				r9 ^= e[2]
+				r10 ^= e[3]
+				r11 ^= e[4]
+				m[3] ^= e[5]
+				m[4] ^= e[6]
+				m[5] ^= e[7]
+			}
+		}
+		if j != 0 {
+			// v(z) <- v(z) * z^4 across the mixed register/memory state,
+			// from the most significant word down.
+			m[6] = m[6]<<4 | m[5]>>28
+			m[5] = m[5]<<4 | m[4]>>28
+			m[4] = m[4]<<4 | m[3]>>28
+			m[3] = m[3]<<4 | r11>>28
+			r11 = r11<<4 | r10>>28
+			r10 = r10<<4 | r9>>28
+			r9 = r9<<4 | r8>>28
+			r8 = r8<<4 | r7>>28
+			r7 = r7<<4 | r6>>28
+			r6 = r6<<4 | r5>>28
+			r5 = r5<<4 | r4>>28
+			r4 = r4<<4 | r3>>28
+			r3 = r3<<4 | m[2]>>28
+			m[2] = m[2]<<4 | m[1]>>28
+			m[1] = m[1]<<4 | m[0]>>28
+			m[0] <<= 4
+		}
+	}
+	c := [2 * NumWords]uint32{
+		m[0], m[1], m[2], r3, r4, r5, r6, r7, r8, r9, r10, r11,
+		m[3], m[4], m[5], m[6],
+	}
+	return reduce(&c)
+}
+
+// Mul returns a*b. It uses the paper's LD with fixed registers method,
+// the variant selected for the proposed implementation (§4.2.2).
+func Mul(a, b Elem) Elem { return MulLDFixed(a, b) }
+
+// MulNoReduce returns the raw 466-bit product of a and b before modular
+// reduction, for the layers that need the unreduced partial-product
+// vector (instrumentation, code generation, tests).
+func MulNoReduce(a, b Elem) [2 * NumWords]uint32 {
+	t := buildTable(b)
+	var c [2 * NumWords]uint32
+	for j := 32/W - 1; j >= 0; j-- {
+		for k := 0; k < NumWords; k++ {
+			u := a[k] >> (W * j) & (lutSize - 1)
+			for l := 0; l < NumWords; l++ {
+				c[l+k] ^= t[u][l]
+			}
+		}
+		if j != 0 {
+			shl4(&c)
+		}
+	}
+	return c
+}

@@ -1,0 +1,48 @@
+package gf233
+
+// reduce folds a 16-word (512-bit) polynomial product back into the
+// field modulo f(x) = x^233 + x^74 + 1, one word at a time (§3.2.2 of
+// the paper: "since the curve we are using has a sparse reduction
+// polynomial, the reduction can be efficiently computed one word at a
+// time").
+//
+// Derivation: a coefficient at position 233+j folds to positions j and
+// j+74. For a high word c[i] (i >= 8), every bit k sits at position
+// 32i+k = 233 + (32(i-8) + k + 23), so the word folds to
+//
+//	c[i-8] ^= c[i] << 23   c[i-7] ^= c[i] >> 9    (the x^0 term)
+//	c[i-5] ^= c[i] << 1    c[i-4] ^= c[i] >> 31   (the x^74 term)
+//
+// Iterating i from 15 down to 8 lets fold-ins to words 10..11 be
+// reprocessed on later iterations. A final partial step clears bits
+// 233..255 of word 7.
+func reduce(c *[2 * NumWords]uint32) Elem {
+	for i := 2*NumWords - 1; i >= NumWords; i-- {
+		t := c[i]
+		if t == 0 {
+			continue
+		}
+		c[i] = 0
+		c[i-8] ^= t << 23
+		c[i-7] ^= t >> 9
+		c[i-5] ^= t << 1
+		c[i-4] ^= t >> 31
+	}
+	// Bits 233..255 live in word 7 above bit 8.
+	t := c[NumWords-1] >> TopBits
+	if t != 0 {
+		c[0] ^= t
+		c[2] ^= t << (ReductionExp % 32)    // x^74: word 2 bit 10
+		c[3] ^= t >> (32 - ReductionExp%32) // spill into word 3
+		c[NumWords-1] &= TopMask
+	}
+	var e Elem
+	copy(e[:], c[:NumWords])
+	return e
+}
+
+// Reduce folds an unreduced double-width polynomial (as produced by a
+// 233x233-bit multiplication) into the field. It is exported for the
+// instrumentation and code-generation layers, which produce raw
+// products.
+func Reduce(c [2 * NumWords]uint32) Elem { return reduce(&c) }

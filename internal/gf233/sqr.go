@@ -1,0 +1,119 @@
+package gf233
+
+// Squaring (§3.2.4 of the paper): in characteristic 2 squaring is the
+// linear "bit spreading" map, implemented with a 256-entry lookup table
+// that expands one byte into its 16-bit spread form. The paper keeps the
+// lower half of the expansion in registers and immediately reduces the
+// upper half instead of storing it, which SqrInterleaved mirrors;
+// SqrSeparate is the plain expand-then-reduce formulation used as the
+// ablation baseline.
+
+// sqrTable[b] spreads the 8 bits of b to the even bit positions of a
+// 16-bit word: bit i of b becomes bit 2i.
+var sqrTable = func() [256]uint16 {
+	var t [256]uint16
+	for b := 0; b < 256; b++ {
+		var v uint16
+		for i := 0; i < 8; i++ {
+			if b>>i&1 != 0 {
+				v |= 1 << (2 * i)
+			}
+		}
+		t[b] = v
+	}
+	return t
+}()
+
+// SquareTable returns the 256-entry byte-spreading table, for layers
+// that materialise it in simulated memory (the generated Thumb squaring
+// routines index the same table with LDRH).
+func SquareTable() [256]uint16 { return sqrTable }
+
+// spread expands the low 16 bits of w into 32 bits via two table lookups.
+func spread(w uint32) uint32 {
+	return uint32(sqrTable[w&0xff]) | uint32(sqrTable[w>>8&0xff])<<16
+}
+
+// SqrSeparate squares a by expanding all 16 output words to memory and
+// then running the word-at-a-time reduction — the formulation a portable
+// C implementation uses, and the baseline the paper's interleaved
+// squaring is measured against.
+func SqrSeparate(a Elem) Elem {
+	var c [2 * NumWords]uint32
+	for i := 0; i < NumWords; i++ {
+		c[2*i] = spread(a[i])
+		c[2*i+1] = spread(a[i] >> 16)
+	}
+	return reduce(&c)
+}
+
+// SqrInterleaved squares a with the paper's optimisation: the lower half
+// of the expansion is kept in "registers" (the result accumulator r)
+// while each upper-half word is expanded and folded into the result
+// immediately, so the upper words are never stored for a separate
+// reduction pass.
+func SqrInterleaved(a Elem) Elem {
+	// Expansion words 0..7 — the lower half, which is final modulo the
+	// feedback folded in below.
+	var r Elem
+	for i := 0; i < NumWords/2; i++ {
+		r[2*i] = spread(a[i])
+		r[2*i+1] = spread(a[i] >> 16)
+	}
+	// Expansion words 8..15, produced on the fly from the upper input
+	// words and folded immediately. hi[i] is expansion word 8+i.
+	var hi [NumWords]uint32
+	for i := 0; i < NumWords/2; i++ {
+		hi[2*i] = spread(a[NumWords/2+i])
+		hi[2*i+1] = spread(a[NumWords/2+i] >> 16)
+	}
+	// fold xors v into expansion word j, which lives in r for j < 8 and
+	// in hi otherwise.
+	fold := func(j int, v uint32) {
+		if j < NumWords {
+			r[j] ^= v
+		} else {
+			hi[j-NumWords] ^= v
+		}
+	}
+	// Expansion word 8+i folds to expansion words i, i+1, i+3, i+4 (see
+	// reduce). Feedback from word 8+i only reaches hi words with lower
+	// indices, so a top-down sweep folds everything exactly once.
+	for i := NumWords - 1; i >= 0; i-- {
+		t := hi[i]
+		if t == 0 {
+			continue
+		}
+		fold(i, t<<23)
+		fold(i+1, t>>9)
+		fold(i+3, t<<1)
+		fold(i+4, t>>31)
+	}
+	// Final partial reduction of bits 233..255 of word 7.
+	t := r[NumWords-1] >> TopBits
+	if t != 0 {
+		r[0] ^= t
+		r[2] ^= t << (ReductionExp % 32)
+		r[3] ^= t >> (32 - ReductionExp%32)
+		r[NumWords-1] &= TopMask
+	}
+	return r
+}
+
+// Sqr returns a squared, using the interleaved table method selected by
+// the paper's proposed implementation.
+func Sqr(a Elem) Elem { return SqrInterleaved(a) }
+
+// SqrN squares a n times (computes a^(2^n)), a helper for inversion
+// chains and Frobenius powers.
+func SqrN(a Elem, n int) Elem {
+	for i := 0; i < n; i++ {
+		a = Sqr(a)
+	}
+	return a
+}
+
+// Sqrt returns the field square root of a, i.e. the unique b with
+// b^2 = a. In F_2^m the square root is a^(2^(m-1)), computed here by
+// m-1 squarings; it is exercised by point-compression tests.
+func Sqrt(a Elem) Elem { return SqrN(a, M-1) }

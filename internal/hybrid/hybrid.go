@@ -1,0 +1,123 @@
+// Package hybrid implements the hybrid cryptosystem the paper's
+// introduction motivates: "PKC is used for key exchange, and symmetric
+// cryptography is used for the efficient encryption of data".
+//
+// The construction is ECIES-shaped over sect233k1: an ephemeral ECDH
+// exchange derives encryption and MAC keys, the payload is encrypted
+// with a SHA-256-based stream (cheap on an MCU that already carries a
+// hash for signatures), and an HMAC authenticates ciphertext and
+// ephemeral key together. One Seal costs the sensor node one k·G
+// (ephemeral key) plus one k·P (shared point) — exactly the two
+// operations whose energy the paper optimises.
+package hybrid
+
+import (
+	"crypto/hmac"
+	"crypto/sha256"
+	"errors"
+	"io"
+
+	"repro/internal/core"
+	"repro/internal/ec"
+	"repro/internal/ecdh"
+)
+
+// Sizes of the message layout: ephemeral key ‖ ciphertext ‖ tag.
+const (
+	ephLen = 31 // compressed point
+	tagLen = 16 // truncated HMAC-SHA256
+	// Overhead is the ciphertext expansion of Seal.
+	Overhead = ephLen + tagLen
+)
+
+// Errors returned by Open.
+var (
+	ErrTooShort       = errors.New("hybrid: message too short")
+	ErrAuthentication = errors.New("hybrid: authentication failed")
+)
+
+// deriveKeys splits the ECDH secret into a 32-byte stream key and a
+// 32-byte MAC key via the counter KDF.
+func deriveKeys(priv *core.PrivateKey, peer ec.Affine) (encKey, macKey []byte, err error) {
+	okm, err := ecdh.SharedKey(priv, peer, 64)
+	if err != nil {
+		return nil, nil, err
+	}
+	return okm[:32], okm[32:], nil
+}
+
+// stream XORs data with a SHA-256 counter keystream.
+func stream(key, data []byte) []byte {
+	out := make([]byte, len(data))
+	var block [sha256.Size]byte
+	var counter uint64
+	for off := 0; off < len(data); off += sha256.Size {
+		h := sha256.New()
+		h.Write(key)
+		var ctr [8]byte
+		for i := 0; i < 8; i++ {
+			ctr[i] = byte(counter >> (8 * (7 - i)))
+		}
+		counter++
+		h.Write(ctr[:])
+		h.Sum(block[:0])
+		for i := 0; i < sha256.Size && off+i < len(data); i++ {
+			out[off+i] = data[off+i] ^ block[i]
+		}
+	}
+	return out
+}
+
+// tag computes the truncated HMAC over the ephemeral key and the
+// ciphertext.
+func tag(macKey, eph, ct []byte) []byte {
+	mac := hmac.New(sha256.New, macKey)
+	mac.Write(eph)
+	mac.Write(ct)
+	return mac.Sum(nil)[:tagLen]
+}
+
+// Seal encrypts and authenticates plaintext for the holder of the
+// recipient public key. The output is
+// compressed-ephemeral-key ‖ ciphertext ‖ tag.
+func Seal(rand io.Reader, recipient ec.Affine, plaintext []byte) ([]byte, error) {
+	if err := ecdh.Validate(recipient); err != nil {
+		return nil, err
+	}
+	eph, err := core.GenerateKey(rand)
+	if err != nil {
+		return nil, err
+	}
+	encKey, macKey, err := deriveKeys(eph, recipient)
+	if err != nil {
+		return nil, err
+	}
+	ephBytes := eph.Public.EncodeCompressed()
+	ct := stream(encKey, plaintext)
+	out := make([]byte, 0, len(plaintext)+Overhead)
+	out = append(out, ephBytes...)
+	out = append(out, ct...)
+	return append(out, tag(macKey, ephBytes, ct)...), nil
+}
+
+// Open authenticates and decrypts a message produced by Seal.
+func Open(priv *core.PrivateKey, message []byte) ([]byte, error) {
+	if len(message) < Overhead {
+		return nil, ErrTooShort
+	}
+	ephBytes := message[:ephLen]
+	ct := message[ephLen : len(message)-tagLen]
+	gotTag := message[len(message)-tagLen:]
+	ephPub, err := ec.Decode(ephBytes)
+	if err != nil {
+		return nil, err
+	}
+	encKey, macKey, err := deriveKeys(priv, ephPub)
+	if err != nil {
+		return nil, err
+	}
+	if !hmac.Equal(gotTag, tag(macKey, ephBytes, ct)) {
+		return nil, ErrAuthentication
+	}
+	return stream(encKey, ct), nil
+}

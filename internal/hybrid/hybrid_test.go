@@ -1,0 +1,109 @@
+package hybrid
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+
+	"repro/internal/core"
+)
+
+func TestSealOpenRoundTrip(t *testing.T) {
+	rnd := rand.New(rand.NewSource(1))
+	recipient, err := core.GenerateKey(rnd)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, msg := range [][]byte{
+		nil,
+		[]byte(""),
+		[]byte("x"),
+		[]byte("sensor node 17: t=21.4C"),
+		bytes.Repeat([]byte("block"), 100), // multiple keystream blocks
+	} {
+		sealed, err := Seal(rnd, recipient.Public, msg)
+		if err != nil {
+			t.Fatalf("Seal: %v", err)
+		}
+		if len(sealed) != len(msg)+Overhead {
+			t.Fatalf("overhead: %d vs %d+%d", len(sealed), len(msg), Overhead)
+		}
+		opened, err := Open(recipient, sealed)
+		if err != nil {
+			t.Fatalf("Open: %v", err)
+		}
+		if !bytes.Equal(opened, msg) {
+			t.Fatalf("round trip changed the message")
+		}
+	}
+}
+
+func TestOpenRejectsTampering(t *testing.T) {
+	rnd := rand.New(rand.NewSource(2))
+	recipient, _ := core.GenerateKey(rnd)
+	sealed, err := Seal(rnd, recipient.Public, []byte("attack at dawn"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Flip one bit anywhere: ephemeral key, ciphertext, or tag.
+	for _, pos := range []int{0, 5, ephLen + 2, len(sealed) - 1} {
+		mutated := append([]byte(nil), sealed...)
+		mutated[pos] ^= 0x40
+		if _, err := Open(recipient, mutated); err == nil {
+			t.Errorf("tampering at byte %d not detected", pos)
+		}
+	}
+	// Truncation.
+	if _, err := Open(recipient, sealed[:Overhead-1]); err != ErrTooShort {
+		t.Errorf("truncated message: %v", err)
+	}
+	// Wrong recipient.
+	other, _ := core.GenerateKey(rnd)
+	if _, err := Open(other, sealed); err == nil {
+		t.Error("wrong key opened the message")
+	}
+}
+
+func TestSealNondeterministic(t *testing.T) {
+	rnd := rand.New(rand.NewSource(3))
+	recipient, _ := core.GenerateKey(rnd)
+	a, _ := Seal(rnd, recipient.Public, []byte("same"))
+	b, _ := Seal(rnd, recipient.Public, []byte("same"))
+	if bytes.Equal(a, b) {
+		t.Error("two seals identical: ephemeral key reuse")
+	}
+}
+
+func TestSealRejectsInvalidRecipient(t *testing.T) {
+	rnd := rand.New(rand.NewSource(4))
+	var bad = core.PrivateKey{}
+	if _, err := Seal(rnd, bad.Public, []byte("x")); err == nil {
+		t.Error("zero-value recipient accepted")
+	}
+}
+
+func TestStreamIsAnInvolution(t *testing.T) {
+	key := []byte("0123456789abcdef0123456789abcdef")
+	msg := []byte("the stream cipher must be its own inverse")
+	if !bytes.Equal(stream(key, stream(key, msg)), msg) {
+		t.Error("stream(stream(x)) != x")
+	}
+	// Different keys give different streams.
+	key2 := []byte("0123456789abcdef0123456789abcdeg")
+	if bytes.Equal(stream(key, msg), stream(key2, msg)) {
+		t.Error("keystream independent of key")
+	}
+}
+
+func BenchmarkSeal(b *testing.B) {
+	rnd := rand.New(rand.NewSource(1))
+	recipient, _ := core.GenerateKey(rnd)
+	msg := bytes.Repeat([]byte("m"), 64)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Seal(rnd, recipient.Public, msg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,202 @@
+package koblitz
+
+import (
+	"fmt"
+	"math/big"
+)
+
+// TNAF and width-w TNAF recodings (Solinas; Hankerson et al. Alg. 3.61
+// and 3.69). The paper uses "the left-to-right wTNAF method with w = 4"
+// for random-point multiplication and w = 6 for fixed-point
+// multiplication (§4.2.2).
+
+// MinW and MaxW bound the supported window widths. Digits are stored in
+// int8, which accommodates |u| < 2^(w-1) up to w = 8.
+const (
+	MinW = 2
+	MaxW = 8
+)
+
+// maxDigits caps recoding length as a defence against non-termination
+// bugs: a partially reduced scalar recodes to ~m+a digits and a raw
+// 233-bit scalar to ~2m, so 4m is generous.
+const maxDigits = 4 * M
+
+// TNAF returns the τ-adic non-adjacent form of ρ: digits d_i ∈ {0, ±1},
+// least significant first, with no two consecutive nonzero digits, such
+// that ρ = Σ d_i τ^i.
+func TNAF(rho ZTau) []int8 {
+	r0 := new(big.Int).Set(rho.A)
+	r1 := new(big.Int).Set(rho.B)
+	var digits []int8
+	two := big.NewInt(2)
+	four := big.NewInt(4)
+	for r0.Sign() != 0 || r1.Sign() != 0 {
+		if len(digits) > maxDigits {
+			panic("koblitz: TNAF did not terminate")
+		}
+		var u int8
+		if r0.Bit(0) == 1 {
+			// u = 2 − ((r0 − 2r1) mod 4) ∈ {1, −1}; subtracting u makes
+			// ρ divisible by τ².
+			t := new(big.Int).Mul(two, r1)
+			t.Sub(r0, t)
+			t.Mod(t, four) // 1 or 3 for odd r0
+			u = int8(2 - t.Int64())
+			r0.Sub(r0, big.NewInt(int64(u)))
+		}
+		digits = append(digits, u)
+		divTauInPlace(r0, r1)
+	}
+	return digits
+}
+
+// divTauInPlace replaces (r0, r1) with (r0 + r1τ)/τ, assuming r0 even:
+// (r0, r1) ← (r1 + µ·r0/2, −r0/2).
+func divTauInPlace(r0, r1 *big.Int) {
+	half := new(big.Int).Rsh(r0, 1)
+	if Mu < 0 {
+		r0.Sub(r1, half)
+	} else {
+		r0.Add(r1, half)
+	}
+	r1.Neg(half)
+}
+
+// TW returns t_w, the image of τ under the ring isomorphism
+// Z[τ]/(τ^w) ≅ Z/2^w: the unique even residue modulo 2^w with
+// t_w² + 2 ≡ µ·t_w (mod 2^w). It is found by Hensel lifting (the
+// derivative 2t − µ is odd, so each lift step is unique).
+func TW(w int) int64 {
+	if w < 1 || w > 62 {
+		panic("koblitz: TW width out of range")
+	}
+	var t int64 // t ≡ 0 (mod 2): τ maps to 0 in Z[τ]/τ ≅ Z/2
+	for k := 1; k < w; k++ {
+		// Invariant: t² + 2 − µt ≡ 0 (mod 2^k). Try the next bit.
+		mod := int64(1) << (k + 1)
+		f := func(x int64) int64 {
+			v := (x*x + 2 - int64(Mu)*x) % mod
+			return (v + mod) % mod
+		}
+		if f(t) != 0 {
+			t += int64(1) << k
+			if f(t) != 0 {
+				panic("koblitz: Hensel lifting failed")
+			}
+		}
+	}
+	return t
+}
+
+// Alpha returns the window representatives α_u = u mods τ^w for odd
+// u = 1, 3, ..., 2^(w−1)−1. Alpha(w)[u>>1] is α_u, the norm-minimal
+// element of Z[τ] congruent to u modulo τ^w. These are the elements the
+// digit values of a width-w TNAF stand for, and the multiples of the
+// input point that must be precomputed ("TNAF Precomputation" in
+// Table 7; for w = 4 the digit set is {±α1, ±α3, ±α5, ±α7}).
+func Alpha(w int) []ZTau {
+	if w < MinW || w > MaxW {
+		panic(fmt.Sprintf("koblitz: unsupported window width %d", w))
+	}
+	tw := TauPow(w)
+	alphas := make([]ZTau, 1<<(w-2))
+	for i := range alphas {
+		u := int64(2*i + 1)
+		_, r := RoundDiv(NewZTau(u, 0), tw)
+		alphas[i] = r
+	}
+	return alphas
+}
+
+// WTNAF returns the width-w TNAF of ρ: digits least significant first,
+// each either 0 or an odd signed integer with |u| < 2^(w−1), such that
+// ρ = Σ ξ_i τ^i where ξ_i = sign(d_i)·α_|d_i|. Any nonzero digit is
+// followed by at least w−1 zeros. For w = 2 this coincides with TNAF.
+func WTNAF(rho ZTau, w int) []int8 {
+	if w < MinW || w > MaxW {
+		panic(fmt.Sprintf("koblitz: unsupported window width %d", w))
+	}
+	if w == 2 {
+		return TNAF(rho)
+	}
+	alphas := Alpha(w)
+	tw := big.NewInt(TW(w))
+	pow := new(big.Int).Lsh(big.NewInt(1), uint(w))    // 2^w
+	half := new(big.Int).Lsh(big.NewInt(1), uint(w-1)) // 2^(w-1)
+
+	r0 := new(big.Int).Set(rho.A)
+	r1 := new(big.Int).Set(rho.B)
+	var digits []int8
+	for r0.Sign() != 0 || r1.Sign() != 0 {
+		if len(digits) > maxDigits {
+			panic("koblitz: WTNAF did not terminate")
+		}
+		var u int64
+		if r0.Bit(0) == 1 {
+			// u = (r0 + r1·t_w) mods 2^w — the odd symmetric residue.
+			t := new(big.Int).Mul(r1, tw)
+			t.Add(t, r0)
+			t.Mod(t, pow)
+			if t.Cmp(half) >= 0 {
+				t.Sub(t, pow)
+			}
+			u = t.Int64() // odd, in [−2^(w−1), 2^(w−1))
+			// ρ ← ρ − sign(u)·α_|u|.
+			var alpha ZTau
+			if u > 0 {
+				alpha = alphas[u>>1]
+			} else {
+				alpha = alphas[(-u)>>1].Neg()
+			}
+			r0.Sub(r0, alpha.A)
+			r1.Sub(r1, alpha.B)
+		}
+		digits = append(digits, int8(u))
+		divTauInPlace(r0, r1)
+	}
+	return digits
+}
+
+// Reconstruct evaluates a digit string back to the Z[τ] element it
+// represents: Σ ξ_i τ^i with ξ_i = sign(d_i)·α_|d_i| (α_1 = 1 covers the
+// plain TNAF case). It is the inverse used by the recoding tests.
+func Reconstruct(digits []int8, w int) ZTau {
+	var alphas []ZTau
+	if w >= MinW {
+		alphas = Alpha(max(w, 2))
+	} else {
+		alphas = []ZTau{NewZTau(1, 0)}
+	}
+	acc := NewZTau(0, 0)
+	for i := len(digits) - 1; i >= 0; i-- {
+		acc = acc.MulTau()
+		d := digits[i]
+		if d == 0 {
+			continue
+		}
+		var xi ZTau
+		if d > 0 {
+			xi = alphas[d>>1]
+		} else {
+			xi = alphas[(-d)>>1].Neg()
+		}
+		acc = acc.Add(xi)
+	}
+	return acc
+}
+
+// Density returns the fraction of nonzero digits, diagnostic for the
+// expected 1/(w+1) wTNAF density.
+func Density(digits []int8) float64 {
+	if len(digits) == 0 {
+		return 0
+	}
+	nz := 0
+	for _, d := range digits {
+		if d != 0 {
+			nz++
+		}
+	}
+	return float64(nz) / float64(len(digits))
+}

@@ -1,0 +1,160 @@
+// Package model implements the paper's §3.1 curve-selection study:
+// "Matching a curve to the architecture". It estimates instruction
+// usage, cycle count and energy of a point multiplication for a binary
+// Koblitz curve versus a prime curve of equivalent security on the
+// Cortex-M0+, and checks the paper's two conclusions:
+//
+//  1. binary Koblitz curves lead to a slightly faster implementation;
+//  2. binary curves require less power, because binary-field arithmetic
+//     is XOR/shift-dominated while prime-field arithmetic is MUL/ADD-
+//     dominated — and Table 3 shows shifts and XOR cost less energy
+//     than MUL and ADD.
+//
+// The model follows the paper's §3.1 method: analyse the instructions
+// of the field multiplication (the dominant routine), scale by the
+// number of field multiplications in a point multiplication, and weight
+// the instruction mix with the measured per-instruction energies.
+package model
+
+import (
+	"repro/internal/armv6m"
+	"repro/internal/energy"
+	"repro/internal/fp"
+	"repro/internal/opcount"
+)
+
+// CurveEstimate summarises the model's prediction for one curve family.
+type CurveEstimate struct {
+	Name        string
+	FieldBits   int
+	MulCycles   int     // one field multiplication
+	FieldMuls   int     // field multiplications per point multiplication
+	FieldSqrs   int     // field squarings per point multiplication
+	SqrCycles   int     // one field squaring
+	PointCycles int     // estimated point multiplication
+	PowerUW     float64 // average power of the field-mult instruction mix
+	EnergyUJ    float64 // estimated point multiplication energy
+}
+
+// wTNAF/NAF window assumed by the model for both families.
+const window = 4
+
+// Binary233 estimates a sect233k1 point multiplication built on the LD
+// with fixed registers multiplication (method C of Table 2).
+func Binary233() CurveEstimate {
+	m := 233
+	mulOps := opcount.Formula(opcount.MethodFixed, 8)
+	mulCycles := mulOps.Cycles()
+	// Squaring is nearly free in binary fields: the table method costs
+	// on the order of a tenth of a multiplication (Table 6: 395 vs 3672).
+	sqrCycles := mulCycles / 9
+
+	// τ-and-add with wTNAF: one Frobenius (3 squarings) per digit, one
+	// mixed addition (8 mul + 5 sqr) per nonzero digit (density
+	// 1/(w+1)), one final inversion approximated as 10 multiplications.
+	digits := m
+	adds := digits / (window + 1)
+	muls := adds*8 + 10
+	sqrs := digits*3 + adds*5
+
+	cycles := muls*mulCycles + sqrs*sqrCycles
+	mix := binaryMix(mulOps)
+	power := energy.MixPowerWatts(mix)
+	return CurveEstimate{
+		Name:        "binary Koblitz (sect233k1)",
+		FieldBits:   m,
+		MulCycles:   mulCycles,
+		SqrCycles:   sqrCycles,
+		FieldMuls:   muls,
+		FieldSqrs:   sqrs,
+		PointCycles: cycles,
+		PowerUW:     power * 1e6,
+		EnergyUJ:    energy.EnergyMicroJ(uint64(cycles), power),
+	}
+}
+
+// Prime224 estimates a 224-bit prime-curve point multiplication (the
+// equivalent-security prime option, cf. Wenger's secp224r1 row in
+// Table 4) built on Comba multiplication.
+func Prime224() CurveEstimate {
+	return primeEstimate("prime (secp224r1-class)", 224)
+}
+
+// Prime256 estimates the secp256r1-class option.
+func Prime256() CurveEstimate {
+	return primeEstimate("prime (secp256r1-class)", 256)
+}
+
+func primeEstimate(name string, bits int) CurveEstimate {
+	limbs := (bits + 31) / 32
+	ops := fp.CombaCounts(limbs)
+	mulCycles := ops.Cycles()
+	// Prime-field squaring saves roughly 30% of the limb products.
+	sqrCycles := mulCycles * 7 / 10
+
+	// Jacobian double-and-add with NAF: one doubling (4M + 4S) per bit,
+	// one mixed addition (8M + 3S) per nonzero digit (density 1/(w+1)),
+	// one final inversion approximated as 30 multiplications (Fermat or
+	// EEA — expensive either way in prime fields).
+	doubles := bits
+	adds := bits / (window + 1)
+	muls := doubles*4 + adds*8 + 30
+	sqrs := doubles*4 + adds*3
+
+	cycles := muls*mulCycles + sqrs*sqrCycles
+	power := energy.MixPowerWatts(primeMix(ops))
+	return CurveEstimate{
+		Name:        name,
+		FieldBits:   bits,
+		MulCycles:   mulCycles,
+		SqrCycles:   sqrCycles,
+		FieldMuls:   muls,
+		FieldSqrs:   sqrs,
+		PointCycles: cycles,
+		PowerUW:     power * 1e6,
+		EnergyUJ:    energy.EnergyMicroJ(uint64(cycles), power),
+	}
+}
+
+// binaryMix converts the Table 1 operation counts of the LD
+// multiplication into an instruction-mix weighting: reads/writes split
+// the memory share, XORs and shifts the ALU share.
+func binaryMix(c opcount.Counts) map[armv6m.Class]float64 {
+	return map[armv6m.Class]float64{
+		armv6m.ClassLDR: float64(2 * c.Read), // memory ops weighted by their 2 cycles
+		armv6m.ClassSTR: float64(2 * c.Write),
+		armv6m.ClassXOR: float64(c.XOR),
+		armv6m.ClassLSL: float64(c.Shift) / 2,
+		armv6m.ClassLSR: float64(c.Shift) / 2,
+	}
+}
+
+// primeMix converts the Comba operation counts into an instruction-mix
+// weighting.
+func primeMix(c fp.MulOpCounts) map[armv6m.Class]float64 {
+	return map[armv6m.Class]float64{
+		armv6m.ClassLDR: float64(2 * c.Load),
+		armv6m.ClassSTR: float64(2 * c.Store),
+		armv6m.ClassMUL: float64(c.Mul32),
+		armv6m.ClassADD: float64(c.Add),
+		armv6m.ClassLSL: float64(c.Shift),
+	}
+}
+
+// Conclusions evaluates the paper's two §3.1 claims over the model.
+type Conclusions struct {
+	Binary, Prime224, Prime256     CurveEstimate
+	KoblitzFaster, BinaryLessPower bool
+}
+
+// Run evaluates the selection study.
+func Run() Conclusions {
+	b, p224, p256 := Binary233(), Prime224(), Prime256()
+	return Conclusions{
+		Binary:          b,
+		Prime224:        p224,
+		Prime256:        p256,
+		KoblitzFaster:   b.PointCycles < p224.PointCycles,
+		BinaryLessPower: b.PowerUW < p224.PowerUW && b.PowerUW < p256.PowerUW,
+	}
+}

@@ -1,0 +1,64 @@
+package model
+
+import "testing"
+
+func TestPaperConclusions(t *testing.T) {
+	c := Run()
+	// §3.1 conclusion (1): binary Koblitz leads to a faster
+	// implementation than the equivalent-security prime curve.
+	if !c.KoblitzFaster {
+		t.Errorf("model predicts Koblitz slower: %d vs %d cycles",
+			c.Binary.PointCycles, c.Prime224.PointCycles)
+	}
+	// §3.1 conclusion (2): binary curves draw less power.
+	if !c.BinaryLessPower {
+		t.Errorf("model predicts binary power %.1f µW not below prime %.1f µW",
+			c.Binary.PowerUW, c.Prime224.PowerUW)
+	}
+}
+
+func TestEstimatesPlausible(t *testing.T) {
+	c := Run()
+	// Binary estimate should be in the ballpark of the paper's measured
+	// kP (2.8M cycles): the model is deliberately simple, so allow a
+	// wide band, but it must not be an order of magnitude off.
+	if c.Binary.PointCycles < 1_000_000 || c.Binary.PointCycles > 6_000_000 {
+		t.Errorf("binary point-mult estimate %d cycles implausible", c.Binary.PointCycles)
+	}
+	// All powers near the 48 MHz × ~12 pJ/cycle operating point.
+	for _, e := range []CurveEstimate{c.Binary, c.Prime224, c.Prime256} {
+		if e.PowerUW < 450 || e.PowerUW > 700 {
+			t.Errorf("%s: power %.1f µW implausible", e.Name, e.PowerUW)
+		}
+		if e.EnergyUJ <= 0 {
+			t.Errorf("%s: non-positive energy", e.Name)
+		}
+		if e.MulCycles <= 0 || e.PointCycles <= e.MulCycles {
+			t.Errorf("%s: inconsistent cycle estimates", e.Name)
+		}
+	}
+	// Larger prime field means more work.
+	if c.Prime256.PointCycles <= c.Prime224.PointCycles {
+		t.Error("secp256r1-class estimate not above secp224r1-class")
+	}
+}
+
+func TestOperationCountStructure(t *testing.T) {
+	// The Koblitz advantage is structural, not per-operation: a prime
+	// field multiplication may well be cheaper than a binary one (the
+	// paper's own Table 5 shows that on multiplier-equipped cores), but
+	// the Koblitz point multiplication needs far fewer multiplications
+	// because doublings are replaced by near-free Frobenius squarings.
+	c := Run()
+	if c.Binary.FieldMuls >= c.Prime224.FieldMuls {
+		t.Errorf("binary point mult uses %d field muls, prime uses %d — "+
+			"the Koblitz structural advantage is missing",
+			c.Binary.FieldMuls, c.Prime224.FieldMuls)
+	}
+	// Binary squarings are an order of magnitude cheaper than binary
+	// multiplications (table method vs LD).
+	if c.Binary.SqrCycles*5 > c.Binary.MulCycles {
+		t.Errorf("binary squaring (%d) not far below multiplication (%d)",
+			c.Binary.SqrCycles, c.Binary.MulCycles)
+	}
+}

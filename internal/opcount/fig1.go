@@ -1,0 +1,61 @@
+package opcount
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Fig1 renders the paper's Figure 1 as text: the mixed register/memory
+// layout of the 2n-word partial-product vector C in the LD with fixed
+// registers algorithm, the sliding 8-word window each lookup-table row
+// is added into, and the inter-pass shift. Dark squares in the paper
+// (register-resident words) render as 'R', light squares (memory) as
+// 'M'; '#' marks the words touched by the current table addition.
+func Fig1() string {
+	var b strings.Builder
+	b.WriteString("Figure 1 — The proposed LD with fixed registers algorithm in F_2^m (n = 8, w = 4)\n\n")
+
+	b.WriteString("  state vector C = v[0..15]:   ")
+	for i := 0; i < vWords; i++ {
+		if fixedInMem(i) {
+			b.WriteString("M ")
+		} else {
+			b.WriteString("R ")
+		}
+	}
+	b.WriteString("\n")
+	b.WriteString("                               ")
+	for i := 0; i < vWords; i++ {
+		b.WriteString(fmt.Sprintf("%-2d", i%10))
+	}
+	b.WriteString("\n\n")
+	b.WriteString("  R = word pinned in a register (v[3..11], the n+1 most frequently used)\n")
+	b.WriteString("  M = word in memory           (v[0..2] and v[12..15])\n\n")
+
+	b.WriteString("  LUT: 16 rows of 8 words, T(u) = u(z)·y(z); u is the next w-bit\n")
+	b.WriteString("  section of x. Each main-loop step adds row T[u] into C at word\n")
+	b.WriteString("  offset k ('#' marks the window v[k..k+7]):\n\n")
+	for k := 0; k < n; k++ {
+		b.WriteString(fmt.Sprintf("    k=%d  ", k))
+		for i := 0; i < vWords; i++ {
+			switch {
+			case i >= k && i < k+n:
+				b.WriteString("# ")
+			case fixedInMem(i):
+				b.WriteString("M ")
+			default:
+				b.WriteString("R ")
+			}
+		}
+		mem := 0
+		for i := k; i < k+n; i++ {
+			if fixedInMem(i) {
+				mem++
+			}
+		}
+		b.WriteString(fmt.Sprintf("  (%d of 8 window words in memory)\n", mem))
+	}
+	b.WriteString("\n  After the eighth lookup the whole vector shifts: C <<= 4\n")
+	b.WriteString("  (skipped on the final of the 8 iterations).\n")
+	return b.String()
+}

@@ -1,0 +1,127 @@
+package opcount
+
+import "repro/internal/gf2"
+
+// MeasureGeneric runs the instrumented LD engine for an arbitrary word
+// count n (operands of n 32-bit words), returning the unreduced product
+// and the operation tally. It generalises the n = 8 engines of
+// measure.go so the Table 1 closed forms — which the paper states as
+// functions of n — can be validated across operand sizes, not just at
+// the F_2^233 point Table 2 evaluates.
+//
+// The placement policies scale the paper's way: the plain method keeps
+// the 2n-word accumulator in memory; the rotating method slides an
+// (n+1)-register window; the fixed method pins the n+1 most used words
+// v[3..n+3] (the generalisation of Algorithm 1's v[3..11]) and leaves
+// the n−1 others in memory.
+func MeasureGeneric(m Method, a, b gf2.Poly, n int) (gf2.Poly, Counts) {
+	if n < 2 {
+		panic("opcount: word count too small")
+	}
+	aw := make([]uint32, n)
+	bw := make([]uint32, n)
+	copy(aw, a)
+	copy(bw, b)
+
+	var t counter
+	// Lookup table: 16 rows of n words.
+	lut := make([][]uint32, lutSize)
+	for u := range lut {
+		lut[u] = make([]uint32, n)
+	}
+	t.read(n) // load y
+	copy(lut[1], bw)
+	t.write(n)
+	for u := 2; u < lutSize; u++ {
+		if u%2 == 0 {
+			t.read(n)
+			var carry uint32
+			for i := 0; i < n; i++ {
+				v := lut[u/2][i]<<1 | carry
+				carry = lut[u/2][i] >> 31
+				lut[u][i] = v
+			}
+			t.shift(2*n - 1)
+			t.xor(n - 1)
+		} else {
+			for i := 0; i < n; i++ {
+				lut[u][i] = lut[u-1][i] ^ bw[i]
+			}
+			t.xor(n)
+		}
+		t.write(n)
+	}
+
+	inMem := placementFor(m, n)
+	v := make([]uint32, 2*n)
+	for j := passes - 1; j >= 0; j-- {
+		if m == MethodRotating {
+			t.read(n + 1) // load the initial window
+		}
+		for k := 0; k < n; k++ {
+			t.read(1) // x[k]
+			u := aw[k] >> (gf2.WordBits / passes * j) & (lutSize - 1)
+			for l := 0; l < n; l++ {
+				t.read(1)
+				if inMem(l+k, k) {
+					t.read(1)
+				}
+				v[l+k] ^= lut[u][l]
+				t.xor(1)
+				if inMem(l+k, k) {
+					t.write(1)
+				}
+			}
+			if m == MethodRotating && k+1 < n {
+				t.write(1) // retire the lowest window word
+				t.read(1)  // pull in the next
+			}
+		}
+		if m == MethodRotating {
+			t.write(n + 1) // flush the final window
+		}
+		if j != 0 {
+			for i := 2*n - 1; i > 0; i-- {
+				v[i] = v[i]<<4 | v[i-1]>>28
+			}
+			v[0] <<= 4
+			t.shift(4*n - 2)
+			t.xor(2*n - 1)
+			for i := 0; i < 2*n; i++ {
+				if inMem(i, -1) {
+					t.read(1)
+					t.write(1)
+				}
+			}
+		}
+	}
+	return gf2.Poly(v).Norm(), t.c
+}
+
+// placementFor returns the memory-residency predicate of a method at
+// word count n. The second argument is the column index (used by the
+// rotating window; -1 means "outside the column loop", where the
+// rotating window has been flushed to memory).
+func placementFor(m Method, n int) func(i, k int) bool {
+	switch m {
+	case MethodLD:
+		return func(int, int) bool { return true }
+	case MethodRotating:
+		return func(i, k int) bool {
+			if k < 0 {
+				return true // window flushed between passes
+			}
+			return i < k || i > k+n
+		}
+	case MethodFixed:
+		// The n+1 most frequently used words are pinned. Word t is hit
+		// by columns k ∈ [max(0,t−n+1), min(n−1,t)], so the frequency
+		// peaks at t = n−1; the hottest n+1 words are the centred span
+		// v[n/2−1 .. 3n/2−1] (v[3..11] at the paper's n = 8).
+		lo := (n - 2) / 2
+		hi := lo + n
+		return func(i, k int) bool { return i < lo || i > hi }
+	default:
+		panic("opcount: unknown method")
+	}
+}

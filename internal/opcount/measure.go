@@ -1,0 +1,192 @@
+package opcount
+
+import "repro/internal/gf233"
+
+// Instrumented word-level executions of the three LD variants. Each
+// routine computes the real field product (verified against gf233 in
+// the tests) while tallying memory reads, memory writes, XORs and
+// shifts under an explicit register-placement policy.
+//
+// Accounting conventions (the paper does not publish its bookkeeping,
+// so ours is documented here and the tests pin the measured totals to
+// the paper's closed forms within a relative tolerance):
+//
+//   - the multiplicand y is loaded into registers once (n reads);
+//   - lookup-table entries are stored as produced (n writes each); even
+//     entries T[2i] = T[i]·z cost n reads (re-loading T[i]), 2n−1 shifts
+//     and n−1 combines (counted as XOR); odd entries T[2i+1] = T[2i]+y
+//     cost n XORs and no reads (T[2i] is still in registers);
+//   - the main loop reads x[k] once per (j,k) and one table word per
+//     inner step; the accumulator word costs a read and a write when the
+//     policy places it in memory and nothing when it is in a register;
+//     the window-extraction shift/mask of u is not tallied (identical
+//     across methods and folded into the loop overhead by the paper);
+//   - a multi-precision shift event over the 2n-word accumulator costs
+//     4n−2 shifts and 2n−1 combines, plus a read and a write for every
+//     memory-resident word. With 7 main-loop shift events and 7 even
+//     table entries this reproduces the paper's 42n−21 shift total
+//     exactly.
+
+const (
+	n       = gf233.NumWords // 8 words for F_2^233
+	passes  = 32 / gf233.W   // 8 nibble passes (⌈W/w⌉)
+	vWords  = 2 * n          // accumulator length
+	lutSize = 16
+)
+
+// counter tallies operations with convenience helpers.
+type counter struct{ c Counts }
+
+func (t *counter) read(k int)  { t.c.Read += k }
+func (t *counter) write(k int) { t.c.Write += k }
+func (t *counter) xor(k int)   { t.c.XOR += k }
+func (t *counter) shift(k int) { t.c.Shift += k }
+
+// buildLUT computes the 16-entry table while tallying per the package
+// conventions.
+func (t *counter) buildLUT(y gf233.Elem) [lutSize][n]uint32 {
+	var lut [lutSize][n]uint32
+	t.read(n) // load y into registers
+	copy(lut[1][:], y[:])
+	t.write(n)
+	for u := 2; u < lutSize; u++ {
+		if u%2 == 0 {
+			t.read(n) // reload T[u/2]
+			var carry uint32
+			for i := 0; i < n; i++ {
+				lut[u][i] = lut[u/2][i]<<1 | carry
+				carry = lut[u/2][i] >> 31
+			}
+			t.shift(2*n - 1)
+			t.xor(n - 1)
+		} else {
+			for i := 0; i < n; i++ {
+				lut[u][i] = lut[u-1][i] ^ y[i]
+			}
+			t.xor(n)
+		}
+		t.write(n)
+	}
+	return lut
+}
+
+// shiftEvent shifts the 2n-word accumulator left by the window width,
+// charging memory traffic for the memory-resident words reported by
+// inMem.
+func (t *counter) shiftEvent(v *[vWords]uint32, inMem func(i int) bool) {
+	for i := vWords - 1; i > 0; i-- {
+		v[i] = v[i]<<gf233.W | v[i-1]>>(32-gf233.W)
+	}
+	v[0] <<= gf233.W
+	t.shift(4*n - 2)
+	t.xor(2*n - 1)
+	for i := 0; i < vWords; i++ {
+		if inMem(i) {
+			t.read(1)
+			t.write(1)
+		}
+	}
+}
+
+// Measure runs one instrumented multiplication of a and b with the
+// given method and returns the reduced product together with the
+// operation tally. Reduction is not part of the tally (the paper's
+// Tables 1–2 cover the multiplication proper).
+func Measure(m Method, a, b gf233.Elem) (gf233.Elem, Counts) {
+	switch m {
+	case MethodLD:
+		return measureLD(a, b)
+	case MethodRotating:
+		return measureRotating(a, b)
+	case MethodFixed:
+		return measureFixed(a, b)
+	default:
+		panic("opcount: unknown method")
+	}
+}
+
+// measureLD: method A — the whole accumulator lives in memory.
+func measureLD(a, b gf233.Elem) (gf233.Elem, Counts) {
+	var t counter
+	lut := t.buildLUT(b)
+	var v [vWords]uint32
+	for j := passes - 1; j >= 0; j-- {
+		for k := 0; k < n; k++ {
+			t.read(1) // x[k]
+			u := a[k] >> (gf233.W * j) & (lutSize - 1)
+			for l := 0; l < n; l++ {
+				t.read(1) // T[u][l]
+				t.read(1) // v[l+k] from memory
+				v[l+k] ^= lut[u][l]
+				t.xor(1)
+				t.write(1) // v[l+k] back to memory
+			}
+		}
+		if j != 0 {
+			t.shiftEvent(&v, func(int) bool { return true })
+		}
+	}
+	return gf233.Reduce(v), t.c
+}
+
+// measureRotating: method B — a window of n+1 registers slides over the
+// accumulator; each pass loads the initial window, rotates one word at
+// a time (one store, one load) and flushes the final window.
+func measureRotating(a, b gf233.Elem) (gf233.Elem, Counts) {
+	var t counter
+	lut := t.buildLUT(b)
+	var v [vWords]uint32
+	for j := passes - 1; j >= 0; j-- {
+		t.read(n + 1) // load window v[0..n]
+		for k := 0; k < n; k++ {
+			t.read(1) // x[k]
+			u := a[k] >> (gf233.W * j) & (lutSize - 1)
+			for l := 0; l < n; l++ {
+				t.read(1) // T[u][l]; v[l+k] is in the register window
+				v[l+k] ^= lut[u][l]
+				t.xor(1)
+			}
+			if k+1 < n {
+				t.write(1) // retire v[k]
+				t.read(1)  // pull in v[k+n+1]
+			}
+		}
+		t.write(n + 1) // flush window v[n-1..2n-1]
+		if j != 0 {
+			t.shiftEvent(&v, func(int) bool { return true })
+		}
+	}
+	return gf233.Reduce(v), t.c
+}
+
+// fixedInMem reports the paper's fixed placement: v[0..2] and v[12..15]
+// in memory, v[3..11] pinned in registers (Algorithm 1's layout).
+func fixedInMem(i int) bool { return i < 3 || i >= 12 }
+
+// measureFixed: method C — the paper's contribution.
+func measureFixed(a, b gf233.Elem) (gf233.Elem, Counts) {
+	var t counter
+	lut := t.buildLUT(b)
+	var v [vWords]uint32
+	for j := passes - 1; j >= 0; j-- {
+		for k := 0; k < n; k++ {
+			t.read(1) // x[k]
+			u := a[k] >> (gf233.W * j) & (lutSize - 1)
+			for l := 0; l < n; l++ {
+				t.read(1) // T[u][l]
+				if fixedInMem(l + k) {
+					t.read(1)
+				}
+				v[l+k] ^= lut[u][l]
+				t.xor(1)
+				if fixedInMem(l + k) {
+					t.write(1)
+				}
+			}
+		}
+		if j != 0 {
+			t.shiftEvent(&v, fixedInMem)
+		}
+	}
+	return gf233.Reduce(v), t.c
+}

@@ -1,0 +1,285 @@
+package opcount
+
+import (
+	"math"
+	"math/rand"
+	"repro/internal/gf2"
+	"strings"
+	"testing"
+
+	"repro/internal/gf233"
+)
+
+// TestTable2PaperValues pins the closed forms to the exact numbers the
+// paper prints in Table 2 for F_2^233 (n = 8).
+func TestTable2PaperValues(t *testing.T) {
+	want := map[Method]Counts{
+		MethodLD:       {Read: 1208, Write: 752, XOR: 745, Shift: 315},
+		MethodRotating: {Read: 816, Write: 368, XOR: 809, Shift: 315},
+		MethodFixed:    {Read: 705, Write: 249, XOR: 745, Shift: 315},
+	}
+	wantCycles := map[Method]int{
+		MethodLD:       4980,
+		MethodRotating: 3492,
+		MethodFixed:    2968,
+	}
+	for m, w := range want {
+		got := Formula(m, 8)
+		if got != w {
+			t.Errorf("%s: Formula = %+v, want %+v", m, got, w)
+		}
+		if got.Cycles() != wantCycles[m] {
+			t.Errorf("%s: cycles = %d, want %d", m, got.Cycles(), wantCycles[m])
+		}
+	}
+}
+
+// TestPaperSpeedups verifies the paper's headline §3.3 claims: the
+// fixed-register method is ~15% faster than rotating registers and ~40%
+// faster than plain LD.
+func TestPaperSpeedups(t *testing.T) {
+	overRotating := SpeedupOver(MethodFixed, MethodRotating, 8)
+	if overRotating < 0.14 || overRotating > 0.16 {
+		t.Errorf("speedup over rotating = %.3f, paper claims ≈ 0.15", overRotating)
+	}
+	overLD := SpeedupOver(MethodFixed, MethodLD, 8)
+	if overLD < 0.39 || overLD > 0.42 {
+		t.Errorf("speedup over LD = %.3f, paper claims ≈ 0.40", overLD)
+	}
+}
+
+// TestMeasureCorrectness checks that the instrumented engines still
+// compute the right field product.
+func TestMeasureCorrectness(t *testing.T) {
+	rnd := rand.New(rand.NewSource(1))
+	for i := 0; i < 50; i++ {
+		a, b := gf233.Rand(rnd.Uint32), gf233.Rand(rnd.Uint32)
+		want := gf233.Mul(a, b)
+		for _, m := range Methods() {
+			got, _ := Measure(m, a, b)
+			if got != want {
+				t.Fatalf("%s: instrumented product mismatch", m)
+			}
+		}
+	}
+}
+
+// TestMeasureDeterministic checks the tallies are data-independent (the
+// algorithms are straight-line at the word level).
+func TestMeasureDeterministic(t *testing.T) {
+	rnd := rand.New(rand.NewSource(2))
+	for _, m := range Methods() {
+		_, first := Measure(m, gf233.Rand(rnd.Uint32), gf233.Rand(rnd.Uint32))
+		for i := 0; i < 10; i++ {
+			_, c := Measure(m, gf233.Rand(rnd.Uint32), gf233.Rand(rnd.Uint32))
+			if c != first {
+				t.Fatalf("%s: data-dependent operation count", m)
+			}
+		}
+	}
+}
+
+// TestMeasureTracksFormulas requires the measured tallies to stay
+// within 12%% of the paper's closed forms column by column (our
+// bookkeeping conventions differ in the unpublished details) and to
+// reproduce the shift count exactly.
+func TestMeasureTracksFormulas(t *testing.T) {
+	rnd := rand.New(rand.NewSource(3))
+	a, b := gf233.Rand(rnd.Uint32), gf233.Rand(rnd.Uint32)
+	for _, m := range Methods() {
+		_, got := Measure(m, a, b)
+		want := Formula(m, 8)
+		check := func(name string, g, w int, tol float64) {
+			if w == 0 {
+				return
+			}
+			if rel := math.Abs(float64(g-w)) / float64(w); rel > tol {
+				t.Errorf("%s %s: measured %d vs formula %d (%.1f%% off)",
+					m, name, g, w, 100*rel)
+			}
+		}
+		check("Read", got.Read, want.Read, 0.12)
+		check("Write", got.Write, want.Write, 0.12)
+		check("XOR", got.XOR, want.XOR, 0.12)
+		if got.Shift != want.Shift {
+			t.Errorf("%s Shift: measured %d, want exactly %d", m, got.Shift, want.Shift)
+		}
+		check("Cycles", got.Cycles(), want.Cycles(), 0.12)
+	}
+}
+
+// TestMeasuredOrdering verifies the paper's qualitative result on our
+// own tallies: fixed < rotating < plain LD in memory traffic and in
+// estimated cycles.
+func TestMeasuredOrdering(t *testing.T) {
+	rnd := rand.New(rand.NewSource(4))
+	a, b := gf233.Rand(rnd.Uint32), gf233.Rand(rnd.Uint32)
+	_, cA := Measure(MethodLD, a, b)
+	_, cB := Measure(MethodRotating, a, b)
+	_, cC := Measure(MethodFixed, a, b)
+	if !(cC.Read+cC.Write < cB.Read+cB.Write && cB.Read+cB.Write < cA.Read+cA.Write) {
+		t.Errorf("memory traffic not ordered C < B < A: A=%d B=%d C=%d",
+			cA.Read+cA.Write, cB.Read+cB.Write, cC.Read+cC.Write)
+	}
+	if !(cC.Cycles() < cB.Cycles() && cB.Cycles() < cA.Cycles()) {
+		t.Errorf("cycles not ordered C < B < A: %d, %d, %d",
+			cA.Cycles(), cB.Cycles(), cC.Cycles())
+	}
+}
+
+func TestCountsHelpers(t *testing.T) {
+	c := Counts{Read: 1, Write: 2, XOR: 3, Shift: 4}
+	d := c.Add(Counts{Read: 10, Write: 20, XOR: 30, Shift: 40})
+	if d != (Counts{11, 22, 33, 44}) {
+		t.Fatalf("Add = %+v", d)
+	}
+	if c.Total() != 10 {
+		t.Fatalf("Total = %d", c.Total())
+	}
+	if c.Cycles() != 2*3+3+4 {
+		t.Fatalf("Cycles = %d", c.Cycles())
+	}
+}
+
+func TestMethodStrings(t *testing.T) {
+	if MethodLD.Letter() != "A" || MethodRotating.Letter() != "B" || MethodFixed.Letter() != "C" {
+		t.Fatal("method letters wrong")
+	}
+	for _, m := range Methods() {
+		if m.String() == "" || strings.HasPrefix(m.String(), "Method(") {
+			t.Fatalf("missing name for method %d", m)
+		}
+	}
+	if !strings.HasPrefix(Method(9).String(), "Method(") {
+		t.Fatal("unknown method should render numerically")
+	}
+}
+
+func TestFormulaStrings(t *testing.T) {
+	for _, m := range Methods() {
+		fs := FormulaStrings(m)
+		for _, s := range fs {
+			if s == "" {
+				t.Fatalf("%s: empty formula string", m)
+			}
+		}
+	}
+	// Spot check against Table 1 text.
+	if FormulaStrings(MethodFixed)[1] != "31n + 1" {
+		t.Fatal("method C write formula text wrong")
+	}
+}
+
+func TestFig1(t *testing.T) {
+	s := Fig1()
+	for _, want := range []string{
+		"LD with fixed registers",
+		"R = word pinned in a register",
+		"k=0", "k=7",
+		"C <<= 4",
+	} {
+		if !strings.Contains(s, want) {
+			t.Errorf("Fig1 output missing %q", want)
+		}
+	}
+	// The layout line must show 3 leading Ms, 9 Rs, 4 trailing Ms.
+	if !strings.Contains(s, "M M M R R R R R R R R R M M M M") {
+		t.Error("Fig1 register/memory layout line wrong")
+	}
+}
+
+func BenchmarkMeasureFixed(b *testing.B) {
+	rnd := rand.New(rand.NewSource(1))
+	x, y := gf233.Rand(rnd.Uint32), gf233.Rand(rnd.Uint32)
+	for i := 0; i < b.N; i++ {
+		Measure(MethodFixed, x, y)
+	}
+}
+
+// TestMeasureGenericMatchesFixedEngine: at n = 8 the generic engine
+// must agree with the specialised ones in both product and tallies.
+func TestMeasureGenericMatchesFixedEngine(t *testing.T) {
+	rnd := rand.New(rand.NewSource(21))
+	a, b := gf233.Rand(rnd.Uint32), gf233.Rand(rnd.Uint32)
+	for _, m := range Methods() {
+		want, wc := Measure(m, a, b)
+		got, gc := MeasureGeneric(m, a.Poly(), b.Poly(), 8)
+		if !gf2.Equal(got, gf2.Mul(a.Poly(), b.Poly())) {
+			t.Fatalf("%s: generic product wrong", m)
+		}
+		if gc != wc {
+			t.Errorf("%s: generic tallies %+v != specialised %+v", m, gc, wc)
+		}
+		_ = want
+	}
+}
+
+// TestTable1FormulasAcrossN probes the paper's closed forms as
+// functions of n, not just at the n = 8 point Table 2 evaluates. The
+// shift form 42n−21 is exact at every size for every method, and
+// methods A and B track their formulas across sizes. Method C exposes a
+// limitation of the paper's Table 1 worth documenting: its write form
+// (31n+1) is linear, but with n+1 pinned registers against an n-word
+// sliding window, the out-of-register traffic grows like n²/4 per pass
+// — the closed form is a fit around the paper's n = 8 operating point,
+// and the measured writes overtake it as n grows.
+func TestTable1FormulasAcrossN(t *testing.T) {
+	rnd := rand.New(rand.NewSource(22))
+	rel := func(g, w int) float64 {
+		return math.Abs(float64(g-w)) / float64(w)
+	}
+	for _, n := range []int{4, 6, 8, 10, 12, 16} {
+		a := make(gf2.Poly, n)
+		b := make(gf2.Poly, n)
+		for i := 0; i < n; i++ {
+			a[i], b[i] = rnd.Uint32(), rnd.Uint32()
+		}
+		// The n-word-table case of the paper's eq. (1) requires
+		// deg(y) <= nW - (w-1): clear the top w-1 bits of y.
+		b[n-1] &= 0x1fffffff
+		want := gf2.Mul(a, b)
+		for _, m := range Methods() {
+			got, c := MeasureGeneric(m, a, b, n)
+			if !gf2.Equal(got, want) {
+				t.Fatalf("n=%d %s: wrong product", n, m)
+			}
+			f := Formula(m, n)
+			if c.Shift != f.Shift {
+				t.Errorf("n=%d %s: shifts %d, formula %d", n, m, c.Shift, f.Shift)
+			}
+			xorTol := 0.15
+			if m == MethodRotating {
+				// The paper books extra rotation-related ops in B's XOR
+				// column that our engine does not model.
+				xorTol = 0.20
+			}
+			if rel(c.XOR, f.XOR) > xorTol {
+				t.Errorf("n=%d %s: XOR drift: %d vs %d", n, m, c.XOR, f.XOR)
+			}
+			// Memory columns: tight for A and B everywhere; for C only
+			// near the paper's operating point.
+			if m != MethodFixed || (n >= 6 && n <= 8) {
+				if rel(c.Read, f.Read) > 0.15 || rel(c.Write, f.Write) > 0.15 {
+					t.Errorf("n=%d %s: memory tallies drift: %+v vs %+v", n, m, c, f)
+				}
+				if rel(c.Cycles(), f.Cycles()) > 0.15 {
+					t.Errorf("n=%d %s: cycle drift: %d vs %d", n, m, c.Cycles(), f.Cycles())
+				}
+			}
+		}
+		// The documented divergence: at large n the measured method-C
+		// writes exceed the linear 31n+1 form.
+		if n >= 16 {
+			_, cC := MeasureGeneric(MethodFixed, a, b, n)
+			if cC.Write <= Formula(MethodFixed, n).Write {
+				t.Errorf("n=%d: expected quadratic write growth above the paper's linear form", n)
+			}
+		}
+		// The fixed-register advantage itself holds at every size.
+		_, cA := MeasureGeneric(MethodLD, a, b, n)
+		_, cC := MeasureGeneric(MethodFixed, a, b, n)
+		if cC.Cycles() >= cA.Cycles() {
+			t.Errorf("n=%d: fixed (%d) not below plain LD (%d)", n, cC.Cycles(), cA.Cycles())
+		}
+	}
+}

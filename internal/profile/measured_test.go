@@ -1,0 +1,93 @@
+package profile
+
+import (
+	"testing"
+)
+
+// TestMeasuredKPAgainstPaper: the highest-fidelity path must land very
+// close to the paper's measured totals (Table 6's assembly column:
+// kP 2 761 640, kG 1 864 470 cycles).
+func TestMeasuredKPAgainstPaper(t *testing.T) {
+	c := opCosts(t)
+	kp, err := MeasuredKP(c, testScalar())
+	if err != nil {
+		t.Fatal(err)
+	}
+	within(t, "measured kP total", float64(kp.Cycles), 2761640, 0.05)
+	within(t, "measured kP time", kp.TimeMS, 59.18, 0.06)
+	within(t, "measured kP energy", kp.EnergyMicroJ, 34.16, 0.10)
+	// Phase structure: multiply still dominates.
+	if kp.Multiply <= kp.Square || kp.Multiply <= kp.Support {
+		t.Error("multiply phase not dominant in the measured breakdown")
+	}
+}
+
+func TestMeasuredKGAgainstPaper(t *testing.T) {
+	c := opCosts(t)
+	kg, err := MeasuredKG(c, testScalar())
+	if err != nil {
+		t.Fatal(err)
+	}
+	within(t, "measured kG total", float64(kg.Cycles), 1864470, 0.05)
+	within(t, "measured kG time", kg.TimeMS, 39.70, 0.06)
+	within(t, "measured kG energy", kg.EnergyMicroJ, 20.63, 0.12)
+	if kg.TNAFPre != 0 {
+		t.Error("measured kG should have no precomputation phase")
+	}
+}
+
+// TestMeasuredSpeedupsOverRelic: with the measured "this work" path the
+// paper's headline ratios reproduce more tightly than with the model.
+func TestMeasuredSpeedupsOverRelic(t *testing.T) {
+	c := opCosts(t)
+	k := testScalar()
+	kp, err := MeasuredKP(c, k)
+	if err != nil {
+		t.Fatal(err)
+	}
+	kg, err := MeasuredKG(c, k)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rkp, rkg := RelicKP(c, k), RelicKG(c, k)
+	kpRatio := float64(rkp.Cycles) / float64(kp.Cycles)
+	kgRatio := float64(rkg.Cycles) / float64(kg.Cycles)
+	// Paper: 1.99 and 2.98.
+	if kpRatio < 1.8 || kpRatio > 2.4 {
+		t.Errorf("measured kP speedup %.2f out of band (paper 1.99)", kpRatio)
+	}
+	if kgRatio < 2.5 || kgRatio > 3.3 {
+		t.Errorf("measured kG speedup %.2f out of band (paper 2.98)", kgRatio)
+	}
+	// The ≥3.3x-class energy gap vs RELIC kG (paper 3.37x) must land
+	// within a reasonable band on the measured path.
+	gap := rkg.EnergyMicroJ / kg.EnergyMicroJ
+	if gap < 2.5 {
+		t.Errorf("measured energy gap vs RELIC kG %.2f too small (paper 3.37)", gap)
+	}
+}
+
+// TestMeasuredConsistentWithModel: the measured and modelled paths must
+// agree on the shared phases and stay within ~15% on totals (the model
+// overestimates support overhead by design).
+func TestMeasuredConsistentWithModel(t *testing.T) {
+	c := opCosts(t)
+	k := testScalar()
+	meas, err := MeasuredKP(c, k)
+	if err != nil {
+		t.Fatal(err)
+	}
+	model := ThisWorkKP(c, k)
+	if meas.TNAFRepr != model.TNAFRepr || meas.Inversion != model.Inversion {
+		t.Error("host-side phases differ between measured and model")
+	}
+	ratio := float64(model.Cycles) / float64(meas.Cycles)
+	if ratio < 1.0 || ratio > 1.20 {
+		t.Errorf("model/measured ratio %.3f outside [1.00, 1.20]", ratio)
+	}
+	// Digit statistics agree with the recoding layer.
+	digits := digitsFor(k, 4)
+	if len(digits) == 0 {
+		t.Fatal("no digits")
+	}
+}

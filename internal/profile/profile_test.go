@@ -1,0 +1,203 @@
+package profile
+
+import (
+	"math/big"
+	"sync"
+	"testing"
+)
+
+var (
+	costsOnce sync.Once
+	costs     *OpCosts
+)
+
+func opCosts(t testing.TB) *OpCosts {
+	costsOnce.Do(func() {
+		c, err := MeasureOpCosts()
+		if err != nil {
+			t.Fatalf("MeasureOpCosts: %v", err)
+		}
+		costs = c
+	})
+	return costs
+}
+
+func testScalar() *big.Int {
+	k, _ := new(big.Int).SetString(
+		"6c9b1f47a1b0c2d3e4f5061728394a5b6c7d8e9f0011223344556677", 16)
+	return k
+}
+
+// within checks a value against a paper figure with a relative
+// tolerance.
+func within(t *testing.T, name string, got, paper, tol float64) {
+	t.Helper()
+	if got < paper*(1-tol) || got > paper*(1+tol) {
+		t.Errorf("%s = %.0f, paper %.0f (tolerance ±%.0f%%)", name, got, paper, 100*tol)
+	}
+}
+
+func TestOpCostsShape(t *testing.T) {
+	c := opCosts(t)
+	if c.LUTCycles >= c.MulCycles {
+		t.Error("LUT build should be a fraction of a multiplication")
+	}
+	if c.MulCycles >= c.MulCCycles {
+		t.Error("optimised multiplication not faster than compiler-style")
+	}
+	if c.SqrCycles >= c.SqrCCycles {
+		t.Error("interleaved squaring not faster than separate")
+	}
+	// Table 5 "This work" row shape: Sqr ≈ 395, Mul ≈ 3672 on the paper's
+	// silicon; our simulator within ±25%.
+	within(t, "mul cycles", float64(c.MulCycles), 3672, 0.25)
+	within(t, "sqr cycles", float64(c.SqrCycles), 395, 0.25)
+	// Table 6 inversion (C): 141916.
+	within(t, "inv cycles", float64(c.InvCycles), 141916, 0.25)
+}
+
+func TestInvCycleModelDeterministic(t *testing.T) {
+	if InvCycleModel() != InvCycleModel() {
+		t.Error("inversion model not deterministic")
+	}
+}
+
+func TestTable7KPShape(t *testing.T) {
+	b := ThisWorkKP(opCosts(t), testScalar())
+	// Phase-by-phase against the paper's Table 7 kP column.
+	within(t, "TNAF repr", float64(b.TNAFRepr), 178135, 0.15)
+	within(t, "TNAF precomp", float64(b.TNAFPre), 398387, 0.25)
+	within(t, "multiply", float64(b.Multiply), 1108890, 0.30)
+	within(t, "mul precomp", float64(b.MulPre), 249750, 0.30)
+	within(t, "square", float64(b.Square), 362379, 0.30)
+	within(t, "inversion", float64(b.Inversion), 139936, 0.25)
+	within(t, "support", float64(b.Support), 377350, 0.25)
+	within(t, "total", float64(b.Cycles), 2814827, 0.20)
+	// Multiply must dominate, as the paper stresses ("the field
+	// multiplication routine is the most dominant in terms of execution
+	// time").
+	for name, v := range map[string]uint64{
+		"TNAFRepr": b.TNAFRepr, "TNAFPre": b.TNAFPre, "MulPre": b.MulPre,
+		"Square": b.Square, "Inversion": b.Inversion, "Support": b.Support,
+	} {
+		if b.Multiply <= v {
+			t.Errorf("multiply (%d) not dominant over %s (%d)", b.Multiply, name, v)
+		}
+	}
+	if b.Total() != b.Cycles {
+		t.Error("Cycles != phase total")
+	}
+}
+
+func TestTable7KGShape(t *testing.T) {
+	c := opCosts(t)
+	kp := ThisWorkKP(c, testScalar())
+	kg := ThisWorkKG(c, testScalar())
+	// kG skips the runtime precomputation entirely (Table 7 row = 0).
+	if kg.TNAFPre != 0 {
+		t.Errorf("kG TNAF precomputation = %d, want 0", kg.TNAFPre)
+	}
+	// kG is substantially cheaper than kP (paper: 1.86M vs 2.81M).
+	if float64(kg.Cycles) > 0.85*float64(kp.Cycles) {
+		t.Errorf("kG (%d) not sufficiently below kP (%d)", kg.Cycles, kp.Cycles)
+	}
+	within(t, "kG total", float64(kg.Cycles), 1864470, 0.25)
+	within(t, "kG multiply", float64(kg.Multiply), 821178, 0.30)
+	within(t, "kG square", float64(kg.Square), 342294, 0.30)
+	within(t, "kG TNAF repr", float64(kg.TNAFRepr), 185926, 0.15)
+}
+
+func TestTable4ThisWorkRows(t *testing.T) {
+	c := opCosts(t)
+	kp := ThisWorkKP(c, testScalar())
+	kg := ThisWorkKG(c, testScalar())
+	// Timings at 48 MHz (paper: 59.18 ms and 39.70 ms).
+	within(t, "kP ms", kp.TimeMS, 59.18, 0.20)
+	within(t, "kG ms", kg.TimeMS, 39.70, 0.25)
+	// Power near the paper's 577.2 / 519.6 µW measurements.
+	within(t, "kP power", kp.PowerMicroW, 577.2, 0.10)
+	within(t, "kG power", kg.PowerMicroW, 519.6, 0.10)
+	// Energy (paper Table 4: 34.16 / 20.63 µJ).
+	within(t, "kP energy", kp.EnergyMicroJ, 34.16, 0.20)
+	within(t, "kG energy", kg.EnergyMicroJ, 20.63, 0.30)
+}
+
+func TestRelicBaseline(t *testing.T) {
+	c := opCosts(t)
+	rkp := RelicKP(c, testScalar())
+	rkg := RelicKG(c, testScalar())
+	within(t, "relic kP cycles", float64(rkp.Cycles), 5621045, 0.15)
+	within(t, "relic kG cycles", float64(rkg.Cycles), 5553828, 0.15)
+	// §4.2.1: RELIC draws ≈ 600 µW.
+	within(t, "relic power", rkp.PowerMicroW, 600, 0.10)
+	// Energies: 70.26 / 71.6 µJ region.
+	within(t, "relic kP energy", rkp.EnergyMicroJ, 70.26, 0.15)
+}
+
+func TestSpeedupOverRelic(t *testing.T) {
+	c := opCosts(t)
+	k := testScalar()
+	kp, kg := ThisWorkKP(c, k), ThisWorkKG(c, k)
+	rkp, rkg := RelicKP(c, k), RelicKG(c, k)
+	// Paper: "our random point implementation is 1.99 times faster, and
+	// our fixed point implementation is 2.98 times faster". Our
+	// simulated substrate compresses the gap somewhat (documented in
+	// EXPERIMENTS.md); the ordering and the >1.7x / >2.2x magnitudes
+	// must hold.
+	kpRatio := float64(rkp.Cycles) / float64(kp.Cycles)
+	kgRatio := float64(rkg.Cycles) / float64(kg.Cycles)
+	if kpRatio < 1.7 {
+		t.Errorf("kP speedup over RELIC = %.2f, want > 1.7 (paper 1.99)", kpRatio)
+	}
+	if kgRatio < 2.2 {
+		t.Errorf("kG speedup over RELIC = %.2f, want > 2.2 (paper 2.98)", kgRatio)
+	}
+	if kgRatio <= kpRatio {
+		t.Error("fixed-point speedup should exceed random-point speedup")
+	}
+	// Energy ordering: this work well below RELIC on both operations.
+	if kp.EnergyMicroJ >= rkp.EnergyMicroJ || kg.EnergyMicroJ >= rkg.EnergyMicroJ {
+		t.Error("this work does not beat RELIC on energy")
+	}
+}
+
+func TestScalarInsensitivity(t *testing.T) {
+	// Different random scalars must give near-identical totals (digit
+	// density concentrates tightly).
+	c := opCosts(t)
+	k2, _ := new(big.Int).SetString(
+		"123456789abcdef0fedcba9876543210aabbccddeeff001122334455", 16)
+	a := ThisWorkKP(c, testScalar())
+	b := ThisWorkKP(c, k2)
+	diff := float64(a.Cycles) - float64(b.Cycles)
+	if diff < 0 {
+		diff = -diff
+	}
+	if diff/float64(a.Cycles) > 0.05 {
+		t.Errorf("scalar-dependent cost spread too wide: %d vs %d", a.Cycles, b.Cycles)
+	}
+}
+
+func TestModelMonotonicInW(t *testing.T) {
+	// Larger windows mean fewer additions: the Multiply phase must
+	// shrink as w grows (for the fixed-base case where precomputation is
+	// free).
+	c := opCosts(t)
+	prev := ^uint64(0)
+	for w := 3; w <= 7; w++ {
+		b := Model(c, testScalar(), Config{W: w, FixedBase: true})
+		if b.Multiply >= prev {
+			t.Errorf("w=%d: multiply phase %d did not shrink (prev %d)", w, b.Multiply, prev)
+		}
+		prev = b.Multiply
+	}
+}
+
+func BenchmarkModelKP(b *testing.B) {
+	c := opCosts(b)
+	k := testScalar()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ThisWorkKP(c, k)
+	}
+}

@@ -1,0 +1,166 @@
+// Package sign implements ECDSA-style signatures over sect233k1, the
+// authentication counterpart to the key exchange in a WSN hybrid
+// cryptosystem (what Micro ECC, the Table 4 comparison library,
+// provides as ECDSA).
+//
+// Signing uses the paper's fixed-point multiplication (k·G);
+// verification uses one fixed-point and one random-point
+// multiplication.
+package sign
+
+import (
+	"bytes"
+	"crypto/hmac"
+	"crypto/sha256"
+	"errors"
+	"io"
+	"math/big"
+
+	"repro/internal/core"
+	"repro/internal/ec"
+)
+
+// Signature is an (r, s) pair with 1 <= r, s < n.
+type Signature struct {
+	R, S *big.Int
+}
+
+// Errors returned by Sign/Verify.
+var (
+	ErrInvalidKey       = errors.New("sign: invalid key")
+	ErrSigningFailed    = errors.New("sign: could not produce a signature")
+	ErrInvalidSignature = errors.New("sign: invalid signature encoding")
+)
+
+// hashToInt converts a message digest to an integer modulo n, taking
+// the leftmost Order.BitLen() bits as ECDSA prescribes.
+func hashToInt(digest []byte) *big.Int {
+	e := new(big.Int).SetBytes(digest)
+	if excess := 8*len(digest) - ec.Order.BitLen(); excess > 0 {
+		e.Rsh(e, uint(excess))
+	}
+	return e.Mod(e, ec.Order)
+}
+
+// Sign produces a signature over the message digest with the private
+// key, drawing the nonce from rand.
+func Sign(priv *core.PrivateKey, digest []byte, rand io.Reader) (*Signature, error) {
+	if priv == nil || priv.D == nil || priv.D.Sign() == 0 {
+		return nil, ErrInvalidKey
+	}
+	e := hashToInt(digest)
+	for tries := 0; tries < 100; tries++ {
+		nonce, err := core.GenerateKey(rand)
+		if err != nil {
+			return nil, err
+		}
+		k := nonce.D
+		// R = k·G; r = x(R) as an integer mod n.
+		rp := nonce.Public
+		xb := rp.X.Bytes()
+		r := new(big.Int).SetBytes(xb[:])
+		r.Mod(r, ec.Order)
+		if r.Sign() == 0 {
+			continue
+		}
+		// s = k⁻¹ (e + r·d) mod n.
+		kinv := new(big.Int).ModInverse(k, ec.Order)
+		s := new(big.Int).Mul(r, priv.D)
+		s.Add(s, e)
+		s.Mul(s, kinv)
+		s.Mod(s, ec.Order)
+		if s.Sign() == 0 {
+			continue
+		}
+		return &Signature{R: r, S: s}, nil
+	}
+	return nil, ErrSigningFailed
+}
+
+// SignDeterministic produces a signature with an RFC 6979-style
+// deterministic nonce (HMAC-DRBG over the key and digest) instead of an
+// external random source. On a sensor node this removes the dependency
+// on a high-quality RNG at signing time — a real concern on the
+// MCU-class targets the paper addresses — and makes signatures
+// reproducible for testing.
+func SignDeterministic(priv *core.PrivateKey, digest []byte) (*Signature, error) {
+	if priv == nil || priv.D == nil || priv.D.Sign() == 0 {
+		return nil, ErrInvalidKey
+	}
+	drbg := newDRBG(priv.D, digest)
+	return Sign(priv, digest, drbg)
+}
+
+// drbg is a minimal HMAC-SHA256 deterministic bit generator in the
+// spirit of RFC 6979 (simplified: it feeds core.GenerateKey's rejection
+// sampler rather than implementing the exact bits2int pipeline).
+type drbg struct {
+	k, v []byte
+}
+
+func newDRBG(d *big.Int, digest []byte) *drbg {
+	g := &drbg{
+		k: make([]byte, sha256.Size),
+		v: bytes.Repeat([]byte{0x01}, sha256.Size),
+	}
+	seed := append(d.FillBytes(make([]byte, 30)), digest...)
+	g.update(seed)
+	return g
+}
+
+func (g *drbg) hmac(key []byte, parts ...[]byte) []byte {
+	h := hmac.New(sha256.New, key)
+	for _, p := range parts {
+		h.Write(p)
+	}
+	return h.Sum(nil)
+}
+
+func (g *drbg) update(seed []byte) {
+	g.k = g.hmac(g.k, g.v, []byte{0x00}, seed)
+	g.v = g.hmac(g.k, g.v)
+	if len(seed) > 0 {
+		g.k = g.hmac(g.k, g.v, []byte{0x01}, seed)
+		g.v = g.hmac(g.k, g.v)
+	}
+}
+
+// Read implements io.Reader over the DRBG output stream.
+func (g *drbg) Read(p []byte) (int, error) {
+	n := 0
+	for n < len(p) {
+		g.v = g.hmac(g.k, g.v)
+		n += copy(p[n:], g.v)
+	}
+	return len(p), nil
+}
+
+// Verify reports whether sig is a valid signature over digest for the
+// public key.
+func Verify(pub ec.Affine, digest []byte, sig *Signature) bool {
+	if sig == nil || sig.R == nil || sig.S == nil {
+		return false
+	}
+	if sig.R.Sign() <= 0 || sig.R.Cmp(ec.Order) >= 0 ||
+		sig.S.Sign() <= 0 || sig.S.Cmp(ec.Order) >= 0 {
+		return false
+	}
+	if pub.Inf || !pub.OnCurve() {
+		return false
+	}
+	e := hashToInt(digest)
+	w := new(big.Int).ModInverse(sig.S, ec.Order)
+	u1 := new(big.Int).Mul(e, w)
+	u1.Mod(u1, ec.Order)
+	u2 := new(big.Int).Mul(sig.R, w)
+	u2.Mod(u2, ec.Order)
+	// R' = u1·G + u2·Q.
+	rp := core.ScalarBaseMult(u1).Add(core.ScalarMult(u2, pub))
+	if rp.Inf {
+		return false
+	}
+	xb := rp.X.Bytes()
+	v := new(big.Int).SetBytes(xb[:])
+	v.Mod(v, ec.Order)
+	return v.Cmp(sig.R) == 0
+}

@@ -1,0 +1,179 @@
+package sign
+
+import (
+	"crypto/sha256"
+	"math/big"
+	"math/rand"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/ec"
+)
+
+func digestOf(msg string) []byte {
+	d := sha256.Sum256([]byte(msg))
+	return d[:]
+}
+
+func TestSignVerify(t *testing.T) {
+	rnd := rand.New(rand.NewSource(1))
+	key, err := core.GenerateKey(rnd)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, msg := range []string{"", "hello", "sensor reading 42.0C"} {
+		sig, err := Sign(key, digestOf(msg), rnd)
+		if err != nil {
+			t.Fatalf("Sign(%q): %v", msg, err)
+		}
+		if !Verify(key.Public, digestOf(msg), sig) {
+			t.Fatalf("valid signature over %q rejected", msg)
+		}
+	}
+}
+
+func TestVerifyRejectsTampering(t *testing.T) {
+	rnd := rand.New(rand.NewSource(2))
+	key, _ := core.GenerateKey(rnd)
+	other, _ := core.GenerateKey(rnd)
+	sig, err := Sign(key, digestOf("original"), rnd)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if Verify(key.Public, digestOf("tampered"), sig) {
+		t.Error("signature verified over a different message")
+	}
+	if Verify(other.Public, digestOf("original"), sig) {
+		t.Error("signature verified under the wrong key")
+	}
+	// Mangled r and s.
+	bad := &Signature{R: new(big.Int).Add(sig.R, big.NewInt(1)), S: sig.S}
+	if Verify(key.Public, digestOf("original"), bad) {
+		t.Error("mangled r accepted")
+	}
+	bad = &Signature{R: sig.R, S: new(big.Int).Add(sig.S, big.NewInt(1))}
+	if Verify(key.Public, digestOf("original"), bad) {
+		t.Error("mangled s accepted")
+	}
+}
+
+func TestVerifyRejectsMalformed(t *testing.T) {
+	rnd := rand.New(rand.NewSource(3))
+	key, _ := core.GenerateKey(rnd)
+	d := digestOf("msg")
+	cases := []*Signature{
+		nil,
+		{R: nil, S: nil},
+		{R: big.NewInt(0), S: big.NewInt(1)},
+		{R: big.NewInt(1), S: big.NewInt(0)},
+		{R: new(big.Int).Set(ec.Order), S: big.NewInt(1)},
+		{R: big.NewInt(1), S: new(big.Int).Set(ec.Order)},
+		{R: big.NewInt(-1), S: big.NewInt(1)},
+	}
+	for i, sig := range cases {
+		if Verify(key.Public, d, sig) {
+			t.Errorf("case %d: malformed signature accepted", i)
+		}
+	}
+	// Bad public keys.
+	sig, _ := Sign(key, d, rnd)
+	if Verify(ec.Infinity, d, sig) {
+		t.Error("infinity public key accepted")
+	}
+}
+
+func TestSignRejectsBadKey(t *testing.T) {
+	rnd := rand.New(rand.NewSource(4))
+	if _, err := Sign(nil, digestOf("x"), rnd); err == nil {
+		t.Error("nil key accepted")
+	}
+	if _, err := Sign(&core.PrivateKey{D: big.NewInt(0)}, digestOf("x"), rnd); err == nil {
+		t.Error("zero key accepted")
+	}
+}
+
+func TestSignaturesAreRandomised(t *testing.T) {
+	rnd := rand.New(rand.NewSource(5))
+	key, _ := core.GenerateKey(rnd)
+	d := digestOf("same message")
+	s1, _ := Sign(key, d, rnd)
+	s2, _ := Sign(key, d, rnd)
+	if s1.R.Cmp(s2.R) == 0 {
+		t.Error("two signatures share a nonce")
+	}
+}
+
+func TestHashToInt(t *testing.T) {
+	// A digest longer than the order must be truncated, not rejected.
+	long := make([]byte, 64)
+	for i := range long {
+		long[i] = 0xff
+	}
+	e := hashToInt(long)
+	if e.Cmp(ec.Order) >= 0 || e.Sign() < 0 {
+		t.Error("hashToInt out of range")
+	}
+	if hashToInt(nil).Sign() != 0 {
+		t.Error("empty digest should map to 0")
+	}
+}
+
+func BenchmarkSign(b *testing.B) {
+	rnd := rand.New(rand.NewSource(1))
+	key, _ := core.GenerateKey(rnd)
+	d := digestOf("bench")
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Sign(key, d, rnd); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkVerify(b *testing.B) {
+	rnd := rand.New(rand.NewSource(1))
+	key, _ := core.GenerateKey(rnd)
+	d := digestOf("bench")
+	sig, _ := Sign(key, d, rnd)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if !Verify(key.Public, d, sig) {
+			b.Fatal("verification failed")
+		}
+	}
+}
+
+func TestSignDeterministic(t *testing.T) {
+	rnd := rand.New(rand.NewSource(6))
+	key, _ := core.GenerateKey(rnd)
+	d := digestOf("deterministic message")
+	s1, err := SignDeterministic(key, d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s2, err := SignDeterministic(key, d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s1.R.Cmp(s2.R) != 0 || s1.S.Cmp(s2.S) != 0 {
+		t.Fatal("deterministic signatures differ")
+	}
+	if !Verify(key.Public, d, s1) {
+		t.Fatal("deterministic signature rejected")
+	}
+	// Different messages and different keys give different nonces.
+	s3, _ := SignDeterministic(key, digestOf("other message"))
+	if s3.R.Cmp(s1.R) == 0 {
+		t.Fatal("nonce reuse across messages")
+	}
+	other, _ := core.GenerateKey(rnd)
+	s4, _ := SignDeterministic(other, d)
+	if s4.R.Cmp(s1.R) == 0 {
+		t.Fatal("nonce reuse across keys")
+	}
+	if _, err := SignDeterministic(nil, d); err == nil {
+		t.Fatal("nil key accepted")
+	}
+}

@@ -1,0 +1,115 @@
+// Package tables renders the column-aligned text tables printed by the
+// benchmark harness (cmd/eccbench) when it regenerates the paper's
+// tables.
+package tables
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Table is a titled grid of cells.
+type Table struct {
+	title   string
+	columns []string
+	rows    [][]string
+	notes   []string
+}
+
+// New creates a table with the given title and column headers.
+func New(title string, columns ...string) *Table {
+	return &Table{title: title, columns: columns}
+}
+
+// Row appends a row; values are formatted with %v.
+func (t *Table) Row(cells ...any) *Table {
+	row := make([]string, len(cells))
+	for i, c := range cells {
+		switch v := c.(type) {
+		case float64:
+			row[i] = formatFloat(v)
+		default:
+			row[i] = fmt.Sprint(c)
+		}
+	}
+	t.rows = append(t.rows, row)
+	return t
+}
+
+// Sep appends a separator row.
+func (t *Table) Sep() *Table {
+	t.rows = append(t.rows, nil)
+	return t
+}
+
+// Note appends a footnote line.
+func (t *Table) Note(format string, args ...any) *Table {
+	t.notes = append(t.notes, fmt.Sprintf(format, args...))
+	return t
+}
+
+// formatFloat trims floats to a readable precision.
+func formatFloat(v float64) string {
+	switch {
+	case v == 0:
+		return "0"
+	case v >= 1000 || v == float64(int64(v)):
+		return fmt.Sprintf("%.0f", v)
+	case v >= 10:
+		return fmt.Sprintf("%.2f", v)
+	default:
+		return fmt.Sprintf("%.3f", v)
+	}
+}
+
+// String renders the table.
+func (t *Table) String() string {
+	widths := make([]int, len(t.columns))
+	for i, c := range t.columns {
+		widths[i] = len(c)
+	}
+	for _, r := range t.rows {
+		for i, c := range r {
+			if i < len(widths) && len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	var b strings.Builder
+	if t.title != "" {
+		fmt.Fprintf(&b, "%s\n", t.title)
+	}
+	line := func(cells []string) {
+		for i, w := range widths {
+			c := ""
+			if i < len(cells) {
+				c = cells[i]
+			}
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			fmt.Fprintf(&b, "%-*s", w, c)
+		}
+		b.WriteString("\n")
+	}
+	total := 0
+	for _, w := range widths {
+		total += w + 2
+	}
+	sep := strings.Repeat("-", total-2)
+	b.WriteString(sep + "\n")
+	line(t.columns)
+	b.WriteString(sep + "\n")
+	for _, r := range t.rows {
+		if r == nil {
+			b.WriteString(sep + "\n")
+			continue
+		}
+		line(r)
+	}
+	b.WriteString(sep + "\n")
+	for _, n := range t.notes {
+		fmt.Fprintf(&b, "  %s\n", n)
+	}
+	return b.String()
+}

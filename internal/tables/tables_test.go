@@ -1,0 +1,48 @@
+package tables
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestRendering(t *testing.T) {
+	tb := New("Table X. Demo", "Name", "Value")
+	tb.Row("alpha", 1)
+	tb.Row("beta", 2.5)
+	tb.Sep()
+	tb.Row("gamma", 12345.0)
+	tb.Note("a footnote")
+	s := tb.String()
+	for _, want := range []string{"Table X. Demo", "Name", "alpha", "beta", "2.500", "12345", "a footnote"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("output missing %q:\n%s", want, s)
+		}
+	}
+	// Columns aligned: every data line has the header width or more.
+	lines := strings.Split(s, "\n")
+	if len(lines) < 7 {
+		t.Fatalf("too few lines:\n%s", s)
+	}
+}
+
+func TestFloatFormatting(t *testing.T) {
+	cases := map[float64]string{
+		0:       "0",
+		3.14159: "3.142",
+		42.5:    "42.50",
+		1000.25: "1000",
+		7:       "7",
+	}
+	for in, want := range cases {
+		if got := formatFloat(in); got != want {
+			t.Errorf("formatFloat(%v) = %q, want %q", in, got, want)
+		}
+	}
+}
+
+func TestEmptyTable(t *testing.T) {
+	s := New("Empty", "A").String()
+	if !strings.Contains(s, "A") {
+		t.Error("header missing")
+	}
+}

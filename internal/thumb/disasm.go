@@ -1,0 +1,250 @@
+package thumb
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Disassemble renders the 16-bit instruction at the given halfword (the
+// second halfword is consumed for 32-bit BL encodings, in which case
+// size is 4). addr is the instruction's address, used to resolve
+// PC-relative targets. Unknown encodings render as ".word 0x....".
+func Disassemble(instr uint32, lo uint32, addr uint32) (text string, size int) {
+	size = 2
+	r := func(n uint32) string { return fmt.Sprintf("r%d", n) }
+
+	switch top5 := instr >> 11; top5 {
+	case 0b00000:
+		imm, rm, rd := instr>>6&31, instr>>3&7, instr&7
+		if imm == 0 {
+			return fmt.Sprintf("movs %s, %s", r(rd), r(rm)), size
+		}
+		return fmt.Sprintf("lsls %s, %s, #%d", r(rd), r(rm), imm), size
+	case 0b00001:
+		imm, rm, rd := instr>>6&31, instr>>3&7, instr&7
+		if imm == 0 {
+			imm = 32
+		}
+		return fmt.Sprintf("lsrs %s, %s, #%d", r(rd), r(rm), imm), size
+	case 0b00010:
+		imm, rm, rd := instr>>6&31, instr>>3&7, instr&7
+		if imm == 0 {
+			imm = 32
+		}
+		return fmt.Sprintf("asrs %s, %s, #%d", r(rd), r(rm), imm), size
+	case 0b00011:
+		rd, rn, val := instr&7, instr>>3&7, instr>>6&7
+		op := "adds"
+		if instr>>9&1 == 1 {
+			op = "subs"
+		}
+		if instr>>10&1 == 0 {
+			return fmt.Sprintf("%s %s, %s, %s", op, r(rd), r(rn), r(val)), size
+		}
+		return fmt.Sprintf("%s %s, %s, #%d", op, r(rd), r(rn), val), size
+	case 0b00100:
+		return fmt.Sprintf("movs %s, #%d", r(instr>>8&7), instr&0xff), size
+	case 0b00101:
+		return fmt.Sprintf("cmp %s, #%d", r(instr>>8&7), instr&0xff), size
+	case 0b00110:
+		return fmt.Sprintf("adds %s, #%d", r(instr>>8&7), instr&0xff), size
+	case 0b00111:
+		return fmt.Sprintf("subs %s, #%d", r(instr>>8&7), instr&0xff), size
+	case 0b01000:
+		if instr>>10&1 == 0 {
+			names := [...]string{"ands", "eors", "lsls", "lsrs", "asrs",
+				"adcs", "sbcs", "rors", "tst", "rsbs", "cmp", "cmn",
+				"orrs", "muls", "bics", "mvns"}
+			op, rm, rdn := instr>>6&0xf, instr>>3&7, instr&7
+			if op == 9 { // rsbs rd, rm, #0
+				return fmt.Sprintf("rsbs %s, %s, #0", r(rdn), r(rm)), size
+			}
+			return fmt.Sprintf("%s %s, %s", names[op], r(rdn), r(rm)), size
+		}
+		op := instr >> 8 & 3
+		rm := instr >> 3 & 0xf
+		rdn := instr&7 | instr>>4&8
+		switch op {
+		case 0:
+			return fmt.Sprintf("add %s, %s", regName(rdn), regName(rm)), size
+		case 1:
+			return fmt.Sprintf("cmp %s, %s", regName(rdn), regName(rm)), size
+		case 2:
+			return fmt.Sprintf("mov %s, %s", regName(rdn), regName(rm)), size
+		default:
+			if instr>>7&1 == 1 {
+				return fmt.Sprintf("blx %s", regName(rm)), size
+			}
+			return fmt.Sprintf("bx %s", regName(rm)), size
+		}
+	case 0b01001:
+		target := ((addr + 4) &^ 3) + (instr&0xff)*4
+		return fmt.Sprintf("ldr %s, [pc, #%d] ; 0x%x", r(instr>>8&7), (instr&0xff)*4, target), size
+	case 0b01010, 0b01011:
+		names := [...]string{"str", "strh", "strb", "ldrsb", "ldr", "ldrh", "ldrb", "ldrsh"}
+		op, rm, rn, rt := instr>>9&7, instr>>6&7, instr>>3&7, instr&7
+		return fmt.Sprintf("%s %s, [%s, %s]", names[op], r(rt), r(rn), r(rm)), size
+	case 0b01100, 0b01101, 0b01110, 0b01111:
+		imm, rn, rt := instr>>6&31, instr>>3&7, instr&7
+		switch top5 {
+		case 0b01100:
+			return fmt.Sprintf("str %s, [%s, #%d]", r(rt), r(rn), imm*4), size
+		case 0b01101:
+			return fmt.Sprintf("ldr %s, [%s, #%d]", r(rt), r(rn), imm*4), size
+		case 0b01110:
+			return fmt.Sprintf("strb %s, [%s, #%d]", r(rt), r(rn), imm), size
+		default:
+			return fmt.Sprintf("ldrb %s, [%s, #%d]", r(rt), r(rn), imm), size
+		}
+	case 0b10000:
+		imm, rn, rt := instr>>6&31, instr>>3&7, instr&7
+		return fmt.Sprintf("strh %s, [%s, #%d]", r(rt), r(rn), imm*2), size
+	case 0b10001:
+		imm, rn, rt := instr>>6&31, instr>>3&7, instr&7
+		return fmt.Sprintf("ldrh %s, [%s, #%d]", r(rt), r(rn), imm*2), size
+	case 0b10010:
+		return fmt.Sprintf("str %s, [sp, #%d]", r(instr>>8&7), (instr&0xff)*4), size
+	case 0b10011:
+		return fmt.Sprintf("ldr %s, [sp, #%d]", r(instr>>8&7), (instr&0xff)*4), size
+	case 0b10100:
+		return fmt.Sprintf("adr %s, pc+#%d", r(instr>>8&7), (instr&0xff)*4), size
+	case 0b10101:
+		return fmt.Sprintf("add %s, sp, #%d", r(instr>>8&7), (instr&0xff)*4), size
+	case 0b10110, 0b10111:
+		return disasmMisc(instr), size
+	case 0b11000:
+		return fmt.Sprintf("stm r%d!, {%s}", instr>>8&7, regList(instr&0xff, "")), size
+	case 0b11001:
+		return fmt.Sprintf("ldm r%d!, {%s}", instr>>8&7, regList(instr&0xff, "")), size
+	case 0b11010, 0b11011:
+		cond := instr >> 8 & 0xf
+		switch cond {
+		case 0xe:
+			return fmt.Sprintf(".word 0x%04x ; udf", instr), size
+		case 0xf:
+			return fmt.Sprintf("svc #%d", instr&0xff), size
+		}
+		names := [...]string{"beq", "bne", "bcs", "bcc", "bmi", "bpl",
+			"bvs", "bvc", "bhi", "bls", "bge", "blt", "bgt", "ble"}
+		off := int32(signExtendD(instr&0xff, 8)) << 1
+		return fmt.Sprintf("%s 0x%x", names[cond], uint32(int32(addr)+4+off)), size
+	case 0b11100:
+		off := int32(signExtendD(instr&0x7ff, 11)) << 1
+		return fmt.Sprintf("b 0x%x", uint32(int32(addr)+4+off)), size
+	case 0b11110:
+		if lo>>14&3 == 3 && lo>>12&1 == 1 {
+			s := instr >> 10 & 1
+			imm10 := instr & 0x3ff
+			j1, j2 := lo>>13&1, lo>>11&1
+			i1 := ^(j1 ^ s) & 1
+			i2 := ^(j2 ^ s) & 1
+			off := int32(signExtendD(s<<24|i1<<23|i2<<22|imm10<<12|(lo&0x7ff)<<1, 25))
+			return fmt.Sprintf("bl 0x%x", uint32(int32(addr)+4+off)), 4
+		}
+		return fmt.Sprintf(".word 0x%04x", instr), size
+	default:
+		return fmt.Sprintf(".word 0x%04x", instr), size
+	}
+}
+
+func disasmMisc(instr uint32) string {
+	switch {
+	case instr>>8 == 0b10110000:
+		imm := (instr & 0x7f) * 4
+		if instr>>7&1 == 0 {
+			return fmt.Sprintf("add sp, #%d", imm)
+		}
+		return fmt.Sprintf("sub sp, #%d", imm)
+	case instr>>8 == 0b10110010:
+		names := [...]string{"sxth", "sxtb", "uxth", "uxtb"}
+		return fmt.Sprintf("%s r%d, r%d", names[instr>>6&3], instr&7, instr>>3&7)
+	case instr>>9 == 0b1011010:
+		extra := ""
+		if instr>>8&1 == 1 {
+			extra = "lr"
+		}
+		return fmt.Sprintf("push {%s}", regList(instr&0xff, extra))
+	case instr>>8 == 0b10111010:
+		names := map[uint32]string{0: "rev", 1: "rev16", 3: "revsh"}
+		if n, ok := names[instr>>6&3]; ok {
+			return fmt.Sprintf("%s r%d, r%d", n, instr&7, instr>>3&7)
+		}
+		return fmt.Sprintf(".word 0x%04x", instr)
+	case instr>>9 == 0b1011110:
+		extra := ""
+		if instr>>8&1 == 1 {
+			extra = "pc"
+		}
+		return fmt.Sprintf("pop {%s}", regList(instr&0xff, extra))
+	case instr>>8 == 0b10111110:
+		return fmt.Sprintf("bkpt #%d", instr&0xff)
+	case instr>>8 == 0b10111111:
+		if instr&0xff == 0 {
+			return "nop"
+		}
+		return fmt.Sprintf("hint #%d", instr&0xff)
+	default:
+		return fmt.Sprintf(".word 0x%04x", instr)
+	}
+}
+
+// regName renders r13-r15 by their aliases.
+func regName(n uint32) string {
+	switch n {
+	case 13:
+		return "sp"
+	case 14:
+		return "lr"
+	case 15:
+		return "pc"
+	default:
+		return fmt.Sprintf("r%d", n)
+	}
+}
+
+// regList renders a low-register bitmask with ranges, plus an optional
+// trailing register.
+func regList(mask uint32, extra string) string {
+	var parts []string
+	for i := 0; i < 8; {
+		if mask>>i&1 == 0 {
+			i++
+			continue
+		}
+		j := i
+		for j+1 < 8 && mask>>(j+1)&1 == 1 {
+			j++
+		}
+		if j > i {
+			parts = append(parts, fmt.Sprintf("r%d-r%d", i, j))
+		} else {
+			parts = append(parts, fmt.Sprintf("r%d", i))
+		}
+		i = j + 1
+	}
+	if extra != "" {
+		parts = append(parts, extra)
+	}
+	return strings.Join(parts, ", ")
+}
+
+func signExtendD(v uint32, bits uint) uint32 {
+	shift := 32 - bits
+	return uint32(int32(v<<shift) >> shift)
+}
+
+// DisassembleProgram renders an entire code image with addresses.
+func DisassembleProgram(code []byte, base uint32) []string {
+	var out []string
+	for off := 0; off+2 <= len(code); {
+		instr := uint32(code[off]) | uint32(code[off+1])<<8
+		var lo uint32
+		if off+4 <= len(code) {
+			lo = uint32(code[off+2]) | uint32(code[off+3])<<8
+		}
+		text, size := Disassemble(instr, lo, base+uint32(off))
+		out = append(out, fmt.Sprintf("%06x: %s", base+uint32(off), text))
+		off += size
+	}
+	return out
+}

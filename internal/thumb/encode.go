@@ -1,0 +1,757 @@
+package thumb
+
+import (
+	"strings"
+)
+
+// Register numbers by name.
+var regNames = map[string]uint32{
+	"r0": 0, "r1": 1, "r2": 2, "r3": 3, "r4": 4, "r5": 5, "r6": 6, "r7": 7,
+	"r8": 8, "r9": 9, "r10": 10, "r11": 11, "r12": 12,
+	"sp": 13, "r13": 13, "lr": 14, "r14": 14, "pc": 15, "r15": 15,
+}
+
+// Condition codes for b<cond>.
+var condCodes = map[string]uint32{
+	"eq": 0x0, "ne": 0x1, "cs": 0x2, "hs": 0x2, "cc": 0x3, "lo": 0x3,
+	"mi": 0x4, "pl": 0x5, "vs": 0x6, "vc": 0x7, "hi": 0x8, "ls": 0x9,
+	"ge": 0xa, "lt": 0xb, "gt": 0xc, "le": 0xd,
+}
+
+// Two-operand register ALU opcodes (010000 group).
+var dpOpcodes = map[string]uint16{
+	"ands": 0x4000, "eors": 0x4040, "adcs": 0x4140, "sbcs": 0x4180,
+	"tst": 0x4200, "cmn": 0x42c0, "orrs": 0x4300, "muls": 0x4340,
+	"bics": 0x4380, "mvns": 0x43c0, "rors": 0x41c0,
+}
+
+func parseReg(line int, s string) (uint32, error) {
+	r, ok := regNames[strings.ToLower(strings.TrimSpace(s))]
+	if !ok {
+		return 0, errf(line, "invalid register %q", s)
+	}
+	return r, nil
+}
+
+func parseLowReg(line int, s string) (uint32, error) {
+	r, err := parseReg(line, s)
+	if err != nil {
+		return 0, err
+	}
+	if r > 7 {
+		return 0, errf(line, "register %q not allowed (low register required)", s)
+	}
+	return r, nil
+}
+
+func parseImm(line int, s string) (uint32, error) {
+	s = strings.TrimSpace(s)
+	if !strings.HasPrefix(s, "#") {
+		return 0, errf(line, "expected immediate, got %q", s)
+	}
+	v, err := parseImmValue(s[1:])
+	if err != nil {
+		return 0, errf(line, "bad immediate %q", s)
+	}
+	return v, nil
+}
+
+func isImm(s string) bool { return strings.HasPrefix(strings.TrimSpace(s), "#") }
+
+// mem describes a parsed [base, offset] operand.
+type mem struct {
+	base   uint32
+	immOff uint32
+	regOff uint32
+	hasReg bool
+}
+
+func parseMem(line int, s string) (mem, error) {
+	s = strings.TrimSpace(s)
+	if !strings.HasPrefix(s, "[") || !strings.HasSuffix(s, "]") {
+		return mem{}, errf(line, "expected memory operand, got %q", s)
+	}
+	parts := strings.Split(s[1:len(s)-1], ",")
+	base, err := parseReg(line, parts[0])
+	if err != nil {
+		return mem{}, err
+	}
+	m := mem{base: base}
+	if len(parts) == 1 {
+		return m, nil
+	}
+	if len(parts) != 2 {
+		return mem{}, errf(line, "malformed memory operand %q", s)
+	}
+	off := strings.TrimSpace(parts[1])
+	if isImm(off) {
+		m.immOff, err = parseImm(line, off)
+		return m, err
+	}
+	m.regOff, err = parseLowReg(line, off)
+	m.hasReg = true
+	return m, err
+}
+
+// parseRegList parses "{r4-r7, lr}" into a low-register bitmask and an
+// extra-register flag (LR for push, PC for pop).
+func parseRegList(line int, s string, extra uint32) (uint32, bool, error) {
+	s = strings.TrimSpace(s)
+	if !strings.HasPrefix(s, "{") || !strings.HasSuffix(s, "}") {
+		return 0, false, errf(line, "expected register list, got %q", s)
+	}
+	var mask uint32
+	hasExtra := false
+	for _, part := range strings.Split(s[1:len(s)-1], ",") {
+		part = strings.TrimSpace(strings.ToLower(part))
+		if part == "" {
+			continue
+		}
+		if i := strings.Index(part, "-"); i >= 0 {
+			lo, err := parseLowReg(line, part[:i])
+			if err != nil {
+				return 0, false, err
+			}
+			hi, err := parseLowReg(line, part[i+1:])
+			if err != nil {
+				return 0, false, err
+			}
+			if hi < lo {
+				return 0, false, errf(line, "descending range %q", part)
+			}
+			for r := lo; r <= hi; r++ {
+				mask |= 1 << r
+			}
+			continue
+		}
+		r, err := parseReg(line, part)
+		if err != nil {
+			return 0, false, err
+		}
+		if r == extra {
+			hasExtra = true
+			continue
+		}
+		if r > 7 {
+			return 0, false, errf(line, "register %q not allowed in list", part)
+		}
+		mask |= 1 << r
+	}
+	return mask, hasExtra, nil
+}
+
+// resolve returns the address of a label operand.
+func resolve(line int, labels map[string]uint32, name string) (uint32, error) {
+	addr, ok := labels[strings.TrimSpace(name)]
+	if !ok {
+		return 0, errf(line, "undefined label %q", name)
+	}
+	return addr, nil
+}
+
+// encode translates one parsed instruction into halfwords.
+func encode(it *item, labels map[string]uint32) ([]uint16, error) {
+	one := func(h uint16) ([]uint16, error) { return []uint16{h}, nil }
+	ops := it.operands
+	needOps := func(n int) error {
+		if len(ops) != n {
+			return errf(it.line, "%s: expected %d operands, got %d", it.mnemonic, n, len(ops))
+		}
+		return nil
+	}
+
+	switch m := it.mnemonic; m {
+	case "nop":
+		return one(0xbf00)
+	case "bkpt":
+		v := uint32(0)
+		if len(ops) == 1 {
+			var err error
+			if v, err = parseImm(it.line, ops[0]); err != nil {
+				return nil, err
+			}
+		}
+		return one(uint16(0xbe00 | v&0xff))
+
+	case "movs":
+		if err := needOps(2); err != nil {
+			return nil, err
+		}
+		rd, err := parseLowReg(it.line, ops[0])
+		if err != nil {
+			return nil, err
+		}
+		if isImm(ops[1]) {
+			v, err := parseImm(it.line, ops[1])
+			if err != nil {
+				return nil, err
+			}
+			if v > 0xff {
+				return nil, errf(it.line, "movs immediate %d out of range", v)
+			}
+			return one(uint16(0x2000 | rd<<8 | v))
+		}
+		rm, err := parseLowReg(it.line, ops[1])
+		if err != nil {
+			return nil, err
+		}
+		return one(uint16(rm<<3 | rd)) // LSLS #0
+
+	case "mov":
+		if err := needOps(2); err != nil {
+			return nil, err
+		}
+		rd, err := parseReg(it.line, ops[0])
+		if err != nil {
+			return nil, err
+		}
+		rm, err := parseReg(it.line, ops[1])
+		if err != nil {
+			return nil, err
+		}
+		return one(uint16(0x4600 | (rd&8)<<4 | rm<<3 | rd&7))
+
+	case "adds", "subs":
+		return encodeAddSub(it, labels)
+
+	case "add":
+		return encodeAdd(it)
+
+	case "sub":
+		if err := needOps(2); err != nil {
+			return nil, err
+		}
+		if strings.ToLower(strings.TrimSpace(ops[0])) != "sp" {
+			return nil, errf(it.line, "sub: only `sub sp, #imm` supported")
+		}
+		v, err := parseImm(it.line, ops[1])
+		if err != nil {
+			return nil, err
+		}
+		if v%4 != 0 || v > 508 {
+			return nil, errf(it.line, "sub sp immediate %d invalid", v)
+		}
+		return one(uint16(0xb080 | v/4))
+
+	case "cmp":
+		if err := needOps(2); err != nil {
+			return nil, err
+		}
+		rn, err := parseReg(it.line, ops[0])
+		if err != nil {
+			return nil, err
+		}
+		if isImm(ops[1]) {
+			if rn > 7 {
+				return nil, errf(it.line, "cmp immediate requires a low register")
+			}
+			v, err := parseImm(it.line, ops[1])
+			if err != nil {
+				return nil, err
+			}
+			if v > 0xff {
+				return nil, errf(it.line, "cmp immediate %d out of range", v)
+			}
+			return one(uint16(0x2800 | rn<<8 | v))
+		}
+		rm, err := parseReg(it.line, ops[1])
+		if err != nil {
+			return nil, err
+		}
+		if rn <= 7 && rm <= 7 {
+			return one(uint16(0x4280 | rm<<3 | rn))
+		}
+		return one(uint16(0x4500 | (rn&8)<<4 | rm<<3 | rn&7))
+
+	case "ands", "eors", "adcs", "sbcs", "tst", "cmn", "orrs", "bics", "mvns", "rors":
+		if err := needOps(2); err != nil {
+			return nil, err
+		}
+		rdn, err := parseLowReg(it.line, ops[0])
+		if err != nil {
+			return nil, err
+		}
+		rm, err := parseLowReg(it.line, ops[1])
+		if err != nil {
+			return nil, err
+		}
+		return one(dpOpcodes[m] | uint16(rm<<3|rdn))
+
+	case "muls":
+		// muls rd, rm [, rd]
+		if len(ops) == 3 {
+			if strings.EqualFold(strings.TrimSpace(ops[0]), strings.TrimSpace(ops[2])) {
+				ops = ops[:2]
+			} else {
+				return nil, errf(it.line, "muls: destination must equal the third operand")
+			}
+		}
+		if len(ops) != 2 {
+			return nil, errf(it.line, "muls: expected 2 operands")
+		}
+		rdn, err := parseLowReg(it.line, ops[0])
+		if err != nil {
+			return nil, err
+		}
+		rm, err := parseLowReg(it.line, ops[1])
+		if err != nil {
+			return nil, err
+		}
+		return one(dpOpcodes["muls"] | uint16(rm<<3|rdn))
+
+	case "rsbs", "negs":
+		// rsbs rd, rm[, #0]
+		if len(ops) == 3 {
+			v, err := parseImm(it.line, ops[2])
+			if err != nil || v != 0 {
+				return nil, errf(it.line, "rsbs: third operand must be #0")
+			}
+			ops = ops[:2]
+		}
+		if err := needOps(2); err != nil {
+			return nil, err
+		}
+		rd, err := parseLowReg(it.line, ops[0])
+		if err != nil {
+			return nil, err
+		}
+		rm, err := parseLowReg(it.line, ops[1])
+		if err != nil {
+			return nil, err
+		}
+		return one(uint16(0x4240 | rm<<3 | rd))
+
+	case "lsls", "lsrs", "asrs":
+		return encodeShift(it)
+
+	case "ldr", "ldrb", "ldrh", "ldrsb", "ldrsh", "str", "strb", "strh":
+		return encodeLoadStore(it, labels)
+
+	case "push":
+		if err := needOps(1); err != nil {
+			return nil, err
+		}
+		mask, lr, err := parseRegList(it.line, ops[0], 14)
+		if err != nil {
+			return nil, err
+		}
+		h := uint16(0xb400 | mask)
+		if lr {
+			h |= 1 << 8
+		}
+		return one(h)
+
+	case "pop":
+		if err := needOps(1); err != nil {
+			return nil, err
+		}
+		mask, pc, err := parseRegList(it.line, ops[0], 15)
+		if err != nil {
+			return nil, err
+		}
+		h := uint16(0xbc00 | mask)
+		if pc {
+			h |= 1 << 8
+		}
+		return one(h)
+
+	case "ldm", "ldmia", "stm", "stmia":
+		if err := needOps(2); err != nil {
+			return nil, err
+		}
+		rn, err := parseLowReg(it.line, strings.TrimSuffix(strings.TrimSpace(ops[0]), "!"))
+		if err != nil {
+			return nil, err
+		}
+		mask, _, err := parseRegList(it.line, ops[1], 99)
+		if err != nil {
+			return nil, err
+		}
+		if strings.HasPrefix(m, "ldm") {
+			return one(uint16(0xc800 | rn<<8 | mask))
+		}
+		return one(uint16(0xc000 | rn<<8 | mask))
+
+	case "b":
+		if err := needOps(1); err != nil {
+			return nil, err
+		}
+		target, err := resolve(it.line, labels, ops[0])
+		if err != nil {
+			return nil, err
+		}
+		off := int32(target) - int32(it.addr+4)
+		if off < -2048 || off > 2046 || off%2 != 0 {
+			return nil, errf(it.line, "branch to %q out of range (%d bytes)", ops[0], off)
+		}
+		return one(uint16(0xe000 | uint32(off>>1)&0x7ff))
+
+	case "bl":
+		if err := needOps(1); err != nil {
+			return nil, err
+		}
+		target, err := resolve(it.line, labels, ops[0])
+		if err != nil {
+			return nil, err
+		}
+		off := int32(target) - int32(it.addr+4)
+		if off < -(1<<24) || off >= 1<<24 || off%2 != 0 {
+			return nil, errf(it.line, "bl to %q out of range", ops[0])
+		}
+		u := uint32(off)
+		s := u >> 24 & 1
+		i1, i2 := u>>23&1, u>>22&1
+		j1, j2 := ^(i1^s)&1, ^(i2^s)&1
+		hi := uint16(0xf000 | s<<10 | u>>12&0x3ff)
+		lo := uint16(0xd000 | 1<<14 | j1<<13 | j2<<11 | u>>1&0x7ff)
+		return []uint16{hi, lo}, nil
+
+	case "bx", "blx":
+		if err := needOps(1); err != nil {
+			return nil, err
+		}
+		rm, err := parseReg(it.line, ops[0])
+		if err != nil {
+			return nil, err
+		}
+		if m == "bx" {
+			return one(uint16(0x4700 | rm<<3))
+		}
+		return one(uint16(0x4780 | rm<<3))
+
+	case "adr":
+		if err := needOps(2); err != nil {
+			return nil, err
+		}
+		rd, err := parseLowReg(it.line, ops[0])
+		if err != nil {
+			return nil, err
+		}
+		target, err := resolve(it.line, labels, ops[1])
+		if err != nil {
+			return nil, err
+		}
+		base := (it.addr + 4) &^ 3
+		if target < base || target-base > 1020 || (target-base)%4 != 0 {
+			return nil, errf(it.line, "adr target out of range")
+		}
+		return one(uint16(0xa000 | rd<<8 | (target-base)/4))
+
+	case "sxth", "sxtb", "uxth", "uxtb":
+		if err := needOps(2); err != nil {
+			return nil, err
+		}
+		rd, err := parseLowReg(it.line, ops[0])
+		if err != nil {
+			return nil, err
+		}
+		rm, err := parseLowReg(it.line, ops[1])
+		if err != nil {
+			return nil, err
+		}
+		op := map[string]uint32{"sxth": 0, "sxtb": 1, "uxth": 2, "uxtb": 3}[m]
+		return one(uint16(0xb200 | op<<6 | rm<<3 | rd))
+
+	case "rev", "rev16", "revsh":
+		if err := needOps(2); err != nil {
+			return nil, err
+		}
+		rd, err := parseLowReg(it.line, ops[0])
+		if err != nil {
+			return nil, err
+		}
+		rm, err := parseLowReg(it.line, ops[1])
+		if err != nil {
+			return nil, err
+		}
+		op := map[string]uint32{"rev": 0, "rev16": 1, "revsh": 3}[m]
+		return one(uint16(0xba00 | op<<6 | rm<<3 | rd))
+
+	default:
+		if cond, ok := condCodes[strings.TrimPrefix(m, "b")]; ok && strings.HasPrefix(m, "b") {
+			if err := needOps(1); err != nil {
+				return nil, err
+			}
+			target, err := resolve(it.line, labels, ops[0])
+			if err != nil {
+				return nil, err
+			}
+			off := int32(target) - int32(it.addr+4)
+			if off < -256 || off > 254 || off%2 != 0 {
+				return nil, errf(it.line, "conditional branch out of range (%d bytes)", off)
+			}
+			return one(uint16(0xd000 | cond<<8 | uint32(off>>1)&0xff))
+		}
+		return nil, errf(it.line, "unknown mnemonic %q", m)
+	}
+}
+
+// encodeAddSub handles the flag-setting adds/subs forms.
+func encodeAddSub(it *item, labels map[string]uint32) ([]uint16, error) {
+	ops := it.operands
+	sub := it.mnemonic == "subs"
+	switch len(ops) {
+	case 2:
+		rd, err := parseLowReg(it.line, ops[0])
+		if err != nil {
+			return nil, err
+		}
+		if isImm(ops[1]) {
+			v, err := parseImm(it.line, ops[1])
+			if err != nil {
+				return nil, err
+			}
+			if v > 0xff {
+				return nil, errf(it.line, "%s immediate %d out of range", it.mnemonic, v)
+			}
+			base := uint32(0x3000)
+			if sub {
+				base = 0x3800
+			}
+			return []uint16{uint16(base | rd<<8 | v)}, nil
+		}
+		// adds rd, rm == adds rd, rd, rm
+		rm, err := parseLowReg(it.line, ops[1])
+		if err != nil {
+			return nil, err
+		}
+		return encode3op(sub, rd, rd, rm, false, it.line)
+	case 3:
+		rd, err := parseLowReg(it.line, ops[0])
+		if err != nil {
+			return nil, err
+		}
+		rn, err := parseLowReg(it.line, ops[1])
+		if err != nil {
+			return nil, err
+		}
+		if isImm(ops[2]) {
+			v, err := parseImm(it.line, ops[2])
+			if err != nil {
+				return nil, err
+			}
+			if v > 7 {
+				return nil, errf(it.line, "%s 3-bit immediate %d out of range", it.mnemonic, v)
+			}
+			return encode3op(sub, rd, rn, v, true, it.line)
+		}
+		rm, err := parseLowReg(it.line, ops[2])
+		if err != nil {
+			return nil, err
+		}
+		return encode3op(sub, rd, rn, rm, false, it.line)
+	default:
+		return nil, errf(it.line, "%s: expected 2 or 3 operands", it.mnemonic)
+	}
+}
+
+func encode3op(sub bool, rd, rn, val uint32, imm bool, line int) ([]uint16, error) {
+	base := uint32(0x1800)
+	if sub {
+		base = 0x1a00
+	}
+	if imm {
+		base |= 1 << 10
+	}
+	return []uint16{uint16(base | val<<6 | rn<<3 | rd)}, nil
+}
+
+// encodeAdd handles the non-flag-setting add forms (hi-reg, SP).
+func encodeAdd(it *item) ([]uint16, error) {
+	ops := it.operands
+	switch len(ops) {
+	case 2:
+		if strings.EqualFold(strings.TrimSpace(ops[0]), "sp") && isImm(ops[1]) {
+			v, err := parseImm(it.line, ops[1])
+			if err != nil {
+				return nil, err
+			}
+			if v%4 != 0 || v > 508 {
+				return nil, errf(it.line, "add sp immediate %d invalid", v)
+			}
+			return []uint16{uint16(0xb000 | v/4)}, nil
+		}
+		rd, err := parseReg(it.line, ops[0])
+		if err != nil {
+			return nil, err
+		}
+		rm, err := parseReg(it.line, ops[1])
+		if err != nil {
+			return nil, err
+		}
+		return []uint16{uint16(0x4400 | (rd&8)<<4 | rm<<3 | rd&7)}, nil
+	case 3:
+		if !strings.EqualFold(strings.TrimSpace(ops[1]), "sp") {
+			return nil, errf(it.line, "add: three-operand form requires sp as the base")
+		}
+		rd, err := parseLowReg(it.line, ops[0])
+		if err != nil {
+			return nil, err
+		}
+		v, err := parseImm(it.line, ops[2])
+		if err != nil {
+			return nil, err
+		}
+		if v%4 != 0 || v > 1020 {
+			return nil, errf(it.line, "add rd, sp immediate %d invalid", v)
+		}
+		return []uint16{uint16(0xa800 | rd<<8 | v/4)}, nil
+	default:
+		return nil, errf(it.line, "add: expected 2 or 3 operands")
+	}
+}
+
+// encodeShift handles lsls/lsrs/asrs in immediate and register forms.
+func encodeShift(it *item) ([]uint16, error) {
+	ops := it.operands
+	op := map[string]uint32{"lsls": 0, "lsrs": 1, "asrs": 2}[it.mnemonic]
+	switch len(ops) {
+	case 2:
+		rdn, err := parseLowReg(it.line, ops[0])
+		if err != nil {
+			return nil, err
+		}
+		if isImm(ops[1]) {
+			// lsls rd, #imm == lsls rd, rd, #imm
+			return encodeShiftImm(it, op, rdn, rdn, ops[1])
+		}
+		rs, err := parseLowReg(it.line, ops[1])
+		if err != nil {
+			return nil, err
+		}
+		regOp := [3]uint16{0x4080, 0x40c0, 0x4100}[op]
+		return []uint16{regOp | uint16(rs<<3|rdn)}, nil
+	case 3:
+		rd, err := parseLowReg(it.line, ops[0])
+		if err != nil {
+			return nil, err
+		}
+		rm, err := parseLowReg(it.line, ops[1])
+		if err != nil {
+			return nil, err
+		}
+		return encodeShiftImm(it, op, rd, rm, ops[2])
+	default:
+		return nil, errf(it.line, "%s: expected 2 or 3 operands", it.mnemonic)
+	}
+}
+
+func encodeShiftImm(it *item, op, rd, rm uint32, immOp string) ([]uint16, error) {
+	v, err := parseImm(it.line, immOp)
+	if err != nil {
+		return nil, err
+	}
+	switch op {
+	case 0: // LSL: 0..31
+		if v > 31 {
+			return nil, errf(it.line, "lsl immediate %d out of range", v)
+		}
+		if v == 0 {
+			return nil, errf(it.line, "lsls #0 is movs; write movs explicitly")
+		}
+	default: // LSR/ASR: 1..32, 32 encoded as 0
+		if v == 0 || v > 32 {
+			return nil, errf(it.line, "shift immediate %d out of range", v)
+		}
+		v &= 31
+	}
+	return []uint16{uint16(op<<11 | v<<6 | rm<<3 | rd)}, nil
+}
+
+// encodeLoadStore handles all ldr*/str* addressing modes.
+func encodeLoadStore(it *item, labels map[string]uint32) ([]uint16, error) {
+	ops := it.operands
+	if len(ops) != 2 {
+		return nil, errf(it.line, "%s: expected 2 operands", it.mnemonic)
+	}
+	rt, err := parseLowReg(it.line, ops[0])
+	if err != nil {
+		return nil, err
+	}
+	m := it.mnemonic
+
+	// PC-relative literal forms: `ldr rd, label` or the pool reference
+	// appended by the assembler for `ldr rd, =value`.
+	if m == "ldr" && !strings.HasPrefix(strings.TrimSpace(ops[1]), "[") {
+		target, err := resolve(it.line, labels, ops[1])
+		if err != nil {
+			return nil, err
+		}
+		base := (it.addr + 4) &^ 3
+		if target < base || target-base > 1020 || (target-base)%4 != 0 {
+			return nil, errf(it.line, "literal out of range (pc %#x, target %#x)", it.addr, target)
+		}
+		return []uint16{uint16(0x4800 | rt<<8 | (target-base)/4)}, nil
+	}
+
+	mo, err := parseMem(it.line, ops[1])
+	if err != nil {
+		return nil, err
+	}
+
+	// Register-offset forms.
+	if mo.hasReg {
+		if mo.base > 7 {
+			return nil, errf(it.line, "register-offset base must be a low register")
+		}
+		op, ok := map[string]uint32{
+			"str": 0, "strh": 1, "strb": 2, "ldrsb": 3,
+			"ldr": 4, "ldrh": 5, "ldrb": 6, "ldrsh": 7,
+		}[m]
+		if !ok {
+			return nil, errf(it.line, "%s: unsupported addressing mode", m)
+		}
+		return []uint16{uint16(0x5000 | op<<9 | mo.regOff<<6 | mo.base<<3 | rt)}, nil
+	}
+
+	// SP-relative word forms.
+	if mo.base == 13 {
+		if m != "ldr" && m != "str" {
+			return nil, errf(it.line, "%s: sp-relative form requires word access", m)
+		}
+		if mo.immOff%4 != 0 || mo.immOff > 1020 {
+			return nil, errf(it.line, "sp offset %d invalid", mo.immOff)
+		}
+		base := uint32(0x9000)
+		if m == "ldr" {
+			base = 0x9800
+		}
+		return []uint16{uint16(base | rt<<8 | mo.immOff/4)}, nil
+	}
+	if mo.base > 7 {
+		return nil, errf(it.line, "immediate-offset base must be a low register or sp")
+	}
+
+	// Immediate-offset forms.
+	switch m {
+	case "ldr", "str":
+		if mo.immOff%4 != 0 || mo.immOff > 124 {
+			return nil, errf(it.line, "word offset %d invalid", mo.immOff)
+		}
+		base := uint32(0x6000)
+		if m == "ldr" {
+			base = 0x6800
+		}
+		return []uint16{uint16(base | mo.immOff/4<<6 | mo.base<<3 | rt)}, nil
+	case "ldrb", "strb":
+		if mo.immOff > 31 {
+			return nil, errf(it.line, "byte offset %d invalid", mo.immOff)
+		}
+		base := uint32(0x7000)
+		if m == "ldrb" {
+			base = 0x7800
+		}
+		return []uint16{uint16(base | mo.immOff<<6 | mo.base<<3 | rt)}, nil
+	case "ldrh", "strh":
+		if mo.immOff%2 != 0 || mo.immOff > 62 {
+			return nil, errf(it.line, "halfword offset %d invalid", mo.immOff)
+		}
+		base := uint32(0x8000)
+		if m == "ldrh" {
+			base = 0x8800
+		}
+		return []uint16{uint16(base | mo.immOff/2<<6 | mo.base<<3 | rt)}, nil
+	default:
+		return nil, errf(it.line, "%s: requires register offset", m)
+	}
+}

@@ -1,0 +1,320 @@
+// Package thumb implements a two-pass assembler for the ARMv6-M
+// (Thumb-1) instruction set executed by internal/armv6m.
+//
+// The supported syntax is the practical UAL subset used by the
+// generated field-arithmetic routines and the hand-written measurement
+// loops:
+//
+//	label:  movs r0, #15        ; comment
+//	        ldr  r1, [r2, #4]
+//	        ldr  r1, [sp, #8]
+//	        ldr  r1, [r2, r3]
+//	        ldr  r1, =0x12345678 ; literal pool (flushed at .pool / end)
+//	        push {r4-r7, lr}
+//	        adds r0, r1, r2
+//	        eors r0, r1
+//	        bne  label
+//	        bl   func
+//	        bx   lr
+//	        .word 0xdeadbeef
+//	        .align
+//
+// Comments start with ';', '@' or '//'. Mnemonics and registers are
+// case-insensitive.
+package thumb
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// Program is an assembled code image.
+type Program struct {
+	// Code is the little-endian instruction stream.
+	Code []byte
+	// Labels maps label names to byte offsets within Code.
+	Labels map[string]uint32
+}
+
+// Len returns the image size in bytes.
+func (p *Program) Len() int { return len(p.Code) }
+
+// Entry returns the offset of a label, for Machine.Call.
+func (p *Program) Entry(label string) (uint32, error) {
+	off, ok := p.Labels[label]
+	if !ok {
+		return 0, fmt.Errorf("thumb: unknown label %q", label)
+	}
+	return off, nil
+}
+
+// item is one parsed source statement.
+type item struct {
+	line     int
+	label    string
+	mnemonic string
+	operands []string
+	size     uint32 // bytes occupied (assigned in pass 1)
+	addr     uint32
+	literal  uint32 // value for .word / ldr= pools
+}
+
+// AsmError reports an assembly failure with its source line.
+type AsmError struct {
+	Line int
+	Msg  string
+}
+
+// Error implements error.
+func (e *AsmError) Error() string {
+	return fmt.Sprintf("thumb: line %d: %s", e.Line, e.Msg)
+}
+
+func errf(line int, format string, args ...any) error {
+	return &AsmError{Line: line, Msg: fmt.Sprintf(format, args...)}
+}
+
+// Assemble translates source text into a code image loaded at base
+// address 0 (all branches are relative, so the image is
+// position-independent as long as literal pools travel with it).
+func Assemble(src string) (*Program, error) {
+	items, err := parse(src)
+	if err != nil {
+		return nil, err
+	}
+	// Pass 1: lay out addresses and collect labels, expanding literal
+	// pools at .pool directives and at the end.
+	labels := make(map[string]uint32)
+	var addr uint32
+	var laid []*item
+	var pending []*item // ldr =value items awaiting a pool
+	flushPool := func(line int) {
+		if len(pending) == 0 {
+			return
+		}
+		if addr%4 != 0 {
+			pad := &item{line: line, mnemonic: ".align-pad", size: 2, addr: addr}
+			laid = append(laid, pad)
+			addr += 2
+		}
+		for _, it := range pending {
+			lit := &item{line: it.line, mnemonic: ".word",
+				operands: []string{fmt.Sprintf("%d", it.literal)},
+				size:     4, addr: addr}
+			// The load instruction will resolve to this pool slot.
+			it.operands = append(it.operands, fmt.Sprintf("@pool%d", addr))
+			labels[fmt.Sprintf("@pool%d", addr)] = addr
+			laid = append(laid, lit)
+			addr += 4
+		}
+		pending = nil
+	}
+	for _, it := range items {
+		if it.label != "" {
+			if _, dup := labels[it.label]; dup {
+				return nil, errf(it.line, "duplicate label %q", it.label)
+			}
+			labels[it.label] = addr
+		}
+		if it.mnemonic == "" {
+			continue
+		}
+		switch it.mnemonic {
+		case ".pool":
+			flushPool(it.line)
+			continue
+		case ".align":
+			if addr%4 != 0 {
+				it.mnemonic = ".align-pad"
+				it.size = 2
+			} else {
+				continue
+			}
+		case ".word":
+			if addr%4 != 0 {
+				pad := &item{line: it.line, mnemonic: ".align-pad", size: 2, addr: addr}
+				laid = append(laid, pad)
+				addr += 2
+			}
+			it.size = 4
+		case "bl":
+			it.size = 4
+		case "ldr":
+			if len(it.operands) == 2 && strings.HasPrefix(it.operands[1], "=") {
+				v, err := parseImmValue(strings.TrimPrefix(it.operands[1], "="))
+				if err != nil {
+					return nil, errf(it.line, "bad literal %q", it.operands[1])
+				}
+				it.literal = v
+				it.operands = it.operands[:1]
+				pending = append(pending, it)
+			}
+			it.size = 2
+		default:
+			it.size = 2
+		}
+		it.addr = addr
+		laid = append(laid, it)
+		addr += it.size
+	}
+	flushPool(0)
+
+	// Pass 2: encode.
+	code := make([]byte, 0, addr)
+	emit16 := func(v uint16) {
+		code = append(code, byte(v), byte(v>>8))
+	}
+	for _, it := range laid {
+		switch it.mnemonic {
+		case ".align-pad":
+			emit16(0xbf00) // NOP padding
+		case ".word":
+			v, err := parseImmValue(it.operands[0])
+			if err != nil {
+				return nil, errf(it.line, "bad .word operand %q", it.operands[0])
+			}
+			if it.addr%4 != 0 {
+				return nil, errf(it.line, "internal: misaligned .word")
+			}
+			emit16(uint16(v))
+			emit16(uint16(v >> 16))
+		default:
+			enc, err := encode(it, labels)
+			if err != nil {
+				return nil, err
+			}
+			for _, h := range enc {
+				emit16(h)
+			}
+		}
+	}
+	return &Program{Code: code, Labels: labels}, nil
+}
+
+// MustAssemble is Assemble for trusted (generated) source; it panics on
+// error.
+func MustAssemble(src string) *Program {
+	p, err := Assemble(src)
+	if err != nil {
+		panic(err)
+	}
+	return p
+}
+
+// parse splits source text into items.
+func parse(src string) ([]*item, error) {
+	var items []*item
+	for lineNo, raw := range strings.Split(src, "\n") {
+		line := raw
+		// Strip comments.
+		for _, marker := range []string{";", "//", "@"} {
+			if i := strings.Index(line, marker); i >= 0 {
+				// Don't cut @pool references (only appear internally).
+				line = line[:i]
+			}
+		}
+		line = strings.TrimSpace(line)
+		if line == "" {
+			continue
+		}
+		it := &item{line: lineNo + 1}
+		// Labels.
+		for {
+			i := strings.Index(line, ":")
+			if i < 0 {
+				break
+			}
+			label := strings.TrimSpace(line[:i])
+			if !isIdent(label) {
+				return nil, errf(lineNo+1, "invalid label %q", label)
+			}
+			if it.label != "" {
+				// Two labels on one line: register the first now by
+				// emitting a label-only item.
+				items = append(items, &item{line: lineNo + 1, label: it.label})
+			}
+			it.label = label
+			line = strings.TrimSpace(line[i+1:])
+		}
+		if line != "" {
+			fields := strings.SplitN(line, " ", 2)
+			it.mnemonic = strings.ToLower(fields[0])
+			if len(fields) == 2 {
+				it.operands = splitOperands(fields[1])
+			}
+		}
+		items = append(items, it)
+	}
+	return items, nil
+}
+
+// splitOperands splits "r0, [r1, #4]" into {"r0", "[r1, #4]"} and
+// "{r4-r7, lr}" into a single reglist operand.
+func splitOperands(s string) []string {
+	var out []string
+	depth := 0
+	cur := strings.Builder{}
+	for _, c := range s {
+		switch c {
+		case '[', '{':
+			depth++
+		case ']', '}':
+			depth--
+		case ',':
+			if depth == 0 {
+				out = append(out, strings.TrimSpace(cur.String()))
+				cur.Reset()
+				continue
+			}
+		}
+		cur.WriteRune(c)
+	}
+	if t := strings.TrimSpace(cur.String()); t != "" {
+		out = append(out, t)
+	}
+	return out
+}
+
+func isIdent(s string) bool {
+	if s == "" {
+		return false
+	}
+	for i, c := range s {
+		switch {
+		case c >= 'a' && c <= 'z', c >= 'A' && c <= 'Z', c == '_', c == '.', c == '@':
+		case c >= '0' && c <= '9':
+			if i == 0 {
+				return false
+			}
+		default:
+			return false
+		}
+	}
+	return true
+}
+
+// parseImmValue parses a #-less numeric literal (decimal, hex or
+// negative).
+func parseImmValue(s string) (uint32, error) {
+	s = strings.TrimSpace(s)
+	neg := strings.HasPrefix(s, "-")
+	if neg {
+		s = s[1:]
+	}
+	v, err := strconv.ParseUint(strings.TrimPrefix(strings.ToLower(s), "0x"), pickBase(s), 64)
+	if err != nil {
+		return 0, err
+	}
+	if neg {
+		return uint32(-int64(v)), nil
+	}
+	return uint32(v), nil
+}
+
+func pickBase(s string) int {
+	if strings.HasPrefix(strings.ToLower(s), "0x") {
+		return 16
+	}
+	return 10
+}

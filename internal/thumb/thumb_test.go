@@ -1,0 +1,247 @@
+package thumb
+
+import (
+	"encoding/binary"
+	"strings"
+	"testing"
+)
+
+// half extracts the i-th halfword of an assembled program.
+func half(t *testing.T, p *Program, i int) uint16 {
+	t.Helper()
+	if 2*i+2 > len(p.Code) {
+		t.Fatalf("program too short for halfword %d", i)
+	}
+	return binary.LittleEndian.Uint16(p.Code[2*i:])
+}
+
+// asm1 assembles a single instruction and returns its first halfword.
+func asm1(t *testing.T, src string) uint16 {
+	t.Helper()
+	p, err := Assemble(src)
+	if err != nil {
+		t.Fatalf("Assemble(%q): %v", src, err)
+	}
+	return half(t, p, 0)
+}
+
+// TestKnownEncodings pins selected instructions to their architectural
+// opcodes (values cross-checked against the ARMv6-M ARM).
+func TestKnownEncodings(t *testing.T) {
+	cases := []struct {
+		src  string
+		want uint16
+	}{
+		{"movs r0, #255", 0x20ff},
+		{"movs r3, #0", 0x2300},
+		{"movs r1, r2", 0x0011}, // LSLS r1, r2, #0
+		{"lsls r1, r2, #4", 0x0111},
+		{"lsrs r4, r5, #1", 0x086c},
+		{"lsrs r4, r5, #32", 0x082c}, // imm 32 encoded as 0
+		{"asrs r0, r0, #31", 0x17c0},
+		{"adds r0, r1, r2", 0x1888},
+		{"subs r0, r1, r2", 0x1a88},
+		{"adds r0, r1, #7", 0x1dc8},
+		{"subs r7, #255", 0x3fff},
+		{"adds r2, #1", 0x3201},
+		{"cmp r0, #0", 0x2800},
+		{"ands r1, r2", 0x4011},
+		{"eors r1, r2", 0x4051},
+		{"lsls r1, r2", 0x4091},
+		{"adcs r3, r4", 0x4163},
+		{"sbcs r3, r4", 0x41a3},
+		{"rors r3, r4", 0x41e3},
+		{"tst r0, r1", 0x4208},
+		{"rsbs r2, r3", 0x425a},
+		{"cmp r2, r3", 0x429a},
+		{"cmn r2, r3", 0x42da},
+		{"orrs r2, r3", 0x431a},
+		{"muls r2, r3", 0x435a},
+		{"bics r2, r3", 0x439a},
+		{"mvns r2, r3", 0x43da},
+		{"add r8, r0", 0x4480},
+		{"mov r0, r8", 0x4640},
+		{"mov r8, r0", 0x4680},
+		{"bx lr", 0x4770},
+		{"blx r3", 0x4798},
+		{"str r1, [r2, #4]", 0x6051},
+		{"ldr r1, [r2, #4]", 0x6851},
+		{"strb r1, [r2, #5]", 0x7151},
+		{"ldrb r1, [r2, #5]", 0x7951},
+		{"strh r1, [r2, #6]", 0x80d1},
+		{"ldrh r1, [r2, #6]", 0x88d1},
+		{"str r1, [r2, r3]", 0x50d1},
+		{"ldr r1, [r2, r3]", 0x58d1},
+		{"ldrsb r1, [r2, r3]", 0x56d1},
+		{"ldrsh r1, [r2, r3]", 0x5ed1},
+		{"str r0, [sp, #8]", 0x9002},
+		{"ldr r0, [sp, #8]", 0x9802},
+		{"add r0, sp, #16", 0xa804},
+		{"add sp, #24", 0xb006},
+		{"sub sp, #24", 0xb086},
+		{"push {r4-r7, lr}", 0xb5f0},
+		{"push {r0}", 0xb401},
+		{"pop {r4-r7, pc}", 0xbdf0},
+		{"pop {r1}", 0xbc02},
+		{"stm r0!, {r1, r2}", 0xc006},
+		{"ldm r0!, {r1, r2}", 0xc806},
+		{"sxth r1, r2", 0xb211},
+		{"sxtb r1, r2", 0xb251},
+		{"uxth r1, r2", 0xb291},
+		{"uxtb r1, r2", 0xb2d1},
+		{"rev r1, r2", 0xba11},
+		{"nop", 0xbf00},
+		{"bkpt #1", 0xbe01},
+	}
+	for _, c := range cases {
+		if got := asm1(t, c.src); got != c.want {
+			t.Errorf("%q = %04x, want %04x", c.src, got, c.want)
+		}
+	}
+}
+
+func TestBranchEncodings(t *testing.T) {
+	// Forward branch over one instruction: offset = target - (pc+4) = 0.
+	p := MustAssemble("b skip\nnop\nskip:\nnop\n")
+	if got := half(t, p, 0); got != 0xe000 {
+		t.Errorf("b +0 = %04x, want e000", got)
+	}
+	// Backward branch to self-2: beq with offset -4 → imm8 = 0xfe.
+	p = MustAssemble("l:\nnop\nbeq l\n")
+	if got := half(t, p, 1); got != 0xd0fd {
+		t.Errorf("beq -6 = %04x, want d0fd", got)
+	}
+}
+
+func TestBLEncoding(t *testing.T) {
+	// bl to the next instruction: offset 0 → S=0, imm10=0, J1=J2=1, imm11=0.
+	p := MustAssemble("bl next\nnext:\nnop\n")
+	if hi, lo := half(t, p, 0), half(t, p, 1); hi != 0xf000 || lo != 0xf800 {
+		t.Errorf("bl +0 = %04x %04x, want f000 f800", hi, lo)
+	}
+}
+
+func TestLabelsAndEntry(t *testing.T) {
+	p := MustAssemble(`
+start:
+	nop
+	nop
+func2:
+	bx lr
+`)
+	if off, err := p.Entry("func2"); err != nil || off != 4 {
+		t.Errorf("Entry(func2) = %d, %v", off, err)
+	}
+	if _, err := p.Entry("nope"); err == nil {
+		t.Error("expected error for unknown entry")
+	}
+}
+
+func TestWordAlignment(t *testing.T) {
+	// .word after an odd number of halfwords gets NOP padding.
+	p := MustAssemble("nop\ndata:\n.word 0x11223344\n")
+	if got := half(t, p, 0); got != 0xbf00 {
+		t.Fatalf("first instr = %04x", got)
+	}
+	// Padding NOP, then the word at offset 4.
+	if off := p.Labels["data"]; off != 2 {
+		// The label was taken before padding; the .word itself moves.
+		t.Logf("data label at %d", off)
+	}
+	if w := binary.LittleEndian.Uint32(p.Code[4:]); w != 0x11223344 {
+		t.Errorf(".word = %08x", w)
+	}
+}
+
+func TestAssembleErrors(t *testing.T) {
+	cases := []string{
+		"movs r9, #1",          // high register with movs imm
+		"movs r0, #256",        // immediate too large
+		"adds r0, r1, #8",      // imm3 overflow
+		"ldr r0, [r1, #3]",     // unaligned word offset
+		"ldr r0, [r1, #128]",   // word offset too large
+		"ldrb r0, [r1, #32]",   // byte offset too large
+		"ldr r0, [sp, #1024]",  // sp offset too large
+		"b nowhere",            // undefined label
+		"frobnicate r0",        // unknown mnemonic
+		"lsls r0, r0, #32",     // lsl immediate out of range
+		"lsrs r0, r0, #33",     // lsr immediate out of range
+		"add sp, #3",           // unaligned sp adjust
+		"push {r8}",            // high register in push list
+		"dup:\nnop\ndup:\nnop", // duplicate label
+		"ldr r0, [r9, #0]",     // high base register
+		"movs r0",              // missing operand
+		"cmp r0, #999",         // cmp immediate too large
+		"bkpt #xyz",            // malformed immediate
+	}
+	for _, src := range cases {
+		if _, err := Assemble(src); err == nil {
+			t.Errorf("Assemble(%q) succeeded, expected error", src)
+		} else if _, ok := err.(*AsmError); !ok {
+			t.Errorf("Assemble(%q) returned %T, want *AsmError", src, err)
+		}
+	}
+}
+
+func TestAsmErrorMessage(t *testing.T) {
+	_, err := Assemble("nop\nbogus r1\n")
+	ae, ok := err.(*AsmError)
+	if !ok {
+		t.Fatalf("got %T", err)
+	}
+	if ae.Line != 2 || !strings.Contains(ae.Error(), "line 2") {
+		t.Errorf("error = %v, want line 2 reference", ae)
+	}
+}
+
+func TestCommentsAndFormatting(t *testing.T) {
+	p := MustAssemble(`
+	; full-line comment
+	movs r0, #1    ; trailing comment
+	movs r1, #2    // c++ style
+	movs r2, #3    @ arm style
+	bx lr
+`)
+	if p.Len() != 8 {
+		t.Errorf("program length %d, want 8", p.Len())
+	}
+}
+
+func TestRegisterAliases(t *testing.T) {
+	// r13/r14/r15 aliases for sp/lr/pc in mov.
+	a := MustAssemble("mov r0, sp\n")
+	b := MustAssemble("mov r0, r13\n")
+	if half(t, a, 0) != half(t, b, 0) {
+		t.Error("sp alias mismatch")
+	}
+}
+
+func TestSplitOperands(t *testing.T) {
+	got := splitOperands("r0, [r1, #4], {r4-r7, lr}")
+	want := []string{"r0", "[r1, #4]", "{r4-r7, lr}"}
+	if len(got) != len(want) {
+		t.Fatalf("got %v", got)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("operand %d = %q, want %q", i, got[i], want[i])
+		}
+	}
+}
+
+func TestLiteralPoolPlacement(t *testing.T) {
+	p := MustAssemble(`
+	ldr r0, =0xcafebabe
+	bx lr
+`)
+	// Pool word must exist somewhere in the image.
+	found := false
+	for off := 0; off+4 <= len(p.Code); off += 2 {
+		if binary.LittleEndian.Uint32(p.Code[off:]) == 0xcafebabe {
+			found = true
+		}
+	}
+	if !found {
+		t.Error("literal pool value missing from image")
+	}
+}

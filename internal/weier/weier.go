@@ -1,0 +1,226 @@
+// Package weier implements short-Weierstrass prime-curve point
+// arithmetic (y² = x³ − 3x + b) for secp192r1 and secp256r1 — the
+// prime-field alternative the paper's §3.1 model evaluates and rejects
+// in favour of binary Koblitz curves, and the curves of the Micro ECC
+// comparison rows in Table 4.
+//
+// Points use Jacobian projective coordinates internally (doubling with
+// the a = −3 shortcut, mixed Jacobian-affine addition), the standard
+// choice for these curves in embedded libraries.
+package weier
+
+import (
+	"math/big"
+	"math/rand"
+
+	"repro/internal/fp"
+)
+
+// Curve is a short-Weierstrass prime curve with a = −3.
+type Curve struct {
+	Name   string
+	F      *fp.Field
+	B      *big.Int
+	Gx, Gy *big.Int
+	N      *big.Int // order of the base-point subgroup
+}
+
+// P192 returns secp192r1 (NIST P-192).
+func P192() *Curve {
+	b, _ := new(big.Int).SetString(
+		"64210519e59c80e70fa7e9ab72243049feb8deecc146b9b1", 16)
+	gx, _ := new(big.Int).SetString(
+		"188da80eb03090f67cbf20eb43a18800f4ff0afd82ff1012", 16)
+	gy, _ := new(big.Int).SetString(
+		"07192b95ffc8da78631011ed6b24cdd573f977a11e794811", 16)
+	n, _ := new(big.Int).SetString(
+		"ffffffffffffffffffffffff99def836146bc9b1b4d22831", 16)
+	return &Curve{Name: "secp192r1", F: fp.P192(), B: b, Gx: gx, Gy: gy, N: n}
+}
+
+// P224 returns secp224r1 (NIST P-224) — the prime curve of equivalent
+// security the paper's §3.1 model weighs against sect233k1, and the
+// curve of the Wenger et al. Cortex-M0+ row in Table 4.
+func P224() *Curve {
+	p, _ := new(big.Int).SetString(
+		"ffffffffffffffffffffffffffffffff000000000000000000000001", 16)
+	b, _ := new(big.Int).SetString(
+		"b4050a850c04b3abf54132565044b0b7d7bfd8ba270b39432355ffb4", 16)
+	gx, _ := new(big.Int).SetString(
+		"b70e0cbd6bb4bf7f321390b94a03c1d356c21122343280d6115c1d21", 16)
+	gy, _ := new(big.Int).SetString(
+		"bd376388b5f723fb4c22dfe6cd4375a05a07476444d5819985007e34", 16)
+	n, _ := new(big.Int).SetString(
+		"ffffffffffffffffffffffffffff16a2e0b8f03e13dd29455c5c2a3d", 16)
+	return &Curve{Name: "secp224r1", F: &fp.Field{Name: "p224", P: p, Limbs: 7},
+		B: b, Gx: gx, Gy: gy, N: n}
+}
+
+// P256 returns secp256r1 (NIST P-256).
+func P256() *Curve {
+	b, _ := new(big.Int).SetString(
+		"5ac635d8aa3a93e7b3ebbd55769886bc651d06b0cc53b0f63bce3c3e27d2604b", 16)
+	gx, _ := new(big.Int).SetString(
+		"6b17d1f2e12c4247f8bce6e563a440f277037d812deb33a0f4a13945d898c296", 16)
+	gy, _ := new(big.Int).SetString(
+		"4fe342e2fe1a7f9b8ee7eb4a7c0f9e162bce33576b315ececbb6406837bf51f5", 16)
+	n, _ := new(big.Int).SetString(
+		"ffffffff00000000ffffffffffffffffbce6faada7179e84f3b9cac2fc632551", 16)
+	return &Curve{Name: "secp256r1", F: fp.P256(), B: b, Gx: gx, Gy: gy, N: n}
+}
+
+// Affine is an affine point; Inf marks the identity.
+type Affine struct {
+	X, Y *big.Int
+	Inf  bool
+}
+
+// Infinity is the identity element.
+var Infinity = Affine{Inf: true}
+
+// Gen returns the curve's base point.
+func (c *Curve) Gen() Affine {
+	return Affine{X: new(big.Int).Set(c.Gx), Y: new(big.Int).Set(c.Gy)}
+}
+
+// OnCurve reports whether p satisfies y² = x³ − 3x + b.
+func (c *Curve) OnCurve(p Affine) bool {
+	if p.Inf {
+		return true
+	}
+	f := c.F
+	lhs := f.Sqr(p.Y)
+	rhs := f.Add(f.Sub(f.Mul(f.Sqr(p.X), p.X), f.Mul(big.NewInt(3), p.X)), c.B)
+	return lhs.Cmp(rhs) == 0
+}
+
+// Neg returns −p.
+func (c *Curve) Neg(p Affine) Affine {
+	if p.Inf {
+		return p
+	}
+	return Affine{X: new(big.Int).Set(p.X), Y: c.F.Neg(p.Y)}
+}
+
+// Equal reports point equality.
+func (p Affine) Equal(q Affine) bool {
+	if p.Inf || q.Inf {
+		return p.Inf == q.Inf
+	}
+	return p.X.Cmp(q.X) == 0 && p.Y.Cmp(q.Y) == 0
+}
+
+// jac is a Jacobian point: (X/Z², Y/Z³); Z = 0 is infinity.
+type jac struct {
+	x, y, z *big.Int
+}
+
+func (c *Curve) toJac(p Affine) jac {
+	if p.Inf {
+		return jac{big.NewInt(1), big.NewInt(1), big.NewInt(0)}
+	}
+	return jac{new(big.Int).Set(p.X), new(big.Int).Set(p.Y), big.NewInt(1)}
+}
+
+func (c *Curve) fromJac(p jac) Affine {
+	if p.z.Sign() == 0 {
+		return Infinity
+	}
+	f := c.F
+	zi := f.Inv(p.z)
+	zi2 := f.Sqr(zi)
+	return Affine{X: f.Mul(p.x, zi2), Y: f.Mul(p.y, f.Mul(zi2, zi))}
+}
+
+// double returns 2p using the a = −3 Jacobian doubling
+// (delta/gamma/beta/alpha form, as in standard references).
+func (c *Curve) double(p jac) jac {
+	if p.z.Sign() == 0 || p.y.Sign() == 0 {
+		return jac{big.NewInt(1), big.NewInt(1), big.NewInt(0)}
+	}
+	f := c.F
+	delta := f.Sqr(p.z)
+	gamma := f.Sqr(p.y)
+	beta := f.Mul(p.x, gamma)
+	alpha := f.Mul(big.NewInt(3), f.Mul(f.Sub(p.x, delta), f.Add(p.x, delta)))
+	x3 := f.Sub(f.Sqr(alpha), f.Mul(big.NewInt(8), beta))
+	z3 := f.Sub(f.Sub(f.Sqr(f.Add(p.y, p.z)), gamma), delta)
+	y3 := f.Sub(
+		f.Mul(alpha, f.Sub(f.Mul(big.NewInt(4), beta), x3)),
+		f.Mul(big.NewInt(8), f.Sqr(gamma)),
+	)
+	return jac{x3, y3, z3}
+}
+
+// addMixed returns p + q for Jacobian p and affine q.
+func (c *Curve) addMixed(p jac, q Affine) jac {
+	if q.Inf {
+		return p
+	}
+	if p.z.Sign() == 0 {
+		return c.toJac(q)
+	}
+	f := c.F
+	z1z1 := f.Sqr(p.z)
+	u2 := f.Mul(q.X, z1z1)
+	s2 := f.Mul(q.Y, f.Mul(p.z, z1z1))
+	h := f.Sub(u2, p.x)
+	r := f.Sub(s2, p.y)
+	if h.Sign() == 0 {
+		if r.Sign() == 0 {
+			return c.double(p)
+		}
+		return jac{big.NewInt(1), big.NewInt(1), big.NewInt(0)}
+	}
+	hh := f.Sqr(h)
+	hhh := f.Mul(h, hh)
+	v := f.Mul(p.x, hh)
+	x3 := f.Sub(f.Sub(f.Sqr(r), hhh), f.Mul(big.NewInt(2), v))
+	y3 := f.Sub(f.Mul(r, f.Sub(v, x3)), f.Mul(p.y, hhh))
+	z3 := f.Mul(p.z, h)
+	return jac{x3, y3, z3}
+}
+
+// Add returns p + q.
+func (c *Curve) Add(p, q Affine) Affine {
+	if p.Inf {
+		return q
+	}
+	return c.fromJac(c.addMixed(c.toJac(p), q))
+}
+
+// Double returns 2p.
+func (c *Curve) Double(p Affine) Affine {
+	return c.fromJac(c.double(c.toJac(p)))
+}
+
+// ScalarMult returns k·p via left-to-right double-and-add over Jacobian
+// coordinates with mixed additions — the structure of a compact
+// embedded implementation like Micro ECC's.
+func (c *Curve) ScalarMult(k *big.Int, p Affine) Affine {
+	if p.Inf || k.Sign() == 0 {
+		return Infinity
+	}
+	if k.Sign() < 0 {
+		return c.ScalarMult(new(big.Int).Neg(k), c.Neg(p))
+	}
+	acc := c.toJac(Infinity)
+	for i := k.BitLen() - 1; i >= 0; i-- {
+		acc = c.double(acc)
+		if k.Bit(i) == 1 {
+			acc = c.addMixed(acc, p)
+		}
+	}
+	return c.fromJac(acc)
+}
+
+// ScalarBaseMult returns k·G.
+func (c *Curve) ScalarBaseMult(k *big.Int) Affine {
+	return c.ScalarMult(k, c.Gen())
+}
+
+// RandPoint returns a random multiple of the generator.
+func (c *Curve) RandPoint(rnd *rand.Rand) Affine {
+	k := new(big.Int).Rand(rnd, c.N)
+	return c.ScalarBaseMult(k)
+}

@@ -1,0 +1,118 @@
+package weier
+
+import (
+	"math/big"
+	"math/rand"
+	"testing"
+)
+
+func curves() []*Curve { return []*Curve{P192(), P224(), P256()} }
+
+func TestGeneratorsOnCurve(t *testing.T) {
+	for _, c := range curves() {
+		if !c.OnCurve(c.Gen()) {
+			t.Errorf("%s: generator fails the curve equation", c.Name)
+		}
+	}
+}
+
+func TestGroupOrder(t *testing.T) {
+	for _, c := range curves() {
+		if !c.ScalarBaseMult(c.N).Inf {
+			t.Errorf("%s: n*G != infinity", c.Name)
+		}
+		nm1 := new(big.Int).Sub(c.N, big.NewInt(1))
+		if !c.ScalarBaseMult(nm1).Equal(c.Neg(c.Gen())) {
+			t.Errorf("%s: (n-1)*G != -G", c.Name)
+		}
+	}
+}
+
+func TestGroupLaws(t *testing.T) {
+	rnd := rand.New(rand.NewSource(1))
+	for _, c := range curves() {
+		p, q := c.RandPoint(rnd), c.RandPoint(rnd)
+		if !c.Add(p, q).Equal(c.Add(q, p)) {
+			t.Errorf("%s: addition not commutative", c.Name)
+		}
+		r := c.RandPoint(rnd)
+		if !c.Add(c.Add(p, q), r).Equal(c.Add(p, c.Add(q, r))) {
+			t.Errorf("%s: addition not associative", c.Name)
+		}
+		if !c.Add(p, Infinity).Equal(p) {
+			t.Errorf("%s: p + 0 != p", c.Name)
+		}
+		if !c.Add(p, c.Neg(p)).Inf {
+			t.Errorf("%s: p + (-p) != 0", c.Name)
+		}
+		if !c.Add(p, p).Equal(c.Double(p)) {
+			t.Errorf("%s: p + p != 2p", c.Name)
+		}
+		if !c.OnCurve(c.Add(p, q)) || !c.OnCurve(c.Double(p)) {
+			t.Errorf("%s: operation left the curve", c.Name)
+		}
+	}
+}
+
+func TestScalarMult(t *testing.T) {
+	rnd := rand.New(rand.NewSource(2))
+	for _, c := range curves() {
+		g := c.Gen()
+		// Small scalars against repeated addition.
+		acc := Infinity
+		for k := int64(0); k <= 12; k++ {
+			if !c.ScalarMult(big.NewInt(k), g).Equal(acc) {
+				t.Fatalf("%s: %d*G mismatch", c.Name, k)
+			}
+			acc = c.Add(acc, g)
+		}
+		// Distributivity.
+		a := new(big.Int).Rand(rnd, c.N)
+		b := new(big.Int).Rand(rnd, c.N)
+		ab := new(big.Int).Add(a, b)
+		lhs := c.ScalarBaseMult(ab)
+		rhs := c.Add(c.ScalarBaseMult(a), c.ScalarBaseMult(b))
+		if !lhs.Equal(rhs) {
+			t.Errorf("%s: (a+b)G != aG + bG", c.Name)
+		}
+		// Negative scalar.
+		if !c.ScalarMult(big.NewInt(-5), g).Equal(c.Neg(c.ScalarMult(big.NewInt(5), g))) {
+			t.Errorf("%s: negative scalar", c.Name)
+		}
+		// Edge cases.
+		if !c.ScalarMult(big.NewInt(0), g).Inf || !c.ScalarMult(big.NewInt(3), Infinity).Inf {
+			t.Errorf("%s: scalar-mult edge cases", c.Name)
+		}
+	}
+}
+
+func TestP256KnownAnswer(t *testing.T) {
+	// 2G for P-256 (public test vector).
+	c := P256()
+	want, _ := new(big.Int).SetString(
+		"7cf27b188d034f7e8a52380304b51ac3c08969e277f21b35a60b48fc47669978", 16)
+	got := c.Double(c.Gen())
+	if got.X.Cmp(want) != 0 {
+		t.Fatalf("2G.x = %x, want %x", got.X, want)
+	}
+}
+
+func BenchmarkScalarMultP192(b *testing.B) {
+	c := P192()
+	rnd := rand.New(rand.NewSource(1))
+	k := new(big.Int).Rand(rnd, c.N)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		c.ScalarBaseMult(k)
+	}
+}
+
+func BenchmarkScalarMultP256(b *testing.B) {
+	c := P256()
+	rnd := rand.New(rand.NewSource(1))
+	k := new(big.Int).Rand(rnd, c.N)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		c.ScalarBaseMult(k)
+	}
+}

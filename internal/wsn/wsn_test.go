@@ -1,0 +1,100 @@
+package wsn
+
+import (
+	"testing"
+	"time"
+)
+
+func TestLifetimeOrdering(t *testing.T) {
+	// Cheaper crypto must never shorten the node's life; with the
+	// paper's numbers the ordering is this work > RELIC > Micro ECC.
+	results, err := Compare(DefaultNode(), PaperProfiles())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != 3 {
+		t.Fatalf("%d results", len(results))
+	}
+	if !(results[0].Lifetime > results[1].Lifetime &&
+		results[1].Lifetime > results[2].Lifetime) {
+		t.Errorf("lifetime ordering violated: %v / %v / %v",
+			results[0].Lifetime, results[1].Lifetime, results[2].Lifetime)
+	}
+}
+
+func TestLifetimePlausible(t *testing.T) {
+	// A 2000 J battery at ~250+55 µJ per 15-minute cycle plus 2 µW idle
+	// should live on the order of years, not hours.
+	res, err := Simulate(DefaultNode(), PaperProfiles()[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Lifetime < 100*24*time.Hour {
+		t.Errorf("lifetime %v implausibly short", res.Lifetime)
+	}
+	if res.Exchanges <= 0 {
+		t.Error("no exchanges completed")
+	}
+	if res.CryptoShare <= 0 || res.CryptoShare >= 1 {
+		t.Errorf("crypto share %v out of range", res.CryptoShare)
+	}
+}
+
+func TestCryptoDominatedRegime(t *testing.T) {
+	// With a hot rekeying schedule and a cheap radio, the crypto energy
+	// dominates and the implementation choice changes lifetime by the
+	// energy ratio.
+	cfg := NodeConfig{
+		BatteryJ:       100,
+		ExchangePeriod: 10 * time.Second,
+		RadioUJ:        5,
+		IdleUW:         0.1,
+	}
+	this, _ := Simulate(cfg, PaperProfiles()[0])  // 54.79 µJ / exchange
+	micro, _ := Simulate(cfg, PaperProfiles()[2]) // 269.8 µJ / exchange
+	ratio := float64(this.Lifetime) / float64(micro.Lifetime)
+	// Energy per cycle: this 60.79 µJ vs micro 275.8 µJ → ≈ 4.5×.
+	if ratio < 3.5 || ratio > 5.5 {
+		t.Errorf("crypto-dominated lifetime ratio %.2f, expected ≈ 4.5", ratio)
+	}
+	if this.CryptoShare < 0.5 {
+		t.Errorf("crypto share %.2f should dominate in this regime", this.CryptoShare)
+	}
+}
+
+func TestEnergyConservation(t *testing.T) {
+	cfg := DefaultNode()
+	res, err := Simulate(cfg, PaperProfiles()[1])
+	if err != nil {
+		t.Fatal(err)
+	}
+	spent := res.CryptoTotalJ + res.RadioTotalJ + res.IdleTotalJ
+	if spent > cfg.BatteryJ {
+		t.Errorf("spent %.1f J from a %.1f J battery", spent, cfg.BatteryJ)
+	}
+	// Nearly all of the battery should be accounted for (the tail is at
+	// most one period of idle draw).
+	if spent < cfg.BatteryJ*0.99 {
+		t.Errorf("only %.1f of %.1f J accounted for", spent, cfg.BatteryJ)
+	}
+}
+
+func TestInvalidConfigs(t *testing.T) {
+	bad := []NodeConfig{
+		{BatteryJ: 0, ExchangePeriod: time.Minute},
+		{BatteryJ: 100, ExchangePeriod: 0},
+		{BatteryJ: -5, ExchangePeriod: time.Minute},
+	}
+	for i, cfg := range bad {
+		if _, err := Simulate(cfg, PaperProfiles()[0]); err == nil {
+			t.Errorf("config %d accepted", i)
+		}
+	}
+}
+
+func TestKeyExchangeEnergy(t *testing.T) {
+	p := CryptoProfile{Name: "x", KeyGenUJ: 10, AgreeUJ: 20}
+	if p.KeyExchangeUJ() != 30 {
+		t.Error("key exchange energy wrong")
+	}
+}

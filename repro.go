@@ -1,0 +1,145 @@
+// Package repro is a full reproduction of "Ultra Low-Power
+// implementation of ECC on the ARM Cortex-M0+" (de Clercq, Uhsadel,
+// Van Herrewege, Verbauwhede — DAC 2014) as a Go library.
+//
+// This root package is the stable public surface: sect233k1 key
+// generation, the paper's two point-multiplication paths (random point
+// k·P with width-4 τ-adic NAF, fixed point k·G with width-6 and a
+// precomputed table), the constant-time Montgomery-ladder variant from
+// the paper's future-work section, ECDH key agreement and ECDSA-style
+// signatures.
+//
+// The reproduction substrates live under internal/: the F_2^233 field
+// with the paper's "López-Dahab with fixed registers" multiplication
+// (internal/gf233), the curve group (internal/ec), τ-adic recoding
+// (internal/koblitz), an ARMv6-M instruction-set simulator with the
+// Cortex-M0+ cycle model (internal/armv6m), a Thumb assembler
+// (internal/thumb), the generated assembly field routines
+// (internal/codegen), the Table 3 energy model and synthetic
+// measurement rig (internal/energy), and the evaluation harness
+// reproducing every table and figure (internal/opcount,
+// internal/profile, internal/litdata; driven by cmd/eccbench).
+package repro
+
+import (
+	"errors"
+	"io"
+	"math/big"
+
+	"repro/internal/core"
+	"repro/internal/ec"
+	"repro/internal/ecdh"
+	"repro/internal/hybrid"
+	"repro/internal/sign"
+)
+
+// Point is a point on sect233k1 in affine coordinates.
+type Point = ec.Affine
+
+// PrivateKey is a sect233k1 key pair.
+type PrivateKey = core.PrivateKey
+
+// Signature is an ECDSA-style signature.
+type Signature = sign.Signature
+
+// Generator returns the standard base point G.
+func Generator() Point { return ec.Gen() }
+
+// Order returns the prime order n of the base-point subgroup.
+func Order() *big.Int { return new(big.Int).Set(ec.Order) }
+
+// GenerateKey draws a uniform key pair from the random source.
+func GenerateKey(rand io.Reader) (*PrivateKey, error) {
+	return core.GenerateKey(rand)
+}
+
+// ScalarMult computes k·P with the paper's random-point method (wTNAF,
+// w = 4, mixed LD-affine coordinates). P must lie in the prime-order
+// subgroup; validate untrusted points with ValidatePoint first.
+func ScalarMult(k *big.Int, p Point) Point { return core.ScalarMult(k, p) }
+
+// ScalarBaseMult computes k·G with the paper's fixed-point method
+// (wTNAF, w = 6, precomputed table).
+func ScalarBaseMult(k *big.Int) Point { return core.ScalarBaseMult(k) }
+
+// ScalarMultConstantTime computes k·P with the López-Dahab x-only
+// Montgomery ladder — the power-analysis countermeasure the paper's §5
+// proposes. Slower than ScalarMult but with data-independent operation
+// flow.
+func ScalarMultConstantTime(k *big.Int, p Point) Point {
+	return core.ScalarMultLadder(k, p)
+}
+
+// ValidatePoint checks that p is on the curve, not the identity, and a
+// member of the prime-order subgroup.
+func ValidatePoint(p Point) error { return ecdh.Validate(p) }
+
+// SharedKey derives a symmetric key of the given length by ECDH against
+// the peer's public point.
+func SharedKey(priv *PrivateKey, peer Point, length int) ([]byte, error) {
+	return ecdh.SharedKey(priv, peer, length)
+}
+
+// Sign produces an ECDSA-style signature over the message digest.
+func Sign(priv *PrivateKey, digest []byte, rand io.Reader) (*Signature, error) {
+	return sign.Sign(priv, digest, rand)
+}
+
+// SignDeterministic signs with an RFC 6979-style deterministic nonce,
+// removing the signing-time RNG dependency (valuable on RNG-poor
+// sensor nodes).
+func SignDeterministic(priv *PrivateKey, digest []byte) (*Signature, error) {
+	return sign.SignDeterministic(priv, digest)
+}
+
+// Verify reports whether sig is valid over digest under the public key.
+func Verify(pub Point, digest []byte, sig *Signature) bool {
+	return sign.Verify(pub, digest, sig)
+}
+
+// Seal encrypts and authenticates plaintext to the recipient's public
+// key with the ECIES-style hybrid cryptosystem (ephemeral ECDH + stream
+// encryption + MAC) — the paper's motivating WSN usage pattern.
+func Seal(rand io.Reader, recipient Point, plaintext []byte) ([]byte, error) {
+	return hybrid.Seal(rand, recipient, plaintext)
+}
+
+// Open authenticates and decrypts a message produced by Seal.
+func Open(priv *PrivateKey, message []byte) ([]byte, error) {
+	return hybrid.Open(priv, message)
+}
+
+// PrivateKeySize is the length of a serialized private scalar.
+const PrivateKeySize = 30 // ceil(bitlen(n)/8)
+
+// MarshalPrivateKey serializes the private scalar big-endian,
+// fixed width.
+func MarshalPrivateKey(priv *PrivateKey) []byte {
+	out := make([]byte, PrivateKeySize)
+	priv.D.FillBytes(out)
+	return out
+}
+
+// ParsePrivateKey reconstructs a key pair from a serialized scalar,
+// recomputing the public point.
+func ParsePrivateKey(b []byte) (*PrivateKey, error) {
+	if len(b) != PrivateKeySize {
+		return nil, errInvalidKey
+	}
+	d := new(big.Int).SetBytes(b)
+	if d.Sign() == 0 || d.Cmp(ec.Order) >= 0 {
+		return nil, errInvalidKey
+	}
+	return &PrivateKey{D: d, Public: core.ScalarBaseMult(d)}, nil
+}
+
+var errInvalidKey = errors.New("repro: invalid private key encoding")
+
+// EncodePoint returns the X9.62 uncompressed encoding of p.
+func EncodePoint(p Point) []byte { return p.Encode() }
+
+// EncodePointCompressed returns the 31-byte compressed encoding of p.
+func EncodePointCompressed(p Point) []byte { return p.EncodeCompressed() }
+
+// DecodePoint parses an encoded point and verifies curve membership.
+func DecodePoint(b []byte) (Point, error) { return ec.Decode(b) }
