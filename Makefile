@@ -1,0 +1,34 @@
+# Tier-1 verification and CI entry points.
+#
+#   make ci      - everything a pre-merge check runs: build, vet,
+#                  race-enabled tests, and a short differential-fuzz
+#                  smoke of the 64-bit field backend
+#   make bench   - the backend-tagged host benchmarks (Mul/Sqr/Inv,
+#                  ScalarMult, ScalarBaseMult, GenerateKey)
+
+GO ?= go
+
+.PHONY: all build vet test race fuzz bench ci
+
+all: ci
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+fuzz:
+	$(GO) test ./internal/gf233 -run='^$$' -fuzz=FuzzMul64VsRef -fuzztime=10s
+	$(GO) test ./internal/gf233 -run='^$$' -fuzz=FuzzSqrInv64VsRef -fuzztime=10s
+
+bench:
+	$(GO) test -run='^$$' -bench='Mul$$|Sqr$$|Inv$$|ScalarMult$$|ScalarBaseMult$$|GenerateKey$$' -benchtime=1s .
+
+ci: build vet race fuzz

@@ -358,6 +358,136 @@ func BenchmarkSimulatorThroughput(b *testing.B) {
 	b.ReportMetric(float64(cycles)/float64(b.N), "simcycles/op")
 }
 
+// withBackend runs the sub-benchmark with the given field backend
+// selected, restoring the previous selection afterwards.
+func withBackend(b *testing.B, bk gf233.Backend, f func(b *testing.B)) {
+	b.Helper()
+	prev := gf233.SetBackend(bk)
+	defer gf233.SetBackend(prev)
+	f(b)
+}
+
+// BenchmarkMul contrasts host-side field multiplication across the two
+// backends: the paper-faithful 8x32-bit LD with fixed registers, the
+// 4x64-bit windowed LD, and the 64-bit Karatsuba-split ablation.
+func BenchmarkMul(b *testing.B) {
+	rnd := rand.New(rand.NewSource(10))
+	x, y := gf233.Rand(rnd.Uint32), gf233.Rand(rnd.Uint32)
+	b.Run("32", func(b *testing.B) {
+		v := x
+		for i := 0; i < b.N; i++ {
+			v = gf233.MulLDFixed(v, y)
+		}
+	})
+	b.Run("64", func(b *testing.B) {
+		v, w := gf233.ToElem64(x), gf233.ToElem64(y)
+		for i := 0; i < b.N; i++ {
+			v = gf233.Mul64(v, w)
+		}
+	})
+	b.Run("64kar", func(b *testing.B) {
+		v, w := gf233.ToElem64(x), gf233.ToElem64(y)
+		for i := 0; i < b.N; i++ {
+			v = gf233.MulKaratsuba64(v, w)
+		}
+	})
+}
+
+// BenchmarkSqr contrasts host-side squaring across the backends.
+func BenchmarkSqr(b *testing.B) {
+	rnd := rand.New(rand.NewSource(11))
+	x := gf233.Rand(rnd.Uint32)
+	b.Run("32", func(b *testing.B) {
+		v := x
+		for i := 0; i < b.N; i++ {
+			v = gf233.SqrInterleaved(v)
+		}
+	})
+	b.Run("64", func(b *testing.B) {
+		v := gf233.ToElem64(x)
+		for i := 0; i < b.N; i++ {
+			v = gf233.Sqr64(v)
+		}
+	})
+}
+
+// BenchmarkInv contrasts host-side EEA inversion across the backends.
+func BenchmarkInv(b *testing.B) {
+	rnd := rand.New(rand.NewSource(12))
+	x := gf233.Rand(rnd.Uint32)
+	b.Run("32", func(b *testing.B) {
+		v := x
+		for i := 0; i < b.N; i++ {
+			v, _ = gf233.InvEEA(v)
+		}
+	})
+	b.Run("64", func(b *testing.B) {
+		v := gf233.ToElem64(x)
+		for i := 0; i < b.N; i++ {
+			v, _ = gf233.Inv64(v)
+		}
+	})
+}
+
+// BenchmarkScalarMult runs the paper's random-point multiplication with
+// the field arithmetic pinned to each backend, making the host speedup
+// of the 64-bit path visible at the protocol level.
+func BenchmarkScalarMult(b *testing.B) {
+	k := benchScalar()
+	g := ec.Gen()
+	for _, bk := range []gf233.Backend{gf233.Backend32, gf233.Backend64} {
+		b.Run(bk.String(), func(b *testing.B) {
+			withBackend(b, bk, func(b *testing.B) {
+				for i := 0; i < b.N; i++ {
+					core.ScalarMult(k, g)
+				}
+			})
+		})
+	}
+}
+
+// BenchmarkScalarBaseMult contrasts the two fixed-point methods: the
+// paper's wTNAF w=6 with precomputed α_u·G table and the host-side
+// Lim-Lee comb.
+func BenchmarkScalarBaseMult(b *testing.B) {
+	k := benchScalar()
+	b.Run("tnaf", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			core.ScalarBaseMultTNAF(k)
+		}
+	})
+	b.Run("comb", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			core.ScalarBaseMult(k)
+		}
+	})
+}
+
+// BenchmarkGenerateKey measures full key generation with the public key
+// computed by the constant-time ladder (the slow, assumption-free path)
+// versus the comb-backed fixed-base path used by core.GenerateKey.
+func BenchmarkGenerateKey(b *testing.B) {
+	b.Run("ladder", func(b *testing.B) {
+		rnd := rand.New(rand.NewSource(13))
+		g := ec.Gen()
+		for i := 0; i < b.N; i++ {
+			d := new(big.Int).Rand(rnd, ec.Order)
+			if d.Sign() == 0 {
+				d.SetInt64(1)
+			}
+			core.ScalarMultLadder(d, g)
+		}
+	})
+	b.Run("comb", func(b *testing.B) {
+		rnd := rand.New(rand.NewSource(13))
+		for i := 0; i < b.N; i++ {
+			if _, err := core.GenerateKey(rnd); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
 // BenchmarkPointMulOnSimulator executes the complete kP τ-and-add main
 // loop on the simulated M0+ per iteration — the end-to-end measurement
 // behind the Table 6 kP row.

@@ -16,6 +16,7 @@ import (
 	"errors"
 	"io"
 	"math/big"
+	"sync"
 
 	"repro/internal/ec"
 	"repro/internal/gf233"
@@ -34,22 +35,86 @@ const (
 // indexed by u>>1 — the "TNAF Precomputation" phase of Table 7 (16
 // points for w = 6, 4 points for w = 4). The table entries are returned
 // in affine coordinates so the main loop can use mixed addition.
+//
+// This runs once per random-point multiplication, so it is built in LD
+// coordinates (no per-addition inversion) and normalised with a single
+// batched inversion at the end.
 func AlphaPoints(p ec.Affine, w int) []ec.Affine {
 	alphas := koblitz.Alpha(w)
 	tp := p.Frobenius()
-	points := make([]ec.Affine, len(alphas))
+	// The only affine additions (one inversion each): P+τP and P−τP,
+	// shared by every table entry's joint ladder below.
+	sum := p.Add(tp)
+	dif := p.Add(tp.Neg())
+	points := make([]ec.LD, len(alphas))
 	for i, a := range alphas {
 		// α_u = a + b·τ, so P_u = a·P + b·τ(P).
-		points[i] = ec.ScalarMultGeneric(a.A, p).Add(ec.ScalarMultGeneric(a.B, tp))
+		points[i] = alphaPointLD(a, p, tp, sum, dif)
 	}
-	return points
+	return normalizeLD(points)
+}
+
+// alphaPointLD computes (a + b·τ)·P = a·P + b·τ(P) with a Shamir joint
+// double-and-add over |a| and |b| in LD coordinates, so the whole α
+// table costs no inversions beyond the two shared combination points.
+func alphaPointLD(al koblitz.ZTau, p, tp, sum, dif ec.Affine) ec.LD {
+	sa, sb := al.A.Sign(), al.B.Sign()
+	pa, pb := p, tp
+	if sa < 0 {
+		pa = pa.Neg()
+	}
+	if sb < 0 {
+		pb = pb.Neg()
+	}
+	// both = pa + pb, assembled from the two precomputed sums.
+	var both ec.Affine
+	switch {
+	case sa >= 0 && sb >= 0:
+		both = sum
+	case sa < 0 && sb < 0:
+		both = sum.Neg()
+	case sa >= 0:
+		both = dif
+	default:
+		both = dif.Neg()
+	}
+	aa := new(big.Int).Abs(al.A)
+	ab := new(big.Int).Abs(al.B)
+	r := ec.LDInfinity
+	for i := max(aa.BitLen(), ab.BitLen()) - 1; i >= 0; i-- {
+		r = r.Double()
+		switch {
+		case aa.Bit(i) == 1 && ab.Bit(i) == 1:
+			r = r.AddMixed(both)
+		case aa.Bit(i) == 1:
+			r = r.AddMixed(pa)
+		case ab.Bit(i) == 1:
+			r = r.AddMixed(pb)
+		}
+	}
+	return r
 }
 
 // scalarMultDigits evaluates Σ ξ_i τ^i applied to the precomputed table
 // with a left-to-right Horner loop over the recoded digits: the
 // accumulator is hit with the (cheap) Frobenius once per digit and a
-// mixed LD-affine addition once per nonzero digit.
+// mixed LD-affine addition once per nonzero digit. On the 64-bit field
+// backend the whole loop runs on 64-bit-native point arithmetic; the
+// table conversion is a handful of word repacks, paid once per call.
 func scalarMultDigits(digits []int8, table []ec.Affine) ec.Affine {
+	if gf233.CurrentBackend() == gf233.Backend64 {
+		t64 := make([]ec.Affine64, len(table))
+		for i, p := range table {
+			t64[i] = p.To64()
+		}
+		return scalarMultDigits64(digits, t64)
+	}
+	return scalarMultDigits32(digits, table)
+}
+
+// scalarMultDigits32 runs the Horner loop on the 32-bit reference
+// point arithmetic.
+func scalarMultDigits32(digits []int8, table []ec.Affine) ec.Affine {
 	q := ec.LDInfinity
 	for i := len(digits) - 1; i >= 0; i-- {
 		q = q.Frobenius()
@@ -61,6 +126,21 @@ func scalarMultDigits(digits []int8, table []ec.Affine) ec.Affine {
 		}
 	}
 	return q.Affine()
+}
+
+// scalarMultDigits64 is the 64-bit-native twin of the loop above.
+func scalarMultDigits64(digits []int8, table []ec.Affine64) ec.Affine {
+	q := ec.LD64Infinity
+	for i := len(digits) - 1; i >= 0; i-- {
+		q = q.Frobenius()
+		switch d := digits[i]; {
+		case d > 0:
+			q = q.AddMixed(table[d>>1])
+		case d < 0:
+			q = q.SubMixed(table[(-d)>>1])
+		}
+	}
+	return q.Affine().Affine()
 }
 
 // ScalarMult computes k·P with the paper's random-point method: partial
@@ -95,11 +175,19 @@ type FixedBase struct {
 	w     int
 	point ec.Affine
 	table []ec.Affine
+	// table64 is the same table pre-converted for the 64-bit loop, so
+	// per-call conversion is only paid for genuinely fresh tables.
+	table64 []ec.Affine64
 }
 
 // NewFixedBase builds the width-w precomputation for p.
 func NewFixedBase(p ec.Affine, w int) *FixedBase {
-	return &FixedBase{w: w, point: p, table: AlphaPoints(p, w)}
+	table := AlphaPoints(p, w)
+	table64 := make([]ec.Affine64, len(table))
+	for i, q := range table {
+		table64[i] = q.To64()
+	}
+	return &FixedBase{w: w, point: p, table: table, table64: table64}
 }
 
 // Point returns the fixed point this table belongs to.
@@ -119,22 +207,37 @@ func (fb *FixedBase) ScalarMult(k *big.Int) ec.Affine {
 	}
 	rho := koblitz.PartMod(k)
 	digits := koblitz.WTNAF(rho, fb.w)
-	return scalarMultDigits(digits, fb.table)
+	if gf233.CurrentBackend() == gf233.Backend64 {
+		return scalarMultDigits64(digits, fb.table64)
+	}
+	return scalarMultDigits32(digits, fb.table)
 }
 
-// generator table, built on first use.
-var genTable *FixedBase
+// generator wTNAF table, built once on first use.
+var (
+	genTableOnce sync.Once
+	genTable     *FixedBase
+)
 
 func genBase() *FixedBase {
-	if genTable == nil {
+	genTableOnce.Do(func() {
 		genTable = NewFixedBase(ec.Gen(), WFixed)
-	}
+	})
 	return genTable
 }
 
-// ScalarBaseMult computes k·G with the paper's fixed-point method
-// (wTNAF, w = 6, precomputed table).
+// ScalarBaseMult computes k·G for the generator. On the host it runs
+// the fixed-base comb (comb.go); ScalarBaseMultTNAF is the
+// paper-faithful wTNAF w=6 method whose cycle cost internal/profile
+// models for the Cortex-M0+.
 func ScalarBaseMult(k *big.Int) ec.Affine {
+	return generatorComb().ScalarMult(k)
+}
+
+// ScalarBaseMultTNAF computes k·G with the paper's fixed-point method
+// (wTNAF, w = 6, precomputed table) — the reference path the comb is
+// differentially tested against.
+func ScalarBaseMultTNAF(k *big.Int) ec.Affine {
 	return genBase().ScalarMult(k)
 }
 

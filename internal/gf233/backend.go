@@ -1,0 +1,105 @@
+package gf233
+
+import (
+	"math/bits"
+	"sync/atomic"
+)
+
+// Backend selection. The package carries two complete field-arithmetic
+// implementations:
+//
+//	Backend32 — the paper-faithful reference: 8 32-bit words, the
+//	            Cortex-M0+ layout that internal/opcount and
+//	            internal/codegen instrument and compile to Thumb;
+//	Backend64 — the host fast path: 4 64-bit words, selected by default
+//	            on 64-bit hosts.
+//
+// The generic entry points Mul, Sqr, SqrN and Inv dispatch on the
+// current backend, so internal/ec, internal/core and internal/ecdh
+// transparently get the fast path, while the named reference variants
+// (MulLD, MulLDRotating, MulLDFixed, SqrSeparate, SqrInterleaved,
+// InvEEA) always run the 32-bit code regardless of the selection. Both
+// backends compute bit-identical results — the differential fuzz
+// targets in fuzz64_test.go are the executable statement of that
+// contract — so switching backends never changes observable behavior,
+// only speed.
+
+// Backend identifies a field-arithmetic implementation.
+type Backend uint32
+
+const (
+	// Backend32 is the paper-faithful 8x32-bit reference.
+	Backend32 Backend = iota
+	// Backend64 is the host-optimized 4x64-bit implementation.
+	Backend64
+)
+
+// String returns the conventional short tag for the backend.
+func (b Backend) String() string {
+	if b == Backend64 {
+		return "64"
+	}
+	return "32"
+}
+
+// backend holds the current Backend. Atomic so tests and benchmarks can
+// toggle it without racing concurrent field arithmetic.
+var backend atomic.Uint32
+
+func init() {
+	if bits.UintSize == 64 {
+		backend.Store(uint32(Backend64))
+	}
+}
+
+// CurrentBackend returns the backend the generic entry points dispatch
+// to.
+func CurrentBackend() Backend { return Backend(backend.Load()) }
+
+// SetBackend selects the backend used by Mul, Sqr, SqrN and Inv, and
+// returns the previous selection (convenient for defer-restore in
+// tests and benchmarks).
+func SetBackend(b Backend) Backend {
+	return Backend(backend.Swap(uint32(b)))
+}
+
+// Mul returns a*b. On Backend32 it runs the paper's LD with fixed
+// registers (§4.2.2); on Backend64 the 64-bit windowed LD.
+func Mul(a, b Elem) Elem {
+	if CurrentBackend() == Backend64 {
+		return Mul64(ToElem64(a), ToElem64(b)).Elem()
+	}
+	return MulLDFixed(a, b)
+}
+
+// Sqr returns a squared, with the interleaved table method of the
+// selected backend.
+func Sqr(a Elem) Elem {
+	if CurrentBackend() == Backend64 {
+		return Sqr64(ToElem64(a)).Elem()
+	}
+	return SqrInterleaved(a)
+}
+
+// SqrN squares a n times (computes a^(2^n)), a helper for inversion
+// chains and Frobenius powers. On Backend64 the whole chain runs in the
+// 64-bit representation, paying the word-size conversion once.
+func SqrN(a Elem, n int) Elem {
+	if CurrentBackend() == Backend64 {
+		return SqrN64(ToElem64(a), n).Elem()
+	}
+	for i := 0; i < n; i++ {
+		a = SqrInterleaved(a)
+	}
+	return a
+}
+
+// Inv returns a^-1 via the extended Euclidean algorithm of the selected
+// backend. It reports ok=false for the zero element.
+func Inv(a Elem) (Elem, bool) {
+	if CurrentBackend() == Backend64 {
+		inv, ok := Inv64(ToElem64(a))
+		return inv.Elem(), ok
+	}
+	return InvEEA(a)
+}

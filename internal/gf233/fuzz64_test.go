@@ -1,0 +1,113 @@
+package gf233
+
+import (
+	"encoding/binary"
+	"testing"
+
+	"repro/internal/gf2"
+)
+
+// Differential fuzzing of the 64-bit backend: every operation must be
+// bit-identical to the 32-bit reference variants (LD methods A/B/C,
+// interleaved squaring, EEA inversion) and to the arbitrary-precision
+// gf2 polynomial oracle. The seed corpus covers the boundary inputs the
+// reduction is most sensitive to: all-ones, the lone degree-232 bit,
+// and the neighborhood of the trinomial x^233 + x^74 + 1.
+
+// elemFromFuzz decodes 32 little-endian bytes into a reduced element,
+// masking the bits above x^232.
+func elemFromFuzz(b []byte) Elem {
+	var a Elem
+	for i := range a {
+		a[i] = binary.LittleEndian.Uint32(b[4*i:])
+	}
+	a[NumWords-1] &= TopMask
+	return a
+}
+
+func fuzzBytes(e Elem) []byte {
+	out := make([]byte, 4*NumWords)
+	for i, w := range e {
+		binary.LittleEndian.PutUint32(out[4*i:], w)
+	}
+	return out
+}
+
+func seedCorpus(f *testing.F, pair bool) {
+	cases := boundary64()
+	for i, a := range cases {
+		if pair {
+			b := cases[(i+1)%len(cases)]
+			f.Add(fuzzBytes(a), fuzzBytes(b))
+		} else {
+			f.Add(fuzzBytes(a))
+		}
+	}
+}
+
+// FuzzMul64VsRef cross-checks both 64-bit multiplications against the
+// three 32-bit LD variants and the gf2 big-polynomial oracle.
+func FuzzMul64VsRef(f *testing.F) {
+	seedCorpus(f, true)
+	mod := Modulus()
+	f.Fuzz(func(t *testing.T, ab, bb []byte) {
+		if len(ab) < 4*NumWords || len(bb) < 4*NumWords {
+			t.Skip()
+		}
+		a, b := elemFromFuzz(ab), elemFromFuzz(bb)
+		want := gf2.Mod(gf2.Mul(a.Poly(), b.Poly()), mod)
+		refs := []struct {
+			name string
+			got  Elem
+		}{
+			{"MulLD", MulLD(a, b)},
+			{"MulLDRotating", MulLDRotating(a, b)},
+			{"MulLDFixed", MulLDFixed(a, b)},
+			{"Mul64", Mul64(ToElem64(a), ToElem64(b)).Elem()},
+			{"MulKaratsuba64", MulKaratsuba64(ToElem64(a), ToElem64(b)).Elem()},
+		}
+		for _, r := range refs {
+			if !gf2.Equal(r.got.Poly(), want) {
+				t.Fatalf("%s(%v, %v) = %v, oracle %v", r.name, a, b, r.got.Poly(), want)
+			}
+		}
+	})
+}
+
+// FuzzSqrInv64VsRef cross-checks 64-bit squaring and inversion against
+// the 32-bit reference and the gf2 oracle, plus the a * a^-1 = 1 field
+// identity.
+func FuzzSqrInv64VsRef(f *testing.F) {
+	seedCorpus(f, false)
+	mod := Modulus()
+	f.Fuzz(func(t *testing.T, ab []byte) {
+		if len(ab) < 4*NumWords {
+			t.Skip()
+		}
+		a := elemFromFuzz(ab)
+		a64 := ToElem64(a)
+
+		wantSqr := gf2.Mod(gf2.Mul(a.Poly(), a.Poly()), mod)
+		if got := Sqr64(a64).Elem(); !gf2.Equal(got.Poly(), wantSqr) {
+			t.Fatalf("Sqr64(%v) = %v, oracle %v", a, got.Poly(), wantSqr)
+		}
+		if got, want := Sqr64(a64).Elem(), SqrInterleaved(a); got != want {
+			t.Fatalf("Sqr64(%v) = %v, reference %v", a, got, want)
+		}
+
+		inv, ok := Inv64(a64)
+		refInv, refOK := InvEEA(a)
+		if ok != refOK {
+			t.Fatalf("Inv64(%v) ok=%v, reference ok=%v", a, ok, refOK)
+		}
+		if !ok {
+			return
+		}
+		if inv.Elem() != refInv {
+			t.Fatalf("Inv64(%v) = %v, reference %v", a, inv.Elem(), refInv)
+		}
+		if prod := Mul64(a64, inv); prod != One64 {
+			t.Fatalf("%v * Inv64 = %v, want 1", a, prod.Elem())
+		}
+	})
+}

@@ -51,9 +51,11 @@ func addShl(dst, src *[NumWords]uint32, j, limit int) {
 	}
 }
 
-// Inv returns a^-1 in F_2^233 via the extended Euclidean algorithm.
-// It reports ok=false for the zero element, which has no inverse.
-func Inv(a Elem) (inv Elem, ok bool) {
+// InvEEA returns a^-1 in F_2^233 via the extended Euclidean algorithm
+// on the 32-bit reference representation. It reports ok=false for the
+// zero element, which has no inverse. The generic Inv entry point
+// (backend.go) dispatches here on Backend32.
+func InvEEA(a Elem) (inv Elem, ok bool) {
 	if a.IsZero() {
 		return Zero, false
 	}

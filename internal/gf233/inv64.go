@@ -1,0 +1,76 @@
+package gf233
+
+import "math/bits"
+
+// 64-bit extended Euclidean inversion: the same algorithm and MSW
+// tracking as the 32-bit reference (inv.go), rehosted on 4-word
+// operands so every shift-and-add touches half the words.
+
+// modWords64 is the reduction polynomial f(x) = x^233 + x^74 + 1 in the
+// Elem64 layout (bit 233 = word 3 bit 41, bit 74 = word 1 bit 10).
+var modWords64 = Elem64{1, 1 << (ReductionExp - 64), 0, 1 << TopBits64}
+
+// degreeFrom64 returns the degree of the polynomial in w, scanning
+// downward from word index hint (inclusive). Returns -1 for zero.
+func degreeFrom64(w *Elem64, hint int) int {
+	for i := hint; i >= 0; i-- {
+		if w[i] != 0 {
+			return i*64 + bits.Len64(w[i]) - 1
+		}
+	}
+	return -1
+}
+
+// addShl64 computes dst ^= src << j for 0 <= j < 256, touching only
+// words up to limit.
+func addShl64(dst, src *Elem64, j, limit int) {
+	ws, bs := j/64, uint(j%64)
+	if bs == 0 {
+		for i := limit; i >= ws; i-- {
+			dst[i] ^= src[i-ws]
+		}
+		return
+	}
+	for i := limit; i >= ws; i-- {
+		v := src[i-ws] << bs
+		if i-ws-1 >= 0 {
+			v |= src[i-ws-1] >> (64 - bs)
+		}
+		dst[i] ^= v
+	}
+}
+
+// Inv64 returns a^-1 in the 64-bit backend via the extended Euclidean
+// algorithm. It reports ok=false for the zero element.
+func Inv64(a Elem64) (inv Elem64, ok bool) {
+	if a.IsZero() {
+		return Zero64, false
+	}
+	u := a
+	v := modWords64
+	var g1, g2 Elem64
+	g1[0] = 1
+	du, dv := degreeFrom64(&u, NumWords64-1), M
+	for du != 0 {
+		j := du - dv
+		if j < 0 {
+			u, v = v, u
+			g1, g2 = g2, g1
+			du, dv = dv, du
+			j = -j
+		}
+		addShl64(&u, &v, j, du/64)
+		addShl64(&g1, &g2, j, NumWords64-1)
+		du = degreeFrom64(&u, du/64)
+	}
+	return g1, true
+}
+
+// MustInv64 is Inv64 for values known to be nonzero; it panics on zero.
+func MustInv64(a Elem64) Elem64 {
+	inv, ok := Inv64(a)
+	if !ok {
+		panic("gf233: inverse of zero")
+	}
+	return inv
+}

@@ -237,10 +237,6 @@ func MulLDFixed(a, b Elem) Elem {
 	return reduce(&c)
 }
 
-// Mul returns a*b. It uses the paper's LD with fixed registers method,
-// the variant selected for the proposed implementation (§4.2.2).
-func Mul(a, b Elem) Elem { return MulLDFixed(a, b) }
-
 // MulNoReduce returns the raw 466-bit product of a and b before modular
 // reduction, for the layers that need the unreduced partial-product
 // vector (instrumentation, code generation, tests).

@@ -1,0 +1,48 @@
+package gf233
+
+// 64-bit reduction modulo f(x) = x^233 + x^74 + 1 — the same word-serial
+// scheme as the 32-bit reduce (§3.2.2 of the paper), rederived for
+// 64-bit words.
+//
+// Derivation: a coefficient at position 233+j folds to positions j and
+// j+74. For a high word c[i] (i >= 4), every bit k sits at position
+// 64i+k = 233 + (64(i-4) + k + 23), so the word folds to
+//
+//	c[i-4] ^= c[i] << 23   c[i-3] ^= c[i] >> 41   (the x^0 term)
+//	c[i-3] ^= c[i] << 33   c[i-2] ^= c[i] >> 31   (the x^74 term)
+//
+// Processing i from 7 down to 4 lets fold-ins to words 4 and 5 be
+// reprocessed by the later steps. A final partial step clears bits
+// 233..255 of word 3; its x^74 term lands entirely inside word 1
+// (74 = 64+10 and the folded value has at most 64-41 = 23 bits,
+// 10+23 < 64).
+
+// reduce64Regs folds the double-width product held in eight scalar
+// words into the field. Keeping the whole pipeline in registers — no
+// accumulator array, no data-dependent branches — is what makes the
+// 64-bit backend's squaring and multiplication fast on hosts.
+func reduce64Regs(c0, c1, c2, c3, c4, c5, c6, c7 uint64) Elem64 {
+	c3 ^= c7 << 23
+	c4 ^= c7>>41 ^ c7<<33
+	c5 ^= c7 >> 31
+	c2 ^= c6 << 23
+	c3 ^= c6>>41 ^ c6<<33
+	c4 ^= c6 >> 31
+	c1 ^= c5 << 23
+	c2 ^= c5>>41 ^ c5<<33
+	c3 ^= c5 >> 31
+	c0 ^= c4 << 23
+	c1 ^= c4>>41 ^ c4<<33
+	c2 ^= c4 >> 31
+	t := c3 >> TopBits64
+	c0 ^= t
+	c1 ^= t << (ReductionExp - 64)
+	c3 &= TopMask64
+	return Elem64{c0, c1, c2, c3}
+}
+
+// Reduce64 folds an unreduced double-width polynomial (as produced by a
+// 233x233-bit multiplication over 64-bit words) into the field.
+func Reduce64(c [2 * NumWords64]uint64) Elem64 {
+	return reduce64Regs(c[0], c[1], c[2], c[3], c[4], c[5], c[6], c[7])
+}

@@ -100,19 +100,6 @@ func SqrInterleaved(a Elem) Elem {
 	return r
 }
 
-// Sqr returns a squared, using the interleaved table method selected by
-// the paper's proposed implementation.
-func Sqr(a Elem) Elem { return SqrInterleaved(a) }
-
-// SqrN squares a n times (computes a^(2^n)), a helper for inversion
-// chains and Frobenius powers.
-func SqrN(a Elem, n int) Elem {
-	for i := 0; i < n; i++ {
-		a = Sqr(a)
-	}
-	return a
-}
-
 // Sqrt returns the field square root of a, i.e. the unique b with
 // b^2 = a. In F_2^m the square root is a^(2^(m-1)), computed here by
 // m-1 squarings; it is exercised by point-compression tests.

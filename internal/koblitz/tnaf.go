@@ -3,6 +3,7 @@ package koblitz
 import (
 	"fmt"
 	"math/big"
+	"sync"
 )
 
 // TNAF and width-w TNAF recodings (Solinas; Hankerson et al. Alg. 3.61
@@ -28,10 +29,18 @@ const maxDigits = 4 * M
 func TNAF(rho ZTau) []int8 {
 	r0 := new(big.Int).Set(rho.A)
 	r1 := new(big.Int).Set(rho.B)
-	var digits []int8
+	digits := make([]int8, 0, M+8)
 	two := big.NewInt(2)
 	four := big.NewInt(4)
+	t := new(big.Int)
+	uInt := new(big.Int)
+	half := new(big.Int)
 	for r0.Sign() != 0 || r1.Sign() != 0 {
+		if r0.BitLen() <= smallBits && r1.BitLen() <= smallBits {
+			// The residues shrink by roughly a bit per digit; once both
+			// fit in machine words the big.Int loop is pure overhead.
+			return tnafSmall(r0.Int64(), r1.Int64(), digits)
+		}
 		if len(digits) > maxDigits {
 			panic("koblitz: TNAF did not terminate")
 		}
@@ -39,28 +48,99 @@ func TNAF(rho ZTau) []int8 {
 		if r0.Bit(0) == 1 {
 			// u = 2 − ((r0 − 2r1) mod 4) ∈ {1, −1}; subtracting u makes
 			// ρ divisible by τ².
-			t := new(big.Int).Mul(two, r1)
+			t.Mul(two, r1)
 			t.Sub(r0, t)
 			t.Mod(t, four) // 1 or 3 for odd r0
 			u = int8(2 - t.Int64())
-			r0.Sub(r0, big.NewInt(int64(u)))
+			r0.Sub(r0, uInt.SetInt64(int64(u)))
 		}
 		digits = append(digits, u)
-		divTauInPlace(r0, r1)
+		divTauInPlace(r0, r1, half)
 	}
 	return digits
 }
 
 // divTauInPlace replaces (r0, r1) with (r0 + r1τ)/τ, assuming r0 even:
-// (r0, r1) ← (r1 + µ·r0/2, −r0/2).
-func divTauInPlace(r0, r1 *big.Int) {
-	half := new(big.Int).Rsh(r0, 1)
+// (r0, r1) ← (r1 + µ·r0/2, −r0/2). half is caller-provided scratch —
+// the recoding loops run this once per digit.
+func divTauInPlace(r0, r1, half *big.Int) {
+	half.Rsh(r0, 1)
 	if Mu < 0 {
 		r0.Sub(r1, half)
 	} else {
 		r0.Add(r1, half)
 	}
 	r1.Neg(half)
+}
+
+// smallBits is the residue size below which the recodings switch to the
+// int64 loops. The norm N(r0 + r1τ) ≥ 0.79·(r0² + r1²) only shrinks
+// under τ division, and subtracting a window representative adds at
+// most a few bits of headroom, so entering at 60 bits keeps every
+// intermediate comfortably inside int64.
+const smallBits = 60
+
+// tnafSmall finishes a TNAF recoding on machine words.
+func tnafSmall(r0, r1 int64, digits []int8) []int8 {
+	for r0 != 0 || r1 != 0 {
+		if len(digits) > maxDigits {
+			panic("koblitz: TNAF did not terminate")
+		}
+		var u int8
+		if r0&1 == 1 {
+			// u = 2 − ((r0 − 2r1) mod 4); two's complement makes the
+			// unsigned masked arithmetic exact mod 4.
+			t := (uint64(r0) - 2*uint64(r1)) & 3
+			u = int8(2 - int64(t))
+			r0 -= int64(u)
+		}
+		digits = append(digits, u)
+		half := r0 >> 1
+		if Mu < 0 {
+			r0 = r1 - half
+		} else {
+			r0 = r1 + half
+		}
+		r1 = -half
+	}
+	return digits
+}
+
+// wtnafSmall finishes a width-w TNAF recoding on machine words.
+func wtnafSmall(r0, r1 int64, w int, tw int64, alphaA, alphaB []int64, digits []int8) []int8 {
+	mask := uint64(1)<<w - 1
+	halfW := int64(1) << (w - 1)
+	for r0 != 0 || r1 != 0 {
+		if len(digits) > maxDigits {
+			panic("koblitz: WTNAF did not terminate")
+		}
+		var u int64
+		if r0&1 == 1 {
+			// u = (r0 + r1·t_w) mods 2^w; the masked unsigned product is
+			// exact mod 2^w regardless of signs.
+			t := int64((uint64(r0) + uint64(r1)*uint64(tw)) & mask)
+			if t >= halfW {
+				t -= int64(1) << w
+			}
+			u = t
+			if u > 0 {
+				r0 -= alphaA[u>>1]
+				r1 -= alphaB[u>>1]
+			} else {
+				r0 += alphaA[(-u)>>1]
+				r1 += alphaB[(-u)>>1]
+			}
+		}
+		digits = append(digits, int8(u))
+		half := r0 >> 1
+		if Mu < 0 {
+			r0 = r1 - half
+		} else {
+			r0 = r1 + half
+		}
+		r1 = -half
+	}
+	return digits
 }
 
 // TW returns t_w, the image of τ under the ring isomorphism
@@ -89,6 +169,16 @@ func TW(w int) int64 {
 	return t
 }
 
+// alphaCache holds the window representatives per width, built once:
+// WTNAF consults them on every recoding, which sits on the hot path of
+// every scalar multiplication. alphaI64 caches the same coordinates as
+// immutable int64 arrays for the recoding loops.
+var (
+	alphaOnce  [MaxW + 1]sync.Once
+	alphaCache [MaxW + 1][]ZTau
+	alphaI64   [MaxW + 1][2][]int64
+)
+
 // Alpha returns the window representatives α_u = u mods τ^w for odd
 // u = 1, 3, ..., 2^(w−1)−1. Alpha(w)[u>>1] is α_u, the norm-minimal
 // element of Z[τ] congruent to u modulo τ^w. These are the elements the
@@ -99,14 +189,42 @@ func Alpha(w int) []ZTau {
 	if w < MinW || w > MaxW {
 		panic(fmt.Sprintf("koblitz: unsupported window width %d", w))
 	}
-	tw := TauPow(w)
-	alphas := make([]ZTau, 1<<(w-2))
-	for i := range alphas {
-		u := int64(2*i + 1)
-		_, r := RoundDiv(NewZTau(u, 0), tw)
-		alphas[i] = r
+	buildAlpha(w)
+	// Defensive copies: ZTau values share *big.Int internals.
+	cached := alphaCache[w]
+	alphas := make([]ZTau, len(cached))
+	for i, a := range cached {
+		alphas[i] = ZTau{new(big.Int).Set(a.A), new(big.Int).Set(a.B)}
 	}
 	return alphas
+}
+
+// buildAlpha populates the width-w caches exactly once.
+func buildAlpha(w int) {
+	alphaOnce[w].Do(func() {
+		tw := TauPow(w)
+		alphas := make([]ZTau, 1<<(w-2))
+		aI := make([]int64, len(alphas))
+		bI := make([]int64, len(alphas))
+		for i := range alphas {
+			u := int64(2*i + 1)
+			_, r := RoundDiv(NewZTau(u, 0), tw)
+			alphas[i] = r
+			aI[i], bI[i] = r.A.Int64(), r.B.Int64()
+		}
+		alphaCache[w] = alphas
+		alphaI64[w] = [2][]int64{aI, bI}
+	})
+}
+
+// alphaInt64 returns the cached int64 α coordinates for width w. The
+// slices are shared and must not be written.
+func alphaInt64(w int) (alphaA, alphaB []int64) {
+	if w < MinW || w > MaxW {
+		panic(fmt.Sprintf("koblitz: unsupported window width %d", w))
+	}
+	buildAlpha(w)
+	return alphaI64[w][0], alphaI64[w][1]
 }
 
 // WTNAF returns the width-w TNAF of ρ: digits least significant first,
@@ -120,22 +238,31 @@ func WTNAF(rho ZTau, w int) []int8 {
 	if w == 2 {
 		return TNAF(rho)
 	}
-	alphas := Alpha(w)
-	tw := big.NewInt(TW(w))
+	// The α coordinates are tiny; the shared int64 cache serves both
+	// the big.Int loop and the fast tail without per-call copies.
+	alphaA, alphaB := alphaInt64(w)
+	twi := TW(w)
+	tw := big.NewInt(twi)
 	pow := new(big.Int).Lsh(big.NewInt(1), uint(w))    // 2^w
 	half := new(big.Int).Lsh(big.NewInt(1), uint(w-1)) // 2^(w-1)
 
 	r0 := new(big.Int).Set(rho.A)
 	r1 := new(big.Int).Set(rho.B)
-	var digits []int8
+	digits := make([]int8, 0, M+8)
+	t := new(big.Int)
+	s := new(big.Int)
+	half2 := new(big.Int)
 	for r0.Sign() != 0 || r1.Sign() != 0 {
+		if r0.BitLen() <= smallBits && r1.BitLen() <= smallBits {
+			return wtnafSmall(r0.Int64(), r1.Int64(), w, twi, alphaA, alphaB, digits)
+		}
 		if len(digits) > maxDigits {
 			panic("koblitz: WTNAF did not terminate")
 		}
 		var u int64
 		if r0.Bit(0) == 1 {
 			// u = (r0 + r1·t_w) mods 2^w — the odd symmetric residue.
-			t := new(big.Int).Mul(r1, tw)
+			t.Mul(r1, tw)
 			t.Add(t, r0)
 			t.Mod(t, pow)
 			if t.Cmp(half) >= 0 {
@@ -143,17 +270,16 @@ func WTNAF(rho ZTau, w int) []int8 {
 			}
 			u = t.Int64() // odd, in [−2^(w−1), 2^(w−1))
 			// ρ ← ρ − sign(u)·α_|u|.
-			var alpha ZTau
 			if u > 0 {
-				alpha = alphas[u>>1]
+				r0.Sub(r0, s.SetInt64(alphaA[u>>1]))
+				r1.Sub(r1, s.SetInt64(alphaB[u>>1]))
 			} else {
-				alpha = alphas[(-u)>>1].Neg()
+				r0.Add(r0, s.SetInt64(alphaA[(-u)>>1]))
+				r1.Add(r1, s.SetInt64(alphaB[(-u)>>1]))
 			}
-			r0.Sub(r0, alpha.A)
-			r1.Sub(r1, alpha.B)
 		}
 		digits = append(digits, int8(u))
-		divTauInPlace(r0, r1)
+		divTauInPlace(r0, r1, half2)
 	}
 	return digits
 }

@@ -13,6 +13,7 @@ package koblitz
 import (
 	"fmt"
 	"math/big"
+	"sync"
 )
 
 // Mu is the Koblitz-curve sign constant µ = −1 for sect233k1 (a = 0).
@@ -154,18 +155,33 @@ func TauPow(i int) ZTau {
 	return z
 }
 
+// deltaCached holds δ, computed once: the 233-step τ-power sum is far
+// too expensive to redo on every partial reduction (PartMod sits on the
+// per-scalar-multiplication hot path).
+var (
+	deltaOnce   sync.Once
+	deltaCached ZTau
+)
+
 // Delta returns δ = (τ^m − 1)/(τ − 1) = Σ_{i=0}^{m−1} τ^i, the modulus
 // of the partial reduction. δ annihilates the prime-order subgroup of
-// E(F_2^m), which is why reducing k mod δ preserves k·P.
+// E(F_2^m), which is why reducing k mod δ preserves k·P. The value is
+// computed once and returned as a defensive copy.
 func Delta() ZTau {
-	sumA, sumB := new(big.Int), new(big.Int)
-	z := NewZTau(1, 0)
-	for i := 0; i < M; i++ {
-		sumA.Add(sumA, z.A)
-		sumB.Add(sumB, z.B)
-		z = z.MulTau()
+	deltaOnce.Do(func() {
+		sumA, sumB := new(big.Int), new(big.Int)
+		z := NewZTau(1, 0)
+		for i := 0; i < M; i++ {
+			sumA.Add(sumA, z.A)
+			sumB.Add(sumB, z.B)
+			z = z.MulTau()
+		}
+		deltaCached = ZTau{sumA, sumB}
+	})
+	return ZTau{
+		new(big.Int).Set(deltaCached.A),
+		new(big.Int).Set(deltaCached.B),
 	}
-	return ZTau{sumA, sumB}
 }
 
 // RoundDiv returns the element q of Z[τ] nearest to the exact quotient
@@ -176,50 +192,57 @@ func RoundDiv(x, y ZTau) (q, r ZTau) {
 	if y.IsZero() {
 		panic("koblitz: division by zero")
 	}
-	n := y.Norm()
-	num := x.Mul(y.Conj()) // exact: x/y = (e + fτ)/N
-	l0 := new(big.Rat).SetFrac(num.A, n)
-	l1 := new(big.Rat).SetFrac(num.B, n)
-	q = roundLattice(l0, l1)
+	n := y.Norm() // > 0
+	num := x.Mul(y.Conj()) // exact: x/y = (num.A + num.B·τ)/n
+	q = roundLattice(num.A, num.B, n)
 	return q, x.Sub(q.Mul(y))
 }
 
-// roundLattice rounds the exact rational coordinates (λ0, λ1) to the
-// norm-nearest element of Z[τ] (Solinas Routine 60).
-func roundLattice(l0, l1 *big.Rat) ZTau {
-	f0, e0 := roundNearest(l0)
-	f1, e1 := roundNearest(l1)
-	// η = 2η0 + µη1, with ηi = λi − fi held exactly as rationals ei.
-	mu := big.NewRat(int64(Mu), 1)
-	eta := new(big.Rat).Add(new(big.Rat).Add(e0, e0), new(big.Rat).Mul(mu, e1))
-	h0, h1 := int64(0), int64(0)
+// roundLattice rounds the exact rational coordinates (num0/den,
+// num1/den) to the norm-nearest element of Z[τ] (Solinas Routine 60).
+// All of Solinas' comparisons are against small constants, so the
+// rationals are kept as integer numerators over the common (positive)
+// denominator den — no big.Rat machinery on the recoding hot path.
+func roundLattice(num0, num1, den *big.Int) ZTau {
+	f0, e0 := roundNearest(num0, den)
+	f1, e1 := roundNearest(num1, den)
+	// η = 2η0 + µη1 with ηi = λi − fi; etaD holds η·den, and every
+	// threshold c on η becomes a comparison against c·den.
+	etaD := new(big.Int).Lsh(e0, 1)
+	if Mu < 0 {
+		etaD.Sub(etaD, e1)
+	} else {
+		etaD.Add(etaD, e1)
+	}
+	// t1 = (η0 − 3µη1)·den, t2 = (η0 + 4µη1)·den.
+	t1 := new(big.Int).Mul(big.NewInt(3*int64(Mu)), e1)
+	t1.Sub(e0, t1)
+	t2 := new(big.Int).Mul(big.NewInt(4*int64(Mu)), e1)
+	t2.Add(e0, t2)
+	negDen := new(big.Int).Neg(den)
+	twoDen := new(big.Int).Lsh(den, 1)
+	negTwoDen := new(big.Int).Neg(twoDen)
 
-	one := big.NewRat(1, 1)
-	if eta.Cmp(one) >= 0 {
-		// η0 − 3µη1 < −1 ?
-		t := new(big.Rat).Sub(e0, new(big.Rat).Mul(big.NewRat(3*int64(Mu), 1), e1))
-		if t.Cmp(new(big.Rat).Neg(one)) < 0 {
+	h0, h1 := int64(0), int64(0)
+	if etaD.Cmp(den) >= 0 {
+		if t1.Cmp(negDen) < 0 {
 			h1 = int64(Mu)
 		} else {
 			h0 = 1
 		}
 	} else {
-		// η0 + 4µη1 ≥ 2 ?
-		t := new(big.Rat).Add(e0, new(big.Rat).Mul(big.NewRat(4*int64(Mu), 1), e1))
-		if t.Cmp(big.NewRat(2, 1)) >= 0 {
+		if t2.Cmp(twoDen) >= 0 {
 			h1 = int64(Mu)
 		}
 	}
-	if eta.Cmp(new(big.Rat).Neg(one)) < 0 {
-		t := new(big.Rat).Sub(e0, new(big.Rat).Mul(big.NewRat(3*int64(Mu), 1), e1))
-		if t.Cmp(one) >= 0 {
+	if etaD.Cmp(negDen) < 0 {
+		if t1.Cmp(den) >= 0 {
 			h1 = -int64(Mu)
 		} else {
 			h0 = -1
 		}
 	} else {
-		t := new(big.Rat).Add(e0, new(big.Rat).Mul(big.NewRat(4*int64(Mu), 1), e1))
-		if t.Cmp(big.NewRat(-2, 1)) < 0 {
+		if t2.Cmp(negTwoDen) < 0 {
 			h1 = -int64(Mu)
 		}
 	}
@@ -228,15 +251,16 @@ func roundLattice(l0, l1 *big.Rat) ZTau {
 	return ZTau{q0, q1}
 }
 
-// roundNearest rounds the rational λ to the nearest integer f (ties
-// toward +∞) and returns the exact residue λ − f.
-func roundNearest(l *big.Rat) (*big.Int, *big.Rat) {
-	num, den := l.Num(), l.Denom() // den > 0
-	// floor((2*num + den) / (2*den))
+// roundNearest rounds num/den (den > 0) to the nearest integer f (ties
+// toward +∞) and returns the residue num − f·den, i.e. the numerator of
+// the exact remainder over den.
+func roundNearest(num, den *big.Int) (*big.Int, *big.Int) {
+	// f = floor((2·num + den) / (2·den))
 	t := new(big.Int).Lsh(num, 1)
 	t.Add(t, den)
 	f := new(big.Int).Div(t, new(big.Int).Lsh(den, 1)) // Euclidean floor
-	res := new(big.Rat).Sub(l, new(big.Rat).SetInt(f))
+	res := new(big.Int).Mul(f, den)
+	res.Sub(num, res)
 	return f, res
 }
 

@@ -19,6 +19,18 @@
 // measurement rig (internal/energy), and the evaluation harness
 // reproducing every table and figure (internal/opcount,
 // internal/profile, internal/litdata; driven by cmd/eccbench).
+//
+// Field arithmetic comes in two backends selected at package level in
+// internal/gf233: the paper-faithful 8x32-bit Cortex-M0+ layout (the
+// reference that opcount/codegen instrument and compile for the
+// simulator) and a host-optimized 4x64-bit layout, the default on
+// 64-bit hosts, with 64-bit-native LD point arithmetic underneath the
+// hot loops. The backends are bit-identical — differential fuzz
+// targets in internal/gf233 enforce it — so this package's results
+// never depend on the selection, only its speed does. Fixed-point
+// multiplication (ScalarBaseMult, GenerateKey) additionally uses a
+// Lim-Lee comb table for the generator; the paper's wTNAF w=6 method
+// remains available as internal/core.ScalarBaseMultTNAF.
 package repro
 
 import (
