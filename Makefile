@@ -1,14 +1,22 @@
 # Tier-1 verification and CI entry points.
 #
-#   make ci      - everything a pre-merge check runs: build, vet,
-#                  race-enabled tests, and a short differential-fuzz
-#                  smoke of the 64-bit field backend
+#   make ci      - everything a pre-merge check runs, a superset of the
+#                  tier-1 `go build ./... && go test ./...`: build, vet,
+#                  race-enabled tests (including the 32-goroutine
+#                  concurrency tests in internal/engine and
+#                  internal/core), a short differential-fuzz smoke of
+#                  the 64-bit field backend and the batched inversion,
+#                  and the zero-alloc guards (which must run WITHOUT
+#                  -race, hence the separate pass)
 #   make bench   - the backend-tagged host benchmarks (Mul/Sqr/Inv,
-#                  ScalarMult, ScalarBaseMult, GenerateKey)
+#                  ScalarMult, ScalarBaseMult, GenerateKey) plus the
+#                  batch-engine benchmarks (Validate, ECDH, Sign,
+#                  InvBatch64)
+#   make load    - a quick eccload sweep of the batch engine
 
 GO ?= go
 
-.PHONY: all build vet test race fuzz bench ci
+.PHONY: all build vet test race fuzz alloc bench load ci
 
 all: ci
 
@@ -27,8 +35,17 @@ race:
 fuzz:
 	$(GO) test ./internal/gf233 -run='^$$' -fuzz=FuzzMul64VsRef -fuzztime=10s
 	$(GO) test ./internal/gf233 -run='^$$' -fuzz=FuzzSqrInv64VsRef -fuzztime=10s
+	$(GO) test ./internal/gf233 -run='^$$' -fuzz=FuzzBatchInvVsSequential -fuzztime=10s
+
+# Zero-alloc guards: AllocsPerRun is meaningless under -race (the
+# detector allocates), so these run in their own non-race pass.
+alloc:
+	$(GO) test ./internal/engine -run 'TestZeroAlloc' -count=1
 
 bench:
-	$(GO) test -run='^$$' -bench='Mul$$|Sqr$$|Inv$$|ScalarMult$$|ScalarBaseMult$$|GenerateKey$$' -benchtime=1s .
+	$(GO) test -run='^$$' -bench='Mul$$|Sqr$$|Inv$$|ScalarMult$$|ScalarBaseMult$$|GenerateKey$$|Validate$$|ECDH$$|Sign$$|InvBatch64$$' -benchtime=1s .
 
-ci: build vet race fuzz
+load:
+	$(GO) run ./cmd/eccload -op ecdh -gs 1,8 -batches 1,32 -dur 2s
+
+ci: build vet race fuzz alloc

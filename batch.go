@@ -1,0 +1,100 @@
+package repro
+
+// Public surface of the concurrent batch engine (internal/engine): the
+// server-side complement to the one-shot calls in repro.go. A
+// BatchEngine collects independent requests from any number of
+// goroutines and executes them in batches, amortising the dominant
+// field inversion (and, for signing, the mod-n nonce inversion) across
+// the whole batch with Montgomery's trick; the slice helpers below run
+// the same kernel synchronously for callers that already hold a batch.
+// See the README's "Concurrency and batching" section for the
+// contract, and cmd/eccload for a load generator that measures the
+// effect.
+
+import (
+	"io"
+	"math/big"
+
+	"repro/internal/core"
+	"repro/internal/engine"
+)
+
+// ECDHResult is one BatchSharedSecret outcome.
+type ECDHResult = engine.ECDHResult
+
+// SignResult is one BatchSign outcome.
+type SignResult = engine.SignResult
+
+// SharedSecretSize is the byte length of an ECDH shared secret.
+const SharedSecretSize = engine.SecretSize
+
+// BatchEngine batches concurrent ECC requests. All methods are safe
+// for concurrent use. Construct with NewBatchEngine and Close when
+// done; no submissions may follow Close.
+type BatchEngine struct {
+	e *engine.Engine
+}
+
+// NewBatchEngine starts a batch engine. maxBatch caps how many
+// requests are drained into one batch (0 means 32); workers is the
+// number of processing goroutines (0 means GOMAXPROCS). The shared
+// precomputation tables are warmed eagerly.
+func NewBatchEngine(maxBatch, workers int) *BatchEngine {
+	return &BatchEngine{e: engine.New(engine.Config{MaxBatch: maxBatch, Workers: workers})}
+}
+
+// Close drains in-flight requests and stops the workers.
+func (b *BatchEngine) Close() { b.e.Close() }
+
+// ScalarMult computes k·P, batched with whatever else is in flight.
+// P must lie in the prime-order subgroup (see ValidatePoint).
+func (b *BatchEngine) ScalarMult(k *big.Int, p Point) Point {
+	return b.e.ScalarMult(k, p)
+}
+
+// SharedSecret derives the raw ECDH shared secret against the peer
+// point, which is validated first.
+func (b *BatchEngine) SharedSecret(priv *PrivateKey, peer Point) ([]byte, error) {
+	return b.e.SharedSecret(priv, peer)
+}
+
+// SharedSecretAppend is SharedSecret appending into dst —
+// allocation-free in steady state when dst has capacity.
+func (b *BatchEngine) SharedSecretAppend(dst []byte, priv *PrivateKey, peer Point) ([]byte, error) {
+	return b.e.SharedSecretAppend(dst, priv, peer)
+}
+
+// Sign produces an ECDSA-style signature over digest with nonces from
+// rand, batched with whatever else is in flight.
+func (b *BatchEngine) Sign(priv *PrivateKey, digest []byte, rand io.Reader) (*Signature, error) {
+	return b.e.Sign(priv, digest, rand)
+}
+
+// SignInto is Sign storing into sig, reusing sig.R/S when non-nil.
+func (b *BatchEngine) SignInto(sig *Signature, priv *PrivateKey, digest []byte, rand io.Reader) error {
+	return b.e.SignInto(sig, priv, digest, rand)
+}
+
+// BatchScalarMult computes ks[i]·points[i] for all i with one batched
+// inversion for the whole slice. Points must lie in the prime-order
+// subgroup.
+func BatchScalarMult(ks []*big.Int, points []Point) []Point {
+	return engine.BatchScalarMult(nil, ks, points)
+}
+
+// BatchSharedSecret derives the ECDH shared secret against every peer
+// (each validated first) into out, with len(out) == len(peers).
+func BatchSharedSecret(priv *PrivateKey, peers []Point, out []ECDHResult) {
+	engine.BatchSharedSecret(priv, peers, out)
+}
+
+// BatchSign signs every digest with nonces from rand into out, with
+// len(out) == len(digests). One mod-n inversion serves all nonces.
+func BatchSign(priv *PrivateKey, digests [][]byte, rand io.Reader, out []SignResult) {
+	engine.BatchSign(priv, digests, rand, out)
+}
+
+// Warm eagerly builds the shared precomputation tables (generator
+// comb, wTNAF table, recoding caches) so a server's first requests do
+// not pay table construction. Idempotent and concurrency-safe.
+func Warm() { core.Warm() }

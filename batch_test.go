@@ -1,0 +1,86 @@
+package repro
+
+import (
+	"bytes"
+	"crypto/sha256"
+	"math/big"
+	"math/rand"
+	"testing"
+)
+
+// TestPublicBatchAPI exercises the repro-level batch surface against
+// the one-shot public API.
+func TestPublicBatchAPI(t *testing.T) {
+	Warm()
+	rnd := rand.New(rand.NewSource(80))
+	priv, err := GenerateKey(rnd)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var peers []Point
+	var peerKeys []*PrivateKey
+	for i := 0; i < 5; i++ {
+		pk, err := GenerateKey(rnd)
+		if err != nil {
+			t.Fatal(err)
+		}
+		peerKeys = append(peerKeys, pk)
+		peers = append(peers, pk.Public)
+	}
+
+	// Slice kernels.
+	out := make([]ECDHResult, len(peers))
+	BatchSharedSecret(priv, peers, out)
+	for i := range peers {
+		if out[i].Err != nil {
+			t.Fatalf("peer %d: %v", i, out[i].Err)
+		}
+		// ECDH symmetry: the peer derives the same raw secret against
+		// our public point.
+		rev := make([]ECDHResult, 1)
+		BatchSharedSecret(peerKeys[i], []Point{priv.Public}, rev)
+		if rev[0].Err != nil || !bytes.Equal(out[i].Secret[:], rev[0].Secret[:]) {
+			t.Fatalf("peer %d: ECDH symmetry broken", i)
+		}
+	}
+
+	ks := []*big.Int{big.NewInt(2), big.NewInt(3), Order()}
+	pts := []Point{Generator(), peers[0], Generator()}
+	res := BatchScalarMult(ks, pts)
+	for i := range ks {
+		if !res[i].Equal(ScalarMult(ks[i], pts[i])) {
+			t.Fatalf("BatchScalarMult %d diverged from ScalarMult", i)
+		}
+	}
+
+	digests := make([][]byte, 4)
+	for i := range digests {
+		d := sha256.Sum256([]byte{byte(i)})
+		digests[i] = d[:]
+	}
+	sigs := make([]SignResult, len(digests))
+	BatchSign(priv, digests, rnd, sigs)
+	for i := range sigs {
+		if sigs[i].Err != nil {
+			t.Fatalf("digest %d: %v", i, sigs[i].Err)
+		}
+		if !Verify(priv.Public, digests[i], &sigs[i].Sig) {
+			t.Fatalf("digest %d: batch signature does not verify", i)
+		}
+	}
+
+	// The engine front end.
+	e := NewBatchEngine(8, 1)
+	defer e.Close()
+	sec, err := e.SharedSecret(priv, peers[0])
+	if err != nil || !bytes.Equal(sec, out[0].Secret[:]) {
+		t.Fatal("engine SharedSecret diverged from batch kernel")
+	}
+	sig, err := e.Sign(priv, digests[0], rnd)
+	if err != nil || !Verify(priv.Public, digests[0], sig) {
+		t.Fatal("engine signature does not verify")
+	}
+	if got := e.ScalarMult(big.NewInt(9), Generator()); !got.Equal(ScalarBaseMult(big.NewInt(9))) {
+		t.Fatal("engine ScalarMult diverged")
+	}
+}

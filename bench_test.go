@@ -8,19 +8,24 @@ package repro
 // performance.
 
 import (
+	"crypto/sha256"
 	"math/big"
 	"math/rand"
+	"strconv"
 	"sync"
 	"testing"
 
 	"repro/internal/codegen"
 	"repro/internal/core"
 	"repro/internal/ec"
+	"repro/internal/ecdh"
 	"repro/internal/energy"
+	"repro/internal/engine"
 	"repro/internal/gf233"
 	"repro/internal/model"
 	"repro/internal/opcount"
 	"repro/internal/profile"
+	"repro/internal/sign"
 )
 
 var (
@@ -503,4 +508,131 @@ func BenchmarkPointMulOnSimulator(b *testing.B) {
 		loop = res.LoopCycles
 	}
 	b.ReportMetric(float64(loop), "m0loopcycles/op")
+}
+
+// BenchmarkValidate contrasts the two peer validators: the generic
+// double-and-add n·Q check (one inversion, ~233 LD doublings) and the
+// τ-adic exact-TNAF check the batch engine uses (no inversion, cheap
+// Frobenius maps).
+func BenchmarkValidate(b *testing.B) {
+	peer := ec.ScalarMultGeneric(benchScalar(), ec.Gen())
+	b.Run("generic", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if err := ecdh.Validate(peer); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("tau", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if err := ecdh.ValidateTau(peer); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// benchBatchInputs builds a deterministic server key and peer pool.
+func benchBatchInputs(b *testing.B, n int) (*core.PrivateKey, []ec.Affine) {
+	b.Helper()
+	rnd := rand.New(rand.NewSource(70))
+	priv, err := core.GenerateKey(rnd)
+	if err != nil {
+		b.Fatal(err)
+	}
+	peers := make([]ec.Affine, n)
+	for i := range peers {
+		pk, err := core.GenerateKey(rnd)
+		if err != nil {
+			b.Fatal(err)
+		}
+		peers[i] = pk.Public
+	}
+	return priv, peers
+}
+
+// BenchmarkECDH contrasts one-shot shared-secret derivation with the
+// batch kernel at batch sizes 8 and 32 (ns/op is per derivation in
+// every sub-benchmark).
+func BenchmarkECDH(b *testing.B) {
+	priv, peers := benchBatchInputs(b, 32)
+	b.Run("oneshot", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, err := ecdh.SharedSecret(priv, peers[i%len(peers)]); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	for _, n := range []int{8, 32} {
+		b.Run("batch"+strconv.Itoa(n), func(b *testing.B) {
+			out := make([]engine.ECDHResult, n)
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i += n {
+				engine.BatchSharedSecret(priv, peers[:n], out)
+			}
+			b.StopTimer()
+			for i := range out {
+				if out[i].Err != nil {
+					b.Fatal(out[i].Err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkSign contrasts one-shot signing with the batch kernel
+// (ns/op is per signature in every sub-benchmark).
+func BenchmarkSign(b *testing.B) {
+	priv, _ := benchBatchInputs(b, 0)
+	rnd := rand.New(rand.NewSource(71))
+	digests := make([][]byte, 32)
+	for i := range digests {
+		d := sha256.Sum256([]byte{byte(i)})
+		digests[i] = d[:]
+	}
+	b.Run("oneshot", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, err := sign.Sign(priv, digests[i%len(digests)], rnd); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("batch32", func(b *testing.B) {
+		out := make([]engine.SignResult, len(digests))
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i += len(digests) {
+			engine.BatchSign(priv, digests, rnd, out)
+		}
+		b.StopTimer()
+		for i := range out {
+			if out[i].Err != nil {
+				b.Fatal(out[i].Err)
+			}
+		}
+	})
+}
+
+// BenchmarkInvBatch64 measures the batched-inversion amortisation
+// directly: ns/op is per inverted element at each batch size.
+func BenchmarkInvBatch64(b *testing.B) {
+	rnd := rand.New(rand.NewSource(72))
+	for _, n := range []int{1, 8, 32, 128} {
+		b.Run(strconv.Itoa(n), func(b *testing.B) {
+			batch := make([]gf233.Elem64, n)
+			scratch := make([]gf233.Elem64, n)
+			src := make([]gf233.Elem64, n)
+			for i := range src {
+				src[i] = gf233.ToElem64(gf233.Rand(rnd.Uint32))
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i += n {
+				copy(batch, src)
+				gf233.InvBatch64(batch, scratch)
+			}
+		})
+	}
 }

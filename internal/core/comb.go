@@ -3,7 +3,6 @@ package core
 import (
 	"math/big"
 	"math/bits"
-	"sync"
 
 	"repro/internal/ec"
 	"repro/internal/gf233"
@@ -127,24 +126,22 @@ func (c *Comb) TableSize() int { return len(c.table) }
 // ScalarMult computes k·P for the fixed point. The scalar is first
 // reduced modulo the group order, which is both a correctness condition
 // for the comb's column decomposition and what makes negative and
-// oversized scalars behave like the reference ladder.
+// oversized scalars behave like the reference ladder. The table is
+// frozen at construction, so concurrent calls are safe; on the 64-bit
+// backend the evaluation runs on a pooled Scratch and allocates
+// nothing.
 func (c *Comb) ScalarMult(k *big.Int) ec.Affine {
 	if c.point.Inf {
 		return ec.Infinity
 	}
+	if gf233.CurrentBackend() == gf233.Backend64 {
+		s := getScratch()
+		defer putScratch(s)
+		return c.scalarMultLD64(s, k).Affine().Affine()
+	}
 	r := new(big.Int).Mod(k, ec.Order)
 	if r.Sign() == 0 {
 		return ec.Infinity
-	}
-	if gf233.CurrentBackend() == gf233.Backend64 {
-		q := ec.LD64Infinity
-		for col := c.d - 1; col >= 0; col-- {
-			q = q.Double()
-			if u := c.column(r, col); u != 0 {
-				q = q.AddMixed(c.table64[u-1])
-			}
-		}
-		return q.Affine().Affine()
 	}
 	q := ec.LDInfinity
 	for col := c.d - 1; col >= 0; col-- {
@@ -164,17 +161,4 @@ func (c *Comb) column(r *big.Int, col int) int {
 		u |= int(r.Bit(col+i*c.d)) << i
 	}
 	return u
-}
-
-// generator comb, built once on first use.
-var (
-	genCombOnce sync.Once
-	genComb     *Comb
-)
-
-func generatorComb() *Comb {
-	genCombOnce.Do(func() {
-		genComb = NewComb(ec.Gen(), WComb)
-	})
-	return genComb
 }

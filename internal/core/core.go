@@ -16,7 +16,6 @@ import (
 	"errors"
 	"io"
 	"math/big"
-	"sync"
 
 	"repro/internal/ec"
 	"repro/internal/gf233"
@@ -156,10 +155,17 @@ func ScalarMult(k *big.Int, p ec.Affine) ec.Affine {
 }
 
 // ScalarMultW is ScalarMult with an explicit window width w ∈ [2, 8],
-// used by the window-width ablation bench.
+// used by the window-width ablation bench. On the 64-bit backend it
+// runs on a pooled Scratch — recoding, table build and evaluation all
+// reuse per-P steady-state buffers, so the call is allocation-free.
 func ScalarMultW(k *big.Int, p ec.Affine, w int) ec.Affine {
 	if p.Inf || k.Sign() == 0 {
 		return ec.Infinity
+	}
+	if gf233.CurrentBackend() == gf233.Backend64 {
+		s := getScratch()
+		defer putScratch(s)
+		return s.scalarMultW(k, p, w)
 	}
 	rho := koblitz.PartMod(k)
 	digits := koblitz.WTNAF(rho, w)
@@ -200,30 +206,22 @@ func (fb *FixedBase) W() int { return fb.w }
 func (fb *FixedBase) TableSize() int { return len(fb.table) }
 
 // ScalarMult computes k·P for the fixed point using the precomputed
-// table.
+// table. The table is frozen at construction, so concurrent calls are
+// safe; on the 64-bit backend the recoding runs on a pooled Scratch
+// and the call is allocation-free.
 func (fb *FixedBase) ScalarMult(k *big.Int) ec.Affine {
 	if fb.point.Inf || k.Sign() == 0 {
 		return ec.Infinity
 	}
-	rho := koblitz.PartMod(k)
-	digits := koblitz.WTNAF(rho, fb.w)
 	if gf233.CurrentBackend() == gf233.Backend64 {
+		s := getScratch()
+		defer putScratch(s)
+		digits := s.rec.Recode(k, fb.w)
 		return scalarMultDigits64(digits, fb.table64)
 	}
+	rho := koblitz.PartMod(k)
+	digits := koblitz.WTNAF(rho, fb.w)
 	return scalarMultDigits32(digits, fb.table)
-}
-
-// generator wTNAF table, built once on first use.
-var (
-	genTableOnce sync.Once
-	genTable     *FixedBase
-)
-
-func genBase() *FixedBase {
-	genTableOnce.Do(func() {
-		genTable = NewFixedBase(ec.Gen(), WFixed)
-	})
-	return genTable
 }
 
 // ScalarBaseMult computes k·G for the generator. On the host it runs

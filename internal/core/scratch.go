@@ -1,0 +1,244 @@
+package core
+
+import (
+	"math/big"
+	"math/bits"
+	"sync"
+
+	"repro/internal/ec"
+	"repro/internal/gf233"
+	"repro/internal/koblitz"
+)
+
+// Scratch threads reusable state through a whole point multiplication
+// so the hot paths stop allocating: the τ-adic recoding arena
+// (koblitz.Scratch), the per-point α table built natively in the
+// 64-bit representation, the LD staging buffers, and the operand and
+// scratch slices for batched inversion. After the first use everything
+// is at steady-state size and a scalar multiplication performs zero
+// heap allocations.
+//
+// A Scratch is NOT safe for concurrent use: give each goroutine its
+// own (the batch engine keeps one per worker; the package-level entry
+// points draw from an internal sync.Pool). Results returned as values
+// (ec.Affine, ec.LD64) do not alias the Scratch; digit slices and
+// tables produced internally do.
+type Scratch struct {
+	rec   koblitz.Scratch
+	mod   big.Int // scalar mod n for comb evaluation
+	table []ec.Affine64
+	ld    []ec.LD64
+	zs    []gf233.Elem64
+	inv   []gf233.Elem64
+	// sum/dif staging for the α-table construction: fixed-size so the
+	// slices handed to normalize64 never escape to the heap.
+	sd  [2]ec.LD64
+	sdA [2]ec.Affine64
+}
+
+// NewScratch returns an empty Scratch; buffers grow on first use.
+func NewScratch() *Scratch { return new(Scratch) }
+
+// scratchPool recycles Scratch values for the package-level entry
+// points (ScalarMult, ScalarBaseMult, Comb.ScalarMult, ...), which
+// keeps even the scratch-oblivious public API allocation-free in
+// steady state.
+var scratchPool = sync.Pool{New: func() any { return NewScratch() }}
+
+func getScratch() *Scratch { return scratchPool.Get().(*Scratch) }
+
+// putScratch wipes before pooling: the entry points are routinely
+// called with secret scalars (private keys through ScalarBaseMult,
+// nonces through the signer), and a pooled Scratch idles indefinitely.
+func putScratch(s *Scratch) {
+	s.Wipe()
+	scratchPool.Put(s)
+}
+
+// Wipe zeroes the scalar-derived state the Scratch retains — the
+// recoding arena and digits (invertible back to the scalar) and the
+// comb's reduced-scalar buffer — keeping all storage for reuse. The
+// point tables and Z buffers stay: they derive from public points.
+func (s *Scratch) Wipe() {
+	s.rec.Wipe()
+	koblitz.WipeInt(&s.mod)
+}
+
+// Grow returns *buf resized to length n, reallocating only when the
+// capacity retained from earlier uses is insufficient — the shared
+// capacity-reuse helper for scratch buffers (internal/engine uses it
+// too).
+func Grow[T any](buf *[]T, n int) []T {
+	if cap(*buf) < n {
+		*buf = make([]T, n)
+	}
+	*buf = (*buf)[:n]
+	return *buf
+}
+
+// normalize64 converts pts to affine into dst (len(dst) == len(pts))
+// with a single batched field inversion. Points at infinity (Z = 0)
+// pass through as affine infinity — InvBatch64's zero-skipping is what
+// makes that free.
+func (s *Scratch) normalize64(dst []ec.Affine64, pts []ec.LD64) {
+	n := len(pts)
+	zs := Grow(&s.zs, n)
+	inv := Grow(&s.inv, n)
+	for i := range pts {
+		zs[i] = pts[i].Z
+	}
+	gf233.InvBatch64(zs, inv)
+	for i := range pts {
+		if pts[i].IsInfinity() {
+			dst[i] = ec.Affine64{Inf: true}
+			continue
+		}
+		zi := zs[i]
+		dst[i] = ec.Affine64{
+			X: gf233.Mul64(pts[i].X, zi),
+			Y: gf233.Mul64(pts[i].Y, gf233.Sqr64(zi)),
+		}
+	}
+}
+
+// alphaTable builds the width-w table P_u = α_u·P (u odd, u < 2^(w−1))
+// natively in the 64-bit representation: the scratch twin of
+// AlphaPoints. The α coordinates come from the shared int64 cache, the
+// joint ladders run in LD64, and the only inversions are the two
+// batched normalisations (sum/dif, then the table) — so the whole
+// construction allocates nothing and never touches big.Int.
+func (s *Scratch) alphaTable(p ec.Affine64, w int) []ec.Affine64 {
+	alphaA, alphaB := koblitz.AlphaCoeffs(w)
+	n := len(alphaA)
+	tp := p.Frobenius()
+	// The two shared combination points P+τP and P−τP, normalised
+	// together with one inversion.
+	s.sd[0] = ec.FromAffine64(p).AddMixed(tp)
+	s.sd[1] = ec.FromAffine64(p).AddMixed(tp.Neg())
+	s.normalize64(s.sdA[:], s.sd[:])
+	sum, dif := s.sdA[0], s.sdA[1]
+	ld := Grow(&s.ld, n)
+	for i := 0; i < n; i++ {
+		ld[i] = alphaPointLD64(alphaA[i], alphaB[i], p, tp, sum, dif)
+	}
+	table := Grow(&s.table, n)
+	s.normalize64(table, ld)
+	return table
+}
+
+// alphaPointLD64 computes (a + b·τ)·P = a·P + b·τ(P) with a Shamir
+// joint double-and-add over |a| and |b| — the int64 LD64 port of
+// alphaPointLD (the α coordinates fit comfortably in machine words for
+// every supported width).
+func alphaPointLD64(a, b int64, p, tp, sum, dif ec.Affine64) ec.LD64 {
+	pa, pb := p, tp
+	if a < 0 {
+		pa = pa.Neg()
+	}
+	if b < 0 {
+		pb = pb.Neg()
+	}
+	var both ec.Affine64
+	switch {
+	case a >= 0 && b >= 0:
+		both = sum
+	case a < 0 && b < 0:
+		both = sum.Neg()
+	case a >= 0:
+		both = dif
+	default:
+		both = dif.Neg()
+	}
+	ua, ub := abs64(a), abs64(b)
+	r := ec.LD64Infinity
+	for i := max(bits.Len64(ua), bits.Len64(ub)) - 1; i >= 0; i-- {
+		r = r.Double()
+		switch {
+		case ua>>i&1 == 1 && ub>>i&1 == 1:
+			r = r.AddMixed(both)
+		case ua>>i&1 == 1:
+			r = r.AddMixed(pa)
+		case ub>>i&1 == 1:
+			r = r.AddMixed(pb)
+		}
+	}
+	return r
+}
+
+func abs64(v int64) uint64 {
+	if v < 0 {
+		return uint64(-v)
+	}
+	return uint64(v)
+}
+
+// ScalarMult computes k·P with the paper's random-point method on the
+// 64-bit backend, using only this Scratch's buffers. Semantics match
+// core.ScalarMult (P must lie in the prime-order subgroup).
+func (s *Scratch) ScalarMult(k *big.Int, p ec.Affine) ec.Affine {
+	return s.scalarMultW(k, p, WRandom)
+}
+
+func (s *Scratch) scalarMultW(k *big.Int, p ec.Affine, w int) ec.Affine {
+	return s.scalarMultLD64W(k, p, w).Affine().Affine()
+}
+
+// ScalarMultLD64 is ScalarMult stopping short of the final affine
+// conversion: the result is left projective so a batch caller can
+// amortise the inversion across many requests with InvBatch64.
+func (s *Scratch) ScalarMultLD64(k *big.Int, p ec.Affine) ec.LD64 {
+	return s.scalarMultLD64W(k, p, WRandom)
+}
+
+func (s *Scratch) scalarMultLD64W(k *big.Int, p ec.Affine, w int) ec.LD64 {
+	if p.Inf || k.Sign() == 0 {
+		return ec.LD64Infinity
+	}
+	digits := s.rec.Recode(k, w)
+	table := s.alphaTable(p.To64(), w)
+	q := ec.LD64Infinity
+	for i := len(digits) - 1; i >= 0; i-- {
+		q = q.Frobenius()
+		switch d := digits[i]; {
+		case d > 0:
+			q = q.AddMixed(table[d>>1])
+		case d < 0:
+			q = q.SubMixed(table[(-d)>>1])
+		}
+	}
+	return q
+}
+
+// ScalarBaseMult computes k·G on the generator comb using this
+// Scratch's buffers.
+func (s *Scratch) ScalarBaseMult(k *big.Int) ec.Affine {
+	return s.ScalarBaseMultLD64(k).Affine().Affine()
+}
+
+// ScalarBaseMultLD64 is ScalarBaseMult left projective for batched
+// normalisation.
+func (s *Scratch) ScalarBaseMultLD64(k *big.Int) ec.LD64 {
+	return generatorComb().scalarMultLD64(s, k)
+}
+
+// scalarMultLD64 evaluates the comb for k·P entirely in the 64-bit
+// representation, reusing the Scratch's modulus buffer for the
+// reduction of k. The comb table itself is frozen and shared — see the
+// registry notes in registry.go.
+func (c *Comb) scalarMultLD64(s *Scratch, k *big.Int) ec.LD64 {
+	if c.point.Inf {
+		return ec.LD64Infinity
+	}
+	r := s.mod.Mod(k, ec.Order)
+	if r.Sign() == 0 {
+		return ec.LD64Infinity
+	}
+	q := ec.LD64Infinity
+	for col := c.d - 1; col >= 0; col-- {
+		q = q.Double()
+		if u := c.column(r, col); u != 0 {
+			q = q.AddMixed(c.table64[u-1])
+		}
+	}
+	return q
+}

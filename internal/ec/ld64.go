@@ -32,6 +32,14 @@ func (p Affine64) Affine() Affine {
 	return Affine{X: p.X.Elem(), Y: p.Y.Elem()}
 }
 
+// Frobenius returns τ(p) = (x², y²), the affine twin of LD64.Frobenius.
+func (p Affine64) Frobenius() Affine64 {
+	if p.Inf {
+		return p
+	}
+	return Affine64{X: gf233.Sqr64(p.X), Y: gf233.Sqr64(p.Y)}
+}
+
 // Neg returns -p: on binary curves -(x, y) = (x, x+y).
 func (p Affine64) Neg() Affine64 {
 	if p.Inf {

@@ -43,6 +43,25 @@ func Validate(peer ec.Affine) error {
 	return nil
 }
 
+// ValidateTau is Validate on the fast path: the same predicate (on
+// curve, not the identity, in the prime-order subgroup), with the
+// membership check done by core.InSubgroup's exact τ-adic expansion of
+// n instead of the generic double-and-add ladder — roughly half the
+// field multiplications and no final inversion. The expansion of n is
+// exact over Z[τ] (no partial reduction), so unlike the fast kP path
+// it is sound on points outside the subgroup; the differential test in
+// ecdh_property_test.go holds the two validators equal. The batch
+// engine validates every incoming peer with this.
+func ValidateTau(peer ec.Affine) error {
+	if peer.Inf || !peer.OnCurve() {
+		return ErrInvalidPublicKey
+	}
+	if !core.InSubgroup(peer) {
+		return ErrInvalidPublicKey
+	}
+	return nil
+}
+
 // SharedSecret computes the raw shared abscissa d·Q using the paper's
 // random-point multiplication (kP path).
 func SharedSecret(priv *core.PrivateKey, peer ec.Affine) ([]byte, error) {

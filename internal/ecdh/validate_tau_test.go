@@ -1,0 +1,36 @@
+package ecdh
+
+import (
+	"math/big"
+	"math/rand"
+	"testing"
+
+	"repro/internal/ec"
+	"repro/internal/gf233"
+)
+
+// TestValidateTauMatchesValidate holds the fast τ-adic validator equal
+// to the generic-ladder reference on valid peers, off-curve points,
+// the identity, small-subgroup points, and subgroup-plus-torsion
+// composites.
+func TestValidateTauMatchesValidate(t *testing.T) {
+	rnd := rand.New(rand.NewSource(33))
+	g := ec.Gen()
+	two := ec.Affine{X: gf233.Zero, Y: gf233.One} // order-2 point
+	offCurve := g
+	offCurve.Y = gf233.Add(offCurve.Y, gf233.One)
+
+	pts := []ec.Affine{g, ec.Infinity, two, g.Add(two), offCurve}
+	for i := 0; i < 8; i++ {
+		k := new(big.Int).Rand(rnd, ec.Order)
+		p := ec.ScalarMultGeneric(k, g)
+		pts = append(pts, p, p.Add(two))
+	}
+	for i, p := range pts {
+		want := Validate(p)
+		got := ValidateTau(p)
+		if (got == nil) != (want == nil) {
+			t.Fatalf("point %d: ValidateTau = %v, Validate = %v", i, got, want)
+		}
+	}
+}

@@ -1,0 +1,475 @@
+package engine
+
+import (
+	"errors"
+	"io"
+	"math/big"
+	"sync"
+
+	"repro/internal/core"
+	"repro/internal/ec"
+	"repro/internal/ecdh"
+	"repro/internal/gf233"
+	"repro/internal/koblitz"
+	"repro/internal/sign"
+)
+
+// Signature re-exports sign.Signature: the engine produces the same
+// (r, s) pairs the one-shot signer does.
+type Signature = sign.Signature
+
+// SecretSize is the byte length of an ECDH shared secret (the shared
+// abscissa, a field element).
+const SecretSize = gf233.ByteLen
+
+// opKind tags what a request asks for.
+type opKind uint8
+
+const (
+	opScalarMult opKind = iota
+	opECDH
+	opSign
+)
+
+// request carries one operation through the batch pipeline. All
+// big.Int intermediates are request-owned and reused across pool
+// cycles, which is what keeps the steady state allocation-free.
+type request struct {
+	op opKind
+	// inputs (caller-owned; the caller blocks until done, so the
+	// kernel may read them without copies)
+	k      *big.Int
+	point  ec.Affine
+	priv   *core.PrivateKey
+	digest []byte
+	rand   io.Reader
+	// intermediates
+	ld    ec.LD64
+	nonce big.Int
+	kinv  big.Int
+	e     big.Int
+	// results
+	res    ec.Affine
+	secret [SecretSize]byte
+	r, s   big.Int
+	err    error
+	done   chan struct{}
+}
+
+func newRequest() *request { return &request{done: make(chan struct{}, 1)} }
+
+// release readies a finished request for pooling: it drops the
+// caller-owned references and scrubs the secret-bearing state — the
+// ECDSA nonce and its inverse (either leaks the private key when
+// combined with the published signature) and the raw ECDH secret.
+// The public outputs (r, s, res) and the digest value stay; pooled
+// objects idle indefinitely, so this runs on every return path.
+func (r *request) release() {
+	r.k = nil
+	r.priv = nil
+	r.digest = nil
+	r.rand = nil
+	koblitz.WipeInt(&r.nonce)
+	koblitz.WipeInt(&r.kinv)
+	r.secret = [SecretSize]byte{}
+}
+
+// batchScratch is one worker's reusable state: the core scratch for
+// point arithmetic, the operand/scratch slices for the batched field
+// inversion, and the big.Int temporaries for the batched mod-n
+// arithmetic. Not safe for concurrent use.
+type batchScratch struct {
+	cs  *core.Scratch
+	zs  []gf233.Elem64
+	zi  []gf233.Elem64
+	pfx []*big.Int // exclusive prefix products mod n
+	// mod-n temporaries (prod is private to mulModN: the product must
+	// land in storage that never aliases an operand, or nat.mul
+	// allocates a fresh array on every call)
+	q, rem, minv, t, prod big.Int
+	u, v, x1, x2          big.Int // binary-EEA state
+	buf                   [32]byte
+	signQ                 []*request
+	reqs                  []*request // slice-API staging
+}
+
+func newBatchScratch() *batchScratch {
+	return &batchScratch{cs: core.NewScratch()}
+}
+
+// kernelPool recycles batchScratch values for the synchronous slice
+// APIs; Engine workers keep a private one instead.
+var kernelPool = sync.Pool{New: func() any { return newBatchScratch() }}
+
+// processBatch runs a mixed batch through the shared pipeline:
+//
+//	phase 1: per-request point work, left projective (no inversions);
+//	phase 2: one batched field inversion for every LD→affine;
+//	phase 3: per-request finalisation from the shared inverses;
+//	phase 4: one batched mod-n inversion for all signing nonces;
+//	phase 5: signature assembly (retrying the crypto-impossible
+//	         r = 0 / s = 0 corners sequentially).
+func processBatch(s *batchScratch, batch []*request) {
+	signQ := s.signQ[:0]
+	for _, r := range batch {
+		r.err = nil
+		switch r.op {
+		case opScalarMult:
+			r.ld = s.cs.ScalarMultLD64(r.k, r.point)
+		case opECDH:
+			if err := ecdh.ValidateTau(r.point); err != nil {
+				r.err = err
+				r.ld = ec.LD64Infinity
+				continue
+			}
+			r.ld = s.cs.ScalarMultLD64(r.priv.D, r.point)
+		case opSign:
+			if err := s.prepareSign(r); err != nil {
+				r.err = err
+				r.ld = ec.LD64Infinity
+				continue
+			}
+			signQ = append(signQ, r)
+		}
+	}
+	s.signQ = signQ
+
+	// One inversion for the whole batch. Z = 0 (infinity or errored
+	// request) is skipped by InvBatch64.
+	zs := core.Grow(&s.zs, len(batch))
+	zi := core.Grow(&s.zi, len(batch))
+	for i, r := range batch {
+		zs[i] = r.ld.Z
+	}
+	gf233.InvBatch64(zs, zi)
+
+	for i, r := range batch {
+		if r.err != nil {
+			continue
+		}
+		switch r.op {
+		case opScalarMult:
+			r.res = affineFrom(r.ld, zs[i])
+		case opECDH:
+			p := affineFrom(r.ld, zs[i])
+			if p.Inf {
+				// Unreachable for a validated peer and d ∈ [1, n−1],
+				// but the contract mirrors ecdh.SharedSecret.
+				r.err = ecdh.ErrWeakSharedPoint
+				continue
+			}
+			r.secret = p.X.Bytes()
+		case opSign:
+			// r = x(k·G) mod n from the shared inverse.
+			x := gf233.Mul64(r.ld.X, zs[i]).Elem().Bytes()
+			r.r.SetBytes(x[:])
+			reduceModOrder(&r.r)
+		}
+	}
+
+	if len(signQ) > 0 {
+		s.finishSigns(signQ)
+	}
+	// The core scratch retains the LAST scalar's recoding (digit
+	// strings are invertible back to the scalar), and every batch kind
+	// runs secret scalars through it — private keys for ECDH, nonces
+	// for signing — so wipe before the scratch idles.
+	s.cs.Wipe()
+}
+
+// affineFrom converts a projective result using its precomputed
+// inverse Z coordinate.
+func affineFrom(ld ec.LD64, zinv gf233.Elem64) ec.Affine {
+	if ld.IsInfinity() {
+		return ec.Infinity
+	}
+	return ec.Affine{
+		X: gf233.Mul64(ld.X, zinv).Elem(),
+		Y: gf233.Mul64(ld.Y, gf233.Sqr64(zinv)).Elem(),
+	}
+}
+
+// reduceModOrder reduces v < 2^233 modulo n in place. n has bit 231
+// set, so at most three conditional subtractions fully reduce — and
+// unlike an aliased big.Int Mod they allocate nothing.
+func reduceModOrder(v *big.Int) {
+	for v.Cmp(ec.Order) >= 0 {
+		v.Sub(v, ec.Order)
+	}
+}
+
+// prepareSign hashes the digest, samples a nonce by rejection (the
+// same sampler as core.GenerateKey, into request-owned storage) and
+// computes the nonce point on the generator comb, left projective.
+func (s *batchScratch) prepareSign(r *request) error {
+	if r.priv == nil || r.priv.D == nil || r.priv.D.Sign() == 0 {
+		return sign.ErrInvalidKey
+	}
+	sign.HashToIntInto(&r.e, r.digest)
+	byteLen := (ec.Order.BitLen() + 7) / 8
+	for tries := 0; ; tries++ {
+		if tries == 1000 {
+			return core.ErrRandom
+		}
+		if _, err := io.ReadFull(r.rand, s.buf[:byteLen]); err != nil {
+			return errors.Join(core.ErrRandom, err)
+		}
+		r.nonce.SetBytes(s.buf[:byteLen])
+		r.nonce.Rsh(&r.nonce, uint(8*byteLen-ec.Order.BitLen()))
+		if r.nonce.Sign() != 0 && r.nonce.Cmp(ec.Order) < 0 {
+			break
+		}
+	}
+	r.ld = s.cs.ScalarBaseMultLD64(&r.nonce)
+	return nil
+}
+
+// finishSigns computes every queued signature's s = k⁻¹(e + r·d) with
+// ONE modular inversion for all the nonces (Montgomery's trick in
+// (Z/n)^*), then assembles the results. Requests that hit the r = 0 /
+// s = 0 rejection corners (probability ~2^-232 each) retry
+// sequentially.
+func (s *batchScratch) finishSigns(signQ []*request) {
+	// Exclusive prefix products of the nonces mod n.
+	pfx := core.Grow(&s.pfx, len(signQ))
+	run := s.t.SetInt64(1)
+	for i, r := range signQ {
+		if pfx[i] == nil {
+			pfx[i] = new(big.Int)
+		}
+		pfx[i].Set(run)
+		s.mulModN(run, run, &r.nonce)
+	}
+	// One inversion: nonces are in [1, n−1] and n is prime, so the
+	// running product stays invertible.
+	s.modInverse(&s.minv, run)
+	for i := len(signQ) - 1; i >= 0; i-- {
+		r := signQ[i]
+		s.mulModN(&r.kinv, &s.minv, pfx[i])
+		s.mulModN(&s.minv, &s.minv, &r.nonce)
+	}
+	for _, r := range signQ {
+		if r.r.Sign() == 0 {
+			s.retrySign(r)
+			continue
+		}
+		// s = k⁻¹(e + r·d) mod n.
+		r.s.Mul(&r.r, r.priv.D)
+		r.s.Add(&r.s, &r.e)
+		s.mulModN(&r.s, &r.s, &r.kinv)
+		if r.s.Sign() == 0 {
+			s.retrySign(r)
+		}
+	}
+	// Scrub the nonce-derived transients: the sampling buffer, the
+	// nonce prefix products, and the inversion state all idle in the
+	// pooled scratch between batches.
+	s.buf = [32]byte{}
+	for i := range pfx {
+		koblitz.WipeInt(pfx[i])
+	}
+	for _, v := range []*big.Int{&s.minv, &s.t, &s.prod, &s.q, &s.rem, &s.u, &s.v, &s.x1, &s.x2} {
+		koblitz.WipeInt(v)
+	}
+}
+
+// retrySign redoes one signature sequentially with fresh nonces — the
+// rare-corner fallback, allowed to allocate.
+func (s *batchScratch) retrySign(r *request) {
+	sig, err := sign.Sign(r.priv, r.digest, r.rand)
+	if err != nil {
+		r.err = err
+		return
+	}
+	r.r.Set(sig.R)
+	r.s.Set(sig.S)
+}
+
+// mulModN sets dst = a·b mod n via QuoRem on scratch receivers (a
+// plain aliased Mod would allocate per call, and so would an aliased
+// Mul — hence the dedicated product temporary). dst may alias a or b
+// but must not alias s.q, s.rem or s.prod.
+func (s *batchScratch) mulModN(dst, a, b *big.Int) {
+	s.prod.Mul(a, b)
+	s.q.QuoRem(&s.prod, ec.Order, &s.rem)
+	dst.Set(&s.rem)
+}
+
+// modInverse sets dst = a⁻¹ mod n for a in [1, n−1] with the binary
+// extended Euclidean algorithm (HAC Alg. 14.61 shape for odd moduli):
+// only shifts, adds and subtractions, so reused big.Ints make it
+// allocation-free — big.Int.ModInverse cannot promise that.
+func (s *batchScratch) modInverse(dst, a *big.Int) {
+	n := ec.Order
+	u, v, x1, x2 := &s.u, &s.v, &s.x1, &s.x2
+	u.Set(a)
+	v.Set(n)
+	x1.SetInt64(1)
+	x2.SetInt64(0)
+	for {
+		for u.Bit(0) == 0 {
+			u.Rsh(u, 1)
+			if x1.Bit(0) == 1 {
+				x1.Add(x1, n)
+			}
+			x1.Rsh(x1, 1)
+		}
+		if u.Cmp(oneInt) == 0 {
+			dst.Set(x1)
+			return
+		}
+		for v.Bit(0) == 0 {
+			v.Rsh(v, 1)
+			if x2.Bit(0) == 1 {
+				x2.Add(x2, n)
+			}
+			x2.Rsh(x2, 1)
+		}
+		if v.Cmp(oneInt) == 0 {
+			dst.Set(x2)
+			return
+		}
+		if u.Cmp(v) >= 0 {
+			u.Sub(u, v)
+			x1.Sub(x1, x2)
+			if x1.Sign() < 0 {
+				x1.Add(x1, n)
+			}
+		} else {
+			v.Sub(v, u)
+			x2.Sub(x2, x1)
+			if x2.Sign() < 0 {
+				x2.Add(x2, n)
+			}
+		}
+	}
+}
+
+// oneInt is the shared, never-written constant 1.
+var oneInt = big.NewInt(1)
+
+// ECDHResult is one BatchSharedSecret outcome.
+type ECDHResult struct {
+	Secret [SecretSize]byte
+	Err    error
+}
+
+// SignResult is one BatchSign outcome. Sig.R and Sig.S are reused
+// when non-nil, so callers recycling result slices stay
+// allocation-free.
+type SignResult struct {
+	Sig Signature
+	Err error
+}
+
+// requestPool backs the synchronous slice APIs.
+var requestPool = sync.Pool{New: func() any { return newRequest() }}
+
+// borrowBatch fills s.reqs with n pooled requests.
+func (s *batchScratch) borrowBatch(n int) []*request {
+	batch := s.reqs[:0]
+	for i := 0; i < n; i++ {
+		r := requestPool.Get().(*request)
+		r.err = nil
+		batch = append(batch, r)
+	}
+	s.reqs = batch
+	return batch
+}
+
+// returnBatch hands the requests back to the slice-API pool.
+func returnBatch(batch []*request) {
+	for _, r := range batch {
+		r.release()
+		requestPool.Put(r)
+	}
+}
+
+// BatchScalarMult computes dst[i] = ks[i]·points[i] for all i with the
+// batch kernel (one field inversion for the whole slice). dst may be
+// nil, in which case a fresh slice is returned. Points must lie in the
+// prime-order subgroup, as for core.ScalarMult.
+func BatchScalarMult(dst []ec.Affine, ks []*big.Int, points []ec.Affine) []ec.Affine {
+	if len(ks) != len(points) {
+		panic("engine: BatchScalarMult length mismatch")
+	}
+	if dst == nil {
+		dst = make([]ec.Affine, len(ks))
+	}
+	if len(dst) != len(ks) {
+		panic("engine: BatchScalarMult dst length mismatch")
+	}
+	s := kernelPool.Get().(*batchScratch)
+	batch := s.borrowBatch(len(ks))
+	for i, r := range batch {
+		r.op = opScalarMult
+		r.k = ks[i]
+		r.point = points[i]
+	}
+	processBatch(s, batch)
+	for i, r := range batch {
+		dst[i] = r.res
+	}
+	returnBatch(batch)
+	kernelPool.Put(s)
+	return dst
+}
+
+// BatchSharedSecret computes the ECDH shared secret against every
+// peer (each validated first), writing outcomes into out
+// (len(out) == len(peers)).
+func BatchSharedSecret(priv *core.PrivateKey, peers []ec.Affine, out []ECDHResult) {
+	if len(out) != len(peers) {
+		panic("engine: BatchSharedSecret length mismatch")
+	}
+	s := kernelPool.Get().(*batchScratch)
+	batch := s.borrowBatch(len(peers))
+	for i, r := range batch {
+		r.op = opECDH
+		r.priv = priv
+		r.point = peers[i]
+	}
+	processBatch(s, batch)
+	for i, r := range batch {
+		out[i].Err = r.err
+		if r.err == nil {
+			out[i].Secret = r.secret
+		}
+	}
+	returnBatch(batch)
+	kernelPool.Put(s)
+}
+
+// BatchSign signs every digest with nonces drawn from rand, writing
+// outcomes into out (len(out) == len(digests)). Result signatures
+// reuse out[i].Sig.R/S when non-nil.
+func BatchSign(priv *core.PrivateKey, digests [][]byte, rand io.Reader, out []SignResult) {
+	if len(out) != len(digests) {
+		panic("engine: BatchSign length mismatch")
+	}
+	s := kernelPool.Get().(*batchScratch)
+	batch := s.borrowBatch(len(digests))
+	for i, r := range batch {
+		r.op = opSign
+		r.priv = priv
+		r.digest = digests[i]
+		r.rand = rand
+	}
+	processBatch(s, batch)
+	for i, r := range batch {
+		out[i].Err = r.err
+		if r.err != nil {
+			continue
+		}
+		if out[i].Sig.R == nil {
+			out[i].Sig.R = new(big.Int)
+		}
+		if out[i].Sig.S == nil {
+			out[i].Sig.S = new(big.Int)
+		}
+		out[i].Sig.R.Set(&r.r)
+		out[i].Sig.S.Set(&r.s)
+	}
+	returnBatch(batch)
+	kernelPool.Put(s)
+}

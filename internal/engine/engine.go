@@ -1,0 +1,225 @@
+// Package engine is the concurrent batch engine: it collects
+// independent ECC requests (generic k·P, ECDH shared secrets, ECDSA
+// signing) from many goroutines and executes them in batches so the
+// expensive per-request tail work is amortised across the whole batch:
+//
+//   - every scalar multiplication stops in López-Dahab projective
+//     coordinates, and ONE field inversion (Montgomery's trick,
+//     gf233.InvBatch64: one Inv64 plus 3(N−1) multiplications) converts
+//     the whole batch back to affine;
+//   - ECDSA nonce inverses mod n are batched the same way — one
+//     modular inversion per batch instead of one per signature;
+//   - incoming ECDH peers are validated with the τ-adic order check
+//     (ecdh.ValidateTau), which needs no inversion at all;
+//   - each worker owns a core.Scratch, so the steady-state hot path
+//     performs zero heap allocations.
+//
+// Engine is the concurrent front end (submit from any goroutine,
+// batches form from whatever is in flight); BatchScalarMult,
+// BatchSharedSecret and BatchSign are the synchronous slice APIs for
+// callers that already hold a batch in hand. Both run the same kernel.
+package engine
+
+import (
+	"io"
+	"math/big"
+	"runtime"
+	"sync"
+
+	"repro/internal/core"
+	"repro/internal/ec"
+	"repro/internal/gf233"
+)
+
+// Config sizes an Engine.
+type Config struct {
+	// MaxBatch caps how many requests one worker drains into a single
+	// batch. Bigger batches amortise the two batched inversions
+	// further but add head-of-line latency under light load.
+	// Defaults to 32, past which the inversion share of an op is
+	// already down in the noise (see cmd/eccload).
+	MaxBatch int
+	// Workers is the number of processing goroutines, each with its
+	// own scratch state. Defaults to GOMAXPROCS.
+	Workers int
+	// Queue is the request channel depth. Defaults to
+	// 2 · MaxBatch · Workers.
+	Queue int
+}
+
+func (c *Config) fill() {
+	if c.MaxBatch <= 0 {
+		c.MaxBatch = 32
+	}
+	if c.Workers <= 0 {
+		c.Workers = runtime.GOMAXPROCS(0)
+	}
+	if c.Queue <= 0 {
+		c.Queue = 2 * c.MaxBatch * c.Workers
+	}
+}
+
+// Engine collects requests from concurrent callers and processes them
+// in batches. All methods are safe for concurrent use; the zero value
+// is not usable — construct with New, and Close when done. Submitting
+// after Close panics (send on closed channel), mirroring the usual
+// idiom for request sinks.
+type Engine struct {
+	cfg  Config
+	reqs chan *request
+	pool sync.Pool
+	wg   sync.WaitGroup
+}
+
+// New starts an Engine with cfg (zero fields take defaults). It warms
+// the shared table registry eagerly so the first wave of requests does
+// not pay generator-table construction.
+func New(cfg Config) *Engine {
+	cfg.fill()
+	core.Warm()
+	e := &Engine{
+		cfg:  cfg,
+		reqs: make(chan *request, cfg.Queue),
+	}
+	e.pool.New = func() any { return newRequest() }
+	e.wg.Add(cfg.Workers)
+	for i := 0; i < cfg.Workers; i++ {
+		go e.worker()
+	}
+	return e
+}
+
+// MaxBatch reports the configured per-flush batch cap.
+func (e *Engine) MaxBatch() int { return e.cfg.MaxBatch }
+
+// Close stops the workers after draining in-flight requests. No
+// submissions may race with or follow Close.
+func (e *Engine) Close() {
+	close(e.reqs)
+	e.wg.Wait()
+}
+
+// worker drains the request channel into batches: block for the first
+// request, then greedily take whatever else is already queued (up to
+// MaxBatch) without waiting — so under light load latency stays at
+// batch-of-one, and under heavy load batches fill themselves.
+func (e *Engine) worker() {
+	defer e.wg.Done()
+	s := newBatchScratch()
+	batch := make([]*request, 0, e.cfg.MaxBatch)
+	for {
+		r, ok := <-e.reqs
+		if !ok {
+			return
+		}
+		batch = append(batch[:0], r)
+	collect:
+		for len(batch) < e.cfg.MaxBatch {
+			select {
+			case r, ok := <-e.reqs:
+				if !ok {
+					break collect
+				}
+				batch = append(batch, r)
+			default:
+				break collect
+			}
+		}
+		processBatch(s, batch)
+		for _, r := range batch {
+			r.done <- struct{}{}
+		}
+	}
+}
+
+// do submits one request and blocks until its batch completes.
+func (e *Engine) do(r *request) {
+	e.reqs <- r
+	<-r.done
+}
+
+func (e *Engine) get(op opKind) *request {
+	r := e.pool.Get().(*request)
+	r.op = op
+	r.err = nil
+	return r
+}
+
+func (e *Engine) put(r *request) {
+	// release drops caller-owned references and scrubs nonce/secret
+	// state so the pool retains neither; the scrubbed big.Ints keep
+	// their storage, which is the reuse that makes steady state
+	// allocation-free.
+	r.release()
+	e.pool.Put(r)
+}
+
+// ScalarMult computes k·P, batched with whatever else is in flight.
+// Same contract as core.ScalarMult: P must lie in the prime-order
+// subgroup (validate untrusted points first).
+func (e *Engine) ScalarMult(k *big.Int, p ec.Affine) ec.Affine {
+	r := e.get(opScalarMult)
+	r.k = k
+	r.point = p
+	e.do(r)
+	res := r.res
+	e.put(r)
+	return res
+}
+
+// SharedSecretAppend computes the ECDH shared secret d·Q against the
+// validated peer and appends the shared abscissa to dst (steady-state
+// allocation-free when dst has capacity). The peer is fully validated
+// (curve membership, identity, prime-order subgroup) before the
+// private scalar touches it.
+func (e *Engine) SharedSecretAppend(dst []byte, priv *core.PrivateKey, peer ec.Affine) ([]byte, error) {
+	r := e.get(opECDH)
+	r.priv = priv
+	r.point = peer
+	e.do(r)
+	err := r.err
+	if err == nil {
+		dst = append(dst, r.secret[:]...)
+	}
+	e.put(r)
+	return dst, err
+}
+
+// SharedSecret is SharedSecretAppend into a fresh slice.
+func (e *Engine) SharedSecret(priv *core.PrivateKey, peer ec.Affine) ([]byte, error) {
+	return e.SharedSecretAppend(make([]byte, 0, gf233.ByteLen), priv, peer)
+}
+
+// SignInto produces an ECDSA-style signature over digest, drawing the
+// nonce from rand, and stores it in sig (whose R and S are reused when
+// non-nil — the allocation-free steady state for callers that recycle
+// signatures). The semantics match sign.Sign.
+func (e *Engine) SignInto(sig *Signature, priv *core.PrivateKey, digest []byte, rand io.Reader) error {
+	r := e.get(opSign)
+	r.priv = priv
+	r.digest = digest
+	r.rand = rand
+	e.do(r)
+	err := r.err
+	if err == nil {
+		if sig.R == nil {
+			sig.R = new(big.Int)
+		}
+		if sig.S == nil {
+			sig.S = new(big.Int)
+		}
+		sig.R.Set(&r.r)
+		sig.S.Set(&r.s)
+	}
+	e.put(r)
+	return err
+}
+
+// Sign is SignInto returning a fresh signature.
+func (e *Engine) Sign(priv *core.PrivateKey, digest []byte, rand io.Reader) (*Signature, error) {
+	sig := new(Signature)
+	if err := e.SignInto(sig, priv, digest, rand); err != nil {
+		return nil, err
+	}
+	return sig, nil
+}

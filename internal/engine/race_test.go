@@ -1,0 +1,109 @@
+package engine
+
+import (
+	"bytes"
+	"crypto/sha256"
+	"math/big"
+	"math/rand"
+	"sync"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/ec"
+	"repro/internal/ecdh"
+	"repro/internal/gf233"
+	"repro/internal/sign"
+)
+
+// TestConcurrentPublicAPI hits ScalarBaseMult, ECDH and signing from
+// 32 goroutines at once — through both the one-shot packages and an
+// Engine — while another goroutine toggles the field backend
+// mid-flight. Under -race this is the executable statement of the
+// concurrency contract: the shared comb/alpha/δ tables are frozen
+// behind sync.Once, the pooled scratch state is per-goroutine, and
+// SetBackend is an atomic whose two settings are bit-identical, so
+// results never change, only speed.
+func TestConcurrentPublicAPI(t *testing.T) {
+	priv, err := core.GenerateKey(rand.New(rand.NewSource(50)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	e := New(Config{MaxBatch: 16, Workers: 2})
+	defer e.Close()
+	g := ec.Gen()
+	peer := ec.ScalarMultGeneric(big.NewInt(777), g)
+	wantSecret, err := ecdh.SharedSecret(priv, peer)
+	if err != nil {
+		t.Fatal(err)
+	}
+	digest := sha256.Sum256([]byte("contract"))
+
+	stop := make(chan struct{})
+	var togglers sync.WaitGroup
+	togglers.Add(1)
+	go func() {
+		// Backend toggling mid-flight must be safe: selection is
+		// atomic and both backends compute bit-identical results.
+		defer togglers.Done()
+		defer gf233.SetBackend(gf233.Backend64)
+		for i := 0; ; i++ {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			if i%2 == 0 {
+				gf233.SetBackend(gf233.Backend32)
+			} else {
+				gf233.SetBackend(gf233.Backend64)
+			}
+		}
+	}()
+
+	const goroutines = 32
+	var wg sync.WaitGroup
+	errs := make(chan string, goroutines)
+	for i := 0; i < goroutines; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			rnd := rand.New(rand.NewSource(int64(500 + i)))
+			k := new(big.Int).Rand(rnd, ec.Order)
+			wantK := ec.ScalarMultGeneric(k, g)
+			for j := 0; j < 6; j++ {
+				if got := core.ScalarBaseMult(k); !got.Equal(wantK) {
+					errs <- "ScalarBaseMult diverged under concurrency"
+					return
+				}
+				got, err := ecdh.SharedSecret(priv, peer)
+				if err != nil || !bytes.Equal(got, wantSecret) {
+					errs <- "SharedSecret diverged under concurrency"
+					return
+				}
+				sig, err := sign.Sign(priv, digest[:], rnd)
+				if err != nil || !sign.Verify(priv.Public, digest[:], sig) {
+					errs <- "Sign/Verify diverged under concurrency"
+					return
+				}
+				// Engine paths share the same frozen tables.
+				es, err := e.SharedSecret(priv, peer)
+				if err != nil || !bytes.Equal(es, wantSecret) {
+					errs <- "engine SharedSecret diverged under concurrency"
+					return
+				}
+				esig, err := e.Sign(priv, digest[:], rnd)
+				if err != nil || !sign.Verify(priv.Public, digest[:], esig) {
+					errs <- "engine Sign diverged under concurrency"
+					return
+				}
+			}
+		}(i)
+	}
+	wg.Wait()
+	close(stop)
+	togglers.Wait()
+	close(errs)
+	for e := range errs {
+		t.Fatal(e)
+	}
+}

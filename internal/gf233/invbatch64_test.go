@@ -1,0 +1,113 @@
+package gf233
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// TestInvBatch64 checks the batched inversion against per-element
+// Inv64 on random batches salted with the adversarial shapes: zeros
+// (skipped in place), ones, and duplicated values.
+func TestInvBatch64(t *testing.T) {
+	rnd := rand.New(rand.NewSource(20))
+	for trial := 0; trial < 50; trial++ {
+		n := rnd.Intn(40)
+		batch := make([]Elem64, n)
+		for i := range batch {
+			switch rnd.Intn(5) {
+			case 0:
+				batch[i] = Zero64
+			case 1:
+				batch[i] = One64
+			case 2:
+				if i > 0 {
+					batch[i] = batch[i-1] // duplicate
+				} else {
+					batch[i] = ToElem64(Rand(rnd.Uint32))
+				}
+			default:
+				batch[i] = ToElem64(Rand(rnd.Uint32))
+			}
+		}
+		want := make([]Elem64, n)
+		for i, a := range batch {
+			if a.IsZero() {
+				want[i] = Zero64
+			} else {
+				want[i] = MustInv64(a)
+			}
+		}
+		scratch := make([]Elem64, n)
+		InvBatch64(batch, scratch)
+		for i := range batch {
+			if batch[i] != want[i] {
+				t.Fatalf("trial %d, element %d: batch %v, sequential %v",
+					trial, i, batch[i], want[i])
+			}
+		}
+	}
+	// Empty and all-zero batches must be no-ops.
+	InvBatch64(nil, nil)
+	all0 := []Elem64{Zero64, Zero64}
+	InvBatch64(all0, make([]Elem64, 2))
+	if all0[0] != Zero64 || all0[1] != Zero64 {
+		t.Fatal("all-zero batch must stay zero")
+	}
+}
+
+// FuzzBatchInvVsSequential cross-checks Montgomery-trick batch
+// inversion against per-element Inv64 on fuzz-chosen batches. The
+// fuzz input encodes up to 8 elements of 32 bytes each; a selector
+// byte splices in the adversarial values (zero, one, duplicates) the
+// random corpus would rarely produce.
+func FuzzBatchInvVsSequential(f *testing.F) {
+	f.Add([]byte{0x00}, []byte{})
+	f.Add([]byte{0x12}, []byte{1, 2, 3})
+	f.Add([]byte{0xff, 0x00, 0xaa}, make([]byte, 96))
+	f.Fuzz(func(t *testing.T, sel, raw []byte) {
+		var batch []Elem64
+		for i := 0; i < len(sel) && i < 8; i++ {
+			var e Elem64
+			switch sel[i] % 4 {
+			case 0:
+				e = Zero64
+			case 1:
+				e = One64
+			case 2:
+				if len(batch) > 0 {
+					e = batch[len(batch)-1] // duplicate the previous element
+				} else {
+					e = One64
+				}
+			default:
+				var b [32]byte
+				copy(b[:], raw[min(32*i, len(raw)):])
+				for w := 0; w < 4; w++ {
+					for k := 0; k < 8; k++ {
+						e[w] |= uint64(b[8*w+k]) << (8 * k)
+					}
+				}
+				e[3] &= TopMask64 // reduce to a valid element
+			}
+			batch = append(batch, e)
+		}
+		want := make([]Elem64, len(batch))
+		for i, a := range batch {
+			if !a.IsZero() {
+				// Sequential reference: one EEA inversion per element.
+				inv, ok := Inv64(a)
+				if !ok {
+					t.Fatal("Inv64 rejected a nonzero element")
+				}
+				want[i] = inv
+			}
+		}
+		scratch := make([]Elem64, len(batch))
+		InvBatch64(batch, scratch)
+		for i := range batch {
+			if batch[i] != want[i] {
+				t.Fatalf("element %d: batch inversion diverged from Inv64", i)
+			}
+		}
+	})
+}

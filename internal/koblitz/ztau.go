@@ -157,17 +157,20 @@ func TauPow(i int) ZTau {
 
 // deltaCached holds δ, computed once: the 233-step τ-power sum is far
 // too expensive to redo on every partial reduction (PartMod sits on the
-// per-scalar-multiplication hot path).
+// per-scalar-multiplication hot path). deltaConj and deltaNorm cache
+// conj(δ) and N(δ) alongside, since every partial reduction needs both
+// and recomputing the 466-bit norm per call is pure waste. All three
+// are immutable after the Once completes; readers share them without
+// locks (the lock-free table contract the race tests pin down).
 var (
 	deltaOnce   sync.Once
 	deltaCached ZTau
+	deltaConj   ZTau
+	deltaNorm   *big.Int
 )
 
-// Delta returns δ = (τ^m − 1)/(τ − 1) = Σ_{i=0}^{m−1} τ^i, the modulus
-// of the partial reduction. δ annihilates the prime-order subgroup of
-// E(F_2^m), which is why reducing k mod δ preserves k·P. The value is
-// computed once and returned as a defensive copy.
-func Delta() ZTau {
+// deltaInit populates the δ caches exactly once.
+func deltaInit() {
 	deltaOnce.Do(func() {
 		sumA, sumB := new(big.Int), new(big.Int)
 		z := NewZTau(1, 0)
@@ -177,7 +180,17 @@ func Delta() ZTau {
 			z = z.MulTau()
 		}
 		deltaCached = ZTau{sumA, sumB}
+		deltaConj = deltaCached.Conj()
+		deltaNorm = deltaCached.Norm()
 	})
+}
+
+// Delta returns δ = (τ^m − 1)/(τ − 1) = Σ_{i=0}^{m−1} τ^i, the modulus
+// of the partial reduction. δ annihilates the prime-order subgroup of
+// E(F_2^m), which is why reducing k mod δ preserves k·P. The value is
+// computed once and returned as a defensive copy.
+func Delta() ZTau {
+	deltaInit()
 	return ZTau{
 		new(big.Int).Set(deltaCached.A),
 		new(big.Int).Set(deltaCached.B),
@@ -192,7 +205,7 @@ func RoundDiv(x, y ZTau) (q, r ZTau) {
 	if y.IsZero() {
 		panic("koblitz: division by zero")
 	}
-	n := y.Norm() // > 0
+	n := y.Norm()          // > 0
 	num := x.Mul(y.Conj()) // exact: x/y = (num.A + num.B·τ)/n
 	q = roundLattice(num.A, num.B, n)
 	return q, x.Sub(q.Mul(y))

@@ -32,14 +32,27 @@ var (
 	ErrInvalidSignature = errors.New("sign: invalid signature encoding")
 )
 
-// hashToInt converts a message digest to an integer modulo n, taking
+// HashToInt converts a message digest to an integer modulo n, taking
 // the leftmost Order.BitLen() bits as ECDSA prescribes.
-func hashToInt(digest []byte) *big.Int {
-	e := new(big.Int).SetBytes(digest)
+func HashToInt(digest []byte) *big.Int {
+	return HashToIntInto(new(big.Int), digest)
+}
+
+// HashToIntInto is HashToInt storing the result in e (returned for
+// chaining): the scratch-threading variant the batch engine uses so
+// per-signature digest conversion reuses steady-state storage.
+func HashToIntInto(e *big.Int, digest []byte) *big.Int {
+	e.SetBytes(digest)
 	if excess := 8*len(digest) - ec.Order.BitLen(); excess > 0 {
 		e.Rsh(e, uint(excess))
 	}
-	return e.Mod(e, ec.Order)
+	// After truncation e < 2^BitLen(n), and n has its top bit set, so
+	// e < 2n: one conditional subtraction is a full reduction (and,
+	// unlike an aliased Mod, allocates nothing).
+	if e.Cmp(ec.Order) >= 0 {
+		e.Sub(e, ec.Order)
+	}
+	return e
 }
 
 // Sign produces a signature over the message digest with the private
@@ -48,7 +61,7 @@ func Sign(priv *core.PrivateKey, digest []byte, rand io.Reader) (*Signature, err
 	if priv == nil || priv.D == nil || priv.D.Sign() == 0 {
 		return nil, ErrInvalidKey
 	}
-	e := hashToInt(digest)
+	e := HashToInt(digest)
 	for tries := 0; tries < 100; tries++ {
 		nonce, err := core.GenerateKey(rand)
 		if err != nil {
@@ -148,7 +161,7 @@ func Verify(pub ec.Affine, digest []byte, sig *Signature) bool {
 	if pub.Inf || !pub.OnCurve() {
 		return false
 	}
-	e := hashToInt(digest)
+	e := HashToInt(digest)
 	w := new(big.Int).ModInverse(sig.S, ec.Order)
 	u1 := new(big.Int).Mul(e, w)
 	u1.Mod(u1, ec.Order)

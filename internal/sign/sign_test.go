@@ -109,11 +109,11 @@ func TestHashToInt(t *testing.T) {
 	for i := range long {
 		long[i] = 0xff
 	}
-	e := hashToInt(long)
+	e := HashToInt(long)
 	if e.Cmp(ec.Order) >= 0 || e.Sign() < 0 {
-		t.Error("hashToInt out of range")
+		t.Error("HashToInt out of range")
 	}
-	if hashToInt(nil).Sign() != 0 {
+	if HashToInt(nil).Sign() != 0 {
 		t.Error("empty digest should map to 0")
 	}
 }

@@ -20,6 +20,14 @@
 // reproducing every table and figure (internal/opcount,
 // internal/profile, internal/litdata; driven by cmd/eccbench).
 //
+// For server-side throughput the package also exposes a concurrent
+// batch engine (batch.go, internal/engine): NewBatchEngine collects
+// requests from many goroutines and amortises the dominant field
+// inversion — and, for signing, the mod-n nonce inversion — across
+// whole batches with Montgomery's trick, on allocation-free scratch
+// state. See the README's "Concurrency and batching" section for the
+// goroutine-safety contract and cmd/eccload for the load harness.
+//
 // Field arithmetic comes in two backends selected at package level in
 // internal/gf233: the paper-faithful 8x32-bit Cortex-M0+ layout (the
 // reference that opcount/codegen instrument and compile for the
