@@ -8,6 +8,10 @@
 #                  the 64-bit field backend and the batched inversion,
 #                  and the zero-alloc guards (which must run WITHOUT
 #                  -race, hence the separate pass)
+#   make api     - the public-surface guards: the exported-API golden
+#                  test and interface-conformance checks, the wire-format
+#                  KATs, and a fuzz smoke of the two hostile-input
+#                  parsers (ParseSignatureDER, NewPublicKey)
 #   make bench   - the backend-tagged host benchmarks (Mul/Sqr/Inv,
 #                  ScalarMult, ScalarBaseMult, GenerateKey) plus the
 #                  batch-engine benchmarks (Validate, ECDH, Sign,
@@ -16,7 +20,7 @@
 
 GO ?= go
 
-.PHONY: all build vet test race fuzz alloc bench load ci
+.PHONY: all build vet test race fuzz alloc api bench load ci
 
 all: ci
 
@@ -42,10 +46,20 @@ fuzz:
 alloc:
 	$(GO) test ./internal/engine -run 'TestZeroAlloc' -count=1
 
+# Public-surface guards: the exported-API golden test (regenerate with
+# -update-api after an intentional change), interface conformance, the
+# pinned DER/raw wire encodings, and a short fuzz smoke of the two
+# hostile-input parsers.
+api:
+	$(GO) test . -run 'TestExportedAPIGolden|TestInterfaceConformance|TestWireSizeConstants' -count=1
+	$(GO) test ./internal/litdata -run 'TestECDSAWireKnownAnswers' -count=1
+	$(GO) test . -run='^$$' -fuzz=FuzzParseSignatureDER -fuzztime=5s
+	$(GO) test . -run='^$$' -fuzz=FuzzNewPublicKey -fuzztime=5s
+
 bench:
 	$(GO) test -run='^$$' -bench='Mul$$|Sqr$$|Inv$$|ScalarMult$$|ScalarBaseMult$$|GenerateKey$$|Validate$$|ECDH$$|Sign$$|InvBatch64$$' -benchtime=1s .
 
 load:
 	$(GO) run ./cmd/eccload -op ecdh -gs 1,8 -batches 1,32 -dur 2s
 
-ci: build vet race fuzz alloc
+ci: build vet race fuzz alloc api

@@ -1,0 +1,223 @@
+package repro
+
+// API-surface guards, two layers:
+//
+//  1. compile-time and runtime interface-conformance checks — the
+//     stdlib contracts the redesign promises (*PrivateKey is a
+//     crypto.Signer, Signature is a BinaryMarshaler/Unmarshaler) must
+//     not silently regress;
+//  2. an exported-API golden test: the package's exported symbols,
+//     rendered from the parsed source (go/parser + go/doc) and
+//     compared against testdata/api.txt, so a future PR cannot remove
+//     or reshape public API without the diff showing up in a golden
+//     file. Regenerate with: go test . -run TestExportedAPIGolden -update-api
+//
+// This file runs under `make api` (and therefore `make ci`).
+
+import (
+	"bytes"
+	"crypto"
+	"crypto/sha256"
+	"encoding"
+	"flag"
+	"fmt"
+	"go/ast"
+	"go/doc"
+	"go/parser"
+	"go/printer"
+	"go/token"
+	"math/rand"
+	"os"
+	"sort"
+	"strings"
+	"testing"
+)
+
+// Compile-time conformance: these lines fail the build, not the test,
+// when a contract breaks.
+var (
+	_ crypto.Signer              = (*PrivateKey)(nil)
+	_ encoding.BinaryMarshaler   = (*Signature)(nil)
+	_ encoding.BinaryUnmarshaler = (*Signature)(nil)
+)
+
+// The golden file renders Signature as a bare alias (its methods live
+// on the internal type, outside this package's parse), so the codec
+// surface reachable through the alias is pinned here instead —
+// renaming or reshaping any of these breaks the build.
+var (
+	_ func(*Signature) []byte          = (*Signature).Bytes
+	_ func(*Signature) ([]byte, error) = (*Signature).MarshalASN1
+	_ func(*Signature) ([]byte, error) = (*Signature).MarshalBinary
+	_ func(*Signature, []byte) error   = (*Signature).UnmarshalBinary
+)
+
+// TestWireSizeConstants pins the constant values the golden file
+// records only by name: the wire formats are fixed-width, so these
+// numbers are protocol, not implementation detail.
+func TestWireSizeConstants(t *testing.T) {
+	for name, c := range map[string][2]int{
+		"PrivateKeySize":          {PrivateKeySize, 30},
+		"PublicKeySize":           {PublicKeySize, 61},
+		"PublicKeyCompressedSize": {PublicKeyCompressedSize, 31},
+		"SharedSecretSize":        {SharedSecretSize, 30},
+		"SignatureSize":           {SignatureSize, 60},
+	} {
+		if c[0] != c[1] {
+			t.Errorf("%s = %d, want %d", name, c[0], c[1])
+		}
+	}
+}
+
+var updateAPI = flag.Bool("update-api", false, "rewrite testdata/api.txt from the current source")
+
+// TestInterfaceConformance exercises the contracts at runtime through
+// the interface values, not the concrete types.
+func TestInterfaceConformance(t *testing.T) {
+	rnd := rand.New(rand.NewSource(41))
+	priv, err := GenerateKey(rnd)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var signer crypto.Signer = priv
+	pub, ok := signer.Public().(*PublicKey)
+	if !ok {
+		t.Fatalf("Signer.Public() returned %T, want *PublicKey", signer.Public())
+	}
+	digest := sha256.Sum256([]byte("interface conformance"))
+	der, err := signer.Sign(rnd, digest[:], nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !VerifyASN1(pub, digest[:], der) {
+		t.Fatal("signature produced through crypto.Signer does not verify")
+	}
+
+	sig, err := ParseSignatureDER(der)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var m encoding.BinaryMarshaler = sig
+	blob, err := m.MarshalBinary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back Signature
+	var u encoding.BinaryUnmarshaler = &back
+	if err := u.UnmarshalBinary(blob); err != nil {
+		t.Fatal(err)
+	}
+	if back.R.Cmp(sig.R) != 0 || back.S.Cmp(sig.S) != 0 {
+		t.Fatal("binary round trip through the encoding interfaces changed the signature")
+	}
+}
+
+// TestExportedAPIGolden renders the package's exported declarations
+// and compares them against the pinned golden file.
+func TestExportedAPIGolden(t *testing.T) {
+	got := strings.Join(exportedAPI(t), "\n") + "\n"
+	const golden = "testdata/api.txt"
+	if *updateAPI {
+		if err := os.WriteFile(golden, []byte(got), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatalf("%v (regenerate with -update-api)", err)
+	}
+	if !bytes.Equal([]byte(got), want) {
+		t.Fatalf("exported API changed (regenerate with -update-api if intended)\n--- got ---\n%s\n--- want ---\n%s", got, want)
+	}
+}
+
+// exportedAPI parses the root package source and renders one sorted
+// line per exported symbol: consts, vars, funcs, types, methods and
+// exported struct fields.
+func exportedAPI(t *testing.T) []string {
+	t.Helper()
+	fset := token.NewFileSet()
+	pkgs, err := parser.ParseDir(fset, ".", func(fi os.FileInfo) bool {
+		return !strings.HasSuffix(fi.Name(), "_test.go")
+	}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pkg, ok := pkgs["repro"]
+	if !ok {
+		t.Fatal("package repro not found in .")
+	}
+	// doc.New groups declarations the way godoc presents them
+	// (package-level vs type-associated).
+	d := doc.New(pkg, "repro", 0)
+
+	var lines []string
+	add := func(format string, args ...any) {
+		lines = append(lines, fmt.Sprintf(format, args...))
+	}
+	addValues := func(kind string, values []*doc.Value) {
+		for _, v := range values {
+			for _, name := range v.Names {
+				if ast.IsExported(name) {
+					add("%s %s", kind, name)
+				}
+			}
+		}
+	}
+	addFunc := func(f *doc.Func) {
+		decl := f.Decl
+		recv := ""
+		if decl.Recv != nil && len(decl.Recv.List) > 0 {
+			recv = "(" + render(t, fset, decl.Recv.List[0].Type) + ") "
+		}
+		sig := strings.TrimPrefix(render(t, fset, decl.Type), "func")
+		add("func %s%s%s", recv, f.Name, sig)
+	}
+
+	addValues("const", d.Consts)
+	addValues("var", d.Vars)
+	for _, f := range d.Funcs {
+		addFunc(f)
+	}
+	for _, typ := range d.Types {
+		spec := typ.Decl.Specs[0].(*ast.TypeSpec)
+		switch st := spec.Type.(type) {
+		case *ast.StructType:
+			var fields []string
+			for _, fl := range st.Fields.List {
+				for _, n := range fl.Names {
+					if ast.IsExported(n.Name) {
+						fields = append(fields, n.Name+" "+render(t, fset, fl.Type))
+					}
+				}
+			}
+			add("type %s struct { %s }", typ.Name, strings.Join(fields, "; "))
+		default:
+			if spec.Assign.IsValid() {
+				add("type %s = %s", typ.Name, render(t, fset, spec.Type))
+			} else {
+				add("type %s %s", typ.Name, render(t, fset, st))
+			}
+		}
+		addValues("const", typ.Consts)
+		addValues("var", typ.Vars)
+		for _, f := range typ.Funcs {
+			addFunc(f)
+		}
+		for _, m := range typ.Methods {
+			addFunc(m)
+		}
+	}
+	sort.Strings(lines)
+	return lines
+}
+
+// render prints an AST node to compact single-line Go syntax.
+func render(t *testing.T, fset *token.FileSet, node any) string {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := printer.Fprint(&buf, fset, node); err != nil {
+		t.Fatal(err)
+	}
+	return strings.Join(strings.Fields(buf.String()), " ")
+}

@@ -1,15 +1,14 @@
 package repro
 
 // Public surface of the concurrent batch engine (internal/engine): the
-// server-side complement to the one-shot calls in repro.go. A
-// BatchEngine collects independent requests from any number of
-// goroutines and executes them in batches, amortising the dominant
-// field inversion (and, for signing, the mod-n nonce inversion) across
-// the whole batch with Montgomery's trick; the slice helpers below run
-// the same kernel synchronously for callers that already hold a batch.
-// See the README's "Concurrency and batching" section for the
-// contract, and cmd/eccload for a load generator that measures the
-// effect.
+// server-side complement to the one-shot calls. A BatchEngine collects
+// independent requests from any number of goroutines and executes them
+// in batches, amortising the dominant field inversion (and, for
+// signing, the mod-n nonce inversion) across the whole batch with
+// Montgomery's trick; the slice helpers below run the same kernel
+// synchronously for callers that already hold a batch. See the
+// README's "Concurrency and batching" section for the contract, and
+// cmd/eccload for a load generator that measures the effect.
 
 import (
 	"io"
@@ -17,6 +16,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/engine"
+	"repro/internal/sign"
 )
 
 // ECDHResult is one BatchSharedSecret outcome.
@@ -25,8 +25,44 @@ type ECDHResult = engine.ECDHResult
 // SignResult is one BatchSign outcome.
 type SignResult = engine.SignResult
 
-// SharedSecretSize is the byte length of an ECDH shared secret.
-const SharedSecretSize = engine.SecretSize
+// EngineOption configures a BatchEngine at construction
+// (NewBatchEngine).
+type EngineOption func(*engineOptions)
+
+type engineOptions struct {
+	cfg  engine.Config
+	warm bool
+}
+
+// WithMaxBatch caps how many requests one worker drains into a single
+// batch. Bigger batches amortise the batched inversions further but
+// add head-of-line latency under light load. n <= 0 (and the default)
+// means 32, past which the inversion share of an op is already down
+// in the noise (see cmd/eccload).
+func WithMaxBatch(n int) EngineOption {
+	return func(o *engineOptions) { o.cfg.MaxBatch = n }
+}
+
+// WithWorkers sets the number of processing goroutines, each with its
+// own scratch state. n <= 0 (and the default) means GOMAXPROCS.
+func WithWorkers(n int) EngineOption {
+	return func(o *engineOptions) { o.cfg.Workers = n }
+}
+
+// WithQueueDepth sets the request channel depth. n <= 0 (and the
+// default) means 2 · MaxBatch · Workers.
+func WithQueueDepth(n int) EngineOption {
+	return func(o *engineOptions) { o.cfg.Queue = n }
+}
+
+// WithWarmTables controls whether the shared precomputation tables
+// (generator comb, wTNAF table, recoding caches) are built eagerly at
+// construction. The default is true, so a server's first requests do
+// not pay table construction; pass false to defer the cost to first
+// use (e.g. in tests or short-lived tools).
+func WithWarmTables(warm bool) EngineOption {
+	return func(o *engineOptions) { o.warm = warm }
+}
 
 // BatchEngine batches concurrent ECC requests. All methods are safe
 // for concurrent use. Construct with NewBatchEngine and Close when
@@ -35,12 +71,19 @@ type BatchEngine struct {
 	e *engine.Engine
 }
 
-// NewBatchEngine starts a batch engine. maxBatch caps how many
-// requests are drained into one batch (0 means 32); workers is the
-// number of processing goroutines (0 means GOMAXPROCS). The shared
-// precomputation tables are warmed eagerly.
-func NewBatchEngine(maxBatch, workers int) *BatchEngine {
-	return &BatchEngine{e: engine.New(engine.Config{MaxBatch: maxBatch, Workers: workers})}
+// NewBatchEngine starts a batch engine, configured by functional
+// options (the zero-option call is a good server default: batch cap
+// 32, GOMAXPROCS workers, tables warmed eagerly):
+//
+//	e := repro.NewBatchEngine(repro.WithMaxBatch(32), repro.WithWorkers(8))
+//	defer e.Close()
+func NewBatchEngine(opts ...EngineOption) *BatchEngine {
+	o := engineOptions{warm: true}
+	for _, opt := range opts {
+		opt(&o)
+	}
+	o.cfg.SkipWarm = !o.warm
+	return &BatchEngine{e: engine.New(o.cfg)}
 }
 
 // Close drains in-flight requests and stops the workers.
@@ -55,24 +98,56 @@ func (b *BatchEngine) ScalarMult(k *big.Int, p Point) Point {
 // SharedSecret derives the raw ECDH shared secret against the peer
 // point, which is validated first.
 func (b *BatchEngine) SharedSecret(priv *PrivateKey, peer Point) ([]byte, error) {
-	return b.e.SharedSecret(priv, peer)
+	return b.e.SharedSecret(priv.key, peer)
+}
+
+// SharedSecretKey is SharedSecret on the opaque key types: the peer
+// was already fully validated at construction, and the engine
+// re-validates it on the batch path as defense in depth.
+func (b *BatchEngine) SharedSecretKey(priv *PrivateKey, peer *PublicKey) ([]byte, error) {
+	return b.e.SharedSecret(priv.key, peer.point)
 }
 
 // SharedSecretAppend is SharedSecret appending into dst —
 // allocation-free in steady state when dst has capacity.
 func (b *BatchEngine) SharedSecretAppend(dst []byte, priv *PrivateKey, peer Point) ([]byte, error) {
-	return b.e.SharedSecretAppend(dst, priv, peer)
+	return b.e.SharedSecretAppend(dst, priv.key, peer)
+}
+
+// nonceSource maps a nil rand to the deterministic HMAC-DRBG, keeping
+// the engine's signing contract identical to the one-shot path (where
+// nil rand selects SignDeterministic): the engine runs the same
+// rejection sampler, so nil-rand engine signatures are byte-identical
+// to SignDeterministic's.
+func nonceSource(priv *PrivateKey, digest []byte, rand io.Reader) io.Reader {
+	if rand != nil {
+		return rand
+	}
+	return sign.DeterministicNonceReader(priv.key, digest)
 }
 
 // Sign produces an ECDSA-style signature over digest with nonces from
-// rand, batched with whatever else is in flight.
+// rand, batched with whatever else is in flight. A nil rand selects
+// the RFC 6979-style deterministic nonce, as in PrivateKey.Sign.
 func (b *BatchEngine) Sign(priv *PrivateKey, digest []byte, rand io.Reader) (*Signature, error) {
-	return b.e.Sign(priv, digest, rand)
+	return b.e.Sign(priv.key, digest, nonceSource(priv, digest, rand))
+}
+
+// SignKey is Sign for the crypto.Signer world: same batched kernel,
+// ASN.1 DER output and the same nil-rand-means-deterministic contract
+// as PrivateKey.Sign, so a server can swap the one-shot signer for
+// the engine without touching its wire format or nonce policy.
+func (b *BatchEngine) SignKey(priv *PrivateKey, digest []byte, rand io.Reader) ([]byte, error) {
+	sig, err := b.Sign(priv, digest, rand)
+	if err != nil {
+		return nil, err
+	}
+	return sig.MarshalASN1()
 }
 
 // SignInto is Sign storing into sig, reusing sig.R/S when non-nil.
 func (b *BatchEngine) SignInto(sig *Signature, priv *PrivateKey, digest []byte, rand io.Reader) error {
-	return b.e.SignInto(sig, priv, digest, rand)
+	return b.e.SignInto(sig, priv.key, digest, nonceSource(priv, digest, rand))
 }
 
 // BatchScalarMult computes ks[i]·points[i] for all i with one batched
@@ -85,13 +160,34 @@ func BatchScalarMult(ks []*big.Int, points []Point) []Point {
 // BatchSharedSecret derives the ECDH shared secret against every peer
 // (each validated first) into out, with len(out) == len(peers).
 func BatchSharedSecret(priv *PrivateKey, peers []Point, out []ECDHResult) {
-	engine.BatchSharedSecret(priv, peers, out)
+	engine.BatchSharedSecret(priv.key, peers, out)
 }
 
 // BatchSign signs every digest with nonces from rand into out, with
-// len(out) == len(digests). One mod-n inversion serves all nonces.
+// len(out) == len(digests). One mod-n inversion serves all nonces. A
+// nil rand selects the deterministic nonce per digest (each needs its
+// own DRBG seed, so the nil-rand path runs the one-shot deterministic
+// signer per entry instead of the batched kernel).
 func BatchSign(priv *PrivateKey, digests [][]byte, rand io.Reader, out []SignResult) {
-	engine.BatchSign(priv, digests, rand, out)
+	if rand == nil {
+		for i, digest := range digests {
+			sig, err := sign.SignDeterministic(priv.key, digest)
+			out[i].Err = err
+			if err != nil {
+				continue
+			}
+			if out[i].Sig.R == nil {
+				out[i].Sig.R = new(big.Int)
+			}
+			if out[i].Sig.S == nil {
+				out[i].Sig.S = new(big.Int)
+			}
+			out[i].Sig.R.Set(sig.R)
+			out[i].Sig.S.Set(sig.S)
+		}
+		return
+	}
+	engine.BatchSign(priv.key, digests, rand, out)
 }
 
 // Warm eagerly builds the shared precomputation tables (generator

@@ -25,7 +25,7 @@ func TestPublicBatchAPI(t *testing.T) {
 			t.Fatal(err)
 		}
 		peerKeys = append(peerKeys, pk)
-		peers = append(peers, pk.Public)
+		peers = append(peers, pk.PublicKey().Point())
 	}
 
 	// Slice kernels.
@@ -38,7 +38,7 @@ func TestPublicBatchAPI(t *testing.T) {
 		// ECDH symmetry: the peer derives the same raw secret against
 		// our public point.
 		rev := make([]ECDHResult, 1)
-		BatchSharedSecret(peerKeys[i], []Point{priv.Public}, rev)
+		BatchSharedSecret(peerKeys[i], []Point{priv.PublicKey().Point()}, rev)
 		if rev[0].Err != nil || !bytes.Equal(out[i].Secret[:], rev[0].Secret[:]) {
 			t.Fatalf("peer %d: ECDH symmetry broken", i)
 		}
@@ -64,21 +64,57 @@ func TestPublicBatchAPI(t *testing.T) {
 		if sigs[i].Err != nil {
 			t.Fatalf("digest %d: %v", i, sigs[i].Err)
 		}
-		if !Verify(priv.Public, digests[i], &sigs[i].Sig) {
+		if !Verify(priv.PublicKey().Point(), digests[i], &sigs[i].Sig) {
 			t.Fatalf("digest %d: batch signature does not verify", i)
 		}
 	}
 
-	// The engine front end.
-	e := NewBatchEngine(8, 1)
+	// The engine front end, constructed through the functional options.
+	e := NewBatchEngine(WithMaxBatch(8), WithWorkers(1))
 	defer e.Close()
 	sec, err := e.SharedSecret(priv, peers[0])
 	if err != nil || !bytes.Equal(sec, out[0].Secret[:]) {
 		t.Fatal("engine SharedSecret diverged from batch kernel")
 	}
+	// The opaque-key twin derives the same secret.
+	secKey, err := e.SharedSecretKey(priv, peerKeys[0].PublicKey())
+	if err != nil || !bytes.Equal(secKey, sec) {
+		t.Fatal("engine SharedSecretKey diverged from SharedSecret")
+	}
 	sig, err := e.Sign(priv, digests[0], rnd)
-	if err != nil || !Verify(priv.Public, digests[0], sig) {
+	if err != nil || !Verify(priv.PublicKey().Point(), digests[0], sig) {
 		t.Fatal("engine signature does not verify")
+	}
+	// SignKey produces verifiable DER over the same kernel.
+	der, err := e.SignKey(priv, digests[0], rnd)
+	if err != nil || !VerifyASN1(priv.PublicKey(), digests[0], der) {
+		t.Fatal("engine SignKey DER does not verify")
+	}
+	// Nil rand on the engine = deterministic nonces, byte-identical to
+	// the one-shot deterministic signer (same DRBG, same sampler).
+	want, err := SignDeterministic(priv, digests[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := e.Sign(priv, digests[0], nil)
+	if err != nil || got.R.Cmp(want.R) != 0 || got.S.Cmp(want.S) != 0 {
+		t.Fatalf("engine nil-rand signature diverged from SignDeterministic: %v", err)
+	}
+	detDER, err := e.SignKey(priv, digests[0], nil)
+	if err != nil || !VerifyASN1(priv.PublicKey(), digests[0], detDER) {
+		t.Fatal("engine nil-rand SignKey DER does not verify")
+	}
+	// And the slice kernel's nil-rand path.
+	detOut := make([]SignResult, len(digests))
+	BatchSign(priv, digests, nil, detOut)
+	for i := range detOut {
+		if detOut[i].Err != nil {
+			t.Fatalf("digest %d: %v", i, detOut[i].Err)
+		}
+		w, _ := SignDeterministic(priv, digests[i])
+		if detOut[i].Sig.R.Cmp(w.R) != 0 || detOut[i].Sig.S.Cmp(w.S) != 0 {
+			t.Fatalf("digest %d: BatchSign nil-rand diverged from SignDeterministic", i)
+		}
 	}
 	if got := e.ScalarMult(big.NewInt(9), Generator()); !got.Equal(ScalarBaseMult(big.NewInt(9))) {
 		t.Fatal("engine ScalarMult diverged")

@@ -25,6 +25,7 @@ import (
 	"sync"
 	"time"
 
+	"repro"
 	"repro/internal/core"
 	"repro/internal/ec"
 	"repro/internal/ecdh"
@@ -151,6 +152,13 @@ func main() {
 		rnd.Read(digest)
 		digests[i] = digest
 	}
+	// The engine mode drives the public opaque-key surface; the naive
+	// and direct modes stay on the internal packages they measure.
+	rpriv, err := repro.NewPrivateKey(priv.D.FillBytes(make([]byte, repro.PrivateKeySize)))
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "eccload:", err)
+		os.Exit(1)
+	}
 	core.Warm()
 
 	fmt.Printf("eccload: op=%s workers=%d dur=%s GOMAXPROCS=%d\n",
@@ -171,10 +179,16 @@ func main() {
 		}
 		for _, b := range batches {
 			// Engine mode: concurrent one-at-a-time submitters, batches
-			// form from whatever is in flight.
-			e := engine.New(engine.Config{MaxBatch: b, Workers: workers})
+			// form from whatever is in flight. Runs through the public
+			// options-based BatchEngine (tables were already warmed
+			// above, so skip the eager rewarm).
+			e := repro.NewBatchEngine(
+				repro.WithMaxBatch(b),
+				repro.WithWorkers(workers),
+				repro.WithWarmTables(false),
+			)
 			report(fmt.Sprintf("batch=%d", b),
-				run(g, *durFlag, 1, engineOp(*opFlag, e, priv, peers, scalars, digests, g)))
+				run(g, *durFlag, 1, engineOp(*opFlag, e, rpriv, peers, scalars, digests, g)))
 			e.Close()
 			// Direct mode: each goroutine hands the slice kernel a full
 			// batch (the shape of a server that already aggregates
@@ -268,13 +282,14 @@ func naiveOp(op string, priv *core.PrivateKey, peers []ec.Affine, scalars []*big
 	}
 }
 
-// engineOp returns the per-goroutine engine loop body.
-func engineOp(op string, e *engine.Engine, priv *core.PrivateKey, peers []ec.Affine, scalars []*big.Int, digests [][]byte, g int) func(int, int) {
+// engineOp returns the per-goroutine engine loop body, driving the
+// public BatchEngine surface.
+func engineOp(op string, e *repro.BatchEngine, priv *repro.PrivateKey, peers []ec.Affine, scalars []*big.Int, digests [][]byte, g int) func(int, int) {
 	switch op {
 	case "ecdh":
 		bufs := make([][]byte, g)
 		for i := range bufs {
-			bufs[i] = make([]byte, 0, engine.SecretSize)
+			bufs[i] = make([]byte, 0, repro.SharedSecretSize)
 		}
 		return func(w, i int) {
 			if _, err := e.SharedSecretAppend(bufs[w], priv, peers[(w+i)%len(peers)]); err != nil {
@@ -283,7 +298,7 @@ func engineOp(op string, e *engine.Engine, priv *core.PrivateKey, peers []ec.Aff
 		}
 	case "sign":
 		rngs := perWorkerRands(g)
-		sigs := make([]engine.Signature, g)
+		sigs := make([]repro.Signature, g)
 		return func(w, i int) {
 			if err := e.SignInto(&sigs[w], priv, digests[(w+i)%len(digests)], rngs[w]); err != nil {
 				panic(err)

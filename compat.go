@@ -1,0 +1,78 @@
+package repro
+
+// Compatibility wrappers: the original loose-function API of this
+// package, each kept as a thin documented wrapper over the opaque key
+// types (keys.go) so pre-redesign function calls keep compiling and
+// behaving identically. (The deliberate breaks are anything that
+// reached inside the old alias type — priv.Public / priv.D field
+// accesses, PrivateKey composite literals — plus the old two-int
+// NewBatchEngine signature; see the README's "Public API" migration
+// table.) New code should prefer the key methods.
+
+import (
+	"io"
+
+	"repro/internal/ecdh"
+	"repro/internal/hybrid"
+	"repro/internal/sign"
+)
+
+// MarshalPrivateKey serializes the private scalar big-endian, fixed
+// width.
+//
+// Deprecated-in-spirit: equivalent to priv.Bytes.
+func MarshalPrivateKey(priv *PrivateKey) []byte { return priv.Bytes() }
+
+// ParsePrivateKey reconstructs a key pair from a serialized scalar,
+// recomputing the public point. Scalar-range validation lives in
+// internal/core (CheckScalar), shared with every other key
+// constructor.
+//
+// Deprecated-in-spirit: equivalent to NewPrivateKey.
+func ParsePrivateKey(b []byte) (*PrivateKey, error) { return NewPrivateKey(b) }
+
+// SharedKey derives a symmetric key of the given length by ECDH
+// against the peer's public point. The peer is fully validated first.
+//
+// Deprecated-in-spirit: equivalent to priv.ECDH with a *PublicKey
+// peer.
+func SharedKey(priv *PrivateKey, peer Point, length int) ([]byte, error) {
+	return ecdh.SharedKey(priv.key, peer, length)
+}
+
+// Sign produces an ECDSA-style signature over the message digest.
+//
+// New code that wants wire bytes should use SignASN1 (DER) or
+// sig.Bytes (raw) — or the crypto.Signer interface on *PrivateKey.
+func Sign(priv *PrivateKey, digest []byte, rand io.Reader) (*Signature, error) {
+	return sign.Sign(priv.key, digest, rand)
+}
+
+// SignDeterministic signs with an RFC 6979-style deterministic nonce,
+// removing the signing-time RNG dependency (valuable on RNG-poor
+// sensor nodes). Equivalent to priv.Sign with a nil rand, minus the
+// DER encoding.
+func SignDeterministic(priv *PrivateKey, digest []byte) (*Signature, error) {
+	return sign.SignDeterministic(priv.key, digest)
+}
+
+// Verify reports whether sig is valid over digest under the public
+// key, given as a bare point.
+//
+// Deprecated-in-spirit: equivalent to pub.Verify for a *PublicKey.
+func Verify(pub Point, digest []byte, sig *Signature) bool {
+	return sign.Verify(pub, digest, sig)
+}
+
+// Seal encrypts and authenticates plaintext to the recipient's public
+// key with the ECIES-style hybrid cryptosystem (ephemeral ECDH +
+// stream encryption + MAC) — the paper's motivating WSN usage
+// pattern. Pass pub.Point() for an opaque recipient key.
+func Seal(rand io.Reader, recipient Point, plaintext []byte) ([]byte, error) {
+	return hybrid.Seal(rand, recipient, plaintext)
+}
+
+// Open authenticates and decrypts a message produced by Seal.
+func Open(priv *PrivateKey, message []byte) ([]byte, error) {
+	return hybrid.Open(priv.key, message)
+}

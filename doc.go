@@ -1,0 +1,63 @@
+// Package repro is a full reproduction of "Ultra Low-Power
+// implementation of ECC on the ARM Cortex-M0+" (de Clercq, Uhsadel,
+// Van Herrewege, Verbauwhede — DAC 2014) as a Go library.
+//
+// This root package is the stable public surface, shaped after Go's
+// own crypto/ecdh and crypto/ecdsa packages:
+//
+//   - opaque key types [PublicKey] and [PrivateKey] (keys.go) with
+//     byte-slice constructors and encoders — [NewPrivateKey],
+//     [NewPublicKey], Bytes, BytesCompressed, Equal — so keys plug
+//     into key stores and config files as bytes, never as raw
+//     big.Ints;
+//   - *PrivateKey implements crypto.Signer, and signature.go carries
+//     the two wire codecs: ASN.1 DER ([SignASN1], [VerifyASN1],
+//     [ParseSignatureDER]) for certificate-shaped stacks, and the
+//     fixed-width 60-byte raw encoding (Signature.Bytes,
+//     [ParseSignature]) for the paper's WSN radio link. Signature
+//     also implements encoding.BinaryMarshaler/Unmarshaler;
+//   - ECDH as a key method (PrivateKey.ECDH, ecdh.go);
+//   - the point-level primitives (point.go): the paper's two
+//     point-multiplication paths (random point k·P with width-4
+//     τ-adic NAF, fixed point k·G with a precomputed table), the
+//     constant-time Montgomery-ladder variant from the paper's
+//     future-work section, and X9.62 point codecs;
+//   - every pre-redesign function kept as a thin documented wrapper
+//     (compat.go), so code written against the original loose-function
+//     API keeps compiling and behaving identically (the README's
+//     migration table lists the two deliberate breaks: the priv.Public
+//     field and the old NewBatchEngine signature).
+//
+// The reproduction substrates live under internal/: the F_2^233 field
+// with the paper's "López-Dahab with fixed registers" multiplication
+// (internal/gf233), the curve group (internal/ec), τ-adic recoding
+// (internal/koblitz), an ARMv6-M instruction-set simulator with the
+// Cortex-M0+ cycle model (internal/armv6m), a Thumb assembler
+// (internal/thumb), the generated assembly field routines
+// (internal/codegen), the Table 3 energy model and synthetic
+// measurement rig (internal/energy), and the evaluation harness
+// reproducing every table and figure (internal/opcount,
+// internal/profile, internal/litdata; driven by cmd/eccbench).
+//
+// For server-side throughput the package also exposes a concurrent
+// batch engine (batch.go, internal/engine): [NewBatchEngine] (an
+// options-based constructor — WithWorkers, WithMaxBatch,
+// WithWarmTables) collects requests from many goroutines and
+// amortises the dominant field inversion — and, for signing, the
+// mod-n nonce inversion — across whole batches with Montgomery's
+// trick, on allocation-free scratch state. See the README's
+// "Concurrency and batching" section for the goroutine-safety
+// contract and cmd/eccload for the load harness.
+//
+// Field arithmetic comes in two backends selected at package level in
+// internal/gf233: the paper-faithful 8x32-bit Cortex-M0+ layout (the
+// reference that opcount/codegen instrument and compile for the
+// simulator) and a host-optimized 4x64-bit layout, the default on
+// 64-bit hosts, with 64-bit-native LD point arithmetic underneath the
+// hot loops. The backends are bit-identical — differential fuzz
+// targets in internal/gf233 enforce it — so this package's results
+// never depend on the selection, only its speed does. Fixed-point
+// multiplication (ScalarBaseMult, GenerateKey) additionally uses a
+// Lim-Lee comb table for the generator; the paper's wTNAF w=6 method
+// remains available as internal/core.ScalarBaseMultTNAF.
+package repro

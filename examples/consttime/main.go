@@ -16,6 +16,7 @@ import (
 	"math/big"
 	"math/rand"
 
+	"repro"
 	"repro/internal/core"
 	"repro/internal/ec"
 	"repro/internal/koblitz"
@@ -70,11 +71,13 @@ func main() {
 	t.Row("Montgomery ladder (paper §5)", ladderMuls, "yes")
 	fmt.Println(t)
 
-	// Verify the two paths agree on a batch of scalars.
+	// Verify the two paths agree on a batch of scalars — through the
+	// public API, since repro.ScalarMultConstantTime is the surface a
+	// power-analysis-conscious caller would actually use.
 	agree := true
 	for i := 0; i < 20; i++ {
 		k := new(big.Int).Rand(rnd, ec.Order)
-		if !core.ScalarMult(k, g).Equal(core.ScalarMultLadder(k, g)) {
+		if !repro.ScalarMult(k, g).Equal(repro.ScalarMultConstantTime(k, g)) {
 			agree = false
 			break
 		}

@@ -1,9 +1,12 @@
 // Quickstart: key generation, the paper's two point-multiplication
-// paths, ECDH key agreement and an ECDSA-style signature over
-// sect233k1, all through the public API of the root package.
+// paths, ECDH key agreement and ECDSA-style signatures over sect233k1,
+// all through the opaque-key public API of the root package —
+// including the crypto.Signer interface and both signature wire
+// formats (ASN.1 DER and the fixed-width 60-byte raw encoding).
 package main
 
 import (
+	"crypto"
 	"crypto/rand"
 	"crypto/sha256"
 	"fmt"
@@ -24,30 +27,54 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	fmt.Printf("alice public key (compressed, %d bytes): %x\n",
-		len(repro.EncodePointCompressed(alice.Public)),
-		repro.EncodePointCompressed(alice.Public))
 
-	// ECDH: each side multiplies the peer's point (k·P, the paper's
-	// random-point path — 34.16 µJ).
-	ka, err := repro.SharedKey(alice, bob.Public, 32)
+	// Public keys serialize to bytes and parse back — compressed (31
+	// bytes, the WSN radio format) or uncompressed (61 bytes). Parsing
+	// fully validates the point, so a NewPublicKey result is always
+	// safe to use.
+	wire := alice.PublicKey().BytesCompressed()
+	fmt.Printf("alice public key (compressed, %d bytes): %x\n", len(wire), wire)
+	alicePub, err := repro.NewPublicKey(wire)
 	if err != nil {
 		log.Fatal(err)
 	}
-	kb, err := repro.SharedKey(bob, alice.Public, 32)
+	fmt.Printf("parsed key equals original: %v\n", alicePub.Equal(alice.PublicKey()))
+
+	// ECDH: each side multiplies the peer's point (k·P, the paper's
+	// random-point path — 34.16 µJ).
+	ka, err := alice.ECDH(bob.PublicKey(), 32)
+	if err != nil {
+		log.Fatal(err)
+	}
+	kb, err := bob.ECDH(alicePub, 32)
 	if err != nil {
 		log.Fatal(err)
 	}
 	fmt.Printf("shared key (alice): %x\n", ka)
 	fmt.Printf("shared key (bob):   %x\n", kb)
 
-	// Signatures.
+	// Signatures through the stdlib crypto.Signer interface: DER out,
+	// verified with VerifyASN1.
+	var signer crypto.Signer = alice
 	digest := sha256.Sum256([]byte("sensor 7: 21.5C, battery 83%"))
-	sig, err := repro.Sign(alice, digest[:], rand.Reader)
+	der, err := signer.Sign(rand.Reader, digest[:], nil)
 	if err != nil {
 		log.Fatal(err)
 	}
-	fmt.Printf("signature valid: %v\n", repro.Verify(alice.Public, digest[:], sig))
+	fmt.Printf("DER signature (%d bytes) valid: %v\n",
+		len(der), repro.VerifyASN1(alicePub, digest[:], der))
+
+	// The same signature re-encodes to the fixed-width 60-byte raw
+	// format for the WSN wire.
+	sig, err := repro.ParseSignatureDER(der)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("raw signature: %d bytes, round-trips: %v\n",
+		len(sig.Bytes()), func() bool {
+			back, err := repro.ParseSignature(sig.Bytes())
+			return err == nil && alicePub.Verify(digest[:], back)
+		}())
 
 	// Raw scalar multiplication: all three paths agree.
 	k := big.NewInt(123456789)

@@ -20,7 +20,10 @@ import (
 func main() {
 	// One concrete duty cycle, end to end: node and base station agree
 	// on a session key, then the node sends a signed, "encrypted"
-	// report (the symmetric step is keyed with the ECDH output).
+	// report (the symmetric step is keyed with the ECDH output). The
+	// radio carries only compact encodings: the 31-byte compressed
+	// public key and the fixed-width 60-byte raw signature, both
+	// re-parsed and validated on the base-station side.
 	node, err := repro.GenerateKey(rand.Reader)
 	if err != nil {
 		log.Fatal(err)
@@ -29,18 +32,31 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	session, err := repro.SharedKey(node, base.Public, 32)
+	session, err := node.ECDH(base.PublicKey(), 32)
 	if err != nil {
 		log.Fatal(err)
 	}
 	report := []byte("node-17 t=21.4C rh=54%")
 	digest := sha256.Sum256(append(session, report...))
-	sig, err := repro.Sign(node, digest[:], rand.Reader)
+	// An RNG-poor sensor node signs deterministically (RFC 6979-style
+	// nonce): no signing-time randomness needed.
+	sig, err := repro.SignDeterministic(node, digest[:])
 	if err != nil {
 		log.Fatal(err)
 	}
-	fmt.Printf("duty cycle: session key %x…, report authenticated: %v\n\n",
-		session[:8], repro.Verify(node.Public, digest[:], sig))
+	// Over the radio: node identity + raw signature. The base station
+	// parses and validates both before verifying.
+	nodeID, sigWire := node.PublicKey().BytesCompressed(), sig.Bytes()
+	nodePub, err := repro.NewPublicKey(nodeID)
+	if err != nil {
+		log.Fatal(err)
+	}
+	rxSig, err := repro.ParseSignature(sigWire)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("duty cycle: session key %x…, wire %d+%d bytes, report authenticated: %v\n\n",
+		session[:8], len(nodeID), len(sigWire), nodePub.Verify(digest[:], rxSig))
 
 	// Lifetime study across implementations and rekeying intervals.
 	for _, cfg := range []struct {

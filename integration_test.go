@@ -50,7 +50,7 @@ func TestSerializationRoundTrip(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if back.D.Cmp(key.D) != 0 || !back.Public.Equal(key.Public) {
+	if !back.Equal(key) || !back.PublicKey().Equal(key.PublicKey()) {
 		t.Fatal("round trip changed the key")
 	}
 	// Invalid encodings.
@@ -72,7 +72,7 @@ func TestHybridEndToEnd(t *testing.T) {
 	rnd := rand.New(rand.NewSource(2))
 	station, _ := GenerateKey(rnd)
 	report := []byte("node-03 t=19.8C rh=61% batt=77%")
-	wire, err := Seal(rnd, station.Public, report)
+	wire, err := Seal(rnd, station.PublicKey().Point(), report)
 	if err != nil {
 		t.Fatal(err)
 	}

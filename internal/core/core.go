@@ -344,7 +344,7 @@ func GenerateKey(rand io.Reader) (*PrivateKey, error) {
 		d := new(big.Int).SetBytes(buf)
 		// Strip excess bits above the order's bit length.
 		d.Rsh(d, uint(8*byteLen-ec.Order.BitLen()))
-		if d.Sign() == 0 || d.Cmp(ec.Order) >= 0 {
+		if CheckScalar(d) != nil {
 			continue
 		}
 		return &PrivateKey{D: d, Public: ScalarBaseMult(d)}, nil

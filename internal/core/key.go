@@ -1,0 +1,38 @@
+package core
+
+// Private-scalar validation, centralized. Every path that admits a
+// scalar as a private key — parsing a serialized key, wrapping a
+// caller-provided big.Int, or the rejection sampler in GenerateKey —
+// funnels through CheckScalar, so the [1, n-1] window is enforced in
+// exactly one place.
+
+import (
+	"errors"
+	"math/big"
+
+	"repro/internal/ec"
+)
+
+// ErrInvalidScalar reports a private scalar outside [1, n−1].
+var ErrInvalidScalar = errors.New("core: private scalar out of range [1, n-1]")
+
+// CheckScalar validates that d is a usable private scalar: non-nil and
+// 0 < d < n. This is the single source of truth for private-key range
+// validation; key parsers must not duplicate the comparison.
+func CheckScalar(d *big.Int) error {
+	if d == nil || d.Sign() <= 0 || d.Cmp(ec.Order) >= 0 {
+		return ErrInvalidScalar
+	}
+	return nil
+}
+
+// NewPrivateKey validates d against CheckScalar, copies it (so the
+// caller cannot mutate the key afterwards) and derives the public
+// point with the fixed-base path.
+func NewPrivateKey(d *big.Int) (*PrivateKey, error) {
+	if err := CheckScalar(d); err != nil {
+		return nil, err
+	}
+	dd := new(big.Int).Set(d)
+	return &PrivateKey{D: dd, Public: ScalarBaseMult(dd)}, nil
+}

@@ -1,0 +1,56 @@
+package core
+
+import (
+	"math/big"
+	"math/rand"
+	"testing"
+
+	"repro/internal/ec"
+)
+
+func TestCheckScalarWindow(t *testing.T) {
+	nMinus1 := new(big.Int).Sub(ec.Order, big.NewInt(1))
+	nPlus1 := new(big.Int).Add(ec.Order, big.NewInt(1))
+	cases := []struct {
+		name string
+		d    *big.Int
+		ok   bool
+	}{
+		{"nil", nil, false},
+		{"zero", big.NewInt(0), false},
+		{"negative", big.NewInt(-1), false},
+		{"one", big.NewInt(1), true},
+		{"n-1", nMinus1, true},
+		{"n", new(big.Int).Set(ec.Order), false},
+		{"n+1", nPlus1, false},
+	}
+	for _, c := range cases {
+		if err := CheckScalar(c.d); (err == nil) != c.ok {
+			t.Errorf("CheckScalar(%s): err = %v, want ok = %v", c.name, err, c.ok)
+		}
+		if _, err := NewPrivateKey(c.d); (err == nil) != c.ok {
+			t.Errorf("NewPrivateKey(%s): err = %v, want ok = %v", c.name, err, c.ok)
+		}
+	}
+}
+
+func TestNewPrivateKeyDerivesAndCopies(t *testing.T) {
+	rnd := rand.New(rand.NewSource(11))
+	d := new(big.Int).Rand(rnd, ec.Order)
+	if d.Sign() == 0 {
+		d.SetInt64(7)
+	}
+	priv, err := NewPrivateKey(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !priv.Public.Equal(ScalarBaseMult(d)) {
+		t.Fatal("public point does not match d·G")
+	}
+	// The key must own its scalar: mutating the input must not reach in.
+	want := new(big.Int).Set(d)
+	d.SetInt64(1)
+	if priv.D.Cmp(want) != 0 {
+		t.Fatal("NewPrivateKey aliased the caller's scalar")
+	}
+}

@@ -65,7 +65,20 @@ func ValidateTau(peer ec.Affine) error {
 // SharedSecret computes the raw shared abscissa d·Q using the paper's
 // random-point multiplication (kP path).
 func SharedSecret(priv *core.PrivateKey, peer ec.Affine) ([]byte, error) {
-	if err := Validate(peer); err != nil {
+	return sharedSecret(Validate, priv, peer)
+}
+
+// SharedSecretTau is SharedSecret with the τ-adic validator
+// (ValidateTau): the same predicate, roughly 4× cheaper than the
+// generic ladder check. The one-shot path for peers that arrive as
+// validated opaque keys, where the re-validation is defense in depth
+// and should not cost a second scalar multiplication.
+func SharedSecretTau(priv *core.PrivateKey, peer ec.Affine) ([]byte, error) {
+	return sharedSecret(ValidateTau, priv, peer)
+}
+
+func sharedSecret(validate func(ec.Affine) error, priv *core.PrivateKey, peer ec.Affine) ([]byte, error) {
+	if err := validate(peer); err != nil {
 		return nil, err
 	}
 	p := core.ScalarMult(priv.D, peer)
@@ -79,7 +92,16 @@ func SharedSecret(priv *core.PrivateKey, peer ec.Affine) ([]byte, error) {
 // SharedKey derives a symmetric key of the requested length from the
 // shared secret with a SHA-256-based KDF (counter mode, SEC 1 style).
 func SharedKey(priv *core.PrivateKey, peer ec.Affine, length int) ([]byte, error) {
-	secret, err := SharedSecret(priv, peer)
+	return sharedKey(SharedSecret, priv, peer, length)
+}
+
+// SharedKeyTau is SharedKey over SharedSecretTau (τ-adic validation).
+func SharedKeyTau(priv *core.PrivateKey, peer ec.Affine, length int) ([]byte, error) {
+	return sharedKey(SharedSecretTau, priv, peer, length)
+}
+
+func sharedKey(secretFn func(*core.PrivateKey, ec.Affine) ([]byte, error), priv *core.PrivateKey, peer ec.Affine, length int) ([]byte, error) {
+	secret, err := secretFn(priv, peer)
 	if err != nil {
 		return nil, err
 	}

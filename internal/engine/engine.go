@@ -45,6 +45,9 @@ type Config struct {
 	// Queue is the request channel depth. Defaults to
 	// 2 · MaxBatch · Workers.
 	Queue int
+	// SkipWarm defers the eager core.Warm() table construction New
+	// performs by default; the first requests then pay it lazily.
+	SkipWarm bool
 }
 
 func (c *Config) fill() {
@@ -71,12 +74,15 @@ type Engine struct {
 	wg   sync.WaitGroup
 }
 
-// New starts an Engine with cfg (zero fields take defaults). It warms
-// the shared table registry eagerly so the first wave of requests does
-// not pay generator-table construction.
+// New starts an Engine with cfg (zero fields take defaults). Unless
+// cfg.SkipWarm is set it warms the shared table registry eagerly so
+// the first wave of requests does not pay generator-table
+// construction.
 func New(cfg Config) *Engine {
 	cfg.fill()
-	core.Warm()
+	if !cfg.SkipWarm {
+		core.Warm()
+	}
 	e := &Engine{
 		cfg:  cfg,
 		reqs: make(chan *request, cfg.Queue),

@@ -1,0 +1,114 @@
+// Wire-format known-answer tests: the DER and fixed-width raw
+// encodings of the pinned deterministic signatures in
+// testdata/ecdsa_kat.txt are themselves pinned byte-exactly
+// (testdata/ecdsa_wire_kat.txt), so a change to the codecs — a
+// different integer padding, a sequence reshuffle, a length slip —
+// cannot hide behind self-consistent round-trip tests. The same
+// vectors cross-check the crypto.Signer path of the public package:
+// Signer.Sign with a nil rand must produce exactly the DER of
+// SignDeterministic.
+//
+// Regenerate the golden file after an intentional format change:
+//
+//	go test ./internal/litdata -run TestECDSAWire -update-wire
+package litdata_test
+
+import (
+	"bytes"
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro"
+	"repro/internal/sign"
+)
+
+var updateWire = flag.Bool("update-wire", false, "rewrite testdata/ecdsa_wire_kat.txt from the ecdsa_kat.txt vectors")
+
+func TestECDSAWireKnownAnswers(t *testing.T) {
+	rows := readVectors(t, "ecdsa_kat.txt", 4)
+	golden := filepath.Join("testdata", "ecdsa_wire_kat.txt")
+
+	if *updateWire {
+		var buf bytes.Buffer
+		buf.WriteString("# Wire-format known-answer vectors over sect233k1: the DER and raw\n")
+		buf.WriteString("# encodings of the ecdsa_kat.txt deterministic signatures.\n")
+		buf.WriteString("# Fields (hex): d digest raw der, one vector per line.\n")
+		for i, row := range rows {
+			priv := keyFromScalar(row[0])
+			sig, err := sign.SignDeterministic(priv, row[1])
+			if err != nil {
+				t.Fatalf("vector %d: %v", i, err)
+			}
+			der, err := sig.MarshalASN1()
+			if err != nil {
+				t.Fatalf("vector %d: %v", i, err)
+			}
+			fmt.Fprintf(&buf, "%x %x %x %x\n", row[0], row[1], sig.Bytes(), der)
+		}
+		if err := os.WriteFile(golden, buf.Bytes(), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	wrows := readVectors(t, "ecdsa_wire_kat.txt", 4)
+	if len(wrows) != len(rows) {
+		t.Fatalf("wire KAT has %d vectors, ecdsa_kat has %d (regenerate with -update-wire)", len(wrows), len(rows))
+	}
+	for i, w := range wrows {
+		d, digest, raw, der := w[0], w[1], w[2], w[3]
+		if !bytes.Equal(d, rows[i][0]) || !bytes.Equal(digest, rows[i][1]) {
+			t.Fatalf("vector %d: wire KAT out of sync with ecdsa_kat.txt", i)
+		}
+		priv := keyFromScalar(d)
+		sig, err := sign.SignDeterministic(priv, digest)
+		if err != nil {
+			t.Fatalf("vector %d: %v", i, err)
+		}
+		// Byte-exact encodings.
+		if got := sig.Bytes(); !bytes.Equal(got, raw) {
+			t.Fatalf("vector %d: raw %x, want %x", i, got, raw)
+		}
+		gotDER, err := sig.MarshalASN1()
+		if err != nil {
+			t.Fatalf("vector %d: %v", i, err)
+		}
+		if !bytes.Equal(gotDER, der) {
+			t.Fatalf("vector %d: DER %x, want %x", i, gotDER, der)
+		}
+		// Both pinned encodings parse back to the pinned (r, s).
+		fromRaw, err := sign.ParseRaw(raw)
+		if err != nil {
+			t.Fatalf("vector %d: pinned raw does not parse: %v", i, err)
+		}
+		fromDER, err := sign.ParseDER(der)
+		if err != nil {
+			t.Fatalf("vector %d: pinned DER does not parse: %v", i, err)
+		}
+		if fromRaw.R.Cmp(sig.R) != 0 || fromRaw.S.Cmp(sig.S) != 0 ||
+			fromDER.R.Cmp(sig.R) != 0 || fromDER.S.Cmp(sig.S) != 0 {
+			t.Fatalf("vector %d: pinned encodings decode to different (r, s)", i)
+		}
+
+		// Cross-check the public crypto.Signer path: nil rand selects
+		// the deterministic nonce, so the interface must reproduce the
+		// pinned DER bit for bit — and it must verify via VerifyASN1.
+		rpriv, err := repro.NewPrivateKey(priv.D.FillBytes(make([]byte, repro.PrivateKeySize)))
+		if err != nil {
+			t.Fatalf("vector %d: %v", i, err)
+		}
+		signerDER, err := rpriv.Sign(nil, digest, nil)
+		if err != nil {
+			t.Fatalf("vector %d: %v", i, err)
+		}
+		if !bytes.Equal(signerDER, der) {
+			t.Fatalf("vector %d: crypto.Signer DER %x diverged from SignDeterministic %x",
+				i, signerDER, der)
+		}
+		if !repro.VerifyASN1(rpriv.PublicKey(), digest, signerDER) {
+			t.Fatalf("vector %d: pinned DER does not verify through VerifyASN1", i)
+		}
+	}
+}

@@ -1,0 +1,138 @@
+package sign
+
+// Wire formats for signatures. Two codecs, one per deployment shape:
+//
+//   - the fixed-width 60-byte raw encoding r || s (big-endian, each
+//     component ScalarSize bytes) — the format for the paper's WSN
+//     radio link, where every byte of airtime costs energy and both
+//     sides know the curve;
+//   - ASN.1 DER (SEQUENCE { INTEGER r, INTEGER s }) — the format Go's
+//     crypto.Signer ecosystem, certificates and TLS-ish stacks expect.
+//
+// Both parsers are hardened against malformed input: they never panic,
+// enforce 1 <= r, s < n, and ParseDER additionally rejects every
+// non-canonical DER variant (non-minimal integer encodings, trailing
+// garbage, oversized inputs, extra sequence elements) by requiring the
+// parse-then-serialize round trip to reproduce the input byte-exactly.
+
+import (
+	"bytes"
+	"encoding/asn1"
+	"math/big"
+
+	"repro/internal/ec"
+	"repro/internal/gf233"
+)
+
+// ScalarSize is the fixed serialized width of one signature component
+// (and of a private scalar): the curve order fits in 29 bytes, but
+// every wire format in this module pads scalars to the 30-byte
+// field-element width, so the two widths are tied here.
+const ScalarSize = gf233.ByteLen
+
+// RawSize is the length of the fixed-width raw encoding r || s.
+const RawSize = 2 * ScalarSize
+
+// maxDERSize bounds any canonical DER encoding of a signature over
+// sect233k1: 2 bytes of SEQUENCE header plus two INTEGERs of at most
+// 2 bytes header + ScalarSize bytes magnitude + 1 byte sign padding.
+const maxDERSize = 2 + 2*(2+ScalarSize+1)
+
+// checkComponent reports whether v is a well-formed signature
+// component: non-nil and 1 <= v < n.
+func checkComponent(v *big.Int) bool {
+	return v != nil && v.Sign() > 0 && v.Cmp(ec.Order) < 0
+}
+
+// wellFormed reports whether sig carries a valid (r, s) pair.
+func (sig *Signature) wellFormed() bool {
+	return sig != nil && checkComponent(sig.R) && checkComponent(sig.S)
+}
+
+// Bytes returns the fixed-width 60-byte raw encoding r || s. It panics
+// if the signature is malformed (nil or out-of-range components) —
+// such a value can only be constructed by hand, never returned by the
+// signers.
+func (sig *Signature) Bytes() []byte {
+	if !sig.wellFormed() {
+		panic("sign: Bytes called on a malformed signature")
+	}
+	out := make([]byte, RawSize)
+	sig.R.FillBytes(out[:ScalarSize])
+	sig.S.FillBytes(out[ScalarSize:])
+	return out
+}
+
+// ParseRaw parses the fixed-width 60-byte raw encoding produced by
+// Bytes, rejecting wrong lengths and out-of-range components.
+func ParseRaw(b []byte) (*Signature, error) {
+	if len(b) != RawSize {
+		return nil, ErrInvalidSignature
+	}
+	sig := &Signature{
+		R: new(big.Int).SetBytes(b[:ScalarSize]),
+		S: new(big.Int).SetBytes(b[ScalarSize:]),
+	}
+	if !sig.wellFormed() {
+		return nil, ErrInvalidSignature
+	}
+	return sig, nil
+}
+
+// MarshalBinary implements encoding.BinaryMarshaler with the raw
+// fixed-width encoding.
+func (sig *Signature) MarshalBinary() ([]byte, error) {
+	if !sig.wellFormed() {
+		return nil, ErrInvalidSignature
+	}
+	return sig.Bytes(), nil
+}
+
+// UnmarshalBinary implements encoding.BinaryUnmarshaler over the raw
+// fixed-width encoding. On error the receiver is left unchanged.
+func (sig *Signature) UnmarshalBinary(b []byte) error {
+	parsed, err := ParseRaw(b)
+	if err != nil {
+		return err
+	}
+	*sig = *parsed
+	return nil
+}
+
+// derSignature is the ASN.1 shape of an ECDSA signature.
+type derSignature struct {
+	R, S *big.Int
+}
+
+// MarshalASN1 returns the canonical DER encoding
+// SEQUENCE { INTEGER r, INTEGER s }.
+func (sig *Signature) MarshalASN1() ([]byte, error) {
+	if !sig.wellFormed() {
+		return nil, ErrInvalidSignature
+	}
+	return asn1.Marshal(derSignature{R: sig.R, S: sig.S})
+}
+
+// ParseDER parses a DER signature, accepting only the canonical
+// encoding: the input must round-trip byte-exactly through
+// MarshalASN1, which rejects non-minimal integers, negative or
+// out-of-range components, trailing data and every other BER liberty.
+func ParseDER(b []byte) (*Signature, error) {
+	if len(b) == 0 || len(b) > maxDERSize {
+		return nil, ErrInvalidSignature
+	}
+	var ds derSignature
+	rest, err := asn1.Unmarshal(b, &ds)
+	if err != nil || len(rest) != 0 {
+		return nil, ErrInvalidSignature
+	}
+	sig := &Signature{R: ds.R, S: ds.S}
+	if !sig.wellFormed() {
+		return nil, ErrInvalidSignature
+	}
+	canon, err := sig.MarshalASN1()
+	if err != nil || !bytes.Equal(canon, b) {
+		return nil, ErrInvalidSignature
+	}
+	return sig, nil
+}

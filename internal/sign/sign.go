@@ -90,6 +90,16 @@ func Sign(priv *core.PrivateKey, digest []byte, rand io.Reader) (*Signature, err
 	return nil, ErrSigningFailed
 }
 
+// DeterministicNonceReader returns the RFC 6979-style HMAC-DRBG
+// stream SignDeterministic draws its nonce bytes from, seeded by the
+// key and digest. Other signing front ends (the batch engine) use it
+// to map a nil random source to deterministic nonces: fed through the
+// same rejection sampler, it reproduces SignDeterministic's nonce —
+// and therefore its signature — exactly.
+func DeterministicNonceReader(priv *core.PrivateKey, digest []byte) io.Reader {
+	return newDRBG(priv.D, digest)
+}
+
 // SignDeterministic produces a signature with an RFC 6979-style
 // deterministic nonce (HMAC-DRBG over the key and digest) instead of an
 // external random source. On a sensor node this removes the dependency

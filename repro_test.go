@@ -18,29 +18,37 @@ func TestPublicAPIRoundTrip(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	// ECDH both ways.
-	ka, err := SharedKey(alice, bob.Public, 32)
+	// ECDH both ways, once through the compat wrapper and once through
+	// the opaque-key method — they must agree with each other too.
+	ka, err := SharedKey(alice, bob.PublicKey().Point(), 32)
 	if err != nil {
 		t.Fatal(err)
 	}
-	kb, err := SharedKey(bob, alice.Public, 32)
+	kb, err := bob.ECDH(alice.PublicKey(), 32)
 	if err != nil {
 		t.Fatal(err)
 	}
 	if !bytes.Equal(ka, kb) {
 		t.Fatal("ECDH keys disagree")
 	}
-	// Signatures.
+	// Signatures through the compat functions.
 	d := sha256.Sum256([]byte("public API test"))
 	sig, err := Sign(alice, d[:], rnd)
 	if err != nil {
 		t.Fatal(err)
 	}
-	if !Verify(alice.Public, d[:], sig) {
+	if !Verify(alice.PublicKey().Point(), d[:], sig) {
 		t.Fatal("signature rejected")
 	}
-	if Verify(bob.Public, d[:], sig) {
+	if Verify(bob.PublicKey().Point(), d[:], sig) {
 		t.Fatal("signature accepted under the wrong key")
+	}
+	// And through the opaque-key methods.
+	if !alice.PublicKey().Verify(d[:], sig) {
+		t.Fatal("method verify rejected")
+	}
+	if bob.PublicKey().Verify(d[:], sig) {
+		t.Fatal("method verify accepted under the wrong key")
 	}
 }
 
@@ -62,15 +70,16 @@ func TestScalarMultVariantsAgree(t *testing.T) {
 func TestPointEncoding(t *testing.T) {
 	rnd := rand.New(rand.NewSource(3))
 	key, _ := GenerateKey(rnd)
+	pub := key.PublicKey().Point()
 	for _, enc := range [][]byte{
-		EncodePoint(key.Public),
-		EncodePointCompressed(key.Public),
+		EncodePoint(pub),
+		EncodePointCompressed(pub),
 	} {
 		p, err := DecodePoint(enc)
 		if err != nil {
 			t.Fatal(err)
 		}
-		if !p.Equal(key.Public) {
+		if !p.Equal(pub) {
 			t.Fatal("encoding round trip changed the point")
 		}
 	}

@@ -1,0 +1,69 @@
+package repro
+
+// Signatures and their wire formats. Signature remains the transparent
+// (R, S) pair it always was — an alias of the internal type, so code
+// that builds or inspects signatures field-wise keeps working — but it
+// now carries two codecs (implemented in internal/sign with
+// malformed-input hardening):
+//
+//   - ASN.1 DER, the crypto.Signer / certificate-world format:
+//     SignASN1, VerifyASN1, ParseSignatureDER, Signature.MarshalASN1;
+//   - the fixed-width 60-byte raw encoding r || s for the paper's WSN
+//     radio link: Signature.Bytes, ParseSignature, and the
+//     encoding.BinaryMarshaler/Unmarshaler pair.
+
+import (
+	"io"
+
+	"repro/internal/sign"
+)
+
+// Signature is an ECDSA-style signature: an (r, s) pair with
+// 1 <= r, s < n. It implements encoding.BinaryMarshaler and
+// encoding.BinaryUnmarshaler with the fixed-width raw encoding.
+type Signature = sign.Signature
+
+// SignatureSize is the length of the fixed-width raw signature
+// encoding r || s produced by Signature.Bytes.
+const SignatureSize = sign.RawSize
+
+// ParseSignature parses the fixed-width 60-byte raw encoding produced
+// by Signature.Bytes, rejecting wrong lengths and out-of-range
+// components.
+func ParseSignature(b []byte) (*Signature, error) { return sign.ParseRaw(b) }
+
+// ParseSignatureDER parses a DER-encoded signature
+// (SEQUENCE { INTEGER r, INTEGER s }). Only the canonical encoding is
+// accepted: non-minimal integers, trailing data and out-of-range
+// components are rejected, and a parsed signature re-serializes
+// byte-exactly through Signature.MarshalASN1.
+func ParseSignatureDER(b []byte) (*Signature, error) { return sign.ParseDER(b) }
+
+// SignASN1 signs the (pre-hashed) digest with the private key and
+// returns the ASN.1 DER encoding of the signature, drawing the nonce
+// from rand (nil rand selects the deterministic nonce, as in
+// PrivateKey.Sign).
+func SignASN1(rand io.Reader, priv *PrivateKey, digest []byte) ([]byte, error) {
+	return priv.Sign(rand, digest, nil)
+}
+
+// VerifyASN1 reports whether der is a valid DER-encoded signature over
+// digest under pub. Non-canonical encodings verify as false.
+func VerifyASN1(pub *PublicKey, digest, der []byte) bool {
+	sig, err := sign.ParseDER(der)
+	if err != nil {
+		return false
+	}
+	return sign.Verify(pub.point, digest, sig)
+}
+
+// Verify reports whether sig is valid over digest under the public
+// key — the opaque-key twin of the point-level Verify.
+func (pub *PublicKey) Verify(digest []byte, sig *Signature) bool {
+	return sign.Verify(pub.point, digest, sig)
+}
+
+// VerifyASN1 is VerifyASN1 as a method.
+func (pub *PublicKey) VerifyASN1(digest, der []byte) bool {
+	return VerifyASN1(pub, digest, der)
+}

@@ -1,0 +1,122 @@
+package repro
+
+import (
+	"bytes"
+	"crypto"
+	"crypto/sha256"
+	"math/rand"
+	"testing"
+)
+
+// TestSignerDERRoundTrip is the acceptance path for the crypto.Signer
+// integration: DER produced through the interface verifies with
+// VerifyASN1 and round-trips byte-exactly through ParseSignatureDER.
+func TestSignerDERRoundTrip(t *testing.T) {
+	rnd := rand.New(rand.NewSource(31))
+	priv, err := GenerateKey(rnd)
+	if err != nil {
+		t.Fatal(err)
+	}
+	digest := sha256.Sum256([]byte("signer round trip"))
+	var signer crypto.Signer = priv
+	der, err := signer.Sign(rnd, digest[:], nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !VerifyASN1(priv.PublicKey(), digest[:], der) {
+		t.Fatal("Signer DER does not verify")
+	}
+	sig, err := ParseSignatureDER(der)
+	if err != nil {
+		t.Fatal(err)
+	}
+	reenc, err := sig.MarshalASN1()
+	if err != nil || !bytes.Equal(reenc, der) {
+		t.Fatal("DER does not round-trip byte-exactly")
+	}
+	// The DER decodes to the same (r, s) the transparent Signature
+	// carries, so raw and DER wires interconvert losslessly.
+	raw := sig.Bytes()
+	back, err := ParseSignature(raw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.R.Cmp(sig.R) != 0 || back.S.Cmp(sig.S) != 0 {
+		t.Fatal("raw re-encoding changed the signature")
+	}
+	if !priv.PublicKey().Verify(digest[:], back) {
+		t.Fatal("re-parsed raw signature does not verify")
+	}
+	// Tampered DER must not verify.
+	bad := append([]byte{}, der...)
+	bad[len(bad)-1] ^= 1
+	if VerifyASN1(priv.PublicKey(), digest[:], bad) {
+		t.Fatal("tampered DER verified")
+	}
+	if VerifyASN1(priv.PublicKey(), digest[:], der[:len(der)-1]) {
+		t.Fatal("truncated DER verified")
+	}
+}
+
+// TestSignerNilRandIsDeterministic pins the nil-rand contract: the
+// crypto.Signer path with no randomness source equals
+// SignDeterministic exactly.
+func TestSignerNilRandIsDeterministic(t *testing.T) {
+	rnd := rand.New(rand.NewSource(32))
+	priv, err := GenerateKey(rnd)
+	if err != nil {
+		t.Fatal(err)
+	}
+	digest := sha256.Sum256([]byte("deterministic signer"))
+	der1, err := priv.Sign(nil, digest[:], crypto.SHA256)
+	if err != nil {
+		t.Fatal(err)
+	}
+	der2, err := SignASN1(nil, priv, digest[:])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(der1, der2) {
+		t.Fatal("two nil-rand signatures differ")
+	}
+	want, err := SignDeterministic(priv, digest[:])
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := ParseSignatureDER(der1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.R.Cmp(want.R) != 0 || got.S.Cmp(want.S) != 0 {
+		t.Fatal("Signer nil-rand diverged from SignDeterministic")
+	}
+}
+
+// TestSignatureBinaryMarshaler exercises the encoding interfaces on
+// the transparent Signature type.
+func TestSignatureBinaryMarshaler(t *testing.T) {
+	rnd := rand.New(rand.NewSource(33))
+	priv, _ := GenerateKey(rnd)
+	digest := sha256.Sum256([]byte("binary marshaler"))
+	sig, err := Sign(priv, digest[:], rnd)
+	if err != nil {
+		t.Fatal(err)
+	}
+	blob, err := sig.MarshalBinary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(blob) != SignatureSize {
+		t.Fatalf("binary length %d, want %d", len(blob), SignatureSize)
+	}
+	var back Signature
+	if err := back.UnmarshalBinary(blob); err != nil {
+		t.Fatal(err)
+	}
+	if back.R.Cmp(sig.R) != 0 || back.S.Cmp(sig.S) != 0 {
+		t.Fatal("binary round trip changed the signature")
+	}
+	if err := back.UnmarshalBinary(blob[:10]); err == nil {
+		t.Fatal("truncated binary accepted")
+	}
+}
