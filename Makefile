@@ -15,7 +15,7 @@
 #   make bench   - the backend-tagged host benchmarks (Mul/Sqr/Inv,
 #                  ScalarMult, ScalarBaseMult, GenerateKey) plus the
 #                  batch-engine benchmarks (Validate, ECDH, Sign,
-#                  InvBatch64)
+#                  Verify/BatchVerify, InvBatch64)
 #   make load    - a quick eccload sweep of the batch engine
 
 GO ?= go
@@ -40,6 +40,7 @@ fuzz:
 	$(GO) test ./internal/gf233 -run='^$$' -fuzz=FuzzMul64VsRef -fuzztime=10s
 	$(GO) test ./internal/gf233 -run='^$$' -fuzz=FuzzSqrInv64VsRef -fuzztime=10s
 	$(GO) test ./internal/gf233 -run='^$$' -fuzz=FuzzBatchInvVsSequential -fuzztime=10s
+	$(GO) test ./internal/core -run='^$$' -fuzz=FuzzJointScalarMultVsSeparate -fuzztime=10s
 
 # Zero-alloc guards: AllocsPerRun is meaningless under -race (the
 # detector allocates), so these run in their own non-race pass.
@@ -57,7 +58,7 @@ api:
 	$(GO) test . -run='^$$' -fuzz=FuzzNewPublicKey -fuzztime=5s
 
 bench:
-	$(GO) test -run='^$$' -bench='Mul$$|Sqr$$|Inv$$|ScalarMult$$|ScalarBaseMult$$|GenerateKey$$|Validate$$|ECDH$$|Sign$$|InvBatch64$$' -benchtime=1s .
+	$(GO) test -run='^$$' -bench='Mul$$|Sqr$$|Inv$$|ScalarMult$$|ScalarBaseMult$$|GenerateKey$$|Validate$$|ECDH$$|Sign$$|Verify$$|InvBatch64$$' -benchtime=1s .
 
 load:
 	$(GO) run ./cmd/eccload -op ecdh -gs 1,8 -batches 1,32 -dur 2s

@@ -150,6 +150,23 @@ func (b *BatchEngine) SignInto(sig *Signature, priv *PrivateKey, digest []byte, 
 	return b.e.SignInto(sig, priv.key, digest, nonceSource(priv, digest, rand))
 }
 
+// Verify reports whether sig is a valid signature over digest for the
+// public point, batched with whatever else is in flight: all s⁻¹
+// computations in a batch share one Montgomery-trick mod-n inversion,
+// and the final projective-to-affine conversions share the batch-wide
+// field inversion. Semantics match the one-shot Verify.
+func (b *BatchEngine) Verify(pub Point, digest []byte, sig *Signature) bool {
+	return b.e.Verify(pub, nil, digest, sig)
+}
+
+// VerifyKey is Verify on an opaque *PublicKey. If the key carries a
+// precomputed verification table (PublicKey.Precompute), the batched
+// kernel uses it, dropping the per-verification table build on top of
+// the batch amortisations.
+func (b *BatchEngine) VerifyKey(pub *PublicKey, digest []byte, sig *Signature) bool {
+	return b.e.Verify(pub.point, pub.verifyTable(), digest, sig)
+}
+
 // BatchScalarMult computes ks[i]·points[i] for all i with one batched
 // inversion for the whole slice. Points must lie in the prime-order
 // subgroup.
@@ -190,7 +207,19 @@ func BatchSign(priv *PrivateKey, digests [][]byte, rand io.Reader, out []SignRes
 	engine.BatchSign(priv.key, digests, rand, out)
 }
 
+// BatchVerify reports, for each i, whether sigs[i] is a valid
+// signature over digests[i] under pubs[i], writing outcomes into ok
+// (len(ok) == len(pubs)). One Montgomery-trick mod-n inversion serves
+// every s⁻¹ in the slice and one batched field inversion serves every
+// final projective-to-affine conversion. Keys wanting their cached
+// wide-window tables on the batched path go through
+// BatchEngine.VerifyKey instead.
+func BatchVerify(pubs []Point, digests [][]byte, sigs []*Signature, ok []bool) {
+	engine.BatchVerify(pubs, digests, sigs, ok)
+}
+
 // Warm eagerly builds the shared precomputation tables (generator
-// comb, wTNAF table, recoding caches) so a server's first requests do
-// not pay table construction. Idempotent and concurrency-safe.
+// comb, wTNAF table, joint-verification table, recoding caches) so a
+// server's first requests do not pay table construction. Idempotent
+// and concurrency-safe.
 func Warm() { core.Warm() }

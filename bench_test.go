@@ -616,6 +616,116 @@ func BenchmarkSign(b *testing.B) {
 	})
 }
 
+// benchVerifyInputs builds a server key with a precomputed
+// verification table, plus digests and signatures to verify.
+func benchVerifyInputs(b *testing.B, n int) (*core.PrivateKey, *core.FixedBase, [][]byte, []*sign.Signature) {
+	b.Helper()
+	rnd := rand.New(rand.NewSource(73))
+	priv, err := core.GenerateKey(rnd)
+	if err != nil {
+		b.Fatal(err)
+	}
+	fb := core.NewFixedBase(priv.Public, core.WPrecomp)
+	digests := make([][]byte, n)
+	sigs := make([]*sign.Signature, n)
+	for i := range digests {
+		d := sha256.Sum256([]byte{byte(i), 0x56})
+		digests[i] = d[:]
+		sig, err := sign.Sign(priv, digests[i], rnd)
+		if err != nil {
+			b.Fatal(err)
+		}
+		sigs[i] = sig
+	}
+	return priv, fb, digests, sigs
+}
+
+// BenchmarkVerify contrasts the verification algorithms:
+//
+//   - separate: the seed path, two disjoint scalar multiplications
+//     joined by an affine addition, four field inversions and a
+//     per-call big.Int.ModInverse (sign.VerifySeparate, kept verbatim);
+//   - jointCold: the interleaved double-scalar ladder with a per-call
+//     Q table — what point-level sign.Verify runs for a key seen once;
+//   - joint: the same ladder over the key's precomputed wide-window
+//     table (PublicKey.Precompute) — the server steady state for a key
+//     that verifies many signatures, and the headline number.
+//
+// All joint variants perform 0 allocs/op in steady state.
+func BenchmarkVerify(b *testing.B) {
+	priv, fb, digests, sigs := benchVerifyInputs(b, 8)
+	core.Warm()
+	b.Run("separate", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if !sign.VerifySeparate(priv.Public, digests[i%len(sigs)], sigs[i%len(sigs)]) {
+				b.Fatal("verify failed")
+			}
+		}
+	})
+	b.Run("jointCold", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if !sign.Verify(priv.Public, digests[i%len(sigs)], sigs[i%len(sigs)]) {
+				b.Fatal("verify failed")
+			}
+		}
+	})
+	b.Run("joint", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if !sign.VerifyPrecomputed(priv.Public, fb, digests[i%len(sigs)], sigs[i%len(sigs)]) {
+				b.Fatal("verify failed")
+			}
+		}
+	})
+}
+
+// BenchmarkBatchVerify measures the batched verification kernel at
+// several batch sizes (ns/op is per verification): one Montgomery-trick
+// mod-n inversion for all s⁻¹ and one batched field inversion for all
+// LD→affine conversions per batch. The numbered sub-benchmarks run the
+// server steady state (per-key precomputed tables, matching
+// BenchmarkVerify/joint); cold32 shows batch=32 through the point-level
+// BatchVerify with per-call tables.
+func BenchmarkBatchVerify(b *testing.B) {
+	priv, fb, digests, sigs := benchVerifyInputs(b, 128)
+	core.Warm()
+	pubs := make([]ec.Affine, len(sigs))
+	fbs := make([]*core.FixedBase, len(sigs))
+	for i := range pubs {
+		pubs[i] = priv.Public
+		fbs[i] = fb
+	}
+	ok := make([]bool, len(sigs))
+	checkAll := func(b *testing.B, ok []bool) {
+		b.Helper()
+		for i := range ok {
+			if !ok[i] {
+				b.Fatalf("batch rejected valid signature %d", i)
+			}
+		}
+	}
+	for _, n := range []int{1, 8, 32, 128} {
+		b.Run(strconv.Itoa(n), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i += n {
+				engine.BatchVerifyTables(pubs[:n], fbs[:n], digests[:n], sigs[:n], ok[:n])
+			}
+			b.StopTimer()
+			checkAll(b, ok[:n])
+		})
+	}
+	b.Run("cold32", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i += 32 {
+			engine.BatchVerify(pubs[:32], digests[:32], sigs[:32], ok[:32])
+		}
+		b.StopTimer()
+		checkAll(b, ok[:32])
+	})
+}
+
 // BenchmarkInvBatch64 measures the batched-inversion amortisation
 // directly: ns/op is per inverted element at each batch size.
 func BenchmarkInvBatch64(b *testing.B) {

@@ -1,6 +1,7 @@
 package main
 
 import (
+	"crypto/sha256"
 	"fmt"
 	"math/rand"
 	"time"
@@ -8,6 +9,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/ec"
 	"repro/internal/gf233"
+	"repro/internal/sign"
 	"repro/internal/tables"
 )
 
@@ -38,11 +40,23 @@ func backend() error {
 	x64, y64 := gf233.ToElem64(x), gf233.ToElem64(y)
 	k := benchScalar()
 	g := ec.Gen()
+	// Verification fixtures: a key pair, a signature, and the key's
+	// precomputed wide-window table.
+	vpriv, err := core.GenerateKey(rnd)
+	if err != nil {
+		return err
+	}
+	vdigest := sha256.Sum256([]byte("eccbench verify"))
+	vsig, err := sign.SignDeterministic(vpriv, vdigest[:])
+	if err != nil {
+		return err
+	}
+	vtab := core.NewFixedBase(vpriv.Public, core.WPrecomp)
 
 	type row struct {
-		op     string
-		b32    time.Duration
-		b64    time.Duration
+		op  string
+		b32 time.Duration
+		b64 time.Duration
 	}
 	withBackend := func(b gf233.Backend, f func()) func() {
 		return func() {
@@ -72,6 +86,14 @@ func backend() error {
 		{"kG (comb w=8)",
 			hostBench(withBackend(gf233.Backend32, func() { core.ScalarBaseMult(k) })),
 			hostBench(withBackend(gf233.Backend64, func() { core.ScalarBaseMult(k) }))},
+		{"verify (separate, seed)",
+			hostBench(withBackend(gf233.Backend32, func() { sign.VerifySeparate(vpriv.Public, vdigest[:], vsig) })),
+			hostBench(withBackend(gf233.Backend64, func() { sign.VerifySeparate(vpriv.Public, vdigest[:], vsig) }))},
+		{"verify (joint ladder)",
+			hostBench(withBackend(gf233.Backend32, func() { sign.Verify(vpriv.Public, vdigest[:], vsig) })),
+			hostBench(withBackend(gf233.Backend64, func() { sign.Verify(vpriv.Public, vdigest[:], vsig) }))},
+		{"verify (joint, precomputed key)", 0,
+			hostBench(withBackend(gf233.Backend64, func() { sign.VerifyPrecomputed(vpriv.Public, vtab, vdigest[:], vsig) }))},
 	}
 
 	t := tables.New(fmt.Sprintf(
@@ -90,6 +112,10 @@ func backend() error {
 	t.Note("host; opcount/codegen always use that layout regardless of backend.")
 	t.Note("kG comb rows share the fixed-base comb table; the backends differ in")
 	t.Note("the underlying field arithmetic only.")
+	t.Note("verify rows: 'separate' is the seed two-multiplication verifier;")
+	t.Note("'joint' is the interleaved double-scalar ladder (on the 32-bit")
+	t.Note("reference it falls back to the disjoint evaluation); the precomputed")
+	t.Note("row uses a per-key wide-window table (PublicKey.Precompute).")
 	fmt.Print(t)
 	return nil
 }

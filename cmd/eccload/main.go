@@ -34,7 +34,7 @@ import (
 )
 
 var (
-	opFlag      = flag.String("op", "ecdh", "operation to load: ecdh, sign, or scalarmult")
+	opFlag      = flag.String("op", "ecdh", "operation to load: ecdh, sign, verify, or scalarmult")
 	gsFlag      = flag.String("gs", "1,2,4,8", "comma-separated client goroutine counts to sweep")
 	batchesFlag = flag.String("batches", "1,8,32", "comma-separated engine batch sizes to sweep")
 	durFlag     = flag.Duration("dur", 2*time.Second, "measurement duration per configuration")
@@ -152,6 +152,19 @@ func main() {
 		rnd.Read(digest)
 		digests[i] = digest
 	}
+	// Signatures over the digest pool (for the verify workload), plus
+	// the server key's precomputed verification table — the steady
+	// state of a gateway that verifies many signatures per key.
+	sigs := make([]*sign.Signature, poolSize)
+	for i := range sigs {
+		sig, err := sign.SignDeterministic(priv, digests[i])
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "eccload:", err)
+			os.Exit(1)
+		}
+		sigs[i] = sig
+	}
+	verifyTab := core.NewFixedBase(priv.Public, core.WPrecomp)
 	// The engine mode drives the public opaque-key surface; the naive
 	// and direct modes stay on the internal packages they measure.
 	rpriv, err := repro.NewPrivateKey(priv.D.FillBytes(make([]byte, repro.PrivateKeySize)))
@@ -167,7 +180,7 @@ func main() {
 	for _, g := range gs {
 		var naive result
 		if *naiveFlag {
-			naive = run(g, *durFlag, 1, naiveOp(*opFlag, priv, peers, scalars, digests, g))
+			naive = run(g, *durFlag, 1, naiveOp(*opFlag, priv, peers, scalars, digests, sigs, g))
 			fmt.Printf("g=%-3d naive      : %s\n", g, naive)
 		}
 		report := func(label string, res result) {
@@ -188,14 +201,14 @@ func main() {
 				repro.WithWarmTables(false),
 			)
 			report(fmt.Sprintf("batch=%d", b),
-				run(g, *durFlag, 1, engineOp(*opFlag, e, rpriv, peers, scalars, digests, g)))
+				run(g, *durFlag, 1, engineOp(*opFlag, e, rpriv, peers, scalars, digests, sigs, g)))
 			e.Close()
 			// Direct mode: each goroutine hands the slice kernel a full
 			// batch (the shape of a server that already aggregates
 			// requests); no channel hop, pure amortisation.
 			if b > 1 {
 				report(fmt.Sprintf("direct=%d", b),
-					run(g, *durFlag, b, directOp(*opFlag, b, priv, peers, scalars, digests, g)))
+					run(g, *durFlag, b, directOp(*opFlag, b, priv, verifyTab, peers, scalars, digests, sigs, g)))
 			}
 		}
 	}
@@ -203,7 +216,7 @@ func main() {
 
 // directOp returns a loop body that processes a whole batch per call
 // through the synchronous slice kernels.
-func directOp(op string, b int, priv *core.PrivateKey, peers []ec.Affine, scalars []*big.Int, digests [][]byte, g int) func(int, int) {
+func directOp(op string, b int, priv *core.PrivateKey, verifyTab *core.FixedBase, peers []ec.Affine, scalars []*big.Int, digests [][]byte, sigs []*sign.Signature, g int) func(int, int) {
 	switch op {
 	case "ecdh":
 		outs := make([][]engine.ECDHResult, g)
@@ -232,6 +245,34 @@ func directOp(op string, b int, priv *core.PrivateKey, peers []ec.Affine, scalar
 			}
 			engine.BatchSign(priv, batchDigests[w], rngs[w], outs[w])
 		}
+	case "verify":
+		oks := make([][]bool, g)
+		batchPubs := make([][]ec.Affine, g)
+		batchTabs := make([][]*core.FixedBase, g)
+		batchDigests := make([][][]byte, g)
+		batchSigs := make([][]*sign.Signature, g)
+		for w := 0; w < g; w++ {
+			oks[w] = make([]bool, b)
+			batchPubs[w] = make([]ec.Affine, b)
+			batchTabs[w] = make([]*core.FixedBase, b)
+			batchDigests[w] = make([][]byte, b)
+			batchSigs[w] = make([]*sign.Signature, b)
+		}
+		return func(w, i int) {
+			for j := 0; j < b; j++ {
+				idx := (w + i*b + j) % len(digests)
+				batchPubs[w][j] = priv.Public
+				batchTabs[w][j] = verifyTab
+				batchDigests[w][j] = digests[idx]
+				batchSigs[w][j] = sigs[idx]
+			}
+			engine.BatchVerifyTables(batchPubs[w], batchTabs[w], batchDigests[w], batchSigs[w], oks[w])
+			for j := range oks[w] {
+				if !oks[w][j] {
+					panic("eccload: batch verify rejected a valid signature")
+				}
+			}
+		}
 	case "scalarmult":
 		dsts := make([][]ec.Affine, g)
 		batchKs := make([][]*big.Int, g)
@@ -255,8 +296,11 @@ func directOp(op string, b int, priv *core.PrivateKey, peers []ec.Affine, scalar
 	}
 }
 
-// naiveOp returns the per-goroutine one-shot loop body.
-func naiveOp(op string, priv *core.PrivateKey, peers []ec.Affine, scalars []*big.Int, digests [][]byte, g int) func(int, int) {
+// naiveOp returns the per-goroutine one-shot loop body. For verify the
+// naive baseline is the SEED verifier (sign.VerifySeparate): two
+// disjoint scalar multiplications with per-call allocations — the
+// implementation this library shipped before the joint ladder.
+func naiveOp(op string, priv *core.PrivateKey, peers []ec.Affine, scalars []*big.Int, digests [][]byte, sigs []*sign.Signature, g int) func(int, int) {
 	switch op {
 	case "ecdh":
 		return func(w, i int) {
@@ -269,6 +313,13 @@ func naiveOp(op string, priv *core.PrivateKey, peers []ec.Affine, scalars []*big
 		return func(w, i int) {
 			if _, err := sign.Sign(priv, digests[(w+i)%len(digests)], rngs[w]); err != nil {
 				panic(err)
+			}
+		}
+	case "verify":
+		return func(w, i int) {
+			idx := (w + i) % len(digests)
+			if !sign.VerifySeparate(priv.Public, digests[idx], sigs[idx]) {
+				panic("eccload: naive verify rejected a valid signature")
 			}
 		}
 	case "scalarmult":
@@ -284,7 +335,7 @@ func naiveOp(op string, priv *core.PrivateKey, peers []ec.Affine, scalars []*big
 
 // engineOp returns the per-goroutine engine loop body, driving the
 // public BatchEngine surface.
-func engineOp(op string, e *repro.BatchEngine, priv *repro.PrivateKey, peers []ec.Affine, scalars []*big.Int, digests [][]byte, g int) func(int, int) {
+func engineOp(op string, e *repro.BatchEngine, priv *repro.PrivateKey, peers []ec.Affine, scalars []*big.Int, digests [][]byte, sigs []*sign.Signature, g int) func(int, int) {
 	switch op {
 	case "ecdh":
 		bufs := make([][]byte, g)
@@ -302,6 +353,15 @@ func engineOp(op string, e *repro.BatchEngine, priv *repro.PrivateKey, peers []e
 		return func(w, i int) {
 			if err := e.SignInto(&sigs[w], priv, digests[(w+i)%len(digests)], rngs[w]); err != nil {
 				panic(err)
+			}
+		}
+	case "verify":
+		pub := priv.PublicKey()
+		pub.Precompute()
+		return func(w, i int) {
+			idx := (w + i) % len(digests)
+			if !e.VerifyKey(pub, digests[idx], sigs[idx]) {
+				panic("eccload: engine verify rejected a valid signature")
 			}
 		}
 	case "scalarmult":

@@ -43,11 +43,15 @@
 // batch engine (batch.go, internal/engine): [NewBatchEngine] (an
 // options-based constructor — WithWorkers, WithMaxBatch,
 // WithWarmTables) collects requests from many goroutines and
-// amortises the dominant field inversion — and, for signing, the
-// mod-n nonce inversion — across whole batches with Montgomery's
-// trick, on allocation-free scratch state. See the README's
-// "Concurrency and batching" section for the goroutine-safety
-// contract and cmd/eccload for the load harness.
+// amortises the dominant field inversion — and, for signing and
+// verification, the mod-n inversions — across whole batches with
+// Montgomery's trick, on allocation-free scratch state. Signature
+// verification runs as a single interleaved τ-adic double-scalar
+// ladder; [PublicKey.Precompute] caches a per-key wide-window table
+// that roughly doubles one-shot verification throughput for keys that
+// verify many signatures. See the README's "Concurrency and batching"
+// and "Verification performance" sections for the contracts and
+// numbers, and cmd/eccload for the load harness.
 //
 // Field arithmetic comes in two backends selected at package level in
 // internal/gf233: the paper-faithful 8x32-bit Cortex-M0+ layout (the

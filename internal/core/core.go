@@ -113,7 +113,7 @@ func scalarMultDigits(digits []int8, table []ec.Affine) ec.Affine {
 
 // scalarMultDigits32 runs the Horner loop on the 32-bit reference
 // point arithmetic.
-func scalarMultDigits32(digits []int8, table []ec.Affine) ec.Affine {
+func scalarMultDigits32[T koblitz.Digit](digits []T, table []ec.Affine) ec.Affine {
 	q := ec.LDInfinity
 	for i := len(digits) - 1; i >= 0; i-- {
 		q = q.Frobenius()
@@ -128,7 +128,7 @@ func scalarMultDigits32(digits []int8, table []ec.Affine) ec.Affine {
 }
 
 // scalarMultDigits64 is the 64-bit-native twin of the loop above.
-func scalarMultDigits64(digits []int8, table []ec.Affine64) ec.Affine {
+func scalarMultDigits64[T koblitz.Digit](digits []T, table []ec.Affine64) ec.Affine {
 	q := ec.LD64Infinity
 	for i := len(digits) - 1; i >= 0; i-- {
 		q = q.Frobenius()
@@ -186,12 +186,19 @@ type FixedBase struct {
 	table64 []ec.Affine64
 }
 
-// NewFixedBase builds the width-w precomputation for p.
+// NewFixedBase builds the width-w precomputation for p. Wide tables
+// (w > koblitz.MaxW) exist for the joint verifier's 64-bit evaluation
+// only, so they drop the 32-bit view after conversion — for a server
+// precomputing per-key verification tables that halves the retained
+// memory.
 func NewFixedBase(p ec.Affine, w int) *FixedBase {
 	table := AlphaPoints(p, w)
 	table64 := make([]ec.Affine64, len(table))
 	for i, q := range table {
 		table64[i] = q.To64()
+	}
+	if w > koblitz.MaxW {
+		table = nil
 	}
 	return &FixedBase{w: w, point: p, table: table, table64: table64}
 }
@@ -203,12 +210,15 @@ func (fb *FixedBase) Point() ec.Affine { return fb.point }
 func (fb *FixedBase) W() int { return fb.w }
 
 // TableSize returns the number of precomputed points.
-func (fb *FixedBase) TableSize() int { return len(fb.table) }
+func (fb *FixedBase) TableSize() int { return len(fb.table64) }
 
 // ScalarMult computes k·P for the fixed point using the precomputed
 // table. The table is frozen at construction, so concurrent calls are
 // safe; on the 64-bit backend the recoding runs on a pooled Scratch
-// and the call is allocation-free.
+// and the call is allocation-free. Wide tables (w > koblitz.MaxW, the
+// joint verifier's) evaluate through the int16 recoding pipeline on
+// the 64-bit backend and through the generic per-call path on the
+// 32-bit reference.
 func (fb *FixedBase) ScalarMult(k *big.Int) ec.Affine {
 	if fb.point.Inf || k.Sign() == 0 {
 		return ec.Infinity
@@ -216,8 +226,18 @@ func (fb *FixedBase) ScalarMult(k *big.Int) ec.Affine {
 	if gf233.CurrentBackend() == gf233.Backend64 {
 		s := getScratch()
 		defer putScratch(s)
+		if fb.w > koblitz.MaxW {
+			digits := s.rec.RecodeWide(k, fb.w)
+			return scalarMultDigits64(digits, fb.table64)
+		}
 		digits := s.rec.Recode(k, fb.w)
 		return scalarMultDigits64(digits, fb.table64)
+	}
+	if fb.w > koblitz.MaxW {
+		// The int8 WTNAF cannot express wide digits; the reference
+		// backend answers through the ordinary per-call method instead
+		// (identical results, it just ignores the table).
+		return ScalarMult(k, fb.point)
 	}
 	rho := koblitz.PartMod(k)
 	digits := koblitz.WTNAF(rho, fb.w)

@@ -1,0 +1,196 @@
+package core
+
+import (
+	"math/big"
+	"math/bits"
+
+	"repro/internal/ec"
+	"repro/internal/koblitz"
+)
+
+// Allocation-free arithmetic modulo the group order n, shared by every
+// front end that works in the exponent group: the one-shot verifier
+// (internal/sign), the batch engine's signing and verification kernels
+// (internal/engine), and anything else that needs s⁻¹ or a·b mod n
+// without per-call garbage. This is the hoisted home of what used to be
+// private engine scratch state.
+
+// ModN bundles the scratch state for allocation-free multiplication
+// and inversion modulo n. The zero value is ready to use; buffers
+// reach steady-state size after the first call of each kind. A ModN is
+// NOT safe for concurrent use — give each goroutine its own (pool it
+// next to the point scratch).
+type ModN struct {
+	q, rem, prod big.Int  // Mul staging (prod must never alias an operand)
+	buf          [32]byte // word→big.Int staging for Inv results
+}
+
+// Mul sets dst = a·b mod n via QuoRem on scratch receivers (a plain
+// aliased Mod would allocate per call, and so would an aliased Mul —
+// hence the dedicated product temporary). dst may alias a or b.
+func (m *ModN) Mul(dst, a, b *big.Int) {
+	m.prod.Mul(a, b)
+	m.q.QuoRem(&m.prod, ec.Order, &m.rem)
+	dst.Set(&m.rem)
+}
+
+// words4 is a value of the exponent group as four little-endian 64-bit
+// words: n has 232 bits, so every residue (and every x + n
+// intermediate, < 2^233) fits with room to spare. The fixed width is
+// what makes the EEA below run on machine words instead of big.Int
+// operations — roughly an order of magnitude faster per step.
+type words4 [4]uint64
+
+// orderW4 is n in the fixed-width representation.
+var orderW4 = toWords4(ec.Order)
+
+func toWords4(v *big.Int) words4 {
+	var w words4
+	if bits.UintSize == 64 {
+		for i, b := range v.Bits() {
+			w[i] = uint64(b)
+		}
+	} else {
+		for i, b := range v.Bits() {
+			w[i/2] |= uint64(b) << (32 * uint(i%2))
+		}
+	}
+	return w
+}
+
+// halveMod replaces x with x/2 mod n: a plain shift for even x, else
+// (x + n)/2 — the sum is < 2^233 and so never carries out of the top
+// word.
+func (x *words4) halveMod() {
+	var c uint64
+	if x[0]&1 == 1 {
+		var carry uint64
+		x[0], carry = bits.Add64(x[0], orderW4[0], 0)
+		x[1], carry = bits.Add64(x[1], orderW4[1], carry)
+		x[2], carry = bits.Add64(x[2], orderW4[2], carry)
+		x[3], c = bits.Add64(x[3], orderW4[3], carry)
+	}
+	x[0] = x[0]>>1 | x[1]<<63
+	x[1] = x[1]>>1 | x[2]<<63
+	x[2] = x[2]>>1 | x[3]<<63
+	x[3] = x[3]>>1 | c<<63
+}
+
+// rsh1 shifts x right one bit (plain, not modular).
+func (x *words4) rsh1() {
+	x[0] = x[0]>>1 | x[1]<<63
+	x[1] = x[1]>>1 | x[2]<<63
+	x[2] = x[2]>>1 | x[3]<<63
+	x[3] >>= 1
+}
+
+// sub replaces x with x − y, which callers guarantee is non-negative.
+func (x *words4) sub(y *words4) {
+	var borrow uint64
+	x[0], borrow = bits.Sub64(x[0], y[0], 0)
+	x[1], borrow = bits.Sub64(x[1], y[1], borrow)
+	x[2], borrow = bits.Sub64(x[2], y[2], borrow)
+	x[3], _ = bits.Sub64(x[3], y[3], borrow)
+}
+
+// subMod replaces x with x − y mod n for x, y in [0, n).
+func (x *words4) subMod(y *words4) {
+	var borrow uint64
+	x[0], borrow = bits.Sub64(x[0], y[0], 0)
+	x[1], borrow = bits.Sub64(x[1], y[1], borrow)
+	x[2], borrow = bits.Sub64(x[2], y[2], borrow)
+	x[3], borrow = bits.Sub64(x[3], y[3], borrow)
+	if borrow != 0 {
+		var carry uint64
+		x[0], carry = bits.Add64(x[0], orderW4[0], 0)
+		x[1], carry = bits.Add64(x[1], orderW4[1], carry)
+		x[2], carry = bits.Add64(x[2], orderW4[2], carry)
+		x[3], _ = bits.Add64(x[3], orderW4[3], carry)
+	}
+}
+
+// geq reports x >= y.
+func (x *words4) geq(y *words4) bool {
+	for i := 3; i >= 0; i-- {
+		if x[i] != y[i] {
+			return x[i] > y[i]
+		}
+	}
+	return true
+}
+
+// isOne reports x == 1.
+func (x *words4) isOne() bool {
+	return x[0] == 1 && x[1]|x[2]|x[3] == 0
+}
+
+// setBig stores x into dst through the big-endian staging buffer,
+// reusing dst's storage (SetBytes grows only when capacity is short,
+// so steady-state callers allocate nothing).
+func (m *ModN) setBig(dst *big.Int, x *words4) {
+	for i := 0; i < 4; i++ {
+		w := x[3-i]
+		for j := 0; j < 8; j++ {
+			m.buf[8*i+j] = byte(w >> (56 - 8*j))
+		}
+	}
+	dst.SetBytes(m.buf[:])
+}
+
+// Inv sets dst = a⁻¹ mod n for a in [1, n−1] with the binary extended
+// Euclidean algorithm (HAC Alg. 14.61 shape for odd moduli) run on
+// fixed-width machine words: only shifts, adds and subtractions, no
+// heap allocation in steady state, and none of the per-step big.Int
+// overhead that made the previous arbitrary-precision EEA ~8x slower
+// than necessary.
+func (m *ModN) Inv(dst, a *big.Int) {
+	var u, x1, x2 words4
+	u = toWords4(a)
+	v := orderW4
+	x1[0] = 1
+	for {
+		for u[0]&1 == 0 {
+			u.rsh1()
+			x1.halveMod()
+		}
+		if u.isOne() {
+			m.setBig(dst, &x1)
+			return
+		}
+		for v[0]&1 == 0 {
+			v.rsh1()
+			x2.halveMod()
+		}
+		if v.isOne() {
+			m.setBig(dst, &x2)
+			return
+		}
+		if u.geq(&v) {
+			u.sub(&v)
+			x1.subMod(&x2)
+		} else {
+			v.sub(&u)
+			x2.subMod(&x1)
+		}
+	}
+}
+
+// Wipe zeroes the scratch state (including capacity beyond the current
+// word counts). Callers that ran secret values through a pooled ModN —
+// the signing kernel inverts nonces — wipe before it idles.
+func (m *ModN) Wipe() {
+	for _, v := range []*big.Int{&m.q, &m.rem, &m.prod} {
+		koblitz.WipeInt(v)
+	}
+	m.buf = [32]byte{}
+}
+
+// ReduceModOrder reduces 0 <= v < 2^233 modulo n in place. n has bit
+// 231 set, so at most three conditional subtractions fully reduce —
+// and unlike an aliased big.Int Mod they allocate nothing. This is the
+// reduction both ECDSA directions apply to the shared abscissa x(R).
+func ReduceModOrder(v *big.Int) {
+	for v.Cmp(ec.Order) >= 0 {
+		v.Sub(v, ec.Order)
+	}
+}

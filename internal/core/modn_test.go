@@ -1,0 +1,91 @@
+package core
+
+import (
+	"math/big"
+	"math/rand"
+	"testing"
+
+	"repro/internal/ec"
+)
+
+// TestModNInv pins the fixed-width binary EEA against
+// big.Int.ModInverse over random residues and the boundary values.
+func TestModNInv(t *testing.T) {
+	rnd := rand.New(rand.NewSource(90))
+	var m ModN
+	dst := new(big.Int)
+	want := new(big.Int)
+	check := func(a *big.Int) {
+		t.Helper()
+		m.Inv(dst, a)
+		want.ModInverse(a, ec.Order)
+		if dst.Cmp(want) != 0 {
+			t.Fatalf("Inv(%v) = %v, want %v", a, dst, want)
+		}
+	}
+	for _, v := range []int64{1, 2, 3, 4, 255, 1 << 32} {
+		check(big.NewInt(v))
+	}
+	check(new(big.Int).Sub(ec.Order, big.NewInt(1)))
+	check(new(big.Int).Sub(ec.Order, big.NewInt(2)))
+	check(new(big.Int).Rsh(ec.Order, 1))
+	for i := 0; i < 500; i++ {
+		a := new(big.Int).Rand(rnd, ec.Order)
+		if a.Sign() == 0 {
+			continue
+		}
+		check(a)
+	}
+}
+
+// TestModNMul pins Mul against the straightforward Mul+Mod evaluation,
+// including aliased destinations.
+func TestModNMul(t *testing.T) {
+	rnd := rand.New(rand.NewSource(91))
+	var m ModN
+	dst := new(big.Int)
+	want := new(big.Int)
+	for i := 0; i < 200; i++ {
+		a := new(big.Int).Rand(rnd, ec.Order)
+		b := new(big.Int).Rand(rnd, ec.Order)
+		want.Mul(a, b)
+		want.Mod(want, ec.Order)
+		m.Mul(dst, a, b)
+		if dst.Cmp(want) != 0 {
+			t.Fatalf("Mul(%v, %v) = %v, want %v", a, b, dst, want)
+		}
+		// Aliased: dst == a.
+		m.Mul(a, a, b)
+		if a.Cmp(want) != 0 {
+			t.Fatalf("aliased Mul diverged")
+		}
+	}
+}
+
+// TestReduceModOrder checks the conditional-subtraction reduction over
+// the full 233-bit input range it promises to handle.
+func TestReduceModOrder(t *testing.T) {
+	rnd := rand.New(rand.NewSource(92))
+	limit := new(big.Int).Lsh(big.NewInt(1), 233)
+	want := new(big.Int)
+	for i := 0; i < 500; i++ {
+		v := new(big.Int).Rand(rnd, limit)
+		want.Mod(v, ec.Order)
+		ReduceModOrder(v)
+		if v.Cmp(want) != 0 {
+			t.Fatalf("ReduceModOrder diverged at iteration %d", i)
+		}
+	}
+	for _, v := range []*big.Int{
+		new(big.Int),
+		new(big.Int).Sub(ec.Order, big.NewInt(1)),
+		new(big.Int).Set(ec.Order),
+		new(big.Int).Sub(limit, big.NewInt(1)),
+	} {
+		want.Mod(v, ec.Order)
+		ReduceModOrder(v)
+		if v.Cmp(want) != 0 {
+			t.Fatalf("ReduceModOrder boundary diverged")
+		}
+	}
+}

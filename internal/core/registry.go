@@ -12,8 +12,10 @@ import (
 // Every precomputation a server-side deployment shares between
 // goroutines lives here: the generator comb (the ScalarBaseMult fast
 // path), the generator wTNAF w=6 table (the paper-faithful reference),
-// and the exact TNAF digit string of the group order (the subgroup
-// check). The concurrency contract is deliberately simple:
+// the wide-window w=WJoint generator table (the u1·G side of the joint
+// double-scalar verifier), and the exact TNAF digit string of the
+// group order (the subgroup check). The concurrency contract is
+// deliberately simple:
 //
 //   - each table is built at most once, guarded by its own sync.Once;
 //   - after the Once completes the table is frozen — no code path
@@ -32,12 +34,14 @@ import (
 // race tests can hammer first-use initialisation on fresh instances;
 // the package serves every caller from the single genTables instance.
 type tableRegistry struct {
-	combOnce sync.Once
-	comb     *Comb
-	tnafOnce sync.Once
-	tnaf     *FixedBase
-	ordOnce  sync.Once
-	ord      []int8
+	combOnce  sync.Once
+	comb      *Comb
+	tnafOnce  sync.Once
+	tnaf      *FixedBase
+	ordOnce   sync.Once
+	ord       []int8
+	jointOnce sync.Once
+	joint     *FixedBase
 }
 
 // genTables is the process-wide registry for the sect233k1 generator.
@@ -59,6 +63,19 @@ func (r *tableRegistry) generatorTNAF() *FixedBase {
 	return r.tnaf
 }
 
+// generatorJoint returns the frozen wTNAF w=WJoint table for G: the
+// wide-window generator side of the joint double-scalar verifier. Its
+// 2^(WJoint-2) = 1024 points are far too expensive to build per call
+// (that is what caps ScalarMult at w=4) but are built exactly once
+// here, so the verification hot path pays only the ~m/(WJoint+1)
+// digit density.
+func (r *tableRegistry) generatorJoint() *FixedBase {
+	r.jointOnce.Do(func() {
+		r.joint = NewFixedBase(ec.Gen(), WJoint)
+	})
+	return r.joint
+}
+
 // orderDigits returns the exact TNAF expansion of the group order n.
 // Unlike the per-scalar recodings this uses NO partial reduction —
 // n = Σ d_i τ^i holds exactly in Z[τ] — so evaluating the digits is
@@ -73,6 +90,7 @@ func (r *tableRegistry) orderDigits() []int8 {
 
 func generatorComb() *Comb { return genTables.generatorComb() }
 func genBase() *FixedBase  { return genTables.generatorTNAF() }
+func genJoint() *FixedBase { return genTables.generatorJoint() }
 
 // Warm eagerly builds every shared table the hot paths consult lazily:
 // the generator comb and wTNAF tables, the order digit string, the
@@ -83,9 +101,11 @@ func genBase() *FixedBase  { return genTables.generatorTNAF() }
 func Warm() {
 	genTables.generatorComb()
 	genTables.generatorTNAF()
+	genTables.generatorJoint()
 	genTables.orderDigits()
 	koblitz.Alpha(WRandom)
 	koblitz.Alpha(WFixed)
+	koblitz.Alpha(WJoint)
 	koblitz.Delta()
 }
 

@@ -39,6 +39,13 @@ func TestRegistryConcurrentFirstUse(t *testing.T) {
 					errs <- "tnaf result diverged under concurrent first use"
 					return
 				}
+				// Joint wide-window generator table first use: evaluate
+				// u1·G + 0·Q through this registry instance's table via
+				// the wide FixedBase path.
+				if got := reg.generatorJoint().ScalarMult(k); !got.Equal(want) {
+					errs <- "joint table result diverged under concurrent first use"
+					return
+				}
 				// Order-digit table first use (via a manual evaluation
 				// mirroring InSubgroup on this registry instance).
 				digits := reg.orderDigits()

@@ -29,6 +29,7 @@ const (
 	opScalarMult opKind = iota
 	opECDH
 	opSign
+	opVerify
 )
 
 // request carries one operation through the batch pipeline. All
@@ -43,15 +44,20 @@ type request struct {
 	priv   *core.PrivateKey
 	digest []byte
 	rand   io.Reader
+	sig    *sign.Signature // verify: the signature under test
+	fb     *core.FixedBase // verify: optional per-key table
 	// intermediates
-	ld    ec.LD64
-	nonce big.Int
-	kinv  big.Int
-	e     big.Int
+	ld     ec.LD64
+	nonce  big.Int
+	kinv   big.Int
+	e      big.Int
+	w      big.Int // verify: s⁻¹ mod n from the batched inversion
+	u1, u2 big.Int // verify: e·w and r·w mod n
 	// results
 	res    ec.Affine
 	secret [SecretSize]byte
 	r, s   big.Int
+	ok     bool // verify outcome
 	err    error
 	done   chan struct{}
 }
@@ -69,6 +75,8 @@ func (r *request) release() {
 	r.priv = nil
 	r.digest = nil
 	r.rand = nil
+	r.sig = nil
+	r.fb = nil
 	koblitz.WipeInt(&r.nonce)
 	koblitz.WipeInt(&r.kinv)
 	r.secret = [SecretSize]byte{}
@@ -83,14 +91,15 @@ type batchScratch struct {
 	zs  []gf233.Elem64
 	zi  []gf233.Elem64
 	pfx []*big.Int // exclusive prefix products mod n
-	// mod-n temporaries (prod is private to mulModN: the product must
-	// land in storage that never aliases an operand, or nat.mul
-	// allocates a fresh array on every call)
-	q, rem, minv, t, prod big.Int
-	u, v, x1, x2          big.Int // binary-EEA state
-	buf                   [32]byte
-	signQ                 []*request
-	reqs                  []*request // slice-API staging
+	// mod-n arithmetic state, hoisted to core.ModN (shared with the
+	// one-shot verifier) plus the two running values the Montgomery
+	// trick threads through a batch.
+	mn      core.ModN
+	minv, t big.Int
+	buf     [32]byte
+	signQ   []*request
+	verifyQ []*request
+	reqs    []*request // slice-API staging
 }
 
 func newBatchScratch() *batchScratch {
@@ -103,14 +112,18 @@ var kernelPool = sync.Pool{New: func() any { return newBatchScratch() }}
 
 // processBatch runs a mixed batch through the shared pipeline:
 //
-//	phase 1: per-request point work, left projective (no inversions);
-//	phase 2: one batched field inversion for every LD→affine;
-//	phase 3: per-request finalisation from the shared inverses;
-//	phase 4: one batched mod-n inversion for all signing nonces;
-//	phase 5: signature assembly (retrying the crypto-impossible
+//	phase 1: per-request input checks and, for verification, one
+//	         Montgomery-trick batched mod-n inversion for every s⁻¹
+//	         followed by the joint u1·G + u2·Q ladders;
+//	phase 2: per-request point work, left projective (no inversions);
+//	phase 3: one batched field inversion for every LD→affine;
+//	phase 4: per-request finalisation from the shared inverses;
+//	phase 5: one batched mod-n inversion for all signing nonces;
+//	phase 6: signature assembly (retrying the crypto-impossible
 //	         r = 0 / s = 0 corners sequentially).
 func processBatch(s *batchScratch, batch []*request) {
 	signQ := s.signQ[:0]
+	verifyQ := s.verifyQ[:0]
 	for _, r := range batch {
 		r.err = nil
 		switch r.op {
@@ -130,9 +143,19 @@ func processBatch(s *batchScratch, batch []*request) {
 				continue
 			}
 			signQ = append(signQ, r)
+		case opVerify:
+			if !prepareVerify(r) {
+				r.ld = ec.LD64Infinity
+				continue
+			}
+			verifyQ = append(verifyQ, r)
 		}
 	}
 	s.signQ = signQ
+	s.verifyQ = verifyQ
+	if len(verifyQ) > 0 {
+		s.verifyPoints(verifyQ)
+	}
 
 	// One inversion for the whole batch. Z = 0 (infinity or errored
 	// request) is skipped by InvBatch64.
@@ -163,7 +186,18 @@ func processBatch(s *batchScratch, batch []*request) {
 			// r = x(k·G) mod n from the shared inverse.
 			x := gf233.Mul64(r.ld.X, zs[i]).Elem().Bytes()
 			r.r.SetBytes(x[:])
-			reduceModOrder(&r.r)
+			core.ReduceModOrder(&r.r)
+		case opVerify:
+			if r.ld.IsInfinity() {
+				continue // ok stays false
+			}
+			// v = x(R') mod n from the shared inverse; accept iff it
+			// matches the signature's r. u1 is free again and serves as
+			// the comparison scratch.
+			x := gf233.Mul64(r.ld.X, zs[i]).Elem().Bytes()
+			r.u1.SetBytes(x[:])
+			core.ReduceModOrder(&r.u1)
+			r.ok = r.u1.Cmp(r.sig.R) == 0
 		}
 	}
 
@@ -186,15 +220,6 @@ func affineFrom(ld ec.LD64, zinv gf233.Elem64) ec.Affine {
 	return ec.Affine{
 		X: gf233.Mul64(ld.X, zinv).Elem(),
 		Y: gf233.Mul64(ld.Y, gf233.Sqr64(zinv)).Elem(),
-	}
-}
-
-// reduceModOrder reduces v < 2^233 modulo n in place. n has bit 231
-// set, so at most three conditional subtractions fully reduce — and
-// unlike an aliased big.Int Mod they allocate nothing.
-func reduceModOrder(v *big.Int) {
-	for v.Cmp(ec.Order) >= 0 {
-		v.Sub(v, ec.Order)
 	}
 }
 
@@ -224,30 +249,41 @@ func (s *batchScratch) prepareSign(r *request) error {
 	return nil
 }
 
-// finishSigns computes every queued signature's s = k⁻¹(e + r·d) with
-// ONE modular inversion for all the nonces (Montgomery's trick in
-// (Z/n)^*), then assembles the results. Requests that hit the r = 0 /
-// s = 0 rejection corners (probability ~2^-232 each) retry
-// sequentially.
-func (s *batchScratch) finishSigns(signQ []*request) {
-	// Exclusive prefix products of the nonces mod n.
-	pfx := core.Grow(&s.pfx, len(signQ))
+// batchInvert computes dst(r) = val(r)⁻¹ mod n for every queued
+// request with Montgomery's trick in (Z/n)^*: exclusive prefix
+// products of the values, ONE modular inversion of the running
+// product, then a backward sweep handing each request its inverse.
+// Every val(r) must lie in [1, n−1] — n is prime, so the running
+// product then stays invertible. Both batched mod-n inversions (nonce
+// inverses for signing, s⁻¹ for verification) run through this one
+// implementation. The accessor funcs must be capture-free literals so
+// the call allocates nothing.
+func (s *batchScratch) batchInvert(q []*request, val, dst func(*request) *big.Int) {
+	pfx := core.Grow(&s.pfx, len(q))
 	run := s.t.SetInt64(1)
-	for i, r := range signQ {
+	for i, r := range q {
 		if pfx[i] == nil {
 			pfx[i] = new(big.Int)
 		}
 		pfx[i].Set(run)
-		s.mulModN(run, run, &r.nonce)
+		s.mn.Mul(run, run, val(r))
 	}
-	// One inversion: nonces are in [1, n−1] and n is prime, so the
-	// running product stays invertible.
-	s.modInverse(&s.minv, run)
-	for i := len(signQ) - 1; i >= 0; i-- {
-		r := signQ[i]
-		s.mulModN(&r.kinv, &s.minv, pfx[i])
-		s.mulModN(&s.minv, &s.minv, &r.nonce)
+	s.mn.Inv(&s.minv, run)
+	for i := len(q) - 1; i >= 0; i-- {
+		r := q[i]
+		s.mn.Mul(dst(r), &s.minv, pfx[i])
+		s.mn.Mul(&s.minv, &s.minv, val(r))
 	}
+}
+
+// finishSigns computes every queued signature's s = k⁻¹(e + r·d) with
+// ONE modular inversion for all the nonces (batchInvert), then
+// assembles the results. Requests that hit the r = 0 / s = 0 rejection
+// corners (probability ~2^-232 each) retry sequentially.
+func (s *batchScratch) finishSigns(signQ []*request) {
+	s.batchInvert(signQ,
+		func(r *request) *big.Int { return &r.nonce },
+		func(r *request) *big.Int { return &r.kinv })
 	for _, r := range signQ {
 		if r.r.Sign() == 0 {
 			s.retrySign(r)
@@ -256,7 +292,7 @@ func (s *batchScratch) finishSigns(signQ []*request) {
 		// s = k⁻¹(e + r·d) mod n.
 		r.s.Mul(&r.r, r.priv.D)
 		r.s.Add(&r.s, &r.e)
-		s.mulModN(&r.s, &r.s, &r.kinv)
+		s.mn.Mul(&r.s, &r.s, &r.kinv)
 		if r.s.Sign() == 0 {
 			s.retrySign(r)
 		}
@@ -265,11 +301,50 @@ func (s *batchScratch) finishSigns(signQ []*request) {
 	// nonce prefix products, and the inversion state all idle in the
 	// pooled scratch between batches.
 	s.buf = [32]byte{}
-	for i := range pfx {
-		koblitz.WipeInt(pfx[i])
+	for _, p := range s.pfx {
+		if p != nil {
+			koblitz.WipeInt(p)
+		}
 	}
-	for _, v := range []*big.Int{&s.minv, &s.t, &s.prod, &s.q, &s.rem, &s.u, &s.v, &s.x1, &s.x2} {
-		koblitz.WipeInt(v)
+	koblitz.WipeInt(&s.minv)
+	koblitz.WipeInt(&s.t)
+	s.mn.Wipe()
+}
+
+// prepareVerify applies the verification input checks — the same
+// predicate the one-shot verifier uses (sign.CheckVerifyInputs), so
+// input hardening can never drift between the two paths — and hashes
+// the digest. A false return means the request already failed
+// verification — that is an ok=false outcome, not an error.
+func prepareVerify(r *request) bool {
+	r.ok = false
+	if !sign.CheckVerifyInputs(r.point, r.sig) {
+		return false
+	}
+	sign.HashToIntInto(&r.e, r.digest)
+	return true
+}
+
+// verifyPoints computes every queued verification's joint point
+// R' = u1·G + u2·Q, left projective, with ONE batched mod-n inversion
+// for all the s values (batchInvert — the s components were
+// range-checked into [1, n−1] by prepareVerify). The LD→affine
+// conversions then ride the batch-wide field inversion with everything
+// else.
+func (s *batchScratch) verifyPoints(verifyQ []*request) {
+	s.batchInvert(verifyQ,
+		func(r *request) *big.Int { return r.sig.S },
+		func(r *request) *big.Int { return &r.w })
+	for _, r := range verifyQ {
+		// u1 = e·s⁻¹, u2 = r·s⁻¹; then the interleaved ladder, over the
+		// per-key table when the caller precomputed one.
+		s.mn.Mul(&r.u1, &r.e, &r.w)
+		s.mn.Mul(&r.u2, r.sig.R, &r.w)
+		if r.fb != nil {
+			r.ld = s.cs.JointScalarMultFixedLD64(&r.u1, &r.u2, r.fb)
+		} else {
+			r.ld = s.cs.JointScalarMultLD64(&r.u1, &r.u2, r.point)
+		}
 	}
 }
 
@@ -284,69 +359,6 @@ func (s *batchScratch) retrySign(r *request) {
 	r.r.Set(sig.R)
 	r.s.Set(sig.S)
 }
-
-// mulModN sets dst = a·b mod n via QuoRem on scratch receivers (a
-// plain aliased Mod would allocate per call, and so would an aliased
-// Mul — hence the dedicated product temporary). dst may alias a or b
-// but must not alias s.q, s.rem or s.prod.
-func (s *batchScratch) mulModN(dst, a, b *big.Int) {
-	s.prod.Mul(a, b)
-	s.q.QuoRem(&s.prod, ec.Order, &s.rem)
-	dst.Set(&s.rem)
-}
-
-// modInverse sets dst = a⁻¹ mod n for a in [1, n−1] with the binary
-// extended Euclidean algorithm (HAC Alg. 14.61 shape for odd moduli):
-// only shifts, adds and subtractions, so reused big.Ints make it
-// allocation-free — big.Int.ModInverse cannot promise that.
-func (s *batchScratch) modInverse(dst, a *big.Int) {
-	n := ec.Order
-	u, v, x1, x2 := &s.u, &s.v, &s.x1, &s.x2
-	u.Set(a)
-	v.Set(n)
-	x1.SetInt64(1)
-	x2.SetInt64(0)
-	for {
-		for u.Bit(0) == 0 {
-			u.Rsh(u, 1)
-			if x1.Bit(0) == 1 {
-				x1.Add(x1, n)
-			}
-			x1.Rsh(x1, 1)
-		}
-		if u.Cmp(oneInt) == 0 {
-			dst.Set(x1)
-			return
-		}
-		for v.Bit(0) == 0 {
-			v.Rsh(v, 1)
-			if x2.Bit(0) == 1 {
-				x2.Add(x2, n)
-			}
-			x2.Rsh(x2, 1)
-		}
-		if v.Cmp(oneInt) == 0 {
-			dst.Set(x2)
-			return
-		}
-		if u.Cmp(v) >= 0 {
-			u.Sub(u, v)
-			x1.Sub(x1, x2)
-			if x1.Sign() < 0 {
-				x1.Add(x1, n)
-			}
-		} else {
-			v.Sub(v, u)
-			x2.Sub(x2, x1)
-			if x2.Sign() < 0 {
-				x2.Add(x2, n)
-			}
-		}
-	}
-}
-
-// oneInt is the shared, never-written constant 1.
-var oneInt = big.NewInt(1)
 
 // ECDHResult is one BatchSharedSecret outcome.
 type ECDHResult struct {
@@ -435,6 +447,45 @@ func BatchSharedSecret(priv *core.PrivateKey, peers []ec.Affine, out []ECDHResul
 		if r.err == nil {
 			out[i].Secret = r.secret
 		}
+	}
+	returnBatch(batch)
+	kernelPool.Put(s)
+}
+
+// BatchVerify reports, for each i, whether sigs[i] is a valid
+// signature over digests[i] under pubs[i], through the batch kernel:
+// one Montgomery-trick mod-n inversion for every s⁻¹ in the slice and
+// one batched field inversion for every LD→affine conversion. ok is
+// the caller-provided result slice (len(ok) == len(pubs)).
+func BatchVerify(pubs []ec.Affine, digests [][]byte, sigs []*Signature, ok []bool) {
+	BatchVerifyTables(pubs, nil, digests, sigs, ok)
+}
+
+// BatchVerifyTables is BatchVerify with optional per-key precomputed
+// tables: fbs may be nil, or per-entry nil to fall back to the
+// per-call table for that request (fbs[i], when set, must belong to
+// pubs[i]).
+func BatchVerifyTables(pubs []ec.Affine, fbs []*core.FixedBase, digests [][]byte, sigs []*Signature, ok []bool) {
+	if len(digests) != len(pubs) || len(sigs) != len(pubs) || len(ok) != len(pubs) {
+		panic("engine: BatchVerify length mismatch")
+	}
+	if fbs != nil && len(fbs) != len(pubs) {
+		panic("engine: BatchVerify tables length mismatch")
+	}
+	s := kernelPool.Get().(*batchScratch)
+	batch := s.borrowBatch(len(pubs))
+	for i, r := range batch {
+		r.op = opVerify
+		r.point = pubs[i]
+		r.digest = digests[i]
+		r.sig = sigs[i]
+		if fbs != nil {
+			r.fb = fbs[i]
+		}
+	}
+	processBatch(s, batch)
+	for i, r := range batch {
+		ok[i] = r.ok
 	}
 	returnBatch(batch)
 	kernelPool.Put(s)

@@ -229,3 +229,22 @@ func (e *Engine) Sign(priv *core.PrivateKey, digest []byte, rand io.Reader) (*Si
 	}
 	return sig, nil
 }
+
+// Verify reports whether sig is a valid signature over digest for the
+// public point, batched with whatever else is in flight: the s⁻¹
+// inversions of a batch share one Montgomery-trick mod-n inversion and
+// the final LD→affine conversions share the batch-wide field
+// inversion. fb is an optional precomputed table for pub (it must
+// belong to pub); nil selects the per-call table. Semantics match
+// sign.Verify.
+func (e *Engine) Verify(pub ec.Affine, fb *core.FixedBase, digest []byte, sig *Signature) bool {
+	r := e.get(opVerify)
+	r.point = pub
+	r.fb = fb
+	r.digest = digest
+	r.sig = sig
+	e.do(r)
+	ok := r.ok
+	e.put(r)
+	return ok
+}

@@ -37,6 +37,11 @@ func TestConcurrentPublicAPI(t *testing.T) {
 		t.Fatal(err)
 	}
 	digest := sha256.Sum256([]byte("contract"))
+	pinnedSig, err := sign.Sign(priv, digest[:], rand.New(rand.NewSource(51)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	verifyTab := core.NewFixedBase(priv.Public, core.WPrecomp)
 
 	stop := make(chan struct{})
 	var togglers sync.WaitGroup
@@ -96,6 +101,22 @@ func TestConcurrentPublicAPI(t *testing.T) {
 					errs <- "engine Sign diverged under concurrency"
 					return
 				}
+				// Batched verification rides the same frozen tables —
+				// including the joint generator table and a shared
+				// per-key precomputed table — and must stay
+				// decision-stable while the backend toggles.
+				if !e.Verify(priv.Public, nil, digest[:], pinnedSig) {
+					errs <- "engine Verify rejected a pinned signature under concurrency"
+					return
+				}
+				if !e.Verify(priv.Public, verifyTab, digest[:], pinnedSig) {
+					errs <- "engine Verify (precomputed table) diverged under concurrency"
+					return
+				}
+				if e.Verify(priv.Public, nil, digest[:], esigTampered(esig)) {
+					errs <- "engine Verify accepted a tampered signature under concurrency"
+					return
+				}
 			}
 		}(i)
 	}
@@ -105,5 +126,14 @@ func TestConcurrentPublicAPI(t *testing.T) {
 	close(errs)
 	for e := range errs {
 		t.Fatal(e)
+	}
+}
+
+// esigTampered returns a flipped-r copy of sig (fresh big.Ints, so
+// concurrent callers never share mutable state).
+func esigTampered(sig *sign.Signature) *sign.Signature {
+	return &sign.Signature{
+		R: new(big.Int).Xor(sig.R, big.NewInt(1)),
+		S: new(big.Int).Set(sig.S),
 	}
 }

@@ -1,0 +1,174 @@
+package engine
+
+import (
+	"crypto/sha256"
+	"math/big"
+	"math/rand"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/ec"
+	"repro/internal/sign"
+)
+
+// verifyFixture builds one key, n digests and their signatures.
+func verifyFixture(t testing.TB, seed int64, n int) (*core.PrivateKey, [][]byte, []*Signature) {
+	t.Helper()
+	rnd := rand.New(rand.NewSource(seed))
+	priv, err := core.GenerateKey(rnd)
+	if err != nil {
+		t.Fatal(err)
+	}
+	digests := make([][]byte, n)
+	sigs := make([]*Signature, n)
+	for i := range digests {
+		d := sha256.Sum256([]byte{byte(i), byte(i >> 8)})
+		digests[i] = d[:]
+		sig, err := sign.Sign(priv, digests[i], rnd)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sigs[i] = sig
+	}
+	return priv, digests, sigs
+}
+
+// TestBatchVerify runs the slice kernel over valid signatures, then
+// over a batch with corruptions sprinkled in: outcomes must match the
+// one-shot verifier entry-for-entry.
+func TestBatchVerify(t *testing.T) {
+	priv, digests, sigs := verifyFixture(t, 110, 32)
+	pubs := make([]ec.Affine, len(sigs))
+	for i := range pubs {
+		pubs[i] = priv.Public
+	}
+	ok := make([]bool, len(sigs))
+	BatchVerify(pubs, digests, sigs, ok)
+	for i, got := range ok {
+		if !got {
+			t.Fatalf("valid signature %d rejected by batch kernel", i)
+		}
+	}
+	// Corrupt a spread of entries in every input dimension.
+	bad := make([]*Signature, len(sigs))
+	copy(bad, sigs)
+	bad[3] = &Signature{R: new(big.Int).Xor(sigs[3].R, big.NewInt(4)), S: sigs[3].S}
+	bad[7] = &Signature{R: sigs[7].R, S: new(big.Int).Xor(sigs[7].S, big.NewInt(8))}
+	bad[11] = nil
+	bad[13] = &Signature{R: big.NewInt(0), S: big.NewInt(1)}
+	badDigests := make([][]byte, len(digests))
+	copy(badDigests, digests)
+	flipped := sha256.Sum256([]byte("not the message"))
+	badDigests[17] = flipped[:]
+	badPubs := make([]ec.Affine, len(pubs))
+	copy(badPubs, pubs)
+	badPubs[19] = ec.Infinity
+	BatchVerify(badPubs, badDigests, bad, ok)
+	for i, got := range ok {
+		want := sign.Verify(badPubs[i], badDigests[i], bad[i])
+		if got != want {
+			t.Fatalf("entry %d: batch=%v one-shot=%v", i, got, want)
+		}
+		if corrupted := i == 3 || i == 7 || i == 11 || i == 13 || i == 17 || i == 19; corrupted == got {
+			t.Fatalf("entry %d: corrupted=%v but batch verdict %v", i, corrupted, got)
+		}
+	}
+}
+
+// TestBatchVerifyTables runs the same kernel over per-key precomputed
+// tables, mixing nil and non-nil entries.
+func TestBatchVerifyTables(t *testing.T) {
+	priv, digests, sigs := verifyFixture(t, 111, 8)
+	pubs := make([]ec.Affine, len(sigs))
+	fbs := make([]*core.FixedBase, len(sigs))
+	fb := core.NewFixedBase(priv.Public, core.WPrecomp)
+	for i := range pubs {
+		pubs[i] = priv.Public
+		if i%2 == 0 {
+			fbs[i] = fb
+		}
+	}
+	ok := make([]bool, len(sigs))
+	BatchVerifyTables(pubs, fbs, digests, sigs, ok)
+	for i, got := range ok {
+		if !got {
+			t.Fatalf("valid signature %d rejected (table=%v)", i, fbs[i] != nil)
+		}
+	}
+	// A corrupted signature rejects on the precomputed path too.
+	sigs[0] = &Signature{R: new(big.Int).Xor(sigs[0].R, big.NewInt(2)), S: sigs[0].S}
+	BatchVerifyTables(pubs, fbs, digests, sigs, ok)
+	if ok[0] {
+		t.Fatal("corrupted signature accepted through the precomputed table path")
+	}
+	for i := 1; i < len(ok); i++ {
+		if !ok[i] {
+			t.Fatalf("corruption of entry 0 leaked into entry %d", i)
+		}
+	}
+}
+
+// TestEngineVerify exercises the concurrent front end with mixed
+// verify/sign/ECDH traffic in flight so verify requests share batches
+// with other op kinds.
+func TestEngineVerify(t *testing.T) {
+	priv, digests, sigs := verifyFixture(t, 112, 8)
+	e := New(Config{MaxBatch: 8, Workers: 2})
+	defer e.Close()
+	rnd := rand.New(rand.NewSource(113))
+	peer := ec.ScalarMultGeneric(big.NewInt(999), ec.Gen())
+	for i := range sigs {
+		if !e.Verify(priv.Public, nil, digests[i], sigs[i]) {
+			t.Fatalf("engine rejected valid signature %d", i)
+		}
+		wrong := (i + 1) % len(sigs)
+		if e.Verify(priv.Public, nil, digests[wrong], sigs[i]) {
+			t.Fatalf("engine accepted signature %d over digest %d", i, wrong)
+		}
+		// Interleave other ops so mixed batches form.
+		if _, err := e.SharedSecret(priv, peer); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := e.Sign(priv, digests[i], rnd); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+// TestZeroAllocVerify pins the one-shot verifier and the batched
+// kernel at zero steady-state allocations — the guard next to the
+// Sign/ECDH ones.
+func TestZeroAllocVerify(t *testing.T) {
+	skipIfRace(t)
+	priv, digests, sigs := verifyFixture(t, 114, 32)
+	core.Warm()
+	if !sign.Verify(priv.Public, digests[0], sigs[0]) {
+		t.Fatal("fixture signature invalid")
+	}
+	if avg := testing.AllocsPerRun(50, func() {
+		if !sign.Verify(priv.Public, digests[0], sigs[0]) {
+			t.Fatal("verify failed")
+		}
+	}); avg != 0 {
+		t.Fatalf("one-shot Verify allocates %v/op, want 0", avg)
+	}
+	fb := core.NewFixedBase(priv.Public, core.WPrecomp)
+	if avg := testing.AllocsPerRun(50, func() {
+		if !sign.VerifyPrecomputed(priv.Public, fb, digests[0], sigs[0]) {
+			t.Fatal("verify failed")
+		}
+	}); avg != 0 {
+		t.Fatalf("precomputed Verify allocates %v/op, want 0", avg)
+	}
+	pubs := make([]ec.Affine, len(sigs))
+	for i := range pubs {
+		pubs[i] = priv.Public
+	}
+	ok := make([]bool, len(sigs))
+	BatchVerify(pubs, digests, sigs, ok) // reach steady state
+	if avg := testing.AllocsPerRun(20, func() {
+		BatchVerify(pubs, digests, sigs, ok)
+	}); avg != 0 {
+		t.Fatalf("BatchVerify allocates %v per batch, want 0", avg)
+	}
+}

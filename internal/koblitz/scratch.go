@@ -21,6 +21,16 @@ type Scratch struct {
 	ints   []*big.Int
 	next   int
 	digits []int8
+	// digits2 is a second, independent digit buffer so a joint
+	// double-scalar caller can hold two recodings at once (see
+	// RecodeSecond).
+	digits2 []int8
+	// digitsW and digitsW2 are the int16 twin buffers of the
+	// wide-window pipeline (RecodeWide/RecodeWideSecond), which
+	// supports widths past int8's w = 8 for precomputed-table
+	// consumers.
+	digitsW  []int16
+	digitsW2 []int16
 }
 
 // begin resets the arena for a fresh top-level recoding.
@@ -62,9 +72,17 @@ func (s *Scratch) Wipe() {
 	for _, v := range s.ints {
 		WipeInt(v)
 	}
-	digits := s.digits[:cap(s.digits)]
-	for i := range digits {
-		digits[i] = 0
+	for _, buf := range [][]int8{s.digits, s.digits2} {
+		digits := buf[:cap(buf)]
+		for i := range digits {
+			digits[i] = 0
+		}
+	}
+	for _, buf := range [][]int16{s.digitsW, s.digitsW2} {
+		digits := buf[:cap(buf)]
+		for i := range digits {
+			digits[i] = 0
+		}
 	}
 	s.next = 0
 }
@@ -81,10 +99,51 @@ func (s *Scratch) Recode(k *big.Int, w int) []int8 {
 	}
 	s.begin()
 	r0, r1 := s.partMod(k)
-	if w == 2 {
-		return s.tnaf(r0, r1)
+	s.digits = scratchRecode(s, r0, r1, w, s.digits[:0])
+	return s.digits
+}
+
+// RecodeWide is Recode in the int16 digit representation, supporting
+// widths up to MaxWide. Wide windows only pay for precomputed tables
+// (the per-call α-table build grows as 2^w), so the consumers are the
+// joint double-scalar verifier's generator table and per-key
+// Precompute tables. The digits alias the Scratch's wide buffer and
+// are valid until the next RecodeWide.
+func (s *Scratch) RecodeWide(k *big.Int, w int) []int16 {
+	if w < MinW || w > MaxWide {
+		panic(fmt.Sprintf("koblitz: unsupported window width %d", w))
 	}
-	return s.wtnaf(r0, r1, w)
+	s.begin()
+	r0, r1 := s.partMod(k)
+	s.digitsW = scratchRecode(s, r0, r1, w, s.digitsW[:0])
+	return s.digitsW
+}
+
+// RecodeWideSecond is RecodeWide writing into a second, independent
+// wide digit buffer, so the joint double-scalar caller can hold both
+// of its recodings at once. The returned digits stay valid across
+// later RecodeWide calls — only the next RecodeWideSecond (or Wipe)
+// invalidates them. The big.Int arena is shared, which is fine: digits
+// are fully extracted before any later recoding runs.
+func (s *Scratch) RecodeWideSecond(k *big.Int, w int) []int16 {
+	s.digitsW, s.digitsW2 = s.digitsW2, s.digitsW
+	d := s.RecodeWide(k, w)
+	s.digitsW, s.digitsW2 = s.digitsW2, s.digitsW
+	return d
+}
+
+// RecodeSecond is Recode writing into the Scratch's second digit
+// buffer, so that a caller multiplying two scalars jointly (the
+// Shamir/Straus-interleaved u1·G + u2·Q verifier) can hold both
+// recodings at once. The returned digits alias the Scratch and stay
+// valid across later Recode calls — only the next RecodeSecond (or
+// Wipe) invalidates them. The big.Int arena is shared with Recode,
+// which is fine: digits are fully extracted before Recode runs again.
+func (s *Scratch) RecodeSecond(k *big.Int, w int) []int8 {
+	s.digits, s.digits2 = s.digits2, s.digits
+	d := s.Recode(k, w)
+	s.digits, s.digits2 = s.digits2, s.digits
+	return d
 }
 
 // partMod reduces k modulo δ into arena integers: the scratch twin of
@@ -196,52 +255,54 @@ func (s *Scratch) roundLattice(num0, num1, den *big.Int) (q0, q1 *big.Int) {
 	return q0, q1
 }
 
-// tnaf is the arena twin of TNAF; r0 and r1 are consumed in place. The
-// digit rule only depends on the residues mod 4, which lowWord serves
-// without per-digit big.Int arithmetic.
-func (s *Scratch) tnaf(r0, r1 *big.Int) []int8 {
-	digits := s.digits[:0]
+// scratchRecode runs the width dispatch shared by the int8 and int16
+// pipelines (methods cannot be generic, hence the free function).
+func scratchRecode[T Digit](s *Scratch, r0, r1 *big.Int, w int, digits []T) []T {
+	if w == 2 {
+		return scratchTNAF(s, r0, r1, digits)
+	}
+	return scratchWTNAF(s, r0, r1, w, digits)
+}
+
+// scratchTNAF is the arena twin of TNAF; r0 and r1 are consumed in
+// place. The digit rule only depends on the residues mod 4, which
+// lowWord serves without per-digit big.Int arithmetic.
+func scratchTNAF[T Digit](s *Scratch, r0, r1 *big.Int, digits []T) []T {
 	t := s.grab()
 	half := s.grab()
 	for r0.Sign() != 0 || r1.Sign() != 0 {
 		if r0.BitLen() <= smallBits && r1.BitLen() <= smallBits {
-			digits = tnafSmall(r0.Int64(), r1.Int64(), digits)
-			s.digits = digits
-			return digits
+			return tnafSmall(r0.Int64(), r1.Int64(), digits)
 		}
 		if len(digits) > maxDigits {
 			panic("koblitz: TNAF did not terminate")
 		}
-		var u int8
+		var u int64
 		if r0.Bit(0) == 1 {
 			// u = 2 − ((r0 − 2r1) mod 4) ∈ {1, −1}.
 			m := (lowWord(r0) - 2*lowWord(r1)) & 3
-			u = int8(2 - int64(m))
-			r0.Sub(r0, t.SetInt64(int64(u)))
+			u = 2 - int64(m)
+			r0.Sub(r0, t.SetInt64(u))
 		}
-		digits = append(digits, u)
+		digits = append(digits, T(u))
 		divTauInPlace(r0, r1, half)
 	}
-	s.digits = digits
 	return digits
 }
 
-// wtnaf is the arena twin of WTNAF for w >= 3; r0 and r1 are consumed
-// in place.
-func (s *Scratch) wtnaf(r0, r1 *big.Int, w int) []int8 {
+// scratchWTNAF is the arena twin of WTNAF for w >= 3; r0 and r1 are
+// consumed in place.
+func scratchWTNAF[T Digit](s *Scratch, r0, r1 *big.Int, w int, digits []T) []T {
 	alphaA, alphaB := alphaInt64(w)
 	twi := TW(w)
 	mask := uint64(1)<<w - 1
 	halfW := uint64(1) << (w - 1)
 
-	digits := s.digits[:0]
 	tmp := s.grab()
 	half := s.grab()
 	for r0.Sign() != 0 || r1.Sign() != 0 {
 		if r0.BitLen() <= smallBits && r1.BitLen() <= smallBits {
-			digits = wtnafSmall(r0.Int64(), r1.Int64(), w, twi, alphaA, alphaB, digits)
-			s.digits = digits
-			return digits
+			return wtnafSmall(r0.Int64(), r1.Int64(), w, twi, alphaA, alphaB, digits)
 		}
 		if len(digits) > maxDigits {
 			panic("koblitz: WTNAF did not terminate")
@@ -265,10 +326,9 @@ func (s *Scratch) wtnaf(r0, r1 *big.Int, w int) []int8 {
 				r1.Add(r1, tmp.SetInt64(alphaB[(-u)>>1]))
 			}
 		}
-		digits = append(digits, int8(u))
+		digits = append(digits, T(u))
 		divTauInPlace(r0, r1, half)
 	}
-	s.digits = digits
 	return digits
 }
 

@@ -11,12 +11,21 @@ import (
 // for random-point multiplication and w = 6 for fixed-point
 // multiplication (§4.2.2).
 
-// MinW and MaxW bound the supported window widths. Digits are stored in
-// int8, which accommodates |u| < 2^(w-1) up to w = 8.
+// MinW and MaxW bound the window widths of the int8 digit pipeline
+// (|u| < 2^(w-1) fits int8 up to w = 8): every per-call recoding path
+// uses it. MaxWide bounds the int16 wide-window pipeline (RecodeWide)
+// that serves precomputed-table consumers — the joint double-scalar
+// verifier — where table size is sunk cost and only digit density
+// matters.
 const (
-	MinW = 2
-	MaxW = 8
+	MinW    = 2
+	MaxW    = 8
+	MaxWide = 12
 )
+
+// Digit constrains the recoding digit representations: int8 for the
+// per-call widths, int16 for the wide precomputed-table widths.
+type Digit interface{ ~int8 | ~int16 }
 
 // maxDigits caps recoding length as a defence against non-termination
 // bugs: a partially reduced scalar recodes to ~m+a digits and a raw
@@ -80,21 +89,22 @@ func divTauInPlace(r0, r1, half *big.Int) {
 // intermediate comfortably inside int64.
 const smallBits = 60
 
-// tnafSmall finishes a TNAF recoding on machine words.
-func tnafSmall(r0, r1 int64, digits []int8) []int8 {
+// tnafSmall finishes a TNAF recoding on machine words, in any digit
+// representation.
+func tnafSmall[T Digit](r0, r1 int64, digits []T) []T {
 	for r0 != 0 || r1 != 0 {
 		if len(digits) > maxDigits {
 			panic("koblitz: TNAF did not terminate")
 		}
-		var u int8
+		var u int64
 		if r0&1 == 1 {
 			// u = 2 − ((r0 − 2r1) mod 4); two's complement makes the
 			// unsigned masked arithmetic exact mod 4.
 			t := (uint64(r0) - 2*uint64(r1)) & 3
-			u = int8(2 - int64(t))
-			r0 -= int64(u)
+			u = 2 - int64(t)
+			r0 -= u
 		}
-		digits = append(digits, u)
+		digits = append(digits, T(u))
 		half := r0 >> 1
 		if Mu < 0 {
 			r0 = r1 - half
@@ -106,8 +116,9 @@ func tnafSmall(r0, r1 int64, digits []int8) []int8 {
 	return digits
 }
 
-// wtnafSmall finishes a width-w TNAF recoding on machine words.
-func wtnafSmall(r0, r1 int64, w int, tw int64, alphaA, alphaB []int64, digits []int8) []int8 {
+// wtnafSmall finishes a width-w TNAF recoding on machine words, in any
+// digit representation.
+func wtnafSmall[T Digit](r0, r1 int64, w int, tw int64, alphaA, alphaB []int64, digits []T) []T {
 	mask := uint64(1)<<w - 1
 	halfW := int64(1) << (w - 1)
 	for r0 != 0 || r1 != 0 {
@@ -131,7 +142,7 @@ func wtnafSmall(r0, r1 int64, w int, tw int64, alphaA, alphaB []int64, digits []
 				r1 += alphaB[(-u)>>1]
 			}
 		}
-		digits = append(digits, int8(u))
+		digits = append(digits, T(u))
 		half := r0 >> 1
 		if Mu < 0 {
 			r0 = r1 - half
@@ -174,9 +185,9 @@ func TW(w int) int64 {
 // every scalar multiplication. alphaI64 caches the same coordinates as
 // immutable int64 arrays for the recoding loops.
 var (
-	alphaOnce  [MaxW + 1]sync.Once
-	alphaCache [MaxW + 1][]ZTau
-	alphaI64   [MaxW + 1][2][]int64
+	alphaOnce  [MaxWide + 1]sync.Once
+	alphaCache [MaxWide + 1][]ZTau
+	alphaI64   [MaxWide + 1][2][]int64
 )
 
 // Alpha returns the window representatives α_u = u mods τ^w for odd
@@ -184,9 +195,11 @@ var (
 // element of Z[τ] congruent to u modulo τ^w. These are the elements the
 // digit values of a width-w TNAF stand for, and the multiples of the
 // input point that must be precomputed ("TNAF Precomputation" in
-// Table 7; for w = 4 the digit set is {±α1, ±α3, ±α5, ±α7}).
+// Table 7; for w = 4 the digit set is {±α1, ±α3, ±α5, ±α7}). Widths up
+// to MaxWide are supported — the int8 recodings stop at MaxW, but the
+// wide-window tables (RecodeWide consumers) reach beyond it.
 func Alpha(w int) []ZTau {
-	if w < MinW || w > MaxW {
+	if w < MinW || w > MaxWide {
 		panic(fmt.Sprintf("koblitz: unsupported window width %d", w))
 	}
 	buildAlpha(w)
@@ -220,7 +233,7 @@ func buildAlpha(w int) {
 // alphaInt64 returns the cached int64 α coordinates for width w. The
 // slices are shared and must not be written.
 func alphaInt64(w int) (alphaA, alphaB []int64) {
-	if w < MinW || w > MaxW {
+	if w < MinW || w > MaxWide {
 		panic(fmt.Sprintf("koblitz: unsupported window width %d", w))
 	}
 	buildAlpha(w)
@@ -286,8 +299,9 @@ func WTNAF(rho ZTau, w int) []int8 {
 
 // Reconstruct evaluates a digit string back to the Z[τ] element it
 // represents: Σ ξ_i τ^i with ξ_i = sign(d_i)·α_|d_i| (α_1 = 1 covers the
-// plain TNAF case). It is the inverse used by the recoding tests.
-func Reconstruct(digits []int8, w int) ZTau {
+// plain TNAF case). It is the inverse used by the recoding tests, for
+// both the int8 and the wide int16 digit pipelines.
+func Reconstruct[T Digit](digits []T, w int) ZTau {
 	var alphas []ZTau
 	if w >= MinW {
 		alphas = Alpha(max(w, 2))

@@ -15,6 +15,7 @@ import (
 	"errors"
 	"io"
 	"math/big"
+	"sync"
 
 	"repro/internal/core"
 	"repro/internal/ec"
@@ -158,9 +159,23 @@ func (g *drbg) Read(p []byte) (int, error) {
 	return len(p), nil
 }
 
-// Verify reports whether sig is a valid signature over digest for the
-// public key.
-func Verify(pub ec.Affine, digest []byte, sig *Signature) bool {
+// verifyScratch bundles the reusable per-call state of the verifier:
+// the mod-n arithmetic scratch and the big.Int intermediates. All
+// inputs to a verification are public, so pooled scratches need no
+// scrubbing — pooling exists purely so the hot path allocates nothing.
+type verifyScratch struct {
+	mn              core.ModN
+	e, w, u1, u2, v big.Int
+}
+
+var verifyPool = sync.Pool{New: func() any { return new(verifyScratch) }}
+
+// CheckVerifyInputs applies the signature range checks and public-key
+// curve check shared by every verification front end — the one-shot
+// verifiers here and the batch engine's kernel call the same
+// predicate, so input hardening can never drift between them. False
+// means the verification already failed.
+func CheckVerifyInputs(pub ec.Affine, sig *Signature) bool {
 	if sig == nil || sig.R == nil || sig.S == nil {
 		return false
 	}
@@ -168,7 +183,67 @@ func Verify(pub ec.Affine, digest []byte, sig *Signature) bool {
 		sig.S.Sign() <= 0 || sig.S.Cmp(ec.Order) >= 0 {
 		return false
 	}
-	if pub.Inf || !pub.OnCurve() {
+	return !pub.Inf && pub.OnCurve()
+}
+
+// Verify reports whether sig is a valid signature over digest for the
+// public key.
+//
+// The verification equation R' = u1·G + u2·Q runs as a single
+// Shamir/Straus-interleaved τ-adic ladder (core.JointScalarMult): one
+// shared Frobenius loop, one final field inversion, and the binary-EEA
+// mod-n inverse for s⁻¹ — against the seed's two disjoint
+// multiplications, three extra inversions and per-call
+// big.Int.ModInverse (kept below as VerifySeparate). The call is
+// allocation-free in steady state on the 64-bit backend.
+func Verify(pub ec.Affine, digest []byte, sig *Signature) bool {
+	return verifyJoint(pub, nil, digest, sig)
+}
+
+// VerifyPrecomputed is Verify over a caller-held precomputed table for
+// the public key (core.NewFixedBase(Q, w)): the per-call Q-table build
+// disappears and wide windows cut the Q-side additions by a third. The
+// table is read-only during verification, so concurrent calls sharing
+// one table are safe. fb's point must be the public key Q; a nil fb
+// falls back to the per-call path.
+func VerifyPrecomputed(pub ec.Affine, fb *core.FixedBase, digest []byte, sig *Signature) bool {
+	return verifyJoint(pub, fb, digest, sig)
+}
+
+func verifyJoint(pub ec.Affine, fb *core.FixedBase, digest []byte, sig *Signature) bool {
+	if !CheckVerifyInputs(pub, sig) {
+		return false
+	}
+	vs := verifyPool.Get().(*verifyScratch)
+	defer verifyPool.Put(vs)
+	HashToIntInto(&vs.e, digest)
+	vs.mn.Inv(&vs.w, sig.S)
+	vs.mn.Mul(&vs.u1, &vs.e, &vs.w)
+	vs.mn.Mul(&vs.u2, sig.R, &vs.w)
+	// R' = u1·G + u2·Q in one interleaved ladder.
+	var rp ec.Affine
+	if fb != nil {
+		rp = core.JointScalarMultFixed(&vs.u1, &vs.u2, fb)
+	} else {
+		rp = core.JointScalarMult(&vs.u1, &vs.u2, pub)
+	}
+	if rp.Inf {
+		return false
+	}
+	xb := rp.X.Bytes()
+	vs.v.SetBytes(xb[:])
+	core.ReduceModOrder(&vs.v)
+	return vs.v.Cmp(sig.R) == 0
+}
+
+// VerifySeparate is the seed verifier, byte-for-byte: two disjoint
+// scalar multiplications joined by an affine addition, with a per-call
+// big.Int.ModInverse. It is kept as the reference the joint path is
+// differentially tested against (FuzzJointScalarMultVsSeparate, the
+// negative-path tests) and as the baseline BenchmarkVerify/separate
+// measures.
+func VerifySeparate(pub ec.Affine, digest []byte, sig *Signature) bool {
+	if !CheckVerifyInputs(pub, sig) {
 		return false
 	}
 	e := HashToInt(digest)

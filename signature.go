@@ -54,13 +54,16 @@ func VerifyASN1(pub *PublicKey, digest, der []byte) bool {
 	if err != nil {
 		return false
 	}
-	return sign.Verify(pub.point, digest, sig)
+	return pub.Verify(digest, sig)
 }
 
 // Verify reports whether sig is valid over digest under the public
-// key — the opaque-key twin of the point-level Verify.
+// key — the opaque-key twin of the point-level Verify. The
+// verification equation runs as a single interleaved double-scalar
+// ladder, over the key's cached wide-window table when
+// PublicKey.Precompute has built one.
 func (pub *PublicKey) Verify(digest []byte, sig *Signature) bool {
-	return sign.Verify(pub.point, digest, sig)
+	return sign.VerifyPrecomputed(pub.point, pub.verifyTable(), digest, sig)
 }
 
 // VerifyASN1 is VerifyASN1 as a method.
