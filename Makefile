@@ -4,10 +4,13 @@
 #                  tier-1 `go build ./... && go test ./...`: build, vet,
 #                  race-enabled tests (including the 32-goroutine
 #                  concurrency tests in internal/engine and
-#                  internal/core), a short differential-fuzz smoke of
-#                  the 64-bit field backend and the batched inversion,
-#                  and the zero-alloc guards (which must run WITHOUT
-#                  -race, hence the separate pass)
+#                  internal/core), the same unit-test set a second time
+#                  pinned to GF233_BACKEND=64 (so the non-CLMUL fallback
+#                  path can never rot on CLMUL machines), a short
+#                  differential-fuzz smoke of the 64-bit and CLMUL field
+#                  backends and the batched inversion, and the
+#                  zero-alloc guards (which must run WITHOUT -race,
+#                  hence the separate pass)
 #   make api     - the public-surface guards: the exported-API golden
 #                  test and interface-conformance checks, the wire-format
 #                  KATs, and a fuzz smoke of the two hostile-input
@@ -20,7 +23,7 @@
 
 GO ?= go
 
-.PHONY: all build vet test race fuzz alloc api bench load ci
+.PHONY: all build vet test test64 race fuzz alloc api bench load ci
 
 all: ci
 
@@ -33,19 +36,31 @@ vet:
 test:
 	$(GO) test ./...
 
+# The same unit-test set forced onto the portable 64-bit backend. On
+# CLMUL hardware the default run exercises BackendCLMUL everywhere, so
+# this second pass is what keeps the fallback path (and the
+# GF233_BACKEND env override itself) from rotting. -count=1 is load-
+# bearing: the env var is consumed in package init, which the go test
+# cache does not key on, so a cached default-backend result would
+# otherwise satisfy this run without executing the fallback at all.
+test64:
+	GF233_BACKEND=64 $(GO) test -count=1 ./...
+
 race:
 	$(GO) test -race ./...
 
 fuzz:
 	$(GO) test ./internal/gf233 -run='^$$' -fuzz=FuzzMul64VsRef -fuzztime=10s
 	$(GO) test ./internal/gf233 -run='^$$' -fuzz=FuzzSqrInv64VsRef -fuzztime=10s
+	$(GO) test ./internal/gf233 -run='^$$' -fuzz=FuzzMulClmulVsRef -fuzztime=10s
+	$(GO) test ./internal/gf233 -run='^$$' -fuzz=FuzzSqrInvClmulVsRef -fuzztime=10s
 	$(GO) test ./internal/gf233 -run='^$$' -fuzz=FuzzBatchInvVsSequential -fuzztime=10s
 	$(GO) test ./internal/core -run='^$$' -fuzz=FuzzJointScalarMultVsSeparate -fuzztime=10s
 
 # Zero-alloc guards: AllocsPerRun is meaningless under -race (the
 # detector allocates), so these run in their own non-race pass.
 alloc:
-	$(GO) test ./internal/engine -run 'TestZeroAlloc' -count=1
+	$(GO) test ./internal/engine ./internal/gf233 -run 'TestZeroAlloc' -count=1
 
 # Public-surface guards: the exported-API golden test (regenerate with
 # -update-api after an intentional change), interface conformance, the
@@ -63,4 +78,4 @@ bench:
 load:
 	$(GO) run ./cmd/eccload -op ecdh -gs 1,8 -batches 1,32 -dur 2s
 
-ci: build vet race fuzz alloc api
+ci: build vet race test64 fuzz alloc api

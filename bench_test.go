@@ -372,9 +372,20 @@ func withBackend(b *testing.B, bk gf233.Backend, f func(b *testing.B)) {
 	f(b)
 }
 
-// BenchmarkMul contrasts host-side field multiplication across the two
-// backends: the paper-faithful 8x32-bit LD with fixed registers, the
-// 4x64-bit windowed LD, and the 64-bit Karatsuba-split ablation.
+// skipUnlessCLMUL skips CLMUL-tagged sub-benchmarks on hardware
+// without carry-less multiply (where the wrappers degrade to the
+// pure-Go path and the row would mislabel what it measures).
+func skipUnlessCLMUL(b *testing.B) {
+	b.Helper()
+	if !gf233.HasCLMUL() {
+		b.Skip("no PCLMULQDQ on this machine")
+	}
+}
+
+// BenchmarkMul contrasts host-side field multiplication across the
+// three backends: the paper-faithful 8x32-bit LD with fixed registers,
+// the 4x64-bit windowed LD (plus its Karatsuba-split ablation), and the
+// PCLMULQDQ carry-less multiply.
 func BenchmarkMul(b *testing.B) {
 	rnd := rand.New(rand.NewSource(10))
 	x, y := gf233.Rand(rnd.Uint32), gf233.Rand(rnd.Uint32)
@@ -387,13 +398,20 @@ func BenchmarkMul(b *testing.B) {
 	b.Run("64", func(b *testing.B) {
 		v, w := gf233.ToElem64(x), gf233.ToElem64(y)
 		for i := 0; i < b.N; i++ {
-			v = gf233.Mul64(v, w)
+			v = gf233.MulLD64(v, w)
 		}
 	})
 	b.Run("64kar", func(b *testing.B) {
 		v, w := gf233.ToElem64(x), gf233.ToElem64(y)
 		for i := 0; i < b.N; i++ {
 			v = gf233.MulKaratsuba64(v, w)
+		}
+	})
+	b.Run("clmul", func(b *testing.B) {
+		skipUnlessCLMUL(b)
+		v, w := gf233.ToElem64(x), gf233.ToElem64(y)
+		for i := 0; i < b.N; i++ {
+			v = gf233.MulClmul(v, w)
 		}
 	})
 }
@@ -411,12 +429,21 @@ func BenchmarkSqr(b *testing.B) {
 	b.Run("64", func(b *testing.B) {
 		v := gf233.ToElem64(x)
 		for i := 0; i < b.N; i++ {
-			v = gf233.Sqr64(v)
+			v = gf233.SqrSpread64(v)
+		}
+	})
+	b.Run("clmul", func(b *testing.B) {
+		skipUnlessCLMUL(b)
+		v := gf233.ToElem64(x)
+		for i := 0; i < b.N; i++ {
+			v = gf233.SqrClmul(v)
 		}
 	})
 }
 
-// BenchmarkInv contrasts host-side EEA inversion across the backends.
+// BenchmarkInv contrasts host-side inversion across the backends: EEA
+// on the 32-bit and 64-bit representations, and the Itoh–Tsujii chain
+// over CLMUL squaring (the BackendCLMUL hot path).
 func BenchmarkInv(b *testing.B) {
 	rnd := rand.New(rand.NewSource(12))
 	x := gf233.Rand(rnd.Uint32)
@@ -432,16 +459,26 @@ func BenchmarkInv(b *testing.B) {
 			v, _ = gf233.Inv64(v)
 		}
 	})
+	b.Run("clmul", func(b *testing.B) {
+		skipUnlessCLMUL(b)
+		v := gf233.ToElem64(x)
+		for i := 0; i < b.N; i++ {
+			v, _ = gf233.InvItohTsujii64(v)
+		}
+	})
 }
 
 // BenchmarkScalarMult runs the paper's random-point multiplication with
 // the field arithmetic pinned to each backend, making the host speedup
-// of the 64-bit path visible at the protocol level.
+// of the 64-bit and CLMUL paths visible at the protocol level.
 func BenchmarkScalarMult(b *testing.B) {
 	k := benchScalar()
 	g := ec.Gen()
-	for _, bk := range []gf233.Backend{gf233.Backend32, gf233.Backend64} {
+	for _, bk := range []gf233.Backend{gf233.Backend32, gf233.Backend64, gf233.BackendCLMUL} {
 		b.Run(bk.String(), func(b *testing.B) {
+			if bk == gf233.BackendCLMUL {
+				skipUnlessCLMUL(b)
+			}
 			withBackend(b, bk, func(b *testing.B) {
 				for i := 0; i < b.N; i++ {
 					core.ScalarMult(k, g)

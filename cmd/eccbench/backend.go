@@ -13,10 +13,12 @@ import (
 	"repro/internal/tables"
 )
 
-// The backend command reports host-side timings of the two field
-// backends next to each other: the paper-faithful 8x32-bit reference
-// and the 4x64-bit fast path, at the field level (mul/sqr/inv) and at
-// the protocol level (kP, kG).
+// The backend command reports host-side timings of the three field
+// backends next to each other: the paper-faithful 8x32-bit reference,
+// the portable 4x64-bit fast path, and the PCLMULQDQ carry-less
+// multiply path, at the field level (mul/sqr/inv) and at the protocol
+// level (kP, kG, verify). On hardware without CLMUL the third column
+// prints "-".
 
 // hostBench measures f's per-call wall time, growing the iteration
 // count until the sample is long enough to trust.
@@ -54,9 +56,10 @@ func backend() error {
 	vtab := core.NewFixedBase(vpriv.Public, core.WPrecomp)
 
 	type row struct {
-		op  string
-		b32 time.Duration
-		b64 time.Duration
+		op    string
+		b32   time.Duration
+		b64   time.Duration
+		clmul time.Duration
 	}
 	withBackend := func(b gf233.Backend, f func()) func() {
 		return func() {
@@ -65,51 +68,77 @@ func backend() error {
 			f()
 		}
 	}
+	// clmulBench measures f only where the CLMUL hardware exists; on
+	// other machines the column stays "-" instead of silently timing
+	// the fallback.
+	clmulBench := func(f func()) time.Duration {
+		if !gf233.HasCLMUL() {
+			return 0
+		}
+		return hostBench(f)
+	}
 	rows := []row{
 		{"field mul",
 			hostBench(func() { x = gf233.MulLDFixed(x, y) }),
-			hostBench(func() { x64 = gf233.Mul64(x64, y64) })},
+			hostBench(func() { x64 = gf233.MulLD64(x64, y64) }),
+			clmulBench(func() { x64 = gf233.MulClmul(x64, y64) })},
 		{"field mul (karatsuba)", 0,
-			hostBench(func() { x64 = gf233.MulKaratsuba64(x64, y64) })},
+			hostBench(func() { x64 = gf233.MulKaratsuba64(x64, y64) }), 0},
 		{"field sqr",
 			hostBench(func() { x = gf233.SqrInterleaved(x) }),
-			hostBench(func() { x64 = gf233.Sqr64(x64) })},
+			hostBench(func() { x64 = gf233.SqrSpread64(x64) }),
+			clmulBench(func() { x64 = gf233.SqrClmul(x64) })},
 		{"field inv",
 			hostBench(func() { x, _ = gf233.InvEEA(x) }),
-			hostBench(func() { x64, _ = gf233.Inv64(x64) })},
+			hostBench(func() { x64, _ = gf233.Inv64(x64) }),
+			clmulBench(func() { x64, _ = gf233.InvItohTsujii64(x64) })},
 		{"kP (wTNAF w=4)",
 			hostBench(withBackend(gf233.Backend32, func() { core.ScalarMult(k, g) })),
-			hostBench(withBackend(gf233.Backend64, func() { core.ScalarMult(k, g) }))},
+			hostBench(withBackend(gf233.Backend64, func() { core.ScalarMult(k, g) })),
+			clmulBench(withBackend(gf233.BackendCLMUL, func() { core.ScalarMult(k, g) }))},
 		{"kG (wTNAF w=6)",
 			hostBench(withBackend(gf233.Backend32, func() { core.ScalarBaseMultTNAF(k) })),
-			hostBench(withBackend(gf233.Backend64, func() { core.ScalarBaseMultTNAF(k) }))},
+			hostBench(withBackend(gf233.Backend64, func() { core.ScalarBaseMultTNAF(k) })),
+			clmulBench(withBackend(gf233.BackendCLMUL, func() { core.ScalarBaseMultTNAF(k) }))},
 		{"kG (comb w=8)",
 			hostBench(withBackend(gf233.Backend32, func() { core.ScalarBaseMult(k) })),
-			hostBench(withBackend(gf233.Backend64, func() { core.ScalarBaseMult(k) }))},
+			hostBench(withBackend(gf233.Backend64, func() { core.ScalarBaseMult(k) })),
+			clmulBench(withBackend(gf233.BackendCLMUL, func() { core.ScalarBaseMult(k) }))},
 		{"verify (separate, seed)",
 			hostBench(withBackend(gf233.Backend32, func() { sign.VerifySeparate(vpriv.Public, vdigest[:], vsig) })),
-			hostBench(withBackend(gf233.Backend64, func() { sign.VerifySeparate(vpriv.Public, vdigest[:], vsig) }))},
+			hostBench(withBackend(gf233.Backend64, func() { sign.VerifySeparate(vpriv.Public, vdigest[:], vsig) })),
+			clmulBench(withBackend(gf233.BackendCLMUL, func() { sign.VerifySeparate(vpriv.Public, vdigest[:], vsig) }))},
 		{"verify (joint ladder)",
 			hostBench(withBackend(gf233.Backend32, func() { sign.Verify(vpriv.Public, vdigest[:], vsig) })),
-			hostBench(withBackend(gf233.Backend64, func() { sign.Verify(vpriv.Public, vdigest[:], vsig) }))},
+			hostBench(withBackend(gf233.Backend64, func() { sign.Verify(vpriv.Public, vdigest[:], vsig) })),
+			clmulBench(withBackend(gf233.BackendCLMUL, func() { sign.Verify(vpriv.Public, vdigest[:], vsig) }))},
 		{"verify (joint, precomputed key)", 0,
-			hostBench(withBackend(gf233.Backend64, func() { sign.VerifyPrecomputed(vpriv.Public, vtab, vdigest[:], vsig) }))},
+			hostBench(withBackend(gf233.Backend64, func() { sign.VerifyPrecomputed(vpriv.Public, vtab, vdigest[:], vsig) })),
+			clmulBench(withBackend(gf233.BackendCLMUL, func() { sign.VerifyPrecomputed(vpriv.Public, vtab, vdigest[:], vsig) }))},
 	}
 
 	t := tables.New(fmt.Sprintf(
-		"Host backends: 8x32-bit reference vs 4x64-bit fast path (current: %s).",
-		gf233.CurrentBackend()),
-		"Operation", "32-bit", "64-bit", "Speedup")
-	for _, r := range rows {
-		if r.b32 == 0 {
-			t.Row(r.op, "-", r.b64, "-")
-			continue
+		"Host backends: 8x32-bit reference vs 4x64-bit vs CLMUL (current: %s, CLMUL hardware: %v).",
+		gf233.CurrentBackend(), gf233.HasCLMUL()),
+		"Operation", "32-bit", "64-bit", "clmul", "clmul/64")
+	cell := func(d time.Duration) any {
+		if d == 0 {
+			return "-"
 		}
-		t.Row(r.op, r.b32, r.b64,
-			fmt.Sprintf("%.2fx", float64(r.b32)/float64(r.b64)))
+		return d
+	}
+	for _, r := range rows {
+		speedup := "-"
+		if r.b64 != 0 && r.clmul != 0 {
+			speedup = fmt.Sprintf("%.2fx", float64(r.b64)/float64(r.clmul))
+		}
+		t.Row(r.op, cell(r.b32), cell(r.b64), cell(r.clmul), speedup)
 	}
 	t.Note("The 32-bit rows run the paper-faithful Cortex-M0+ word layout on the")
 	t.Note("host; opcount/codegen always use that layout regardless of backend.")
+	t.Note("The clmul rows run the PCLMULQDQ assembly (field mul/sqr) and the")
+	t.Note("Itoh-Tsujii chain (field inv); protocol rows pin the whole stack to")
+	t.Note("the named backend via SetBackend.")
 	t.Note("kG comb rows share the fixed-base comb table; the backends differ in")
 	t.Note("the underlying field arithmetic only.")
 	t.Note("verify rows: 'separate' is the seed two-multiplication verifier;")

@@ -30,6 +30,7 @@ import (
 	"repro/internal/ec"
 	"repro/internal/ecdh"
 	"repro/internal/engine"
+	"repro/internal/gf233"
 	"repro/internal/sign"
 )
 
@@ -40,6 +41,7 @@ var (
 	durFlag     = flag.Duration("dur", 2*time.Second, "measurement duration per configuration")
 	workersFlag = flag.Int("workers", 0, "engine worker goroutines (0 = GOMAXPROCS)")
 	naiveFlag   = flag.Bool("naive", true, "also run the naive per-goroutine baseline")
+	backendFlag = flag.String("backend", "", "pin the field backend: 32, 64 or clmul (default: fastest supported; also settable via GF233_BACKEND)")
 )
 
 func parseList(s string) []int {
@@ -127,6 +129,18 @@ func main() {
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
 	}
+	if *backendFlag != "" {
+		b, err := gf233.ParseBackend(*backendFlag)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "eccload:", err)
+			os.Exit(2)
+		}
+		if !gf233.Supported(b) {
+			fmt.Fprintf(os.Stderr, "eccload: backend %v not supported on this machine\n", b)
+			os.Exit(2)
+		}
+		gf233.SetBackend(b)
+	}
 
 	// Fixed deterministic inputs: one server key, a pool of peer
 	// public keys / scalars / digests the goroutines cycle through.
@@ -174,8 +188,8 @@ func main() {
 	}
 	core.Warm()
 
-	fmt.Printf("eccload: op=%s workers=%d dur=%s GOMAXPROCS=%d\n",
-		*opFlag, workers, *durFlag, runtime.GOMAXPROCS(0))
+	fmt.Printf("eccload: op=%s workers=%d dur=%s GOMAXPROCS=%d backend=%s\n",
+		*opFlag, workers, *durFlag, runtime.GOMAXPROCS(0), gf233.CurrentBackend())
 
 	for _, g := range gs {
 		var naive result

@@ -30,6 +30,9 @@
 //
 // The reproduction substrates live under internal/: the F_2^233 field
 // with the paper's "López-Dahab with fixed registers" multiplication
+// plus two host backends — a portable 64-bit windowed-LD path and a
+// PCLMULQDQ carry-less-multiply path with Itoh–Tsujii inversion,
+// selected automatically by CPU probe or pinned via GF233_BACKEND
 // (internal/gf233), the curve group (internal/ec), τ-adic recoding
 // (internal/koblitz), an ARMv6-M instruction-set simulator with the
 // Cortex-M0+ cycle model (internal/armv6m), a Thumb assembler

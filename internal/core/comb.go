@@ -134,7 +134,7 @@ func (c *Comb) ScalarMult(k *big.Int) ec.Affine {
 	if c.point.Inf {
 		return ec.Infinity
 	}
-	if gf233.CurrentBackend() == gf233.Backend64 {
+	if gf233.CurrentBackend() != gf233.Backend32 {
 		s := getScratch()
 		defer putScratch(s)
 		return c.scalarMultLD64(s, k).Affine().Affine()

@@ -73,13 +73,15 @@ func TestScalarMultAcrossBackends(t *testing.T) {
 		k := randScalar(rnd)
 		gf233.SetBackend(gf233.Backend32)
 		kp32, kg32 := ScalarMult(k, g), ScalarBaseMult(k)
-		gf233.SetBackend(gf233.Backend64)
-		kp64, kg64 := ScalarMult(k, g), ScalarBaseMult(k)
-		if !kp32.Equal(kp64) {
-			t.Fatalf("kP differs across backends for k=%s", k)
-		}
-		if !kg32.Equal(kg64) {
-			t.Fatalf("kG differs across backends for k=%s", k)
+		for _, bk := range []gf233.Backend{gf233.Backend64, gf233.BackendCLMUL} {
+			gf233.SetBackend(bk)
+			kp, kg := ScalarMult(k, g), ScalarBaseMult(k)
+			if !kp32.Equal(kp) {
+				t.Fatalf("kP differs across backends (%v) for k=%s", bk, k)
+			}
+			if !kg32.Equal(kg) {
+				t.Fatalf("kG differs across backends (%v) for k=%s", bk, k)
+			}
 		}
 	}
 }

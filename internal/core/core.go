@@ -101,7 +101,7 @@ func alphaPointLD(al koblitz.ZTau, p, tp, sum, dif ec.Affine) ec.LD {
 // backend the whole loop runs on 64-bit-native point arithmetic; the
 // table conversion is a handful of word repacks, paid once per call.
 func scalarMultDigits(digits []int8, table []ec.Affine) ec.Affine {
-	if gf233.CurrentBackend() == gf233.Backend64 {
+	if gf233.CurrentBackend() != gf233.Backend32 {
 		t64 := make([]ec.Affine64, len(table))
 		for i, p := range table {
 			t64[i] = p.To64()
@@ -162,7 +162,7 @@ func ScalarMultW(k *big.Int, p ec.Affine, w int) ec.Affine {
 	if p.Inf || k.Sign() == 0 {
 		return ec.Infinity
 	}
-	if gf233.CurrentBackend() == gf233.Backend64 {
+	if gf233.CurrentBackend() != gf233.Backend32 {
 		s := getScratch()
 		defer putScratch(s)
 		return s.scalarMultW(k, p, w)
@@ -223,7 +223,7 @@ func (fb *FixedBase) ScalarMult(k *big.Int) ec.Affine {
 	if fb.point.Inf || k.Sign() == 0 {
 		return ec.Infinity
 	}
-	if gf233.CurrentBackend() == gf233.Backend64 {
+	if gf233.CurrentBackend() != gf233.Backend32 {
 		s := getScratch()
 		defer putScratch(s)
 		if fb.w > koblitz.MaxW {

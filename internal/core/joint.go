@@ -126,7 +126,7 @@ func (s *Scratch) jointGen(u1 *big.Int, d2 []int16, t2 []ec.Affine64) ec.LD64 {
 // disjoint reference evaluation — the two backends stay bit-identical
 // either way. Q must lie in the prime-order subgroup.
 func JointScalarMult(u1, u2 *big.Int, q ec.Affine) ec.Affine {
-	if gf233.CurrentBackend() == gf233.Backend64 {
+	if gf233.CurrentBackend() != gf233.Backend32 {
 		s := getScratch()
 		defer putScratch(s)
 		return s.JointScalarMultLD64(u1, u2, q).Affine().Affine()
@@ -137,7 +137,7 @@ func JointScalarMult(u1, u2 *big.Int, q ec.Affine) ec.Affine {
 // JointScalarMultFixed is JointScalarMult over a precomputed table for
 // Q. The table's point is Q; its width sets the u2 recoding width.
 func JointScalarMultFixed(u1, u2 *big.Int, fb *FixedBase) ec.Affine {
-	if gf233.CurrentBackend() == gf233.Backend64 {
+	if gf233.CurrentBackend() != gf233.Backend32 {
 		s := getScratch()
 		defer putScratch(s)
 		return s.JointScalarMultFixedLD64(u1, u2, fb).Affine().Affine()

@@ -9,16 +9,16 @@ import (
 	"repro/internal/gf233"
 )
 
-// Property tests: shared-secret symmetry must hold under both field
-// backends (and the backends must produce byte-identical secrets), and
-// Validate must reject every class of bad public key the cofactor-4
-// curve admits.
+// Property tests: shared-secret symmetry must hold under all three
+// field backends (and the backends must produce byte-identical
+// secrets), and Validate must reject every class of bad public key the
+// cofactor-4 curve admits.
 
 func TestSharedSecretSymmetryAcrossBackends(t *testing.T) {
 	rnd := rand.New(rand.NewSource(11))
 	defer gf233.SetBackend(gf233.CurrentBackend())
-	var secrets [2][]byte
-	for i, b := range []gf233.Backend{gf233.Backend32, gf233.Backend64} {
+	var secrets [3][]byte
+	for i, b := range []gf233.Backend{gf233.Backend32, gf233.Backend64, gf233.BackendCLMUL} {
 		gf233.SetBackend(b)
 		rnd.Seed(11) // identical keys under both backends
 		alice, err := GenerateKey(rnd)
@@ -42,9 +42,11 @@ func TestSharedSecretSymmetryAcrossBackends(t *testing.T) {
 		}
 		secrets[i] = ab
 	}
-	if !bytes.Equal(secrets[0], secrets[1]) {
-		t.Fatalf("backends disagree on the shared secret: %x vs %x",
-			secrets[0], secrets[1])
+	for i := 1; i < len(secrets); i++ {
+		if !bytes.Equal(secrets[0], secrets[i]) {
+			t.Fatalf("backends disagree on the shared secret: %x vs %x",
+				secrets[0], secrets[i])
+		}
 	}
 }
 

@@ -17,12 +17,14 @@ import (
 
 // TestConcurrentPublicAPI hits ScalarBaseMult, ECDH and signing from
 // 32 goroutines at once — through both the one-shot packages and an
-// Engine — while another goroutine toggles the field backend
-// mid-flight. Under -race this is the executable statement of the
-// concurrency contract: the shared comb/alpha/δ tables are frozen
-// behind sync.Once, the pooled scratch state is per-goroutine, and
-// SetBackend is an atomic whose two settings are bit-identical, so
-// results never change, only speed.
+// Engine — while another goroutine cycles the field backend through
+// all three values (32, 64, clmul) mid-flight. Under -race this is the
+// executable statement of the concurrency contract: the shared
+// comb/alpha/δ tables are frozen behind sync.Once, the pooled scratch
+// state is per-goroutine, and SetBackend is an atomic whose settings
+// are all bit-identical, so results never change, only speed. On
+// hardware without CLMUL the third setting degrades to Backend64
+// inside SetBackend, which keeps the toggler portable.
 func TestConcurrentPublicAPI(t *testing.T) {
 	priv, err := core.GenerateKey(rand.New(rand.NewSource(50)))
 	if err != nil {
@@ -48,20 +50,18 @@ func TestConcurrentPublicAPI(t *testing.T) {
 	togglers.Add(1)
 	go func() {
 		// Backend toggling mid-flight must be safe: selection is
-		// atomic and both backends compute bit-identical results.
+		// atomic and all three backends compute bit-identical results.
 		defer togglers.Done()
-		defer gf233.SetBackend(gf233.Backend64)
+		prev := gf233.CurrentBackend()
+		defer gf233.SetBackend(prev)
+		cycle := []gf233.Backend{gf233.Backend32, gf233.Backend64, gf233.BackendCLMUL}
 		for i := 0; ; i++ {
 			select {
 			case <-stop:
 				return
 			default:
 			}
-			if i%2 == 0 {
-				gf233.SetBackend(gf233.Backend32)
-			} else {
-				gf233.SetBackend(gf233.Backend64)
-			}
+			gf233.SetBackend(cycle[i%len(cycle)])
 		}
 	}()
 

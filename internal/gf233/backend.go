@@ -1,28 +1,56 @@
 package gf233
 
 import (
+	"fmt"
 	"math/bits"
+	"os"
 	"sync/atomic"
 )
 
-// Backend selection. The package carries two complete field-arithmetic
+// Backend selection. The package carries three complete field-arithmetic
 // implementations:
 //
-//	Backend32 — the paper-faithful reference: 8 32-bit words, the
-//	            Cortex-M0+ layout that internal/opcount and
-//	            internal/codegen instrument and compile to Thumb;
-//	Backend64 — the host fast path: 4 64-bit words, selected by default
-//	            on 64-bit hosts.
+//	Backend32    — the paper-faithful reference: 8 32-bit words, the
+//	               Cortex-M0+ layout that internal/opcount and
+//	               internal/codegen instrument and compile to Thumb;
+//	Backend64    — the portable host fast path: 4 64-bit words, windowed
+//	               LD multiplication and mask-cascade squaring in pure Go;
+//	BackendCLMUL — the carry-less-multiply fast path: PCLMULQDQ assembly
+//	               for multiplication and squaring plus Itoh–Tsujii
+//	               inversion, selected by default where the CPU supports
+//	               it (amd64 with the PCLMULQDQ feature flag).
 //
-// The generic entry points Mul, Sqr, SqrN and Inv dispatch on the
-// current backend, so internal/ec, internal/core and internal/ecdh
-// transparently get the fast path, while the named reference variants
-// (MulLD, MulLDRotating, MulLDFixed, SqrSeparate, SqrInterleaved,
-// InvEEA) always run the 32-bit code regardless of the selection. Both
-// backends compute bit-identical results — the differential fuzz
-// targets in fuzz64_test.go are the executable statement of that
+// Dispatch happens at two levels. The generic entry points Mul, Sqr,
+// SqrN and Inv dispatch on the 32-bit representation, so code written
+// against Elem transparently gets the fast path. The 64-bit entry
+// points Mul64, Sqr64, SqrN64 and MustInv64 — the ones internal/ec,
+// internal/core and internal/engine call in their hot loops — dispatch
+// between the windowed-LD and CLMUL implementations themselves, so the
+// whole point-arithmetic stack picks up BackendCLMUL with zero
+// call-site changes. The named variants (MulLDFixed, MulLD64, MulClmul,
+// SqrInterleaved, SqrSpread64, SqrClmul, InvEEA, Inv64,
+// InvItohTsujii64, ...) always run their own implementation regardless
+// of the selection, for benchmarks and differential tests.
+//
+// All three backends compute bit-identical results — the differential
+// fuzz targets in fuzz64_test.go are the executable statement of that
 // contract — so switching backends never changes observable behavior,
 // only speed.
+//
+// Selection rules:
+//
+//   - the default is the fastest supported backend: BackendCLMUL where
+//     the CPU probe succeeds, Backend64 on other 64-bit hosts,
+//     Backend32 otherwise;
+//   - the GF233_BACKEND environment variable ("32", "64" or "clmul")
+//     overrides the default at init, so CI and load harnesses can pin a
+//     backend without code changes; a value naming an unsupported
+//     backend (e.g. "clmul" on hardware without PCLMULQDQ) is ignored
+//     and the default stands;
+//   - SetBackend never stores an unsupported value: requesting
+//     BackendCLMUL on hardware without it (or an out-of-range value)
+//     degrades to Backend64, so the hot paths stay free of per-call
+//     feature tests.
 
 // Backend identifies a field-arithmetic implementation.
 type Backend uint32
@@ -30,62 +58,143 @@ type Backend uint32
 const (
 	// Backend32 is the paper-faithful 8x32-bit reference.
 	Backend32 Backend = iota
-	// Backend64 is the host-optimized 4x64-bit implementation.
+	// Backend64 is the portable 4x64-bit implementation.
 	Backend64
+	// BackendCLMUL is the 4x64-bit carry-less-multiply implementation
+	// (PCLMULQDQ assembly plus Itoh–Tsujii inversion). Supported only
+	// where HasCLMUL reports true.
+	BackendCLMUL
 )
 
-// String returns the conventional short tag for the backend.
+// String returns the conventional short tag for the backend, or a
+// distinct unknown(N) tag for values outside the defined set.
 func (b Backend) String() string {
-	if b == Backend64 {
+	switch b {
+	case Backend32:
+		return "32"
+	case Backend64:
 		return "64"
+	case BackendCLMUL:
+		return "clmul"
+	default:
+		return fmt.Sprintf("unknown(%d)", uint32(b))
 	}
-	return "32"
+}
+
+// ParseBackend maps the conventional short tags ("32", "64", "clmul")
+// back to Backend values — the format of the GF233_BACKEND environment
+// variable and of command-line backend flags.
+func ParseBackend(s string) (Backend, error) {
+	switch s {
+	case "32":
+		return Backend32, nil
+	case "64":
+		return Backend64, nil
+	case "clmul":
+		return BackendCLMUL, nil
+	default:
+		return Backend32, fmt.Errorf("gf233: unknown backend %q (want 32, 64 or clmul)", s)
+	}
+}
+
+// HasCLMUL reports whether the processor supports the carry-less
+// multiply instructions BackendCLMUL is built on.
+func HasCLMUL() bool { return canCLMUL }
+
+// Supported reports whether b can execute on this machine. Backend32
+// and Backend64 are pure Go and always supported; BackendCLMUL needs
+// the hardware probe to succeed.
+func Supported(b Backend) bool {
+	switch b {
+	case Backend32, Backend64:
+		return true
+	case BackendCLMUL:
+		return canCLMUL
+	default:
+		return false
+	}
 }
 
 // backend holds the current Backend. Atomic so tests and benchmarks can
 // toggle it without racing concurrent field arithmetic.
 var backend atomic.Uint32
 
-func init() {
+// chooseBackend returns the init-time selection: the fastest supported
+// backend, overridden by env (the GF233_BACKEND value) when it names a
+// supported one.
+func chooseBackend(env string) Backend {
+	b := Backend32
 	if bits.UintSize == 64 {
-		backend.Store(uint32(Backend64))
+		b = Backend64
 	}
+	if canCLMUL {
+		b = BackendCLMUL
+	}
+	if env != "" {
+		if eb, err := ParseBackend(env); err == nil && Supported(eb) {
+			b = eb
+		}
+	}
+	return b
+}
+
+func init() {
+	env := os.Getenv("GF233_BACKEND")
+	if env != "" {
+		// A malformed value is a CI/tooling typo, not the documented
+		// unsupported-hardware degrade — say so instead of silently
+		// running the default backend under a pinned-looking job.
+		if _, err := ParseBackend(env); err != nil {
+			fmt.Fprintf(os.Stderr, "gf233: ignoring GF233_BACKEND: %v\n", err)
+		}
+	}
+	backend.Store(uint32(chooseBackend(env)))
 }
 
 // CurrentBackend returns the backend the generic entry points dispatch
 // to.
 func CurrentBackend() Backend { return Backend(backend.Load()) }
 
-// SetBackend selects the backend used by Mul, Sqr, SqrN and Inv, and
-// returns the previous selection (convenient for defer-restore in
-// tests and benchmarks).
+// SetBackend selects the backend used by the dispatching entry points
+// (Mul, Sqr, SqrN, Inv and their 64-bit counterparts) and returns the
+// previous selection (convenient for defer-restore in tests and
+// benchmarks). Requesting a backend this machine cannot run —
+// BackendCLMUL without hardware support, or a value outside the defined
+// set — stores Backend64 instead, so the dispatchers never observe an
+// unexecutable selection; callers that must know whether the request
+// took effect check Supported first or CurrentBackend after.
 func SetBackend(b Backend) Backend {
+	if !Supported(b) {
+		b = Backend64
+	}
 	return Backend(backend.Swap(uint32(b)))
 }
 
 // Mul returns a*b. On Backend32 it runs the paper's LD with fixed
-// registers (§4.2.2); on Backend64 the 64-bit windowed LD.
+// registers (§4.2.2); otherwise the selected 64-bit multiplier via the
+// dispatching Mul64.
 func Mul(a, b Elem) Elem {
-	if CurrentBackend() == Backend64 {
+	if CurrentBackend() != Backend32 {
 		return Mul64(ToElem64(a), ToElem64(b)).Elem()
 	}
 	return MulLDFixed(a, b)
 }
 
-// Sqr returns a squared, with the interleaved table method of the
-// selected backend.
+// Sqr returns a squared, with the squaring method of the selected
+// backend.
 func Sqr(a Elem) Elem {
-	if CurrentBackend() == Backend64 {
+	if CurrentBackend() != Backend32 {
 		return Sqr64(ToElem64(a)).Elem()
 	}
 	return SqrInterleaved(a)
 }
 
 // SqrN squares a n times (computes a^(2^n)), a helper for inversion
-// chains and Frobenius powers. On Backend64 the whole chain runs in the
-// 64-bit representation, paying the word-size conversion once.
+// chains and Frobenius powers. On the 64-bit backends the whole chain
+// runs in the 64-bit representation, paying the word-size conversion
+// once.
 func SqrN(a Elem, n int) Elem {
-	if CurrentBackend() == Backend64 {
+	if CurrentBackend() != Backend32 {
 		return SqrN64(ToElem64(a), n).Elem()
 	}
 	for i := 0; i < n; i++ {
@@ -94,11 +203,13 @@ func SqrN(a Elem, n int) Elem {
 	return a
 }
 
-// Inv returns a^-1 via the extended Euclidean algorithm of the selected
-// backend. It reports ok=false for the zero element.
+// Inv returns a^-1 via the inversion method of the selected backend:
+// extended Euclidean on Backend32 and Backend64, Itoh–Tsujii on
+// BackendCLMUL (where squaring is cheap enough that the multiplicative
+// chain wins). It reports ok=false for the zero element.
 func Inv(a Elem) (Elem, bool) {
-	if CurrentBackend() == Backend64 {
-		inv, ok := Inv64(ToElem64(a))
+	if CurrentBackend() != Backend32 {
+		inv, ok := inv64Dispatch(ToElem64(a))
 		return inv.Elem(), ok
 	}
 	return InvEEA(a)

@@ -1,0 +1,53 @@
+package gf233
+
+// Named entry points of the CLMUL backend. Like the other named
+// variants (MulLDFixed, MulLD64, SqrSpread64, Inv64 ...), these always
+// run their own implementation regardless of the backend selection, so
+// benchmarks and differential tests can pin them; the backend-dispatched
+// hot paths are Mul64/Sqr64/SqrN64/MustInv64 in the sibling files. On
+// hardware without PCLMULQDQ each wrapper degrades to the portable
+// 64-bit routine, which is bit-identical, so calling them is always
+// safe — only HasCLMUL-gated benchmarks care about the difference.
+
+// MulClmul returns a*b via the PCLMULQDQ backend (one outer Karatsuba
+// split at 128 bits over 3-multiply inner Karatsubas: 9 carry-less
+// multiplies, then the branchless in-XMM fold). Falls back to MulLD64
+// without hardware support.
+func MulClmul(a, b Elem64) Elem64 {
+	if !canCLMUL {
+		return MulLD64(a, b)
+	}
+	var z Elem64
+	mulClmulAsm(&z, &a, &b)
+	return z
+}
+
+// SqrClmul returns a squared via the PCLMULQDQ backend: four
+// self-products spread the bits to double width (PCLMULQDQ(w,w) is
+// exactly the squaring bit-interleave), then the in-XMM fold reduces.
+// Falls back to SqrSpread64 without hardware support.
+func SqrClmul(a Elem64) Elem64 {
+	if !canCLMUL {
+		return SqrSpread64(a)
+	}
+	var z Elem64
+	sqrClmulAsm(&z, &a)
+	return z
+}
+
+// SqrNClmul squares a n times (computes a^(2^n)) in a single assembly
+// loop with lazily reduced iterations — the workhorse of the
+// Itoh–Tsujii inversion chain, whose 232 dependent squarings would
+// otherwise pay a call and a full reduction each. Falls back to the
+// portable squaring loop without hardware support.
+func SqrNClmul(a Elem64, n int) Elem64 {
+	if !canCLMUL {
+		for i := 0; i < n; i++ {
+			a = SqrSpread64(a)
+		}
+		return a
+	}
+	var z Elem64
+	sqrNClmulAsm(&z, &a, n)
+	return z
+}

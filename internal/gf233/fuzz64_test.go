@@ -45,8 +45,9 @@ func seedCorpus(f *testing.F, pair bool) {
 	}
 }
 
-// FuzzMul64VsRef cross-checks both 64-bit multiplications against the
-// three 32-bit LD variants and the gf2 big-polynomial oracle.
+// FuzzMul64VsRef cross-checks both pure-Go 64-bit multiplications
+// against the three 32-bit LD variants and the gf2 big-polynomial
+// oracle.
 func FuzzMul64VsRef(f *testing.F) {
 	seedCorpus(f, true)
 	mod := Modulus()
@@ -63,13 +64,48 @@ func FuzzMul64VsRef(f *testing.F) {
 			{"MulLD", MulLD(a, b)},
 			{"MulLDRotating", MulLDRotating(a, b)},
 			{"MulLDFixed", MulLDFixed(a, b)},
-			{"Mul64", Mul64(ToElem64(a), ToElem64(b)).Elem()},
+			{"MulLD64", MulLD64(ToElem64(a), ToElem64(b)).Elem()},
 			{"MulKaratsuba64", MulKaratsuba64(ToElem64(a), ToElem64(b)).Elem()},
 		}
 		for _, r := range refs {
 			if !gf2.Equal(r.got.Poly(), want) {
 				t.Fatalf("%s(%v, %v) = %v, oracle %v", r.name, a, b, r.got.Poly(), want)
 			}
+		}
+	})
+}
+
+// FuzzMulClmulVsRef cross-checks the PCLMULQDQ multiplication against
+// the 32-bit reference, the windowed LD, and the gf2 oracle — all three
+// backends must be bit-identical on every input. On hardware without
+// CLMUL the wrapper degrades to MulLD64, so the target still runs (the
+// comparison is then between the two pure-Go paths); the dispatching
+// Mul64 is pinned to BackendCLMUL for the duration so the entry point
+// every point-arithmetic loop calls is the thing being fuzzed.
+func FuzzMulClmulVsRef(f *testing.F) {
+	seedCorpus(f, true)
+	mod := Modulus()
+	f.Fuzz(func(t *testing.T, ab, bb []byte) {
+		if len(ab) < 4*NumWords || len(bb) < 4*NumWords {
+			t.Skip()
+		}
+		a, b := elemFromFuzz(ab), elemFromFuzz(bb)
+		a64, b64 := ToElem64(a), ToElem64(b)
+		want := gf2.Mod(gf2.Mul(a.Poly(), b.Poly()), mod)
+		if got := MulClmul(a64, b64).Elem(); !gf2.Equal(got.Poly(), want) {
+			t.Fatalf("MulClmul(%v, %v) = %v, oracle %v", a, b, got.Poly(), want)
+		}
+		if got, ld := MulClmul(a64, b64), MulLD64(a64, b64); got != ld {
+			t.Fatalf("MulClmul(%v, %v) = %v, MulLD64 %v", a, b, got.Elem(), ld.Elem())
+		}
+		if got, ref := MulClmul(a64, b64).Elem(), MulLDFixed(a, b); got != ref {
+			t.Fatalf("MulClmul(%v, %v) = %v, 32-bit reference %v", a, b, got, ref)
+		}
+		prev := SetBackend(BackendCLMUL)
+		got := Mul64(a64, b64)
+		SetBackend(prev)
+		if got != MulClmul(a64, b64) {
+			t.Fatalf("dispatching Mul64 diverged from MulClmul on %v * %v", a, b)
 		}
 	})
 }
@@ -88,11 +124,11 @@ func FuzzSqrInv64VsRef(f *testing.F) {
 		a64 := ToElem64(a)
 
 		wantSqr := gf2.Mod(gf2.Mul(a.Poly(), a.Poly()), mod)
-		if got := Sqr64(a64).Elem(); !gf2.Equal(got.Poly(), wantSqr) {
-			t.Fatalf("Sqr64(%v) = %v, oracle %v", a, got.Poly(), wantSqr)
+		if got := SqrSpread64(a64).Elem(); !gf2.Equal(got.Poly(), wantSqr) {
+			t.Fatalf("SqrSpread64(%v) = %v, oracle %v", a, got.Poly(), wantSqr)
 		}
-		if got, want := Sqr64(a64).Elem(), SqrInterleaved(a); got != want {
-			t.Fatalf("Sqr64(%v) = %v, reference %v", a, got, want)
+		if got, want := SqrSpread64(a64).Elem(), SqrInterleaved(a); got != want {
+			t.Fatalf("SqrSpread64(%v) = %v, reference %v", a, got, want)
 		}
 
 		inv, ok := Inv64(a64)
@@ -106,8 +142,65 @@ func FuzzSqrInv64VsRef(f *testing.F) {
 		if inv.Elem() != refInv {
 			t.Fatalf("Inv64(%v) = %v, reference %v", a, inv.Elem(), refInv)
 		}
-		if prod := Mul64(a64, inv); prod != One64 {
+		if prod := MulLD64(a64, inv); prod != One64 {
 			t.Fatalf("%v * Inv64 = %v, want 1", a, prod.Elem())
+		}
+	})
+}
+
+// FuzzSqrInvClmulVsRef cross-checks the PCLMULQDQ squaring (single and
+// n-fold) and the Itoh–Tsujii inversion against the pure-Go 64-bit
+// path, the 32-bit reference and the gf2 oracle. The n-fold squaring is
+// exercised at the exact chain lengths the Itoh–Tsujii inversion uses,
+// which covers the lazily reduced assembly loop at every hop of the
+// addition chain.
+func FuzzSqrInvClmulVsRef(f *testing.F) {
+	seedCorpus(f, false)
+	mod := Modulus()
+	f.Fuzz(func(t *testing.T, ab []byte) {
+		if len(ab) < 4*NumWords {
+			t.Skip()
+		}
+		a := elemFromFuzz(ab)
+		a64 := ToElem64(a)
+
+		wantSqr := gf2.Mod(gf2.Mul(a.Poly(), a.Poly()), mod)
+		if got := SqrClmul(a64).Elem(); !gf2.Equal(got.Poly(), wantSqr) {
+			t.Fatalf("SqrClmul(%v) = %v, oracle %v", a, got.Poly(), wantSqr)
+		}
+		if got, want := SqrClmul(a64), SqrSpread64(a64); got != want {
+			t.Fatalf("SqrClmul(%v) = %v, SqrSpread64 %v", a, got.Elem(), want.Elem())
+		}
+		for _, n := range []int{0, 1, 3, 7, 14, 29, 58, 116, 232} {
+			want := a64
+			for i := 0; i < n; i++ {
+				want = SqrSpread64(want)
+			}
+			if got := SqrNClmul(a64, n); got != want {
+				t.Fatalf("SqrNClmul(%v, %d) = %v, want %v", a, n, got.Elem(), want.Elem())
+			}
+		}
+
+		itInv, itOK := InvItohTsujii64(a64)
+		refInv, refOK := Inv64(a64)
+		if itOK != refOK {
+			t.Fatalf("InvItohTsujii64(%v) ok=%v, Inv64 ok=%v", a, itOK, refOK)
+		}
+		if !itOK {
+			return
+		}
+		if itInv != refInv {
+			t.Fatalf("InvItohTsujii64(%v) = %v, Inv64 %v", a, itInv.Elem(), refInv.Elem())
+		}
+		prev := SetBackend(BackendCLMUL)
+		dispInv, dispOK := inv64Dispatch(a64)
+		prod := Mul64(a64, itInv)
+		SetBackend(prev)
+		if !dispOK || dispInv != refInv {
+			t.Fatalf("dispatched inversion of %v = %v (ok=%v), want %v", a, dispInv.Elem(), dispOK, refInv.Elem())
+		}
+		if prod != One64 {
+			t.Fatalf("%v * InvItohTsujii64 = %v, want 1", a, prod.Elem())
 		}
 	})
 }

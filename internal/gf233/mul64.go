@@ -1,8 +1,10 @@
 package gf233
 
-// 64-bit López-Dahab multiplication. Two variants are provided:
+// 64-bit multiplication. Mul64 is the dispatching entry point the
+// point-arithmetic hot loops call; it selects between the
+// implementations:
 //
-//	Mul64          — w=4 windowed LD with the whole double-width
+//	MulLD64        — w=4 windowed LD with the whole double-width
 //	                 accumulator held in scalar locals, the 64-bit port
 //	                 of the paper's "LD with fixed registers" idea: on a
 //	                 16-register host the entire 8-word accumulator fits
@@ -12,9 +14,11 @@ package gf233
 //	                 windowed LD half-products, the classic alternative
 //	                 for doubling word size, kept as an ablation and as
 //	                 an independent implementation for differential
-//	                 testing.
+//	                 testing;
+//	MulClmul       — the PCLMULQDQ assembly path (clmul.go), selected by
+//	                 Mul64 when the CLMUL backend is active.
 //
-// Both produce bit-identical results to the 32-bit reference methods
+// All produce bit-identical results to the 32-bit reference methods
 // A/B/C; fuzz64_test.go enforces that.
 
 // mulTable64 holds the LD precomputation table T(u) = u(z)·y(z) for all
@@ -42,10 +46,25 @@ func buildTable64(y Elem64) mulTable64 {
 	return t
 }
 
-// Mul64 returns a*b in the 64-bit backend (windowed LD, fixed
-// registers): the raw 466-bit product is accumulated in eight scalar
-// locals and reduced without ever touching an accumulator array.
+// Mul64 returns a*b in the 64-bit representation, via the multiplier
+// of the selected backend: PCLMULQDQ assembly when BackendCLMUL is
+// active, the windowed LD otherwise. This is the multiplication every
+// 64-bit point-arithmetic path (internal/ec, internal/core,
+// internal/engine) calls, so backend selection reaches them with zero
+// call-site changes.
 func Mul64(a, b Elem64) Elem64 {
+	if CurrentBackend() == BackendCLMUL {
+		var z Elem64
+		mulClmulAsm(&z, &a, &b)
+		return z
+	}
+	return MulLD64(a, b)
+}
+
+// MulLD64 returns a*b via the portable windowed LD with fixed
+// registers: the raw 466-bit product is accumulated in eight scalar
+// locals and reduced without ever touching an accumulator array.
+func MulLD64(a, b Elem64) Elem64 {
 	t := buildTable64(b)
 	var c0, c1, c2, c3, c4, c5, c6, c7 uint64
 	a0, a1, a2, a3 := a[0], a[1], a[2], a[3]

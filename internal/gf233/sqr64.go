@@ -20,10 +20,24 @@ func spread64(w uint32) uint64 {
 	return v
 }
 
-// Sqr64 returns a squared in the 64-bit backend. The double-width
-// expansion never touches memory: all eight words stay in scalar
-// locals through the branchless reduction.
+// Sqr64 returns a squared in the 64-bit representation, via the
+// squaring of the selected backend: PCLMULQDQ self-products when
+// BackendCLMUL is active, the mask-cascade spread otherwise. Like
+// Mul64, this is the dispatching entry point the point-arithmetic hot
+// loops call.
 func Sqr64(a Elem64) Elem64 {
+	if CurrentBackend() == BackendCLMUL {
+		var z Elem64
+		sqrClmulAsm(&z, &a)
+		return z
+	}
+	return SqrSpread64(a)
+}
+
+// SqrSpread64 returns a squared via the portable mask-cascade spread.
+// The double-width expansion never touches memory: all eight words
+// stay in scalar locals through the branchless reduction.
+func SqrSpread64(a Elem64) Elem64 {
 	return reduce64Regs(
 		spread64(uint32(a[0])), spread64(uint32(a[0]>>32)),
 		spread64(uint32(a[1])), spread64(uint32(a[1]>>32)),
@@ -33,10 +47,18 @@ func Sqr64(a Elem64) Elem64 {
 }
 
 // SqrN64 squares a n times (computes a^(2^n)) without leaving the
-// 64-bit representation.
+// 64-bit representation. On the CLMUL backend the whole chain runs
+// inside one assembly loop with lazily reduced iterations, which is
+// what makes the Itoh–Tsujii inversion's 232 dependent squarings
+// cheap.
 func SqrN64(a Elem64, n int) Elem64 {
+	if CurrentBackend() == BackendCLMUL {
+		var z Elem64
+		sqrNClmulAsm(&z, &a, n)
+		return z
+	}
 	for i := 0; i < n; i++ {
-		a = Sqr64(a)
+		a = SqrSpread64(a)
 	}
 	return a
 }
