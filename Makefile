@@ -20,10 +20,15 @@
 #                  batch-engine benchmarks (Validate, ECDH, Sign,
 #                  Verify/BatchVerify, InvBatch64)
 #   make load    - a quick eccload sweep of the batch engine
+#   make serve-smoke - end-to-end check of the serving stack: boots
+#                  eccserve on a loopback port, drives it with
+#                  eccload's network mode, asserts non-zero throughput
+#                  with zero sheds/errors, then requires a clean
+#                  SIGTERM drain
 
 GO ?= go
 
-.PHONY: all build vet test test64 race fuzz alloc api bench load ci
+.PHONY: all build vet test test64 race fuzz alloc api bench load serve-smoke ci
 
 all: ci
 
@@ -78,4 +83,7 @@ bench:
 load:
 	$(GO) run ./cmd/eccload -op ecdh -gs 1,8 -batches 1,32 -dur 2s
 
-ci: build vet race test64 fuzz alloc api
+serve-smoke:
+	GO="$(GO)" sh scripts/serve_smoke.sh
+
+ci: build vet race test64 fuzz alloc api serve-smoke

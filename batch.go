@@ -13,6 +13,7 @@ package repro
 import (
 	"io"
 	"math/big"
+	"time"
 
 	"repro/internal/core"
 	"repro/internal/engine"
@@ -25,6 +26,11 @@ type ECDHResult = engine.ECDHResult
 // SignResult is one BatchSign outcome.
 type SignResult = engine.SignResult
 
+// ErrEngineClosed is returned by every BatchEngine submit path once
+// Close has been called (or while it is in progress): submissions may
+// race a server drain freely and fail cleanly instead of panicking.
+var ErrEngineClosed = engine.ErrEngineClosed
+
 // EngineOption configures a BatchEngine at construction
 // (NewBatchEngine).
 type EngineOption func(*engineOptions)
@@ -34,25 +40,70 @@ type engineOptions struct {
 	warm bool
 }
 
+// clampOption folds an option value into [0, max]: negatives select
+// the documented default (0), excessive values saturate at the
+// engine's hard cap. The engine re-validates at construction, so a
+// Config assembled without the options is clamped identically.
+func clampOption(n, max int) int {
+	if n < 0 {
+		return 0
+	}
+	if n > max {
+		return max
+	}
+	return n
+}
+
 // WithMaxBatch caps how many requests one worker drains into a single
 // batch. Bigger batches amortise the batched inversions further but
 // add head-of-line latency under light load. n <= 0 (and the default)
 // means 32, past which the inversion share of an op is already down
-// in the noise (see cmd/eccload).
+// in the noise (see cmd/eccload); values beyond the engine's hard cap
+// (65536) saturate rather than overflowing queue sizing.
 func WithMaxBatch(n int) EngineOption {
-	return func(o *engineOptions) { o.cfg.MaxBatch = n }
+	return func(o *engineOptions) { o.cfg.MaxBatch = clampOption(n, engine.MaxBatchLimit) }
 }
 
 // WithWorkers sets the number of processing goroutines, each with its
-// own scratch state. n <= 0 (and the default) means GOMAXPROCS.
+// own scratch state. n <= 0 (and the default) means GOMAXPROCS;
+// values beyond the engine's hard cap (4096) saturate.
 func WithWorkers(n int) EngineOption {
-	return func(o *engineOptions) { o.cfg.Workers = n }
+	return func(o *engineOptions) { o.cfg.Workers = clampOption(n, engine.WorkersLimit) }
 }
 
 // WithQueueDepth sets the request channel depth. n <= 0 (and the
-// default) means 2 · MaxBatch · Workers.
+// default) means 2 · MaxBatch · Workers; values beyond the engine's
+// hard cap (262144) saturate.
 func WithQueueDepth(n int) EngineOption {
-	return func(o *engineOptions) { o.cfg.Queue = n }
+	return func(o *engineOptions) { o.cfg.Queue = clampOption(n, engine.QueueLimit) }
+}
+
+// WithBatchWindow bounds how long a worker holds a non-full batch
+// open waiting for more requests: a batch closes when it reaches the
+// MaxBatch cap OR when the window expires, whichever comes first. The
+// default (0) keeps the greedy-drain behaviour — whatever is already
+// queued runs immediately, so light load sees batch-of-one latency. A
+// serving front end that wants real batches at moderate arrival rates
+// sets a small window (hundreds of microseconds) and accepts that the
+// idle-load p99 is bounded by roughly the window instead of a single
+// op; see cmd/eccserve.
+func WithBatchWindow(d time.Duration) EngineOption {
+	return func(o *engineOptions) {
+		if d < 0 {
+			d = 0
+		}
+		o.cfg.BatchWindow = d
+	}
+}
+
+// WithBatchObserver registers f to observe every processed batch with
+// its size, after the kernel ran and before the batch's submitters
+// unblock. f is called from worker goroutines concurrently and must
+// be fast and safe for concurrent use (atomic counters, histogram
+// buckets) — it is the hook cmd/eccserve's batch-size histogram and
+// batches-total counters hang off.
+func WithBatchObserver(f func(batchSize int)) EngineOption {
+	return func(o *engineOptions) { o.cfg.OnBatch = f }
 }
 
 // WithWarmTables controls whether the shared precomputation tables
@@ -66,7 +117,8 @@ func WithWarmTables(warm bool) EngineOption {
 
 // BatchEngine batches concurrent ECC requests. All methods are safe
 // for concurrent use. Construct with NewBatchEngine and Close when
-// done; no submissions may follow Close.
+// done; submissions after (or racing with) Close fail with
+// ErrEngineClosed.
 type BatchEngine struct {
 	e *engine.Engine
 }
@@ -86,12 +138,16 @@ func NewBatchEngine(opts ...EngineOption) *BatchEngine {
 	return &BatchEngine{e: engine.New(o.cfg)}
 }
 
-// Close drains in-flight requests and stops the workers.
+// Close drains in-flight requests and stops the workers. It is
+// idempotent, and submissions racing with it fail with
+// ErrEngineClosed rather than panicking.
 func (b *BatchEngine) Close() { b.e.Close() }
 
 // ScalarMult computes k·P, batched with whatever else is in flight.
-// P must lie in the prime-order subgroup (see ValidatePoint).
-func (b *BatchEngine) ScalarMult(k *big.Int, p Point) Point {
+// P must lie in the prime-order subgroup (see ValidatePoint). The
+// error is non-nil only for engine-lifecycle failures
+// (ErrEngineClosed, a recovered batch panic).
+func (b *BatchEngine) ScalarMult(k *big.Int, p Point) (Point, error) {
 	return b.e.ScalarMult(k, p)
 }
 
@@ -154,8 +210,11 @@ func (b *BatchEngine) SignInto(sig *Signature, priv *PrivateKey, digest []byte, 
 // public point, batched with whatever else is in flight: all s⁻¹
 // computations in a batch share one Montgomery-trick mod-n inversion,
 // and the final projective-to-affine conversions share the batch-wide
-// field inversion. Semantics match the one-shot Verify.
-func (b *BatchEngine) Verify(pub Point, digest []byte, sig *Signature) bool {
+// field inversion. Semantics match the one-shot Verify; the error is
+// non-nil only for engine-lifecycle failures (ErrEngineClosed, a
+// recovered batch panic), never for an invalid signature — that is
+// ok == false.
+func (b *BatchEngine) Verify(pub Point, digest []byte, sig *Signature) (bool, error) {
 	return b.e.Verify(pub, nil, digest, sig)
 }
 
@@ -163,7 +222,7 @@ func (b *BatchEngine) Verify(pub Point, digest []byte, sig *Signature) bool {
 // precomputed verification table (PublicKey.Precompute), the batched
 // kernel uses it, dropping the per-verification table build on top of
 // the batch amortisations.
-func (b *BatchEngine) VerifyKey(pub *PublicKey, digest []byte, sig *Signature) bool {
+func (b *BatchEngine) VerifyKey(pub *PublicKey, digest []byte, sig *Signature) (bool, error) {
 	return b.e.Verify(pub.point, pub.verifyTable(), digest, sig)
 }
 

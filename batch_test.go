@@ -3,9 +3,14 @@ package repro
 import (
 	"bytes"
 	"crypto/sha256"
+	"errors"
+	"math"
 	"math/big"
 	"math/rand"
+	"sync"
+	"sync/atomic"
 	"testing"
+	"time"
 )
 
 // TestPublicBatchAPI exercises the repro-level batch surface against
@@ -116,7 +121,96 @@ func TestPublicBatchAPI(t *testing.T) {
 			t.Fatalf("digest %d: BatchSign nil-rand diverged from SignDeterministic", i)
 		}
 	}
-	if got := e.ScalarMult(big.NewInt(9), Generator()); !got.Equal(ScalarBaseMult(big.NewInt(9))) {
-		t.Fatal("engine ScalarMult diverged")
+	if got, err := e.ScalarMult(big.NewInt(9), Generator()); err != nil || !got.Equal(ScalarBaseMult(big.NewInt(9))) {
+		t.Fatalf("engine ScalarMult diverged (err=%v)", err)
+	}
+	// The batched verifier through both public entry points.
+	if ok, err := e.Verify(priv.PublicKey().Point(), digests[0], sig); err != nil || !ok {
+		t.Fatalf("engine Verify rejected a valid signature (err=%v)", err)
+	}
+	pub := priv.PublicKey()
+	pub.Precompute()
+	if ok, err := e.VerifyKey(pub, digests[0], sig); err != nil || !ok {
+		t.Fatalf("engine VerifyKey rejected a valid signature (err=%v)", err)
+	}
+	if ok, err := e.VerifyKey(pub, digests[1], sig); err != nil || ok {
+		t.Fatalf("engine VerifyKey accepted a signature over the wrong digest (err=%v)", err)
+	}
+}
+
+// TestBatchEngineLifecycle pins the public lifecycle contract: Close
+// is idempotent, and every submit path afterwards fails with
+// ErrEngineClosed instead of panicking — the drain behaviour
+// cmd/eccserve leans on.
+func TestBatchEngineLifecycle(t *testing.T) {
+	rnd := rand.New(rand.NewSource(81))
+	priv, err := GenerateKey(rnd)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := sha256.Sum256([]byte("lifecycle"))
+	e := NewBatchEngine(WithMaxBatch(4), WithWorkers(1), WithWarmTables(false))
+	e.Close()
+	e.Close() // idempotent
+	if _, err := e.ScalarMult(big.NewInt(2), Generator()); !errors.Is(err, ErrEngineClosed) {
+		t.Fatalf("ScalarMult after Close: %v, want ErrEngineClosed", err)
+	}
+	if _, err := e.Sign(priv, d[:], rnd); !errors.Is(err, ErrEngineClosed) {
+		t.Fatalf("Sign after Close: %v, want ErrEngineClosed", err)
+	}
+	if _, err := e.SharedSecretKey(priv, priv.PublicKey()); !errors.Is(err, ErrEngineClosed) {
+		t.Fatalf("SharedSecretKey after Close: %v, want ErrEngineClosed", err)
+	}
+	if _, err := e.Verify(priv.PublicKey().Point(), d[:], &Signature{R: big.NewInt(1), S: big.NewInt(1)}); !errors.Is(err, ErrEngineClosed) {
+		t.Fatalf("Verify after Close: %v, want ErrEngineClosed", err)
+	}
+}
+
+// TestBatchEngineOptionClamps checks hostile option values come up as
+// a working engine instead of panicking in channel construction.
+func TestBatchEngineOptionClamps(t *testing.T) {
+	e := NewBatchEngine(
+		WithMaxBatch(math.MaxInt),
+		WithWorkers(2),
+		WithQueueDepth(math.MaxInt),
+		WithBatchWindow(-time.Second),
+		WithWarmTables(false),
+	)
+	defer e.Close()
+	if got, err := e.ScalarMult(big.NewInt(3), Generator()); err != nil || !got.Equal(ScalarBaseMult(big.NewInt(3))) {
+		t.Fatalf("clamped engine diverged (err=%v)", err)
+	}
+}
+
+// TestBatchEngineWindowObserver drives an engine configured with a
+// batch window and an observer through the public options and checks
+// requests coalesce.
+func TestBatchEngineWindowObserver(t *testing.T) {
+	var batches, ops atomic.Int64
+	e := NewBatchEngine(
+		WithMaxBatch(8),
+		WithWorkers(1),
+		WithBatchWindow(50*time.Millisecond),
+		WithBatchObserver(func(n int) { batches.Add(1); ops.Add(int64(n)) }),
+		WithWarmTables(false),
+	)
+	defer e.Close()
+	const G = 6
+	var wg sync.WaitGroup
+	for i := 0; i < G; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			if _, err := e.ScalarMult(big.NewInt(int64(i+2)), Generator()); err != nil {
+				t.Error(err)
+			}
+		}(i)
+	}
+	wg.Wait()
+	if got := ops.Load(); got != G {
+		t.Fatalf("observer saw %d ops, want %d", got, G)
+	}
+	if got := batches.Load(); got >= G {
+		t.Fatalf("window formed no batches: %d batches for %d ops", got, G)
 	}
 }

@@ -7,6 +7,12 @@
 //
 //	eccload -op ecdh -gs 1,8 -batches 1,32 -dur 2s
 //
+// With -addr it becomes a network client instead, driving a running
+// cmd/eccserve over the internal/frame protocol and reporting
+// end-to-end ops/s and latency percentiles:
+//
+//	eccload -addr 127.0.0.1:9233 -op mixed -gs 4 -dur 2s
+//
 // The interesting column is the speedup at realistic server settings
 // (many goroutines, batch ≈ 32): that is where the engine's amortised
 // inversions, τ-adic validation and allocation-free scratch paths pay.
@@ -35,7 +41,8 @@ import (
 )
 
 var (
-	opFlag      = flag.String("op", "ecdh", "operation to load: ecdh, sign, verify, or scalarmult")
+	addrFlag    = flag.String("addr", "", "network mode: drive a running eccserve at this address instead of in-process engines")
+	opFlag      = flag.String("op", "ecdh", "operation to load: ecdh, sign, verify, or scalarmult (network mode adds ping and mixed)")
 	gsFlag      = flag.String("gs", "1,2,4,8", "comma-separated client goroutine counts to sweep")
 	batchesFlag = flag.String("batches", "1,8,32", "comma-separated engine batch sizes to sweep")
 	durFlag     = flag.Duration("dur", 2*time.Second, "measurement duration per configuration")
@@ -123,6 +130,10 @@ func run(g int, dur time.Duration, stride int, op func(worker, i int)) result {
 
 func main() {
 	flag.Parse()
+	if *addrFlag != "" {
+		netMain(*addrFlag)
+		return
+	}
 	gs := parseList(*gsFlag)
 	batches := parseList(*batchesFlag)
 	workers := *workersFlag
@@ -374,13 +385,15 @@ func engineOp(op string, e *repro.BatchEngine, priv *repro.PrivateKey, peers []e
 		pub.Precompute()
 		return func(w, i int) {
 			idx := (w + i) % len(digests)
-			if !e.VerifyKey(pub, digests[idx], sigs[idx]) {
+			if ok, err := e.VerifyKey(pub, digests[idx], sigs[idx]); err != nil || !ok {
 				panic("eccload: engine verify rejected a valid signature")
 			}
 		}
 	case "scalarmult":
 		return func(w, i int) {
-			e.ScalarMult(scalars[(w+i)%len(scalars)], peers[(w+i+1)%len(peers)])
+			if _, err := e.ScalarMult(scalars[(w+i)%len(scalars)], peers[(w+i+1)%len(peers)]); err != nil {
+				panic(err)
+			}
 		}
 	default:
 		fmt.Fprintf(os.Stderr, "eccload: unknown op %q\n", op)

@@ -1,0 +1,246 @@
+// Network client mode: -addr points eccload at a running eccserve and
+// the sweep drives the wire protocol instead of in-process engines,
+// measuring end-to-end ops/s and latency percentiles — protocol
+// framing, server batching window and all.
+package main
+
+import (
+	"bytes"
+	"fmt"
+	"math/rand"
+	"net"
+	"os"
+	"runtime"
+	"sync/atomic"
+	"time"
+
+	"repro"
+	"repro/internal/frame"
+)
+
+// netFixtures is the deterministic client-side corpus: a pool of
+// keypairs (so the server's key-table cache sees a realistic working
+// set), raw signatures over a digest pool, and per-key expected ECDH
+// secrets derived after the ping handshake.
+type netFixtures struct {
+	serverPub *repro.PublicKey
+	keys      [][]byte            // compressed public keys
+	privs     []*repro.PrivateKey // matching private keys
+	digests   [][]byte
+	sigs      [][]byte // raw signatures: sigs[i] by keys[i%len(keys)] over digests[i]
+	secrets   [][]byte // expected ECDH secret per key against the server
+}
+
+const netKeyPool = 16
+const netDigestPool = 64
+
+func buildNetFixtures(serverKey []byte) (*netFixtures, error) {
+	serverPub, err := repro.NewPublicKey(serverKey)
+	if err != nil {
+		return nil, fmt.Errorf("server announced an invalid key: %w", err)
+	}
+	fx := &netFixtures{serverPub: serverPub}
+	rnd := rand.New(rand.NewSource(42))
+	for i := 0; i < netKeyPool; i++ {
+		priv, err := repro.GenerateKey(rnd)
+		if err != nil {
+			return nil, err
+		}
+		fx.privs = append(fx.privs, priv)
+		fx.keys = append(fx.keys, priv.PublicKey().BytesCompressed())
+		secret, err := priv.SharedSecret(serverPub)
+		if err != nil {
+			return nil, err
+		}
+		fx.secrets = append(fx.secrets, secret)
+	}
+	for i := 0; i < netDigestPool; i++ {
+		d := make([]byte, 32)
+		rnd.Read(d)
+		fx.digests = append(fx.digests, d)
+		sig, err := repro.SignDeterministic(fx.privs[i%netKeyPool], d)
+		if err != nil {
+			return nil, err
+		}
+		fx.sigs = append(fx.sigs, sig.Bytes())
+	}
+	return fx, nil
+}
+
+// netCounters aggregates outcomes across workers. Overload responses
+// are not errors — they are the server's backpressure working — but
+// they are not counted as completed ops either.
+type netCounters struct {
+	shed atomic.Int64
+	errs atomic.Int64
+}
+
+// netOp returns the per-goroutine loop body for one wire operation.
+// Each worker owns one connection (the synchronous one-in-flight
+// client shape); responses are structurally checked on every op and
+// cryptographically spot-checked on a sample.
+func netOp(op string, conns []*frame.Conn, fx *netFixtures, c *netCounters) func(int, int) {
+	fail := func(w int, format string, args ...any) {
+		c.errs.Add(1)
+		fmt.Fprintf(os.Stderr, "eccload: worker %d: "+format+"\n", append([]any{w}, args...)...)
+	}
+	ping := func(w, i int) {
+		f, err := conns[w].Roundtrip(uint64(i+1), frame.TPing)
+		if err != nil {
+			fail(w, "ping: %v", err)
+			return
+		}
+		if f.Type != frame.TOK || len(f.Payload) != frame.KeySize {
+			fail(w, "ping: response type %#x len %d", f.Type, len(f.Payload))
+		}
+	}
+	sign := func(w, i int) {
+		d := fx.digests[(w+i)%len(fx.digests)]
+		f, err := conns[w].Roundtrip(uint64(i+1), frame.TSign, d)
+		if err != nil {
+			fail(w, "sign: %v", err)
+			return
+		}
+		switch f.Type {
+		case frame.TOK:
+			if len(f.Payload) != frame.SigSize {
+				fail(w, "sign: %d-byte signature", len(f.Payload))
+				return
+			}
+			if i%64 == 0 {
+				sig, err := repro.ParseSignature(f.Payload)
+				if err != nil || !fx.serverPub.Verify(d, sig) {
+					fail(w, "sign: server signature failed local verification (%v)", err)
+				}
+			}
+		case frame.TOverload:
+			c.shed.Add(1)
+		default:
+			fail(w, "sign: response type %#x", f.Type)
+		}
+	}
+	verify := func(w, i int) {
+		idx := (w + i) % len(fx.digests)
+		req := frame.AppendVerify(nil, fx.keys[idx%netKeyPool], fx.sigs[idx], fx.digests[idx])
+		f, err := conns[w].Roundtrip(uint64(i+1), frame.TVerify, req)
+		if err != nil {
+			fail(w, "verify: %v", err)
+			return
+		}
+		switch f.Type {
+		case frame.TOK:
+			if !bytes.Equal(f.Payload, []byte{1}) {
+				fail(w, "verify: server rejected a valid signature")
+			}
+		case frame.TOverload:
+			c.shed.Add(1)
+		default:
+			fail(w, "verify: response type %#x", f.Type)
+		}
+	}
+	ecdh := func(w, i int) {
+		k := (w + i) % netKeyPool
+		f, err := conns[w].Roundtrip(uint64(i+1), frame.TECDH, fx.keys[k])
+		if err != nil {
+			fail(w, "ecdh: %v", err)
+			return
+		}
+		switch f.Type {
+		case frame.TOK:
+			if !bytes.Equal(f.Payload, fx.secrets[k]) {
+				fail(w, "ecdh: secret mismatch")
+			}
+		case frame.TOverload:
+			c.shed.Add(1)
+		default:
+			fail(w, "ecdh: response type %#x", f.Type)
+		}
+	}
+	switch op {
+	case "ping":
+		return ping
+	case "sign":
+		return sign
+	case "verify":
+		return verify
+	case "ecdh":
+		return ecdh
+	case "mixed":
+		return func(w, i int) {
+			switch i % 3 {
+			case 0:
+				sign(w, i)
+			case 1:
+				verify(w, i)
+			default:
+				ecdh(w, i)
+			}
+		}
+	default:
+		fmt.Fprintf(os.Stderr, "eccload: unknown network op %q (want ping, sign, verify, ecdh or mixed)\n", op)
+		os.Exit(2)
+		return nil
+	}
+}
+
+// netMain is the -addr entry point: sweep goroutine counts against a
+// live server and report end-to-end throughput and latency.
+func netMain(addr string) {
+	gs := parseList(*gsFlag)
+	maxG := 0
+	for _, g := range gs {
+		if g > maxG {
+			maxG = g
+		}
+	}
+
+	// Handshake on a throwaway connection: fetch the server identity
+	// the fixtures are built against.
+	hc, err := dialNet(addr)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "eccload:", err)
+		os.Exit(1)
+	}
+	f, err := hc.Roundtrip(1, frame.TPing)
+	if err != nil || f.Type != frame.TOK {
+		fmt.Fprintf(os.Stderr, "eccload: ping handshake failed (type %#x, err %v)\n", f.Type, err)
+		os.Exit(1)
+	}
+	fx, err := buildNetFixtures(f.Payload)
+	hc.Close()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "eccload:", err)
+		os.Exit(1)
+	}
+
+	conns := make([]*frame.Conn, maxG)
+	for i := range conns {
+		if conns[i], err = dialNet(addr); err != nil {
+			fmt.Fprintln(os.Stderr, "eccload:", err)
+			os.Exit(1)
+		}
+		defer conns[i].Close()
+	}
+
+	fmt.Printf("eccload: net addr=%s op=%s dur=%s GOMAXPROCS=%d\n",
+		addr, *opFlag, *durFlag, runtime.GOMAXPROCS(0))
+	var totalOps int
+	c := &netCounters{}
+	for _, g := range gs {
+		res := run(g, *durFlag, 1, netOp(*opFlag, conns, fx, c))
+		totalOps += res.ops
+		fmt.Printf("g=%-3d net        : %s\n", g, res)
+	}
+	fmt.Printf("eccload-net: ops=%d shed=%d errors=%d\n", totalOps, c.shed.Load(), c.errs.Load())
+	if c.errs.Load() > 0 {
+		os.Exit(1)
+	}
+}
+
+func dialNet(addr string) (*frame.Conn, error) {
+	nc, err := net.DialTimeout("tcp", addr, 5*time.Second)
+	if err != nil {
+		return nil, err
+	}
+	return frame.NewConn(nc), nil
+}

@@ -1,0 +1,129 @@
+package main
+
+import (
+	"sync"
+
+	"repro"
+)
+
+// keyCache maps compressed public keys to parsed, Precompute()d
+// repro.PublicKey values so repeat verifiers hit the w=10 fixed-window
+// table (~31 KiB each) instead of rebuilding it per request. It is an
+// LRU over the raw key bytes with singleflight semantics: concurrent
+// misses on the same key share one build instead of racing N table
+// constructions.
+type keyCache struct {
+	mu      sync.Mutex
+	cap     int
+	entries map[string]*keyEntry
+	// Intrusive doubly-linked LRU list; head.next is most recent,
+	// head.prev least recent. head itself is a sentinel.
+	head keyEntry
+
+	m *metrics
+}
+
+type keyEntry struct {
+	key        string
+	next, prev *keyEntry
+
+	// ready is closed once pub/err are final. Waiters block on it
+	// outside the cache lock, so a slow Precompute never serialises
+	// unrelated lookups.
+	ready chan struct{}
+	pub   *repro.PublicKey
+	err   error
+}
+
+func newKeyCache(capacity int, m *metrics) *keyCache {
+	if capacity < 1 {
+		capacity = 1
+	}
+	c := &keyCache{cap: capacity, entries: make(map[string]*keyEntry), m: m}
+	c.head.next = &c.head
+	c.head.prev = &c.head
+	return c
+}
+
+func (c *keyCache) unlink(e *keyEntry) {
+	e.prev.next = e.next
+	e.next.prev = e.prev
+	e.next, e.prev = nil, nil
+}
+
+func (c *keyCache) pushFront(e *keyEntry) {
+	e.next = c.head.next
+	e.prev = &c.head
+	e.next.prev = e
+	c.head.next = e
+}
+
+// get returns the parsed+precomputed key for raw compressed bytes,
+// building it at most once per residency. Errors are not cached: a
+// malformed key is removed so the map never pins garbage, and the
+// (cheap — parse fails before any table is built) work repeats on the
+// next request.
+func (c *keyCache) get(raw []byte) (*repro.PublicKey, error) {
+	k := string(raw)
+	c.mu.Lock()
+	if e, ok := c.entries[k]; ok {
+		c.unlink(e)
+		c.pushFront(e)
+		c.mu.Unlock()
+		c.m.cacheHits.Add(1)
+		<-e.ready
+		if e.err != nil {
+			return nil, e.err
+		}
+		return e.pub, nil
+	}
+	c.m.cacheMisses.Add(1)
+	e := &keyEntry{key: k, ready: make(chan struct{})}
+	c.entries[k] = e
+	c.pushFront(e)
+	c.mu.Unlock()
+
+	// Build outside the lock: parsing plus Precompute is the expensive
+	// part and other keys must not queue behind it.
+	c.m.cacheBuilds.Add(1)
+	pub, err := repro.NewPublicKey(raw)
+	if err == nil {
+		pub.Precompute()
+	}
+	e.pub, e.err = pub, err
+	close(e.ready)
+
+	c.mu.Lock()
+	if err != nil {
+		// Failed builds never become resident — a stream of malformed
+		// keys must not evict anyone's table. Only remove if this entry
+		// still owns the slot (a later build may own the key by now).
+		if cur, ok := c.entries[k]; ok && cur == e {
+			c.unlink(e)
+			delete(c.entries, k)
+		}
+		c.mu.Unlock()
+		return nil, err
+	}
+	// Eviction happens only once a build succeeds, so transient
+	// overshoot is bounded by the server's inflight cap. Never evict
+	// the entry just built.
+	for len(c.entries) > c.cap {
+		victim := c.head.prev
+		if victim == e {
+			break
+		}
+		c.unlink(victim)
+		delete(c.entries, victim.key)
+		c.m.cacheEvicts.Add(1)
+	}
+	c.mu.Unlock()
+	return pub, nil
+}
+
+// len reports the current number of resident entries.
+func (c *keyCache) len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.entries)
+}

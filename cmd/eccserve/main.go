@@ -1,0 +1,129 @@
+// Command eccserve is a sect233k1 sign/verify/ECDH service over the
+// length-prefixed binary protocol in internal/frame. It multiplexes
+// any number of clients onto per-core batch-engine shards so that
+// independent requests share the batch verifier's joint τNAF ladders
+// and the field layer's Montgomery-trick inversions — the paper's
+// throughput story, lifted from a CLI harness to a network daemon.
+//
+// Operational behaviour:
+//
+//   - Adaptive batching: a batch closes when it reaches -batch
+//     requests or when the -window deadline expires, whichever is
+//     first, so p99 stays bounded at low load while throughput climbs
+//     at high load.
+//   - Load shedding: at most -maxinflight requests run at once;
+//     beyond that clients get an explicit TOverload frame instead of
+//     unbounded queueing.
+//   - Key-table caching: verification keys are parsed and
+//     Precompute()d once, then held in an LRU (capacity -keycache)
+//     with singleflight building.
+//   - Graceful drain: SIGTERM/SIGINT stops accepting, answers new
+//     frames with TDraining, waits up to -drain for in-flight work,
+//     then exits 0.
+//   - Observability: -metrics serves Prometheus-text /metrics, expvar
+//     /debug/vars and the pprof suite.
+package main
+
+import (
+	"encoding/hex"
+	"flag"
+	"log"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+	"time"
+
+	"crypto/rand"
+
+	"repro"
+)
+
+func main() {
+	var (
+		addr     = flag.String("addr", "127.0.0.1:9233", "listen address for the frame protocol")
+		addrFile = flag.String("addr-file", "", "write the bound listen address to this file (for -addr with port 0)")
+		metrics  = flag.String("metrics", "", "listen address for /metrics, /debug/vars and /debug/pprof (empty = disabled)")
+		shards   = flag.Int("shards", 0, "engine shards (0 = GOMAXPROCS)")
+		batch    = flag.Int("batch", 32, "max requests per engine batch")
+		window   = flag.Duration("window", 200*time.Microsecond, "batch window: a partial batch closes after this deadline")
+		maxInfl  = flag.Int("maxinflight", 0, "max concurrent requests before shedding (0 = 4*shards*batch)")
+		cacheCap = flag.Int("keycache", 1024, "resident precomputed verification keys")
+		keyFile  = flag.String("key", "", "hex-encoded private key file (empty = ephemeral key)")
+		drain    = flag.Duration("drain", 5*time.Second, "max time to wait for in-flight requests on shutdown")
+	)
+	flag.Parse()
+	log.SetFlags(0)
+
+	priv, err := loadKey(*keyFile)
+	if err != nil {
+		log.Fatalf("eccserve: %v", err)
+	}
+
+	s := newServer(priv, serverConfig{
+		Shards:       *shards,
+		MaxBatch:     *batch,
+		Window:       *window,
+		MaxInflight:  *maxInfl,
+		KeyCacheCap:  *cacheCap,
+		DrainTimeout: *drain,
+	})
+
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		log.Fatalf("eccserve: listen: %v", err)
+	}
+	if *addrFile != "" {
+		if err := os.WriteFile(*addrFile, []byte(ln.Addr().String()), 0o644); err != nil {
+			log.Fatalf("eccserve: addr-file: %v", err)
+		}
+	}
+	log.Printf("eccserve: listening on %s (%d shards, batch %d, window %v)",
+		ln.Addr(), s.cfg.Shards, s.cfg.MaxBatch, s.cfg.Window)
+
+	if *metrics != "" {
+		mln, err := net.Listen("tcp", *metrics)
+		if err != nil {
+			log.Fatalf("eccserve: metrics listen: %v", err)
+		}
+		log.Printf("eccserve: metrics on http://%s/metrics", mln.Addr())
+		go func() {
+			if err := http.Serve(mln, metricsMux(s.m)); err != nil {
+				log.Printf("eccserve: metrics server: %v", err)
+			}
+		}()
+	}
+
+	sigc := make(chan os.Signal, 1)
+	signal.Notify(sigc, syscall.SIGTERM, syscall.SIGINT)
+	go func() {
+		sig := <-sigc
+		log.Printf("eccserve: %v: draining", sig)
+		s.shutdown()
+	}()
+
+	s.serve(ln)
+	// serve returns once the listener closes; wait for the drain to
+	// finish before exiting so in-flight responses get flushed.
+	s.shutdown()
+	log.Printf("eccserve: drained, bye")
+}
+
+// loadKey reads a hex-encoded private scalar from path, or generates
+// an ephemeral key when path is empty.
+func loadKey(path string) (*repro.PrivateKey, error) {
+	if path == "" {
+		return repro.GenerateKey(rand.Reader)
+	}
+	b, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	raw, err := hex.DecodeString(strings.TrimSpace(string(b)))
+	if err != nil {
+		return nil, err
+	}
+	return repro.NewPrivateKey(raw)
+}

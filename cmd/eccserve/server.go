@@ -1,0 +1,352 @@
+package main
+
+import (
+	"crypto/rand"
+	"errors"
+	"io"
+	"log"
+	"net"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro"
+	"repro/internal/frame"
+)
+
+// serverConfig carries the tunables from flag parsing (and from the
+// integration tests, which construct servers directly).
+type serverConfig struct {
+	Shards       int           // engine shards; 0 = GOMAXPROCS
+	MaxBatch     int           // per-shard batch ceiling
+	Window       time.Duration // adaptive batch window (0 = greedy only)
+	MaxInflight  int           // concurrent requests before shedding
+	KeyCacheCap  int           // resident Precompute tables
+	DrainTimeout time.Duration // bound on waiting for in-flight work
+	Quiet        bool          // suppress per-connection logging
+}
+
+func (c *serverConfig) fill() {
+	if c.Shards <= 0 {
+		c.Shards = runtime.GOMAXPROCS(0)
+	}
+	if c.MaxBatch <= 0 {
+		c.MaxBatch = 32
+	}
+	if c.Window < 0 {
+		c.Window = 0
+	}
+	if c.MaxInflight <= 0 {
+		c.MaxInflight = 4 * c.Shards * c.MaxBatch
+	}
+	if c.KeyCacheCap <= 0 {
+		c.KeyCacheCap = 1024
+	}
+	if c.DrainTimeout <= 0 {
+		c.DrainTimeout = 5 * time.Second
+	}
+}
+
+// server multiplexes framed clients onto per-core batch-engine shards.
+//
+// Concurrency shape: one reader goroutine per connection, one
+// goroutine per in-flight request (bounded by the inflight semaphore),
+// one single-worker BatchEngine per shard. A connection is pinned to a
+// shard for its lifetime so one client's burst coalesces into that
+// shard's batches instead of scattering across all of them.
+type server struct {
+	cfg  serverConfig
+	m    *metrics
+	priv *repro.PrivateKey
+	pub  []byte // the server identity, compressed
+
+	shards []*repro.BatchEngine
+	cache  *keyCache
+
+	ln       atomic.Pointer[net.Listener]
+	inflight chan struct{} // semaphore; acquired non-blocking, full = shed
+
+	draining atomic.Bool
+	// reqMu orders request registration against the drain: reqWG.Add
+	// happens under RLock after re-checking draining, and shutdown
+	// flips draining under the write lock before reqWG.Wait — so Add
+	// can never race Wait (the same pattern as the engine's
+	// closed-state guard).
+	reqMu   sync.RWMutex
+	reqWG   sync.WaitGroup // in-flight request goroutines
+	connWG  sync.WaitGroup // connection reader goroutines
+	connSeq atomic.Uint64
+
+	connMu sync.Mutex
+	conns  map[*frame.Conn]struct{}
+
+	stopOnce sync.Once
+	stopped  chan struct{} // closed when shutdown completes
+}
+
+func newServer(priv *repro.PrivateKey, cfg serverConfig) *server {
+	cfg.fill()
+	m := &metrics{}
+	s := &server{
+		cfg:      cfg,
+		m:        m,
+		priv:     priv,
+		pub:      priv.PublicKey().BytesCompressed(),
+		cache:    newKeyCache(cfg.KeyCacheCap, m),
+		inflight: make(chan struct{}, cfg.MaxInflight),
+		conns:    make(map[*frame.Conn]struct{}),
+		stopped:  make(chan struct{}),
+	}
+	repro.Warm()
+	for i := 0; i < cfg.Shards; i++ {
+		s.shards = append(s.shards, repro.NewBatchEngine(
+			repro.WithWorkers(1),
+			repro.WithMaxBatch(cfg.MaxBatch),
+			repro.WithBatchWindow(cfg.Window),
+			repro.WithBatchObserver(m.observeBatch),
+			repro.WithWarmTables(false),
+		))
+	}
+	publishExpvar(m)
+	return s
+}
+
+// serve accepts connections on ln until shutdown closes it.
+func (s *server) serve(ln net.Listener) {
+	s.ln.Store(&ln)
+	if s.draining.Load() {
+		// shutdown won the race with serve ever starting.
+		ln.Close()
+		return
+	}
+	for {
+		nc, err := ln.Accept()
+		if err != nil {
+			// Listener closed by shutdown, or a transient accept error;
+			// either way the accept loop is done once draining.
+			if s.draining.Load() {
+				return
+			}
+			if ne, ok := err.(net.Error); ok && ne.Timeout() {
+				continue
+			}
+			if !s.cfg.Quiet {
+				log.Printf("eccserve: accept: %v", err)
+			}
+			return
+		}
+		fc := frame.NewConn(nc)
+		s.connMu.Lock()
+		if s.draining.Load() {
+			// Accepted in the window between ln.Close and this check;
+			// registering now could race connWG.Wait in shutdown.
+			s.connMu.Unlock()
+			fc.Close()
+			continue
+		}
+		s.conns[fc] = struct{}{}
+		s.connWG.Add(1)
+		s.connMu.Unlock()
+		s.m.conns.Add(1)
+		go s.handleConn(fc)
+	}
+}
+
+// handleConn owns the read side of one connection and fans requests
+// out to per-request goroutines. The connection is pinned to one shard
+// for its lifetime.
+func (s *server) handleConn(fc *frame.Conn) {
+	defer s.connWG.Done()
+	defer func() {
+		s.connMu.Lock()
+		delete(s.conns, fc)
+		s.connMu.Unlock()
+		s.m.conns.Add(-1)
+		fc.Close()
+	}()
+	shard := s.shards[s.connSeq.Add(1)%uint64(len(s.shards))]
+	for {
+		f, err := fc.Read()
+		if err != nil {
+			if !s.cfg.Quiet && err != io.EOF && !errors.Is(err, net.ErrClosed) {
+				log.Printf("eccserve: %v: read: %v", fc.RemoteAddr(), err)
+			}
+			return
+		}
+		select {
+		case s.inflight <- struct{}{}:
+		default:
+			// At capacity: shed rather than queue unboundedly. The
+			// client sees an explicit overload frame it can back off on.
+			s.m.shed.Add(1)
+			fc.Write(f.ID, frame.TOverload)
+			continue
+		}
+		s.reqMu.RLock()
+		if s.draining.Load() {
+			s.reqMu.RUnlock()
+			<-s.inflight
+			s.m.drained.Add(1)
+			fc.Write(f.ID, frame.TDraining)
+			continue
+		}
+		s.reqWG.Add(1)
+		s.reqMu.RUnlock()
+		s.m.inflight.Add(1)
+		// The frame payload aliases the connection read buffer; copy it
+		// before the reader loops around to the next frame.
+		payload := append([]byte(nil), f.Payload...)
+		go s.process(fc, shard, f.ID, f.Type, payload)
+	}
+}
+
+// process executes one request against the connection's shard and
+// writes the response frame.
+func (s *server) process(fc *frame.Conn, shard *repro.BatchEngine, id uint64, typ byte, payload []byte) {
+	defer func() {
+		<-s.inflight
+		s.m.inflight.Add(-1)
+		s.reqWG.Done()
+	}()
+	switch typ {
+	case frame.TPing:
+		s.m.reqPing.Add(1)
+		fc.Write(id, frame.TOK, s.pub)
+
+	case frame.TSign:
+		s.m.reqSign.Add(1)
+		if len(payload) == 0 || len(payload) > frame.MaxDigest {
+			s.m.badRequest.Add(1)
+			fc.Write(id, frame.TBadRequest)
+			return
+		}
+		sig, err := shard.Sign(s.priv, payload, rand.Reader)
+		if err != nil {
+			s.writeErr(fc, id, err)
+			return
+		}
+		fc.Write(id, frame.TOK, sig.Bytes())
+
+	case frame.TVerify:
+		s.m.reqVerify.Add(1)
+		key, rawSig, digest, ok := frame.SplitVerify(payload)
+		if !ok {
+			s.m.badRequest.Add(1)
+			fc.Write(id, frame.TBadRequest)
+			return
+		}
+		pub, err := s.cache.get(key)
+		if err != nil {
+			s.m.badRequest.Add(1)
+			fc.Write(id, frame.TBadRequest)
+			return
+		}
+		sig, err := repro.ParseSignature(rawSig)
+		if err != nil {
+			// Structurally framed but cryptographically malformed: that
+			// is a verification answer (invalid), not a protocol error.
+			s.m.verifyFail.Add(1)
+			fc.Write(id, frame.TOK, []byte{0})
+			return
+		}
+		valid, err := shard.VerifyKey(pub, digest, sig)
+		if err != nil {
+			s.writeErr(fc, id, err)
+			return
+		}
+		if valid {
+			fc.Write(id, frame.TOK, []byte{1})
+		} else {
+			s.m.verifyFail.Add(1)
+			fc.Write(id, frame.TOK, []byte{0})
+		}
+
+	case frame.TECDH:
+		s.m.reqECDH.Add(1)
+		if len(payload) != frame.KeySize {
+			s.m.badRequest.Add(1)
+			fc.Write(id, frame.TBadRequest)
+			return
+		}
+		peer, err := repro.NewPublicKey(payload)
+		if err != nil {
+			s.m.badRequest.Add(1)
+			fc.Write(id, frame.TBadRequest)
+			return
+		}
+		secret, err := shard.SharedSecretKey(s.priv, peer)
+		if err != nil {
+			s.writeErr(fc, id, err)
+			return
+		}
+		fc.Write(id, frame.TOK, secret)
+
+	default:
+		s.m.badRequest.Add(1)
+		fc.Write(id, frame.TBadRequest)
+	}
+}
+
+// writeErr maps an engine failure to a response frame. A closed engine
+// means shutdown won the race with this request — tell the client to
+// reconnect elsewhere rather than reporting a server fault.
+func (s *server) writeErr(fc *frame.Conn, id uint64, err error) {
+	if errors.Is(err, repro.ErrEngineClosed) {
+		s.m.drained.Add(1)
+		fc.Write(id, frame.TDraining)
+		return
+	}
+	s.m.internalErr.Add(1)
+	if !s.cfg.Quiet {
+		log.Printf("eccserve: request %d: %v", id, err)
+	}
+	fc.Write(id, frame.TInternal)
+}
+
+// shutdown drains the server: stop accepting, answer new frames with
+// TDraining, wait (bounded) for in-flight requests, close the engine
+// shards, then tear down the connections. Idempotent; concurrent
+// callers block until the first drain completes.
+func (s *server) shutdown() {
+	first := false
+	s.stopOnce.Do(func() { first = true })
+	if !first {
+		<-s.stopped
+		return
+	}
+	s.reqMu.Lock()
+	s.draining.Store(true)
+	s.reqMu.Unlock()
+	s.m.draining.Store(1)
+	if ln := s.ln.Load(); ln != nil {
+		(*ln).Close()
+	}
+
+	done := make(chan struct{})
+	go func() {
+		s.reqWG.Wait()
+		close(done)
+	}()
+	select {
+	case <-done:
+	case <-time.After(s.cfg.DrainTimeout):
+		if !s.cfg.Quiet {
+			log.Printf("eccserve: drain timeout after %v, abandoning in-flight requests", s.cfg.DrainTimeout)
+		}
+	}
+
+	// Safe even with stragglers: a submit racing Close gets
+	// ErrEngineClosed back, which writeErr turns into TDraining.
+	for _, sh := range s.shards {
+		sh.Close()
+	}
+
+	s.connMu.Lock()
+	for c := range s.conns {
+		c.Close()
+	}
+	s.connMu.Unlock()
+	s.connWG.Wait()
+	close(s.stopped)
+}

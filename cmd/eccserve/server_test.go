@@ -1,0 +1,446 @@
+package main
+
+import (
+	"bytes"
+	"crypto/sha256"
+	"io"
+	"math/rand"
+	"net"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"repro"
+	"repro/internal/frame"
+)
+
+// startTestServer boots a server on a loopback port and returns it
+// with its address. The server is drained at test end.
+func startTestServer(t *testing.T, cfg serverConfig) (*server, string) {
+	t.Helper()
+	cfg.Quiet = true
+	rnd := rand.New(rand.NewSource(233))
+	priv, err := repro.GenerateKey(rnd)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := newServer(priv, cfg)
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	go s.serve(ln)
+	t.Cleanup(s.shutdown)
+	return s, ln.Addr().String()
+}
+
+func dialFrame(t *testing.T, addr string) *frame.Conn {
+	t.Helper()
+	nc, err := net.Dial("tcp", addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fc := frame.NewConn(nc)
+	t.Cleanup(func() { fc.Close() })
+	return fc
+}
+
+func TestServeSignVerifyECDH(t *testing.T) {
+	s, addr := startTestServer(t, serverConfig{Window: 100 * time.Microsecond})
+	fc := dialFrame(t, addr)
+
+	// Ping doubles as the identity probe.
+	f, err := fc.Roundtrip(1, frame.TPing)
+	if err != nil || f.Type != frame.TOK || len(f.Payload) != frame.KeySize {
+		t.Fatalf("ping: type %#x len %d err %v", f.Type, len(f.Payload), err)
+	}
+	serverPub, err := repro.NewPublicKey(f.Payload)
+	if err != nil {
+		t.Fatalf("server announced an invalid public key: %v", err)
+	}
+
+	// Sign: response must verify locally against the announced key.
+	digest := sha256.Sum256([]byte("eccserve"))
+	f, err = fc.Roundtrip(2, frame.TSign, digest[:])
+	if err != nil || f.Type != frame.TOK || len(f.Payload) != frame.SigSize {
+		t.Fatalf("sign: type %#x len %d err %v", f.Type, len(f.Payload), err)
+	}
+	sig, err := repro.ParseSignature(f.Payload)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !serverPub.Verify(digest[:], sig) {
+		t.Fatal("server signature does not verify against its announced key")
+	}
+
+	// Verify: a client-side signature round-trips as valid...
+	rnd := rand.New(rand.NewSource(7))
+	clientPriv, err := repro.GenerateKey(rnd)
+	if err != nil {
+		t.Fatal(err)
+	}
+	clientKey := clientPriv.PublicKey().BytesCompressed()
+	clientSig, err := repro.SignDeterministic(clientPriv, digest[:])
+	if err != nil {
+		t.Fatal(err)
+	}
+	req := frame.AppendVerify(nil, clientKey, clientSig.Bytes(), digest[:])
+	f, err = fc.Roundtrip(3, frame.TVerify, req)
+	if err != nil || f.Type != frame.TOK || !bytes.Equal(f.Payload, []byte{1}) {
+		t.Fatalf("verify valid: type %#x payload %v err %v", f.Type, f.Payload, err)
+	}
+	// ...the same signature over a different digest is invalid...
+	other := sha256.Sum256([]byte("other"))
+	req = frame.AppendVerify(nil, clientKey, clientSig.Bytes(), other[:])
+	f, err = fc.Roundtrip(4, frame.TVerify, req)
+	if err != nil || f.Type != frame.TOK || !bytes.Equal(f.Payload, []byte{0}) {
+		t.Fatalf("verify wrong digest: type %#x payload %v err %v", f.Type, f.Payload, err)
+	}
+	// ...and a cryptographically malformed signature (s = 0) answers
+	// invalid, not a protocol error.
+	badSig := make([]byte, frame.SigSize)
+	copy(badSig, clientSig.Bytes()[:frame.SigSize/2])
+	req = frame.AppendVerify(nil, clientKey, badSig, digest[:])
+	f, err = fc.Roundtrip(5, frame.TVerify, req)
+	if err != nil || f.Type != frame.TOK || !bytes.Equal(f.Payload, []byte{0}) {
+		t.Fatalf("verify malformed sig: type %#x payload %v err %v", f.Type, f.Payload, err)
+	}
+
+	// ECDH symmetry: the client derives the same secret locally.
+	f, err = fc.Roundtrip(6, frame.TECDH, clientKey)
+	if err != nil || f.Type != frame.TOK || len(f.Payload) != frame.SecretSize {
+		t.Fatalf("ecdh: type %#x len %d err %v", f.Type, len(f.Payload), err)
+	}
+	want, err := clientPriv.SharedSecret(serverPub)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(f.Payload, want) {
+		t.Fatal("ECDH secret does not match the client-side derivation")
+	}
+
+	if s.m.reqSign.Load() == 0 || s.m.reqVerify.Load() == 0 || s.m.reqECDH.Load() == 0 {
+		t.Fatal("request counters did not move")
+	}
+}
+
+func TestServeBadRequests(t *testing.T) {
+	s, addr := startTestServer(t, serverConfig{})
+	fc := dialFrame(t, addr)
+
+	digest := sha256.Sum256([]byte("x"))
+	cases := []struct {
+		name string
+		typ  byte
+		p    []byte
+	}{
+		{"empty sign digest", frame.TSign, nil},
+		{"oversize sign digest", frame.TSign, make([]byte, frame.MaxDigest+1)},
+		{"short verify", frame.TVerify, []byte{1, 2, 3}},
+		{"garbage verify key", frame.TVerify, frame.AppendVerify(nil, make([]byte, frame.KeySize), make([]byte, frame.SigSize), digest[:])},
+		{"short ecdh", frame.TECDH, []byte{0x02}},
+		{"garbage ecdh key", frame.TECDH, make([]byte, frame.KeySize)},
+		{"unknown type", 0x7f, []byte("?")},
+	}
+	for i, tc := range cases {
+		f, err := fc.Roundtrip(uint64(i+1), tc.typ, tc.p)
+		if err != nil {
+			t.Fatalf("%s: %v", tc.name, err)
+		}
+		if f.Type != frame.TBadRequest {
+			t.Fatalf("%s: response type %#x, want TBadRequest", tc.name, f.Type)
+		}
+	}
+	if got := s.m.badRequest.Load(); got != int64(len(cases)) {
+		t.Fatalf("badRequest counter = %d, want %d", got, len(cases))
+	}
+}
+
+// TestServeMixedTrafficConcurrent hammers one server with mixed
+// operations from many connections and checks every response is
+// well-formed and the verify answers are right.
+func TestServeMixedTrafficConcurrent(t *testing.T) {
+	s, addr := startTestServer(t, serverConfig{Window: 200 * time.Microsecond, Shards: 2})
+
+	const conns = 8
+	const opsPerConn = 40
+	rnd := rand.New(rand.NewSource(9))
+	clientPriv, err := repro.GenerateKey(rnd)
+	if err != nil {
+		t.Fatal(err)
+	}
+	clientKey := clientPriv.PublicKey().BytesCompressed()
+
+	var wg sync.WaitGroup
+	for c := 0; c < conns; c++ {
+		fc := dialFrame(t, addr)
+		wg.Add(1)
+		go func(c int, fc *frame.Conn) {
+			defer wg.Done()
+			for i := 0; i < opsPerConn; i++ {
+				id := uint64(c*opsPerConn + i + 1)
+				digest := sha256.Sum256([]byte{byte(c), byte(i)})
+				sig, err := repro.SignDeterministic(clientPriv, digest[:])
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				switch i % 3 {
+				case 0:
+					f, err := fc.Roundtrip(id, frame.TSign, digest[:])
+					if err != nil || f.Type != frame.TOK || len(f.Payload) != frame.SigSize {
+						t.Errorf("conn %d op %d sign: type %#x err %v", c, i, f.Type, err)
+						return
+					}
+				case 1:
+					req := frame.AppendVerify(nil, clientKey, sig.Bytes(), digest[:])
+					f, err := fc.Roundtrip(id, frame.TVerify, req)
+					if err != nil || f.Type != frame.TOK || !bytes.Equal(f.Payload, []byte{1}) {
+						t.Errorf("conn %d op %d verify: type %#x payload %v err %v", c, i, f.Type, f.Payload, err)
+						return
+					}
+				case 2:
+					f, err := fc.Roundtrip(id, frame.TECDH, clientKey)
+					if err != nil || f.Type != frame.TOK || len(f.Payload) != frame.SecretSize {
+						t.Errorf("conn %d op %d ecdh: type %#x err %v", c, i, f.Type, err)
+						return
+					}
+				}
+			}
+		}(c, fc)
+	}
+	wg.Wait()
+
+	// One client key across all verifies: one table build, the rest
+	// cache hits.
+	if builds := s.m.cacheBuilds.Load(); builds != 1 {
+		t.Fatalf("cacheBuilds = %d, want 1", builds)
+	}
+	if s.m.cacheHits.Load() == 0 {
+		t.Fatal("no cache hits under repeated verification of one key")
+	}
+	if s.m.batches.Load() == 0 || s.m.batchOps.Load() == 0 {
+		t.Fatal("batch observer saw nothing")
+	}
+}
+
+// TestGracefulDrain checks shutdown mid-traffic: in-flight requests
+// complete, later frames get TDraining (or the connection closes), and
+// the drain terminates without panic or deadlock.
+func TestGracefulDrain(t *testing.T) {
+	s, addr := startTestServer(t, serverConfig{Window: 100 * time.Microsecond})
+	fc := dialFrame(t, addr)
+	digest := sha256.Sum256([]byte("drain"))
+
+	// Warm the path first so the drain races real traffic.
+	if f, err := fc.Roundtrip(1, frame.TSign, digest[:]); err != nil || f.Type != frame.TOK {
+		t.Fatalf("pre-drain sign: type %#x err %v", f.Type, err)
+	}
+
+	drained := make(chan struct{})
+	go func() {
+		s.shutdown()
+		close(drained)
+	}()
+
+	// Keep submitting until the server tells us it is draining or
+	// hangs up; anything else must still be a well-formed response.
+	sawRefusal := false
+	for id := uint64(2); id < 2000; id++ {
+		f, err := fc.Roundtrip(id, frame.TSign, digest[:])
+		if err != nil {
+			sawRefusal = true // connection torn down by the drain
+			break
+		}
+		switch f.Type {
+		case frame.TOK, frame.TOverload:
+		case frame.TDraining:
+			sawRefusal = true
+		default:
+			t.Fatalf("unexpected response type %#x during drain", f.Type)
+		}
+		if sawRefusal {
+			break
+		}
+	}
+	if !sawRefusal {
+		t.Fatal("never observed TDraining or connection close during drain")
+	}
+
+	select {
+	case <-drained:
+	case <-time.After(10 * time.Second):
+		t.Fatal("shutdown did not complete")
+	}
+	// Idempotent from another goroutine too.
+	s.shutdown()
+}
+
+// TestLoadShedding fills the inflight semaphore and checks overflow is
+// answered with TOverload instead of queueing or blocking.
+func TestLoadShedding(t *testing.T) {
+	s, addr := startTestServer(t, serverConfig{MaxInflight: 1, MaxBatch: 1, Shards: 1})
+	// Occupy the only inflight slot manually so the next request must
+	// shed deterministically.
+	s.inflight <- struct{}{}
+	defer func() { <-s.inflight }()
+
+	fc := dialFrame(t, addr)
+	digest := sha256.Sum256([]byte("shed"))
+	f, err := fc.Roundtrip(1, frame.TSign, digest[:])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f.Type != frame.TOverload {
+		t.Fatalf("response type %#x, want TOverload", f.Type)
+	}
+	if s.m.shed.Load() != 1 {
+		t.Fatalf("shed counter = %d, want 1", s.m.shed.Load())
+	}
+}
+
+func TestKeyCacheLRUAndSingleflight(t *testing.T) {
+	m := &metrics{}
+	c := newKeyCache(2, m)
+	rnd := rand.New(rand.NewSource(11))
+	var keys [][]byte
+	for i := 0; i < 3; i++ {
+		priv, err := repro.GenerateKey(rnd)
+		if err != nil {
+			t.Fatal(err)
+		}
+		keys = append(keys, priv.PublicKey().BytesCompressed())
+	}
+
+	// Singleflight: 16 concurrent gets of one key build once.
+	var wg sync.WaitGroup
+	for i := 0; i < 16; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			if _, err := c.get(keys[0]); err != nil {
+				t.Error(err)
+			}
+		}()
+	}
+	wg.Wait()
+	if builds := m.cacheBuilds.Load(); builds != 1 {
+		t.Fatalf("cacheBuilds = %d, want 1", builds)
+	}
+
+	// LRU: cap 2, third key evicts the least recently used.
+	if _, err := c.get(keys[1]); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.get(keys[0]); err != nil { // key0 now most recent
+		t.Fatal(err)
+	}
+	if _, err := c.get(keys[2]); err != nil { // evicts key1
+		t.Fatal(err)
+	}
+	if c.len() != 2 {
+		t.Fatalf("cache holds %d entries, want 2", c.len())
+	}
+	if m.cacheEvicts.Load() != 1 {
+		t.Fatalf("cacheEvicts = %d, want 1", m.cacheEvicts.Load())
+	}
+	hitsBefore := m.cacheHits.Load()
+	if _, err := c.get(keys[0]); err != nil { // survived the eviction
+		t.Fatal(err)
+	}
+	if m.cacheHits.Load() != hitsBefore+1 {
+		t.Fatal("key0 should have survived the eviction as a hit")
+	}
+
+	// Errors are not cached.
+	bad := make([]byte, frame.KeySize)
+	if _, err := c.get(bad); err == nil {
+		t.Fatal("garbage key parsed")
+	}
+	if c.len() != 2 {
+		t.Fatalf("failed build left a resident entry: len = %d", c.len())
+	}
+}
+
+func TestMetricsEndpoints(t *testing.T) {
+	s, addr := startTestServer(t, serverConfig{})
+	fc := dialFrame(t, addr)
+	if _, err := fc.Roundtrip(1, frame.TPing); err != nil {
+		t.Fatal(err)
+	}
+	digest := sha256.Sum256([]byte("m"))
+	if _, err := fc.Roundtrip(2, frame.TSign, digest[:]); err != nil {
+		t.Fatal(err)
+	}
+
+	srv := httptest.NewServer(metricsMux(s.m))
+	defer srv.Close()
+
+	body := httpGet(t, srv.URL+"/metrics")
+	for _, want := range []string{
+		`eccserve_requests_total{op="ping"} 1`,
+		`eccserve_requests_total{op="sign"} 1`,
+		"eccserve_batch_size_bucket{le=\"+Inf\"}",
+		"eccserve_shed_total 0",
+	} {
+		if !strings.Contains(body, want) {
+			t.Fatalf("/metrics missing %q\n%s", want, body)
+		}
+	}
+	if !strings.Contains(httpGet(t, srv.URL+"/debug/vars"), `"eccserve"`) {
+		t.Fatal("/debug/vars does not publish the eccserve tree")
+	}
+	if !strings.Contains(httpGet(t, srv.URL+"/debug/pprof/"), "goroutine") {
+		t.Fatal("/debug/pprof/ index not served")
+	}
+}
+
+func httpGet(t *testing.T, url string) string {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	b, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return string(b)
+}
+
+// TestSubmitRacesDrain drives traffic from several goroutines while
+// the server drains, asserting no response is ever a TInternal (the
+// ErrEngineClosed → TDraining mapping) and nothing deadlocks.
+func TestSubmitRacesDrain(t *testing.T) {
+	s, addr := startTestServer(t, serverConfig{Window: 50 * time.Microsecond, Shards: 2})
+	digest := sha256.Sum256([]byte("race"))
+
+	var wg sync.WaitGroup
+	for g := 0; g < 4; g++ {
+		fc := dialFrame(t, addr)
+		wg.Add(1)
+		go func(g int, fc *frame.Conn) {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				f, err := fc.Roundtrip(uint64(g*1000+i+1), frame.TSign, digest[:])
+				if err != nil {
+					return // drain closed the connection
+				}
+				if f.Type == frame.TInternal {
+					t.Errorf("goroutine %d: got TInternal during drain", g)
+					return
+				}
+				if f.Type == frame.TDraining {
+					return
+				}
+			}
+		}(g, fc)
+	}
+	time.Sleep(5 * time.Millisecond)
+	s.shutdown()
+	wg.Wait()
+}

@@ -1,7 +1,8 @@
 // Package engine is the concurrent batch engine: it collects
 // independent ECC requests (generic k·P, ECDH shared secrets, ECDSA
-// signing) from many goroutines and executes them in batches so the
-// expensive per-request tail work is amortised across the whole batch:
+// signing and verification) from many goroutines and executes them in
+// batches so the expensive per-request tail work is amortised across
+// the whole batch:
 //
 //   - every scalar multiplication stops in López-Dahab projective
 //     coordinates, and ONE field inversion (Montgomery's trick,
@@ -21,14 +22,46 @@
 package engine
 
 import (
+	"errors"
+	"fmt"
 	"io"
 	"math/big"
 	"runtime"
 	"sync"
+	"time"
 
 	"repro/internal/core"
 	"repro/internal/ec"
 	"repro/internal/gf233"
+)
+
+// ErrEngineClosed is returned by every submit path once Close has been
+// called (or while it is in progress). A server drain sequence may
+// therefore race late submissions against Close freely: they fail with
+// this error instead of panicking.
+var ErrEngineClosed = errors.New("engine: engine is closed")
+
+// ErrBatchPanic wraps a panic recovered inside the batch kernel. Every
+// request that shared the panicking batch fails with an error chain
+// containing this sentinel; the worker itself survives, so the pool
+// never silently shrinks.
+var ErrBatchPanic = errors.New("engine: batch worker panicked")
+
+// Hard caps on the Config knobs. fill clamps to these (as do the
+// public repro options), so absurd-but-accepted values can never
+// overflow the Queue product into a negative channel capacity or
+// commit the process to an unbounded number of goroutines.
+const (
+	// DefaultMaxBatch is the MaxBatch used when none is configured.
+	DefaultMaxBatch = 32
+	// MaxBatchLimit caps MaxBatch.
+	MaxBatchLimit = 1 << 16
+	// WorkersLimit caps Workers.
+	WorkersLimit = 1 << 12
+	// QueueLimit caps Queue. 2·MaxBatchLimit·WorkersLimit still fits an
+	// int32, so the derived default cannot overflow before this clamp
+	// applies.
+	QueueLimit = 1 << 18
 )
 
 // Config sizes an Engine.
@@ -37,47 +70,84 @@ type Config struct {
 	// batch. Bigger batches amortise the two batched inversions
 	// further but add head-of-line latency under light load.
 	// Defaults to 32, past which the inversion share of an op is
-	// already down in the noise (see cmd/eccload).
+	// already down in the noise (see cmd/eccload). Clamped to
+	// [1, MaxBatchLimit].
 	MaxBatch int
 	// Workers is the number of processing goroutines, each with its
-	// own scratch state. Defaults to GOMAXPROCS.
+	// own scratch state. Defaults to GOMAXPROCS; clamped to
+	// [1, WorkersLimit].
 	Workers int
 	// Queue is the request channel depth. Defaults to
-	// 2 · MaxBatch · Workers.
+	// 2 · MaxBatch · Workers; clamped to [1, QueueLimit].
 	Queue int
+	// BatchWindow bounds how long a worker holds a non-full batch open
+	// waiting for more requests: a batch closes when it reaches
+	// MaxBatch OR when the window expires, whichever comes first. Zero
+	// (the default) keeps the original greedy-drain behaviour — take
+	// whatever is already queued and run immediately, so light load
+	// sees batch-of-one latency. A serving front end that wants real
+	// batches at moderate arrival rates sets a small window (hundreds
+	// of microseconds) and accepts that p99 at idle is bounded by
+	// roughly the window rather than a single op.
+	BatchWindow time.Duration
+	// OnBatch, when non-nil, observes every processed batch with its
+	// size, after the kernel ran and before submitters unblock. It is
+	// called from worker goroutines concurrently and must be fast and
+	// safe for concurrent use (atomic counters, histogram buckets).
+	OnBatch func(size int)
 	// SkipWarm defers the eager core.Warm() table construction New
 	// performs by default; the first requests then pay it lazily.
 	SkipWarm bool
 }
 
+// fill applies defaults and clamps every knob into its documented
+// range. The clamps run before the Queue product is formed, so the
+// derived default can never overflow.
 func (c *Config) fill() {
 	if c.MaxBatch <= 0 {
-		c.MaxBatch = 32
+		c.MaxBatch = DefaultMaxBatch
+	}
+	if c.MaxBatch > MaxBatchLimit {
+		c.MaxBatch = MaxBatchLimit
 	}
 	if c.Workers <= 0 {
 		c.Workers = runtime.GOMAXPROCS(0)
 	}
+	if c.Workers > WorkersLimit {
+		c.Workers = WorkersLimit
+	}
 	if c.Queue <= 0 {
 		c.Queue = 2 * c.MaxBatch * c.Workers
+	}
+	if c.Queue > QueueLimit {
+		c.Queue = QueueLimit
+	}
+	if c.BatchWindow < 0 {
+		c.BatchWindow = 0
 	}
 }
 
 // Engine collects requests from concurrent callers and processes them
 // in batches. All methods are safe for concurrent use; the zero value
 // is not usable — construct with New, and Close when done. Submitting
-// after Close panics (send on closed channel), mirroring the usual
-// idiom for request sinks.
+// after (or racing with) Close is safe and fails with ErrEngineClosed;
+// Close itself is idempotent.
 type Engine struct {
 	cfg  Config
 	reqs chan *request
 	pool sync.Pool
 	wg   sync.WaitGroup
+	// mu guards closed and makes the channel send in do safe against a
+	// concurrent Close: submitters hold the read side across the send,
+	// Close takes the write side before closing the channel.
+	mu     sync.RWMutex
+	closed bool
 }
 
-// New starts an Engine with cfg (zero fields take defaults). Unless
-// cfg.SkipWarm is set it warms the shared table registry eagerly so
-// the first wave of requests does not pay generator-table
-// construction.
+// New starts an Engine with cfg (zero fields take defaults, see
+// Config). Unless cfg.SkipWarm is set it warms the shared table
+// registry eagerly so the first wave of requests does not pay
+// generator-table construction.
 func New(cfg Config) *Engine {
 	cfg.fill()
 	if !cfg.SkipWarm {
@@ -98,50 +168,130 @@ func New(cfg Config) *Engine {
 // MaxBatch reports the configured per-flush batch cap.
 func (e *Engine) MaxBatch() int { return e.cfg.MaxBatch }
 
-// Close stops the workers after draining in-flight requests. No
-// submissions may race with or follow Close.
+// Close stops the workers after draining in-flight requests.
+// Submissions racing with or following Close fail with
+// ErrEngineClosed; calling Close again is a no-op.
 func (e *Engine) Close() {
+	e.mu.Lock()
+	if e.closed {
+		e.mu.Unlock()
+		return
+	}
+	e.closed = true
 	close(e.reqs)
+	e.mu.Unlock()
 	e.wg.Wait()
 }
 
 // worker drains the request channel into batches: block for the first
 // request, then greedily take whatever else is already queued (up to
-// MaxBatch) without waiting — so under light load latency stays at
-// batch-of-one, and under heavy load batches fill themselves.
+// MaxBatch) without waiting. When a BatchWindow is configured and the
+// greedy drain left the batch short of MaxBatch, the worker keeps the
+// batch open for up to the window so batches can form at moderate
+// arrival rates; the batch closes on size or deadline, whichever
+// comes first.
 func (e *Engine) worker() {
 	defer e.wg.Done()
 	s := newBatchScratch()
 	batch := make([]*request, 0, e.cfg.MaxBatch)
+	var timer *time.Timer
 	for {
 		r, ok := <-e.reqs
 		if !ok {
 			return
 		}
 		batch = append(batch[:0], r)
-	collect:
+		open := true
+	greedy:
 		for len(batch) < e.cfg.MaxBatch {
 			select {
 			case r, ok := <-e.reqs:
 				if !ok {
-					break collect
+					open = false
+					break greedy
 				}
 				batch = append(batch, r)
 			default:
-				break collect
+				break greedy
 			}
 		}
-		processBatch(s, batch)
+		if open && e.cfg.BatchWindow > 0 && len(batch) < e.cfg.MaxBatch {
+			// Deadline-bounded collect: the window opens when the batch
+			// does, so a submitter waits at most ~BatchWindow beyond its
+			// own processing time.
+			if timer == nil {
+				timer = time.NewTimer(e.cfg.BatchWindow)
+			} else {
+				timer.Reset(e.cfg.BatchWindow)
+			}
+		window:
+			for len(batch) < e.cfg.MaxBatch {
+				select {
+				case r, ok := <-e.reqs:
+					if !ok {
+						break window
+					}
+					batch = append(batch, r)
+				case <-timer.C:
+					break window
+				}
+			}
+			timer.Stop()
+		}
+		s = e.runBatch(s, batch)
+		if e.cfg.OnBatch != nil {
+			e.cfg.OnBatch(len(batch))
+		}
 		for _, r := range batch {
 			r.done <- struct{}{}
 		}
 	}
 }
 
-// do submits one request and blocks until its batch completes.
-func (e *Engine) do(r *request) {
+// runBatch executes one batch through processBatch, containing any
+// panic from the kernel: every request in the panicking batch fails
+// with an ErrBatchPanic-wrapped error (so no submitter deadlocks on a
+// never-signalled done channel), and the worker's scratch — whose
+// state the aborted kernel may have left arbitrarily corrupted, with
+// mid-batch secrets still in it — is abandoned for a fresh one. The
+// returned scratch is the one the worker should keep using.
+func (e *Engine) runBatch(s *batchScratch, batch []*request) (out *batchScratch) {
+	out = s
+	defer func() {
+		if p := recover(); p != nil {
+			out = newBatchScratch()
+			func() {
+				// Best-effort scrub of the abandoned scratch; never let
+				// a second panic escape the recovery path.
+				defer func() { recover() }()
+				s.cs.Wipe()
+			}()
+			err := fmt.Errorf("%w: %v", ErrBatchPanic, p)
+			for _, r := range batch {
+				r.ok = false
+				if r.err == nil {
+					r.err = err
+				}
+			}
+		}
+	}()
+	processBatch(s, batch)
+	return out
+}
+
+// do submits one request and blocks until its batch completes. It
+// reports ErrEngineClosed — without touching the channel — when the
+// engine is closed or closing.
+func (e *Engine) do(r *request) error {
+	e.mu.RLock()
+	if e.closed {
+		e.mu.RUnlock()
+		return ErrEngineClosed
+	}
 	e.reqs <- r
+	e.mu.RUnlock()
 	<-r.done
+	return nil
 }
 
 func (e *Engine) get(op opKind) *request {
@@ -162,15 +312,19 @@ func (e *Engine) put(r *request) {
 
 // ScalarMult computes k·P, batched with whatever else is in flight.
 // Same contract as core.ScalarMult: P must lie in the prime-order
-// subgroup (validate untrusted points first).
-func (e *Engine) ScalarMult(k *big.Int, p ec.Affine) ec.Affine {
+// subgroup (validate untrusted points first). It fails with
+// ErrEngineClosed after Close.
+func (e *Engine) ScalarMult(k *big.Int, p ec.Affine) (ec.Affine, error) {
 	r := e.get(opScalarMult)
 	r.k = k
 	r.point = p
-	e.do(r)
-	res := r.res
+	if err := e.do(r); err != nil {
+		e.put(r)
+		return ec.Infinity, err
+	}
+	res, err := r.res, r.err
 	e.put(r)
-	return res
+	return res, err
 }
 
 // SharedSecretAppend computes the ECDH shared secret d·Q against the
@@ -182,7 +336,10 @@ func (e *Engine) SharedSecretAppend(dst []byte, priv *core.PrivateKey, peer ec.A
 	r := e.get(opECDH)
 	r.priv = priv
 	r.point = peer
-	e.do(r)
+	if err := e.do(r); err != nil {
+		e.put(r)
+		return dst, err
+	}
 	err := r.err
 	if err == nil {
 		dst = append(dst, r.secret[:]...)
@@ -205,7 +362,10 @@ func (e *Engine) SignInto(sig *Signature, priv *core.PrivateKey, digest []byte, 
 	r.priv = priv
 	r.digest = digest
 	r.rand = rand
-	e.do(r)
+	if err := e.do(r); err != nil {
+		e.put(r)
+		return err
+	}
 	err := r.err
 	if err == nil {
 		if sig.R == nil {
@@ -236,15 +396,20 @@ func (e *Engine) Sign(priv *core.PrivateKey, digest []byte, rand io.Reader) (*Si
 // the final LD→affine conversions share the batch-wide field
 // inversion. fb is an optional precomputed table for pub (it must
 // belong to pub); nil selects the per-call table. Semantics match
-// sign.Verify.
-func (e *Engine) Verify(pub ec.Affine, fb *core.FixedBase, digest []byte, sig *Signature) bool {
+// sign.Verify; the error is non-nil only for engine-lifecycle
+// failures (ErrEngineClosed, ErrBatchPanic), never for an invalid
+// signature — that is ok == false.
+func (e *Engine) Verify(pub ec.Affine, fb *core.FixedBase, digest []byte, sig *Signature) (bool, error) {
 	r := e.get(opVerify)
 	r.point = pub
 	r.fb = fb
 	r.digest = digest
 	r.sig = sig
-	e.do(r)
-	ok := r.ok
+	if err := e.do(r); err != nil {
+		e.put(r)
+		return false, err
+	}
+	ok, err := r.ok, r.err
 	e.put(r)
-	return ok
+	return ok, err
 }

@@ -125,7 +125,11 @@ func TestEngineMixedOps(t *testing.T) {
 					switch (i + j) % 3 {
 					case 0:
 						k := new(big.Int).Rand(rnd, ec.Order)
-						if got := e.ScalarMult(k, g); !got.Equal(core.ScalarMult(k, g)) {
+						got, err := e.ScalarMult(k, g)
+						if err != nil {
+							return err
+						}
+						if !got.Equal(core.ScalarMult(k, g)) {
 							return errFmt("ScalarMult diverged")
 						}
 					case 1:

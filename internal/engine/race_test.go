@@ -3,6 +3,7 @@ package engine
 import (
 	"bytes"
 	"crypto/sha256"
+	"errors"
 	"math/big"
 	"math/rand"
 	"sync"
@@ -105,15 +106,15 @@ func TestConcurrentPublicAPI(t *testing.T) {
 				// including the joint generator table and a shared
 				// per-key precomputed table — and must stay
 				// decision-stable while the backend toggles.
-				if !e.Verify(priv.Public, nil, digest[:], pinnedSig) {
+				if ok, err := e.Verify(priv.Public, nil, digest[:], pinnedSig); err != nil || !ok {
 					errs <- "engine Verify rejected a pinned signature under concurrency"
 					return
 				}
-				if !e.Verify(priv.Public, verifyTab, digest[:], pinnedSig) {
+				if ok, err := e.Verify(priv.Public, verifyTab, digest[:], pinnedSig); err != nil || !ok {
 					errs <- "engine Verify (precomputed table) diverged under concurrency"
 					return
 				}
-				if e.Verify(priv.Public, nil, digest[:], esigTampered(esig)) {
+				if ok, err := e.Verify(priv.Public, nil, digest[:], esigTampered(esig)); err != nil || ok {
 					errs <- "engine Verify accepted a tampered signature under concurrency"
 					return
 				}
@@ -126,6 +127,68 @@ func TestConcurrentPublicAPI(t *testing.T) {
 	close(errs)
 	for e := range errs {
 		t.Fatal(e)
+	}
+}
+
+// TestSubmitCloseRace races 32 submitting goroutines against Close
+// (and a second, concurrent Close): every submission must either
+// complete normally or fail with ErrEngineClosed — never panic on a
+// closed channel, never deadlock. Under -race this is the executable
+// statement of the drain contract a serving front end leans on.
+func TestSubmitCloseRace(t *testing.T) {
+	priv, err := core.GenerateKey(rand.New(rand.NewSource(70)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	digest := sha256.Sum256([]byte("drain"))
+	g := ec.Gen()
+	for round := 0; round < 4; round++ {
+		e := New(Config{MaxBatch: 8, Workers: 2, SkipWarm: true})
+		const goroutines = 32
+		var wg sync.WaitGroup
+		start := make(chan struct{})
+		errs := make(chan string, goroutines)
+		for i := 0; i < goroutines; i++ {
+			wg.Add(1)
+			go func(i int) {
+				defer wg.Done()
+				rnd := rand.New(rand.NewSource(int64(700 + i)))
+				<-start
+				for j := 0; j < 50; j++ {
+					var err error
+					switch (i + j) % 3 {
+					case 0:
+						_, err = e.ScalarMult(big.NewInt(int64(j+1)), g)
+					case 1:
+						_, err = e.SharedSecret(priv, priv.Public)
+					default:
+						_, err = e.Sign(priv, digest[:], rnd)
+					}
+					if err != nil {
+						if !errors.Is(err, ErrEngineClosed) {
+							errs <- "submit racing Close failed with a non-lifecycle error: " + err.Error()
+						}
+						return
+					}
+				}
+			}(i)
+		}
+		var closers sync.WaitGroup
+		closers.Add(2)
+		for c := 0; c < 2; c++ {
+			go func() {
+				defer closers.Done()
+				<-start
+				e.Close()
+			}()
+		}
+		close(start)
+		wg.Wait()
+		closers.Wait()
+		close(errs)
+		for msg := range errs {
+			t.Fatal(msg)
+		}
 	}
 }
 

@@ -118,12 +118,12 @@ func TestEngineVerify(t *testing.T) {
 	rnd := rand.New(rand.NewSource(113))
 	peer := ec.ScalarMultGeneric(big.NewInt(999), ec.Gen())
 	for i := range sigs {
-		if !e.Verify(priv.Public, nil, digests[i], sigs[i]) {
-			t.Fatalf("engine rejected valid signature %d", i)
+		if ok, err := e.Verify(priv.Public, nil, digests[i], sigs[i]); err != nil || !ok {
+			t.Fatalf("engine rejected valid signature %d (err=%v)", i, err)
 		}
 		wrong := (i + 1) % len(sigs)
-		if e.Verify(priv.Public, nil, digests[wrong], sigs[i]) {
-			t.Fatalf("engine accepted signature %d over digest %d", i, wrong)
+		if ok, err := e.Verify(priv.Public, nil, digests[wrong], sigs[i]); err != nil || ok {
+			t.Fatalf("engine accepted signature %d over digest %d (err=%v)", i, wrong, err)
 		}
 		// Interleave other ops so mixed batches form.
 		if _, err := e.SharedSecret(priv, peer); err != nil {

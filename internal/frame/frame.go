@@ -1,0 +1,207 @@
+// Package frame is the length-prefixed binary wire protocol between
+// cmd/eccserve and its clients (cmd/eccload's network mode, the
+// integration tests). The framing is deliberately tiny — this is the
+// paper's constrained-client setting, where a sign round trip should
+// cost tens of bytes, not a TLS handshake:
+//
+//	frame := len(uint32 BE) | id(uint64 BE) | type(uint8) | payload
+//
+// len counts everything after itself (id + type + payload), so an
+// empty-payload frame is 13 bytes on the wire. id is an opaque
+// correlation token the server echoes back verbatim: responses may
+// complete out of order (they ride different engine batches), and the
+// id is how a pipelining client matches them up.
+//
+// Request types and payloads:
+//
+//	TPing   — empty. Response: TOK with the server's compressed
+//	          public key (KeySize bytes), doubling as an identity
+//	          probe so clients can check signatures locally.
+//	TSign   — the digest to sign (1..MaxDigest bytes). Response: TOK
+//	          with the fixed-width raw signature (SigSize bytes).
+//	TVerify — key(KeySize) | sig(SigSize) | digest(1..MaxDigest).
+//	          Response: TOK with 1 payload byte: 1 valid, 0 invalid.
+//	TECDH   — the peer's compressed public key (KeySize bytes).
+//	          Response: TOK with the shared abscissa (SecretSize).
+//
+// Error responses carry no payload: TBadRequest (malformed frame
+// contents), TOverload (load shed — retry against another replica or
+// back off), TDraining (server shutting down — reconnect elsewhere),
+// TInternal (request failed inside the server).
+package frame
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+
+	"repro/internal/gf233"
+	"repro/internal/sign"
+)
+
+// Request frame types.
+const (
+	TPing   = 0x01
+	TSign   = 0x02
+	TVerify = 0x03
+	TECDH   = 0x04
+)
+
+// Response frame types. TOK is the only one that carries a payload.
+const (
+	TOK         = 0x80
+	TBadRequest = 0x81
+	TOverload   = 0x82
+	TDraining   = 0x83
+	TInternal   = 0x84
+)
+
+// Wire sizes, all derived from the field width.
+const (
+	// KeySize is a compressed public key: (0x02|ỹ) || x.
+	KeySize = 1 + gf233.ByteLen
+	// SigSize is a fixed-width raw signature r || s.
+	SigSize = sign.RawSize
+	// SecretSize is an ECDH shared abscissa.
+	SecretSize = gf233.ByteLen
+	// MaxDigest caps the digest length accepted in sign and verify
+	// requests (SHA-512 output is the largest standard digest).
+	MaxDigest = 64
+	// MaxPayload caps a frame payload; frames announcing more are a
+	// protocol error and the connection is torn down. Big enough for
+	// every defined request with slack for evolution, small enough
+	// that a hostile length prefix cannot balloon the read buffer.
+	MaxPayload = 4096
+
+	headerLen = 4             // the length prefix itself
+	innerLen  = 8 + 1         // id + type
+	maxFrame  = innerLen + MaxPayload
+)
+
+// ErrFrameTooLarge reports a length prefix beyond MaxPayload.
+var ErrFrameTooLarge = errors.New("frame: frame exceeds MaxPayload")
+
+// ErrFrameTooShort reports a length prefix too small to hold id+type.
+var ErrFrameTooShort = errors.New("frame: frame shorter than header")
+
+// Frame is one decoded frame. Payload aliases the connection's read
+// buffer and is valid only until the next Read on the same Conn —
+// copy it before handing it to another goroutine.
+type Frame struct {
+	ID      uint64
+	Type    byte
+	Payload []byte
+}
+
+// Conn wraps a net.Conn with frame encode/decode state: a buffered
+// single-reader side and a mutex-serialised writer side, so any
+// number of goroutines may Write responses while one goroutine owns
+// Read — exactly the shape of a pipelined server connection.
+type Conn struct {
+	nc   net.Conn
+	br   *bufio.Reader
+	rbuf [maxFrame]byte
+
+	wmu  sync.Mutex
+	wbuf []byte
+}
+
+// NewConn wraps c.
+func NewConn(c net.Conn) *Conn {
+	return &Conn{nc: c, br: bufio.NewReaderSize(c, 4<<10)}
+}
+
+// Read decodes the next frame. The returned payload is only valid
+// until the next Read.
+func (c *Conn) Read() (Frame, error) {
+	if _, err := io.ReadFull(c.br, c.rbuf[:headerLen]); err != nil {
+		return Frame{}, err
+	}
+	n := binary.BigEndian.Uint32(c.rbuf[:headerLen])
+	if n > maxFrame {
+		return Frame{}, fmt.Errorf("%w: %d bytes", ErrFrameTooLarge, n)
+	}
+	if n < innerLen {
+		return Frame{}, fmt.Errorf("%w: %d bytes", ErrFrameTooShort, n)
+	}
+	b := c.rbuf[:n]
+	if _, err := io.ReadFull(c.br, b); err != nil {
+		return Frame{}, err
+	}
+	return Frame{
+		ID:      binary.BigEndian.Uint64(b[:8]),
+		Type:    b[8],
+		Payload: b[9:],
+	}, nil
+}
+
+// Write encodes and sends one frame whose payload is the
+// concatenation of segs (writing scattered segments directly avoids
+// the callers assembling temporary buffers). It is safe for
+// concurrent use.
+func (c *Conn) Write(id uint64, typ byte, segs ...[]byte) error {
+	total := 0
+	for _, s := range segs {
+		total += len(s)
+	}
+	if total > MaxPayload {
+		return fmt.Errorf("%w: %d bytes", ErrFrameTooLarge, total)
+	}
+	c.wmu.Lock()
+	defer c.wmu.Unlock()
+	b := append(c.wbuf[:0], 0, 0, 0, 0)
+	binary.BigEndian.PutUint32(b, uint32(innerLen+total))
+	b = binary.BigEndian.AppendUint64(b, id)
+	b = append(b, typ)
+	for _, s := range segs {
+		b = append(b, s...)
+	}
+	c.wbuf = b
+	_, err := c.nc.Write(b)
+	return err
+}
+
+// Close closes the underlying connection.
+func (c *Conn) Close() error { return c.nc.Close() }
+
+// RemoteAddr reports the peer address of the underlying connection.
+func (c *Conn) RemoteAddr() net.Addr { return c.nc.RemoteAddr() }
+
+// SplitVerify decomposes a TVerify request payload into its key,
+// signature and digest fields, reporting false for payloads whose
+// framing is structurally wrong (the digest bounds included).
+func SplitVerify(p []byte) (key, sig, digest []byte, ok bool) {
+	if len(p) <= KeySize+SigSize || len(p) > KeySize+SigSize+MaxDigest {
+		return nil, nil, nil, false
+	}
+	return p[:KeySize], p[KeySize : KeySize+SigSize], p[KeySize+SigSize:], true
+}
+
+// AppendVerify assembles a TVerify request payload.
+func AppendVerify(dst, key, sig, digest []byte) []byte {
+	dst = append(dst, key...)
+	dst = append(dst, sig...)
+	return append(dst, digest...)
+}
+
+// Roundtrip sends one request frame and blocks for the next response
+// frame — the synchronous client idiom (one request in flight per
+// connection). The returned payload is only valid until the next
+// Read.
+func (c *Conn) Roundtrip(id uint64, typ byte, segs ...[]byte) (Frame, error) {
+	if err := c.Write(id, typ, segs...); err != nil {
+		return Frame{}, err
+	}
+	f, err := c.Read()
+	if err != nil {
+		return Frame{}, err
+	}
+	if f.ID != id {
+		return Frame{}, fmt.Errorf("frame: response id %d for request %d", f.ID, id)
+	}
+	return f, nil
+}

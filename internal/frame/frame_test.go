@@ -1,0 +1,180 @@
+package frame
+
+import (
+	"bytes"
+	"encoding/binary"
+	"errors"
+	"io"
+	"net"
+	"sync"
+	"testing"
+)
+
+// pipePair returns two framed ends of an in-memory connection.
+func pipePair() (*Conn, *Conn) {
+	a, b := net.Pipe()
+	return NewConn(a), NewConn(b)
+}
+
+func TestRoundTrip(t *testing.T) {
+	client, server := pipePair()
+	defer client.Close()
+	defer server.Close()
+
+	payloads := [][]byte{nil, {}, []byte("x"), bytes.Repeat([]byte{0xA5}, MaxPayload)}
+	go func() {
+		for range payloads {
+			f, err := server.Read()
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			if err := server.Write(f.ID, TOK, f.Payload); err != nil {
+				t.Error(err)
+				return
+			}
+		}
+	}()
+	for i, p := range payloads {
+		f, err := client.Roundtrip(uint64(i+7), TSign, p)
+		if err != nil {
+			t.Fatalf("payload %d: %v", i, err)
+		}
+		if f.Type != TOK || !bytes.Equal(f.Payload, p) {
+			t.Fatalf("payload %d: echo mismatch (type %#x, %d bytes)", i, f.Type, len(f.Payload))
+		}
+	}
+}
+
+func TestWriteSegmentsConcatenate(t *testing.T) {
+	client, server := pipePair()
+	defer client.Close()
+	defer server.Close()
+	go client.Write(1, TVerify, []byte("ab"), nil, []byte("cd"), []byte("e"))
+	f, err := server.Read()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(f.Payload) != "abcde" {
+		t.Fatalf("payload = %q", f.Payload)
+	}
+}
+
+func TestConcurrentWriters(t *testing.T) {
+	client, server := pipePair()
+	defer client.Close()
+	defer server.Close()
+	const N = 64
+	var wg sync.WaitGroup
+	for i := 0; i < N; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			if err := client.Write(uint64(i), TPing, bytes.Repeat([]byte{byte(i)}, i)); err != nil {
+				t.Error(err)
+			}
+		}(i)
+	}
+	seen := make(map[uint64]bool)
+	for i := 0; i < N; i++ {
+		f, err := server.Read()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if seen[f.ID] {
+			t.Fatalf("duplicate frame id %d", f.ID)
+		}
+		seen[f.ID] = true
+		if len(f.Payload) != int(f.ID) || (len(f.Payload) > 0 && f.Payload[0] != byte(f.ID)) {
+			t.Fatalf("frame %d: interleaved write corrupted payload", f.ID)
+		}
+	}
+	wg.Wait()
+}
+
+// TestHostileLengthPrefix checks a hostile length prefix is rejected
+// before any buffer is sized from it.
+func TestHostileLengthPrefix(t *testing.T) {
+	a, b := net.Pipe()
+	fc := NewConn(b)
+	defer a.Close()
+	defer fc.Close()
+
+	errs := make(chan error, 1)
+	go func() {
+		_, err := fc.Read()
+		errs <- err
+	}()
+	var hdr [4]byte
+	binary.BigEndian.PutUint32(hdr[:], 1<<31)
+	if _, err := a.Write(hdr[:]); err != nil {
+		t.Fatal(err)
+	}
+	if err := <-errs; !errors.Is(err, ErrFrameTooLarge) {
+		t.Fatalf("err = %v, want ErrFrameTooLarge", err)
+	}
+
+	// Too short to hold id+type.
+	go func() {
+		_, err := fc.Read()
+		errs <- err
+	}()
+	binary.BigEndian.PutUint32(hdr[:], 3)
+	if _, err := a.Write(hdr[:]); err != nil {
+		t.Fatal(err)
+	}
+	if err := <-errs; !errors.Is(err, ErrFrameTooShort) {
+		t.Fatalf("err = %v, want ErrFrameTooShort", err)
+	}
+}
+
+func TestTruncatedFrame(t *testing.T) {
+	a, b := net.Pipe()
+	fc := NewConn(b)
+	defer fc.Close()
+
+	errs := make(chan error, 1)
+	go func() {
+		_, err := fc.Read()
+		errs <- err
+	}()
+	var hdr [4]byte
+	binary.BigEndian.PutUint32(hdr[:], innerLen+10)
+	a.Write(hdr[:])
+	a.Write([]byte{1, 2, 3}) // then hang up mid-frame
+	a.Close()
+	if err := <-errs; !errors.Is(err, io.ErrUnexpectedEOF) {
+		t.Fatalf("err = %v, want ErrUnexpectedEOF", err)
+	}
+}
+
+func TestWriteOversizePayloadRejected(t *testing.T) {
+	a, b := net.Pipe()
+	_ = b
+	fc := NewConn(a)
+	defer fc.Close()
+	big := make([]byte, MaxPayload+1)
+	if err := fc.Write(1, TSign, big); !errors.Is(err, ErrFrameTooLarge) {
+		t.Fatalf("err = %v, want ErrFrameTooLarge", err)
+	}
+}
+
+func TestSplitVerify(t *testing.T) {
+	key := bytes.Repeat([]byte{1}, KeySize)
+	sig := bytes.Repeat([]byte{2}, SigSize)
+	digest := bytes.Repeat([]byte{3}, 32)
+	p := AppendVerify(nil, key, sig, digest)
+	k, s, d, ok := SplitVerify(p)
+	if !ok || !bytes.Equal(k, key) || !bytes.Equal(s, sig) || !bytes.Equal(d, digest) {
+		t.Fatal("SplitVerify did not invert AppendVerify")
+	}
+	for _, bad := range [][]byte{
+		nil,
+		p[:KeySize+SigSize],               // empty digest
+		append(p, make([]byte, MaxDigest)...), // digest too long
+	} {
+		if _, _, _, ok := SplitVerify(bad); ok {
+			t.Fatalf("SplitVerify accepted %d-byte payload", len(bad))
+		}
+	}
+}

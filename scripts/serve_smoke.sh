@@ -1,0 +1,90 @@
+#!/bin/sh
+# serve_smoke.sh - end-to-end smoke test of cmd/eccserve + cmd/eccload.
+#
+# Builds both binaries, boots eccserve on an ephemeral loopback port,
+# runs a short mixed-traffic eccload sweep against it, asserts the
+# summary reports non-zero completed operations with zero sheds and
+# zero errors, then SIGTERMs the server and requires a clean drain
+# (exit 0). Run from the repository root; used by `make serve-smoke`.
+set -eu
+
+GO=${GO:-go}
+DUR=${DUR:-2s}
+
+tmp=$(mktemp -d)
+server_pid=""
+cleanup() {
+    if [ -n "$server_pid" ] && kill -0 "$server_pid" 2>/dev/null; then
+        kill -KILL "$server_pid" 2>/dev/null || true
+    fi
+    rm -rf "$tmp"
+}
+trap cleanup EXIT INT TERM
+
+echo "serve-smoke: building eccserve and eccload"
+$GO build -o "$tmp/eccserve" ./cmd/eccserve
+$GO build -o "$tmp/eccload" ./cmd/eccload
+
+"$tmp/eccserve" -addr 127.0.0.1:0 -addr-file "$tmp/addr" \
+    >"$tmp/server.log" 2>&1 &
+server_pid=$!
+
+# Wait for the server to publish its bound address.
+i=0
+while [ ! -s "$tmp/addr" ]; do
+    i=$((i + 1))
+    if [ "$i" -gt 100 ]; then
+        echo "serve-smoke: server never published its address" >&2
+        cat "$tmp/server.log" >&2
+        exit 1
+    fi
+    if ! kill -0 "$server_pid" 2>/dev/null; then
+        echo "serve-smoke: server exited during startup" >&2
+        cat "$tmp/server.log" >&2
+        exit 1
+    fi
+    sleep 0.1
+done
+addr=$(cat "$tmp/addr")
+echo "serve-smoke: server up on $addr"
+
+"$tmp/eccload" -addr "$addr" -op mixed -gs 4 -dur "$DUR" | tee "$tmp/load.out"
+
+summary=$(grep '^eccload-net:' "$tmp/load.out")
+ops=$(echo "$summary" | sed -n 's/.*ops=\([0-9]*\).*/\1/p')
+shed=$(echo "$summary" | sed -n 's/.*shed=\([0-9]*\).*/\1/p')
+errors=$(echo "$summary" | sed -n 's/.*errors=\([0-9]*\).*/\1/p')
+
+if [ -z "$ops" ] || [ "$ops" -eq 0 ]; then
+    echo "serve-smoke: FAIL: no operations completed" >&2
+    exit 1
+fi
+if [ "$shed" -ne 0 ]; then
+    echo "serve-smoke: FAIL: $shed requests shed at smoke-test load" >&2
+    exit 1
+fi
+if [ "$errors" -ne 0 ]; then
+    echo "serve-smoke: FAIL: $errors request errors" >&2
+    exit 1
+fi
+
+echo "serve-smoke: draining server (SIGTERM)"
+kill -TERM "$server_pid"
+i=0
+while kill -0 "$server_pid" 2>/dev/null; do
+    i=$((i + 1))
+    if [ "$i" -gt 100 ]; then
+        echo "serve-smoke: FAIL: server did not exit within 10s of SIGTERM" >&2
+        cat "$tmp/server.log" >&2
+        exit 1
+    fi
+    sleep 0.1
+done
+if ! wait "$server_pid"; then
+    echo "serve-smoke: FAIL: server exited non-zero after SIGTERM" >&2
+    cat "$tmp/server.log" >&2
+    exit 1
+fi
+server_pid=""
+
+echo "serve-smoke: PASS ($ops ops, 0 shed, 0 errors, clean drain)"
