@@ -19,6 +19,10 @@
 #                  ScalarMult, ScalarBaseMult, GenerateKey) plus the
 #                  batch-engine benchmarks (Validate, ECDH, Sign,
 #                  Verify/BatchVerify, InvBatch64)
+#   make bench-verify - deterministic refresh of BENCH_verify.json:
+#                  reruns the verification benchmark ladder (one-shot
+#                  algorithms, batched joint kernel, hinted
+#                  linear-combination kernel) and rewrites the JSON
 #   make load    - a quick eccload sweep of the batch engine
 #   make serve-smoke - end-to-end check of the serving stack: boots
 #                  eccserve on a loopback port, drives it with
@@ -28,7 +32,7 @@
 
 GO ?= go
 
-.PHONY: all build vet test test64 race fuzz alloc api bench load serve-smoke ci
+.PHONY: all build vet test test64 race fuzz alloc api bench bench-verify load serve-smoke ci
 
 all: ci
 
@@ -61,6 +65,7 @@ fuzz:
 	$(GO) test ./internal/gf233 -run='^$$' -fuzz=FuzzSqrInvClmulVsRef -fuzztime=10s
 	$(GO) test ./internal/gf233 -run='^$$' -fuzz=FuzzBatchInvVsSequential -fuzztime=10s
 	$(GO) test ./internal/core -run='^$$' -fuzz=FuzzJointScalarMultVsSeparate -fuzztime=10s
+	$(GO) test ./internal/engine -run='^$$' -fuzz=FuzzMultiScalarVsJoint -fuzztime=10s
 
 # Zero-alloc guards: AllocsPerRun is meaningless under -race (the
 # detector allocates), so these run in their own non-race pass.
@@ -79,6 +84,9 @@ api:
 
 bench:
 	$(GO) test -run='^$$' -bench='Mul$$|Sqr$$|Inv$$|ScalarMult$$|ScalarBaseMult$$|GenerateKey$$|Validate$$|ECDH$$|Sign$$|Verify$$|InvBatch64$$' -benchtime=1s .
+
+bench-verify:
+	GO="$(GO)" sh scripts/bench_verify.sh
 
 load:
 	$(GO) run ./cmd/eccload -op ecdh -gs 1,8 -batches 1,32 -dur 2s

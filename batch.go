@@ -226,6 +226,25 @@ func (b *BatchEngine) VerifyKey(pub *PublicKey, digest []byte, sig *Signature) (
 	return b.e.Verify(pub.point, pub.verifyTable(), digest, sig)
 }
 
+// VerifyRecoverable is Verify with a nonce-point recovery hint (from
+// SignRecoverable or RecoverHint): hinted verifications that land in
+// the same batch settle through ONE randomised linear-combination
+// multi-scalar check instead of one joint ladder each — the per-batch
+// aggregation the README's verification-performance section measures.
+// A hint >= HintNone (or simply a wrong one) selects the per-request
+// path; the verdict is identical to Verify for every (sig, hint) pair,
+// and a failing aggregate falls back to per-request ladders so invalid
+// signatures are identified individually.
+func (b *BatchEngine) VerifyRecoverable(pub Point, digest []byte, sig *Signature, hint byte) (bool, error) {
+	return b.e.VerifyRecoverable(pub, nil, digest, sig, hint)
+}
+
+// VerifyKeyRecoverable is VerifyRecoverable on an opaque *PublicKey,
+// using its cached verification table when Precompute built one.
+func (b *BatchEngine) VerifyKeyRecoverable(pub *PublicKey, digest []byte, sig *Signature, hint byte) (bool, error) {
+	return b.e.VerifyRecoverable(pub.point, pub.verifyTable(), digest, sig, hint)
+}
+
 // BatchScalarMult computes ks[i]·points[i] for all i with one batched
 // inversion for the whole slice. Points must lie in the prime-order
 // subgroup.
@@ -275,6 +294,20 @@ func BatchSign(priv *PrivateKey, digests [][]byte, rand io.Reader, out []SignRes
 // BatchEngine.VerifyKey instead.
 func BatchVerify(pubs []Point, digests [][]byte, sigs []*Signature, ok []bool) {
 	engine.BatchVerify(pubs, digests, sigs, ok)
+}
+
+// BatchVerifyRecoverable is BatchVerify with per-entry nonce recovery
+// hints (hints may be nil for an all-unhinted batch; entries >=
+// HintNone take the per-request path): the hinted entries verify
+// through one randomised linear-combination multi-scalar evaluation
+// for the whole slice, recovering each nonce point by batched
+// compressed-point decompression. Verdicts are identical to
+// BatchVerify for every input — on aggregate failure the kernel falls
+// back to per-request ladders, identifying invalid signatures
+// individually at ~1.3x the plain batch cost, which bounds what an
+// attacker can extract by feeding invalid batches.
+func BatchVerifyRecoverable(pubs []Point, digests [][]byte, sigs []*Signature, hints []byte, ok []bool) {
+	engine.BatchVerifyRecoverable(pubs, nil, digests, sigs, hints, ok)
 }
 
 // Warm eagerly builds the shared precomputation tables (generator

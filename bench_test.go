@@ -763,6 +763,84 @@ func BenchmarkBatchVerify(b *testing.B) {
 	})
 }
 
+// BenchmarkBatchVerifyRecoverable measures hinted batch verification
+// (ns/op is per verification): every signature carries a nonce-point
+// recovery hint, so the whole batch settles through one randomised
+// linear-combination multi-scalar evaluation instead of one joint
+// ladder per request. The numbered sub-benchmarks run the server
+// steady state (one key, per-request precomputed tables — the shape
+// the eccserve key cache produces); multikey64 runs batch=64 over 64
+// distinct keys, where nothing coalesces — the kernel's density gate
+// detects that and falls back to per-request ladders, so this measures
+// the fallback overhead (recovery + grouping) over plain BatchVerify.
+func BenchmarkBatchVerifyRecoverable(b *testing.B) {
+	priv, fb, digests, sigs := benchVerifyInputs(b, 128)
+	core.Warm()
+	hints := make([]byte, len(sigs))
+	for i := range sigs {
+		h, err := sign.RecoverHint(priv.Public, digests[i], sigs[i])
+		if err != nil {
+			b.Fatal(err)
+		}
+		hints[i] = h
+	}
+	pubs := make([]ec.Affine, len(sigs))
+	fbs := make([]*core.FixedBase, len(sigs))
+	for i := range pubs {
+		pubs[i] = priv.Public
+		fbs[i] = fb
+	}
+	ok := make([]bool, len(sigs))
+	checkAll := func(b *testing.B, ok []bool) {
+		b.Helper()
+		for i := range ok {
+			if !ok[i] {
+				b.Fatalf("batch rejected valid signature %d", i)
+			}
+		}
+	}
+	for _, n := range []int{8, 32, 64, 128} {
+		b.Run(strconv.Itoa(n), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i += n {
+				engine.BatchVerifyRecoverable(pubs[:n], fbs[:n], digests[:n], sigs[:n], hints[:n], ok[:n])
+			}
+			b.StopTimer()
+			checkAll(b, ok[:n])
+		})
+	}
+	b.Run("multikey64", func(b *testing.B) {
+		const n = 64
+		rnd := rand.New(rand.NewSource(74))
+		mpubs := make([]ec.Affine, n)
+		mdigests := make([][]byte, n)
+		msigs := make([]*sign.Signature, n)
+		mhints := make([]byte, n)
+		for i := 0; i < n; i++ {
+			kp, err := core.GenerateKey(rnd)
+			if err != nil {
+				b.Fatal(err)
+			}
+			mpubs[i] = kp.Public
+			d := sha256.Sum256([]byte{byte(i), 0x57})
+			mdigests[i] = d[:]
+			sig, hint, err := sign.SignRecoverable(kp, mdigests[i], rnd)
+			if err != nil {
+				b.Fatal(err)
+			}
+			msigs[i] = sig
+			mhints[i] = hint
+		}
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i += n {
+			engine.BatchVerifyRecoverable(mpubs, nil, mdigests, msigs, mhints, ok[:n])
+		}
+		b.StopTimer()
+		checkAll(b, ok[:n])
+	})
+}
+
 // BenchmarkInvBatch64 measures the batched-inversion amortisation
 // directly: ns/op is per inverted element at each batch size.
 func BenchmarkInvBatch64(b *testing.B) {

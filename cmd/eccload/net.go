@@ -28,6 +28,7 @@ type netFixtures struct {
 	privs     []*repro.PrivateKey // matching private keys
 	digests   [][]byte
 	sigs      [][]byte // raw signatures: sigs[i] by keys[i%len(keys)] over digests[i]
+	hints     []byte   // nonce-point recovery hint per signature
 	secrets   [][]byte // expected ECDH secret per key against the server
 }
 
@@ -58,11 +59,14 @@ func buildNetFixtures(serverKey []byte) (*netFixtures, error) {
 		d := make([]byte, 32)
 		rnd.Read(d)
 		fx.digests = append(fx.digests, d)
-		sig, err := repro.SignDeterministic(fx.privs[i%netKeyPool], d)
+		// Deterministic nonce, so the signature bytes match the plain
+		// signer's and the hint is free.
+		sig, hint, err := repro.SignRecoverable(nil, fx.privs[i%netKeyPool], d)
 		if err != nil {
 			return nil, err
 		}
 		fx.sigs = append(fx.sigs, sig.Bytes())
+		fx.hints = append(fx.hints, hint)
 	}
 	return fx, nil
 }
@@ -138,6 +142,25 @@ func netOp(op string, conns []*frame.Conn, fx *netFixtures, c *netCounters) func
 			fail(w, "verify: response type %#x", f.Type)
 		}
 	}
+	verifyr := func(w, i int) {
+		idx := (w + i) % len(fx.digests)
+		req := frame.AppendVerifyR(nil, fx.hints[idx], fx.keys[idx%netKeyPool], fx.sigs[idx], fx.digests[idx])
+		f, err := conns[w].Roundtrip(uint64(i+1), frame.TVerifyR, req)
+		if err != nil {
+			fail(w, "verifyr: %v", err)
+			return
+		}
+		switch f.Type {
+		case frame.TOK:
+			if !bytes.Equal(f.Payload, []byte{1}) {
+				fail(w, "verifyr: server rejected a valid hinted signature")
+			}
+		case frame.TOverload:
+			c.shed.Add(1)
+		default:
+			fail(w, "verifyr: response type %#x", f.Type)
+		}
+	}
 	ecdh := func(w, i int) {
 		k := (w + i) % netKeyPool
 		f, err := conns[w].Roundtrip(uint64(i+1), frame.TECDH, fx.keys[k])
@@ -163,21 +186,25 @@ func netOp(op string, conns []*frame.Conn, fx *netFixtures, c *netCounters) func
 		return sign
 	case "verify":
 		return verify
+	case "verifyr":
+		return verifyr
 	case "ecdh":
 		return ecdh
 	case "mixed":
 		return func(w, i int) {
-			switch i % 3 {
+			switch i % 4 {
 			case 0:
 				sign(w, i)
 			case 1:
 				verify(w, i)
+			case 2:
+				verifyr(w, i)
 			default:
 				ecdh(w, i)
 			}
 		}
 	default:
-		fmt.Fprintf(os.Stderr, "eccload: unknown network op %q (want ping, sign, verify, ecdh or mixed)\n", op)
+		fmt.Fprintf(os.Stderr, "eccload: unknown network op %q (want ping, sign, verify, verifyr, ecdh or mixed)\n", op)
 		os.Exit(2)
 		return nil
 	}

@@ -70,11 +70,16 @@ func (c *keyCache) get(raw []byte) (*repro.PublicKey, error) {
 		c.unlink(e)
 		c.pushFront(e)
 		c.mu.Unlock()
-		c.m.cacheHits.Add(1)
 		<-e.ready
 		if e.err != nil {
+			// Joining an in-flight build that then failed is not a hit —
+			// no table was served. Counting it apart keeps the hit rate
+			// honest under a malformed-key storm, where every storm
+			// request lands on some other storm request's doomed build.
+			c.m.cacheWaitFails.Add(1)
 			return nil, e.err
 		}
+		c.m.cacheHits.Add(1)
 		return e.pub, nil
 	}
 	c.m.cacheMisses.Add(1)

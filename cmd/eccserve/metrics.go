@@ -17,10 +17,11 @@ import (
 // handlers). Everything here must be safe to bump from many
 // goroutines; nothing here may block.
 type metrics struct {
-	reqPing   atomic.Int64
-	reqSign   atomic.Int64
-	reqVerify atomic.Int64
-	reqECDH   atomic.Int64
+	reqPing    atomic.Int64
+	reqSign    atomic.Int64
+	reqVerify  atomic.Int64
+	reqVerifyR atomic.Int64
+	reqECDH    atomic.Int64
 
 	badRequest  atomic.Int64
 	shed        atomic.Int64 // load-shed with TOverload
@@ -32,10 +33,11 @@ type metrics struct {
 	batchOps  atomic.Int64
 	batchHist [len(batchBuckets) + 1]atomic.Int64
 
-	cacheHits   atomic.Int64
-	cacheMisses atomic.Int64
-	cacheBuilds atomic.Int64
-	cacheEvicts atomic.Int64
+	cacheHits      atomic.Int64
+	cacheMisses    atomic.Int64
+	cacheBuilds    atomic.Int64
+	cacheEvicts    atomic.Int64
+	cacheWaitFails atomic.Int64 // waiters whose joined in-flight build failed
 
 	inflight atomic.Int64
 	conns    atomic.Int64
@@ -73,6 +75,7 @@ func (m *metrics) writeProm(w io.Writer) {
 	fmt.Fprintf(w, "eccserve_requests_total{op=\"ping\"} %d\n", m.reqPing.Load())
 	fmt.Fprintf(w, "eccserve_requests_total{op=\"sign\"} %d\n", m.reqSign.Load())
 	fmt.Fprintf(w, "eccserve_requests_total{op=\"verify\"} %d\n", m.reqVerify.Load())
+	fmt.Fprintf(w, "eccserve_requests_total{op=\"verifyr\"} %d\n", m.reqVerifyR.Load())
 	fmt.Fprintf(w, "eccserve_requests_total{op=\"ecdh\"} %d\n", m.reqECDH.Load())
 	counter("eccserve_bad_requests_total", "Malformed requests answered TBadRequest.", m.badRequest.Load())
 	counter("eccserve_shed_total", "Requests load-shed with TOverload.", m.shed.Load())
@@ -94,6 +97,7 @@ func (m *metrics) writeProm(w io.Writer) {
 	counter("eccserve_keycache_misses_total", "Verify-table cache misses.", m.cacheMisses.Load())
 	counter("eccserve_keycache_builds_total", "Verify tables built (singleflight-deduplicated).", m.cacheBuilds.Load())
 	counter("eccserve_keycache_evictions_total", "Verify-table cache evictions.", m.cacheEvicts.Load())
+	counter("eccserve_keycache_wait_failures_total", "Lookups that joined an in-flight table build which then failed.", m.cacheWaitFails.Load())
 	gauge("eccserve_inflight_requests", "Requests currently in flight.", m.inflight.Load())
 	gauge("eccserve_open_connections", "Open client connections.", m.conns.Load())
 	gauge("eccserve_draining", "1 while the server is draining.", m.draining.Load())
@@ -102,24 +106,26 @@ func (m *metrics) writeProm(w io.Writer) {
 // snapshot renders the same numbers as a flat map for expvar.
 func (m *metrics) snapshot() map[string]int64 {
 	out := map[string]int64{
-		"requests_ping":            m.reqPing.Load(),
-		"requests_sign":            m.reqSign.Load(),
-		"requests_verify":          m.reqVerify.Load(),
-		"requests_ecdh":            m.reqECDH.Load(),
-		"bad_requests":             m.badRequest.Load(),
-		"shed":                     m.shed.Load(),
-		"drained":                  m.drained.Load(),
-		"internal_errors":          m.internalErr.Load(),
-		"verify_invalid":           m.verifyFail.Load(),
-		"batches":                  m.batches.Load(),
-		"batch_ops":                m.batchOps.Load(),
-		"keycache_hits":            m.cacheHits.Load(),
-		"keycache_misses":          m.cacheMisses.Load(),
-		"keycache_builds":          m.cacheBuilds.Load(),
-		"keycache_evictions":       m.cacheEvicts.Load(),
-		"inflight_requests":        m.inflight.Load(),
-		"open_connections":         m.conns.Load(),
-		"draining":                 m.draining.Load(),
+		"requests_ping":          m.reqPing.Load(),
+		"requests_sign":          m.reqSign.Load(),
+		"requests_verify":        m.reqVerify.Load(),
+		"requests_verifyr":       m.reqVerifyR.Load(),
+		"requests_ecdh":          m.reqECDH.Load(),
+		"bad_requests":           m.badRequest.Load(),
+		"shed":                   m.shed.Load(),
+		"drained":                m.drained.Load(),
+		"internal_errors":        m.internalErr.Load(),
+		"verify_invalid":         m.verifyFail.Load(),
+		"batches":                m.batches.Load(),
+		"batch_ops":              m.batchOps.Load(),
+		"keycache_hits":          m.cacheHits.Load(),
+		"keycache_misses":        m.cacheMisses.Load(),
+		"keycache_builds":        m.cacheBuilds.Load(),
+		"keycache_evictions":     m.cacheEvicts.Load(),
+		"keycache_wait_failures": m.cacheWaitFails.Load(),
+		"inflight_requests":      m.inflight.Load(),
+		"open_connections":       m.conns.Load(),
+		"draining":               m.draining.Load(),
 	}
 	for i, ub := range batchBuckets {
 		out[fmt.Sprintf("batch_size_le_%d", ub)] = m.batchHist[i].Load()

@@ -120,22 +120,37 @@ func (s *server) serve(ln net.Listener) {
 		ln.Close()
 		return
 	}
+	var backoff time.Duration
 	for {
 		nc, err := ln.Accept()
 		if err != nil {
-			// Listener closed by shutdown, or a transient accept error;
-			// either way the accept loop is done once draining.
+			// Listener closed by shutdown: the accept loop is done.
 			if s.draining.Load() {
 				return
 			}
+			// Transient (timeout-flavoured) accept errors — FD
+			// exhaustion, aborted handshakes — recover on their own;
+			// retry under a capped exponential backoff so a persistent
+			// condition does not spin the loop hot.
 			if ne, ok := err.(net.Error); ok && ne.Timeout() {
+				backoff = min(max(2*backoff, time.Millisecond), time.Second)
+				if !s.cfg.Quiet {
+					log.Printf("eccserve: accept: %v (retrying in %v)", err, backoff)
+				}
+				time.Sleep(backoff)
 				continue
 			}
+			// Permanent: the listener is gone for good. A server that
+			// cannot accept must not linger as a zombie — engine shards
+			// spinning, metrics green, no way in — so the error is a
+			// drain: shut down fully and let the supervisor restart us.
 			if !s.cfg.Quiet {
-				log.Printf("eccserve: accept: %v", err)
+				log.Printf("eccserve: accept: %v (shutting down)", err)
 			}
+			s.shutdown()
 			return
 		}
+		backoff = 0
 		fc := frame.NewConn(nc)
 		s.connMu.Lock()
 		if s.draining.Load() {
@@ -251,6 +266,38 @@ func (s *server) process(fc *frame.Conn, shard *repro.BatchEngine, id uint64, ty
 			return
 		}
 		valid, err := shard.VerifyKey(pub, digest, sig)
+		if err != nil {
+			s.writeErr(fc, id, err)
+			return
+		}
+		if valid {
+			fc.Write(id, frame.TOK, []byte{1})
+		} else {
+			s.m.verifyFail.Add(1)
+			fc.Write(id, frame.TOK, []byte{0})
+		}
+
+	case frame.TVerifyR:
+		s.m.reqVerifyR.Add(1)
+		hint, key, rawSig, digest, ok := frame.SplitVerifyR(payload)
+		if !ok {
+			s.m.badRequest.Add(1)
+			fc.Write(id, frame.TBadRequest)
+			return
+		}
+		pub, err := s.cache.get(key)
+		if err != nil {
+			s.m.badRequest.Add(1)
+			fc.Write(id, frame.TBadRequest)
+			return
+		}
+		sig, err := repro.ParseSignature(rawSig)
+		if err != nil {
+			s.m.verifyFail.Add(1)
+			fc.Write(id, frame.TOK, []byte{0})
+			return
+		}
+		valid, err := shard.VerifyKeyRecoverable(pub, digest, sig, hint)
 		if err != nil {
 			s.writeErr(fc, id, err)
 			return

@@ -3,6 +3,7 @@ package main
 import (
 	"bytes"
 	"crypto/sha256"
+	"errors"
 	"io"
 	"math/rand"
 	"net"
@@ -127,6 +128,61 @@ func TestServeSignVerifyECDH(t *testing.T) {
 	}
 }
 
+// TestServeVerifyRecoverable drives the hinted-verify wire path: a
+// valid hinted signature answers 1, a wrong hint still answers 1 (the
+// hint is an accelerator, never an input to the verdict), a corrupted
+// signature answers 0, and a structurally broken payload is a protocol
+// error.
+func TestServeVerifyRecoverable(t *testing.T) {
+	s, addr := startTestServer(t, serverConfig{Window: 100 * time.Microsecond})
+	fc := dialFrame(t, addr)
+
+	rnd := rand.New(rand.NewSource(17))
+	clientPriv, err := repro.GenerateKey(rnd)
+	if err != nil {
+		t.Fatal(err)
+	}
+	clientKey := clientPriv.PublicKey().BytesCompressed()
+	digest := sha256.Sum256([]byte("verifyr"))
+	sig, hint, err := repro.SignRecoverable(nil, clientPriv, digest[:])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if hint >= repro.HintNone {
+		t.Fatalf("signer produced no usable hint (%d)", hint)
+	}
+
+	req := frame.AppendVerifyR(nil, hint, clientKey, sig.Bytes(), digest[:])
+	f, err := fc.Roundtrip(1, frame.TVerifyR, req)
+	if err != nil || f.Type != frame.TOK || !bytes.Equal(f.Payload, []byte{1}) {
+		t.Fatalf("verifyr valid: type %#x payload %v err %v", f.Type, f.Payload, err)
+	}
+
+	wrongHint := (hint + 1) % 8
+	req = frame.AppendVerifyR(nil, wrongHint, clientKey, sig.Bytes(), digest[:])
+	f, err = fc.Roundtrip(2, frame.TVerifyR, req)
+	if err != nil || f.Type != frame.TOK || !bytes.Equal(f.Payload, []byte{1}) {
+		t.Fatalf("verifyr wrong hint: type %#x payload %v err %v", f.Type, f.Payload, err)
+	}
+
+	bad := sig.Bytes()
+	bad[len(bad)-1] ^= 1
+	req = frame.AppendVerifyR(nil, hint, clientKey, bad, digest[:])
+	f, err = fc.Roundtrip(3, frame.TVerifyR, req)
+	if err != nil || f.Type != frame.TOK || !bytes.Equal(f.Payload, []byte{0}) {
+		t.Fatalf("verifyr corrupted sig: type %#x payload %v err %v", f.Type, f.Payload, err)
+	}
+
+	f, err = fc.Roundtrip(4, frame.TVerifyR, []byte{hint, 1, 2})
+	if err != nil || f.Type != frame.TBadRequest {
+		t.Fatalf("verifyr short payload: type %#x err %v", f.Type, err)
+	}
+
+	if s.m.reqVerifyR.Load() != 4 {
+		t.Fatalf("reqVerifyR = %d, want 4", s.m.reqVerifyR.Load())
+	}
+}
+
 func TestServeBadRequests(t *testing.T) {
 	s, addr := startTestServer(t, serverConfig{})
 	fc := dialFrame(t, addr)
@@ -224,6 +280,77 @@ func TestServeMixedTrafficConcurrent(t *testing.T) {
 	}
 	if s.m.batches.Load() == 0 || s.m.batchOps.Load() == 0 {
 		t.Fatal("batch observer saw nothing")
+	}
+}
+
+// flakyListener injects a scripted sequence of Accept errors before
+// delegating to the real listener.
+type flakyListener struct {
+	net.Listener
+	mu   sync.Mutex
+	errs []error
+}
+
+func (l *flakyListener) Accept() (net.Conn, error) {
+	l.mu.Lock()
+	if len(l.errs) > 0 {
+		err := l.errs[0]
+		l.errs = l.errs[1:]
+		l.mu.Unlock()
+		return nil, err
+	}
+	l.mu.Unlock()
+	return l.Listener.Accept()
+}
+
+// timeoutErr is a transient (timeout-flavoured) net.Error.
+type timeoutErr struct{}
+
+func (timeoutErr) Error() string   { return "injected timeout" }
+func (timeoutErr) Timeout() bool   { return true }
+func (timeoutErr) Temporary() bool { return true }
+
+// startFlakyServer boots a server on a listener that fails its first
+// Accepts with errs.
+func startFlakyServer(t *testing.T, errs ...error) (*server, string) {
+	t.Helper()
+	rnd := rand.New(rand.NewSource(234))
+	priv, err := repro.GenerateKey(rnd)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := newServer(priv, serverConfig{Quiet: true, DrainTimeout: time.Second})
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	go s.serve(&flakyListener{Listener: ln, errs: errs})
+	t.Cleanup(s.shutdown)
+	return s, ln.Addr().String()
+}
+
+// TestServeTransientAcceptErrors: timeout-flavoured accept errors must
+// not kill the accept loop — after a burst of them the server still
+// accepts and answers.
+func TestServeTransientAcceptErrors(t *testing.T) {
+	_, addr := startFlakyServer(t, timeoutErr{}, timeoutErr{}, timeoutErr{})
+	fc := dialFrame(t, addr)
+	f, err := fc.Roundtrip(1, frame.TPing)
+	if err != nil || f.Type != frame.TOK {
+		t.Fatalf("ping after transient accept errors: type %#x err %v", f.Type, err)
+	}
+}
+
+// TestServePermanentAcceptErrorShutsDown is the zombie regression: a
+// permanent accept failure used to return from the accept loop without
+// shutting anything down, leaving engine shards running and the server
+// reachable by nothing. It must now drain fully.
+func TestServePermanentAcceptErrorShutsDown(t *testing.T) {
+	s, _ := startFlakyServer(t, errors.New("injected permanent failure"))
+	select {
+	case <-s.stopped:
+	case <-time.After(10 * time.Second):
+		t.Fatal("server did not shut down after a permanent accept error")
 	}
 }
 
@@ -362,6 +489,99 @@ func TestKeyCacheLRUAndSingleflight(t *testing.T) {
 	}
 	if c.len() != 2 {
 		t.Fatalf("failed build left a resident entry: len = %d", c.len())
+	}
+}
+
+// TestKeyCacheWaiterOnFailedBuild pins the hit/miss/build/wait-failure
+// accounting when a lookup joins an in-flight build that then fails:
+// that waiter used to be counted as a cache hit the moment it found
+// the entry, before the build had produced anything. The in-flight
+// state is manufactured by hand so the build's resolution is
+// deterministically ordered after the waiter joins.
+func TestKeyCacheWaiterOnFailedBuild(t *testing.T) {
+	m := &metrics{}
+	c := newKeyCache(2, m)
+
+	// A registered-but-unresolved entry, exactly as the initiating get
+	// leaves it while the build runs outside the lock.
+	raw := make([]byte, frame.KeySize)
+	k := string(raw)
+	e := &keyEntry{key: k, ready: make(chan struct{})}
+	c.mu.Lock()
+	c.entries[k] = e
+	c.pushFront(e)
+	c.mu.Unlock()
+
+	// A second, resolved entry ahead of e makes the waiter's arrival
+	// observable: get re-fronts the entry it joins.
+	other := &keyEntry{key: "other", ready: make(chan struct{})}
+	close(other.ready)
+	c.mu.Lock()
+	c.entries[other.key] = other
+	c.pushFront(other)
+	c.mu.Unlock()
+
+	// The waiter joins the in-flight build and blocks on ready.
+	done := make(chan error, 1)
+	go func() {
+		_, err := c.get(raw)
+		done <- err
+	}()
+	for joined := false; !joined; time.Sleep(time.Millisecond) {
+		c.mu.Lock()
+		joined = c.head.next == e
+		c.mu.Unlock()
+	}
+	// Joined but unresolved: nothing may have been counted yet — the
+	// old code booked the hit here, before the build said anything.
+	if hits, wf := m.cacheHits.Load(), m.cacheWaitFails.Load(); hits != 0 || wf != 0 {
+		t.Fatalf("waiter counted before the build resolved (hits=%d waitFails=%d)", hits, wf)
+	}
+
+	// The build fails; the initiator's path records the error, wakes
+	// waiters, and removes the entry.
+	e.err = errors.New("injected build failure")
+	close(e.ready)
+	c.mu.Lock()
+	c.unlink(e)
+	delete(c.entries, k)
+	c.mu.Unlock()
+
+	if err := <-done; err == nil {
+		t.Fatal("waiter got a key from a failed build")
+	}
+	if hits := m.cacheHits.Load(); hits != 0 {
+		t.Fatalf("cacheHits = %d after a failed build, want 0", hits)
+	}
+	if wf := m.cacheWaitFails.Load(); wf != 1 {
+		t.Fatalf("cacheWaitFails = %d, want 1", wf)
+	}
+
+	// Sanity of the ordinary flows on the same cache: a fresh valid key
+	// is one miss + one build, its re-lookup one hit.
+	rnd := rand.New(rand.NewSource(13))
+	priv, err := repro.GenerateKey(rnd)
+	if err != nil {
+		t.Fatal(err)
+	}
+	good := priv.PublicKey().BytesCompressed()
+	if _, err := c.get(good); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.get(good); err != nil {
+		t.Fatal(err)
+	}
+	if m.cacheMisses.Load() != 1 || m.cacheBuilds.Load() != 1 || m.cacheHits.Load() != 1 {
+		t.Fatalf("misses=%d builds=%d hits=%d, want 1/1/1",
+			m.cacheMisses.Load(), m.cacheBuilds.Load(), m.cacheHits.Load())
+	}
+	// A direct failed build is a miss, never a hit or a wait failure.
+	if _, err := c.get(make([]byte, frame.KeySize)); err == nil {
+		t.Fatal("garbage key parsed")
+	}
+	if m.cacheMisses.Load() != 2 || m.cacheHits.Load() != 1 || m.cacheWaitFails.Load() != 1 {
+		t.Fatalf("misses=%d hits=%d waitFails=%d after direct failed build, want 2/1/1",
+			m.cacheMisses.Load(), m.cacheHits.Load(), m.cacheWaitFails.Load())
 	}
 }
 

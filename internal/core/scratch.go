@@ -108,6 +108,15 @@ func (s *Scratch) normalize64(dst []ec.Affine64, pts []ec.LD64) {
 // batched normalisations (sum/dif, then the table) — so the whole
 // construction allocates nothing and never touches big.Int.
 func (s *Scratch) alphaTable(p ec.Affine64, w int) []ec.Affine64 {
+	return s.alphaTableInto(&s.table, p, w)
+}
+
+// alphaTableInto is alphaTable writing into a caller-retained buffer
+// (grown in place), so consumers that must hold several tables live at
+// once — the multi-scalar evaluator keeps one per distinct key — can
+// build them through one Scratch without the later builds invalidating
+// the earlier tables.
+func (s *Scratch) alphaTableInto(dst *[]ec.Affine64, p ec.Affine64, w int) []ec.Affine64 {
 	alphaA, alphaB := koblitz.AlphaCoeffs(w)
 	n := len(alphaA)
 	tp := p.Frobenius()
@@ -121,7 +130,7 @@ func (s *Scratch) alphaTable(p ec.Affine64, w int) []ec.Affine64 {
 	for i := 0; i < n; i++ {
 		ld[i] = alphaPointLD64(alphaA[i], alphaB[i], p, tp, sum, dif)
 	}
-	table := Grow(&s.table, n)
+	table := Grow(dst, n)
 	s.normalize64(table, ld)
 	return table
 }

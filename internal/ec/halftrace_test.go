@@ -1,0 +1,50 @@
+package ec
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/gf233"
+)
+
+// TestSolveQuadratic64VsRef holds the table-driven solver bit-identical
+// to the reference chain on random inputs, both solvable (Tr = 0) and
+// not (Tr = 1), plus the fixed corners.
+func TestSolveQuadratic64VsRef(t *testing.T) {
+	rng := rand.New(rand.NewSource(59))
+	check := func(c gf233.Elem) {
+		t.Helper()
+		want, wantOK := SolveQuadratic(c)
+		got, gotOK := SolveQuadratic64(gf233.ToElem64(c))
+		if gotOK != wantOK || got.Elem() != want {
+			t.Fatalf("SolveQuadratic64 mismatch for %v: got (%v, %v), want (%v, %v)",
+				c, got.Elem(), gotOK, want, wantOK)
+		}
+	}
+	check(gf233.Zero)
+	check(gf233.One)
+	for i := 0; i < 200; i++ {
+		var b [gf233.ByteLen]byte
+		rng.Read(b[:])
+		b[0] &= 1
+		c, ok := gf233.FromBytes(b)
+		if !ok {
+			i--
+			continue
+		}
+		check(c)
+	}
+}
+
+func BenchmarkSolveQuadratic64(b *testing.B) {
+	// x + 1/x² for the generator abscissa: a representative solvable input.
+	x := gf233.ToElem64(Gen().X)
+	x2i := gf233.MustInv64(gf233.Sqr64(x))
+	c := gf233.Add64(x, x2i)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, ok := SolveQuadratic64(c); !ok {
+			b.Fatal("unsolvable")
+		}
+	}
+}

@@ -1,9 +1,11 @@
 package engine
 
 import (
+	crand "crypto/rand"
 	"errors"
 	"io"
 	"math/big"
+	mrand "math/rand/v2"
 	"sync"
 
 	"repro/internal/core"
@@ -46,13 +48,17 @@ type request struct {
 	rand   io.Reader
 	sig    *sign.Signature // verify: the signature under test
 	fb     *core.FixedBase // verify: optional per-key table
+	hint   byte            // verify: nonce-point recovery hint (≥ sign.HintNone: none)
 	// intermediates
 	ld     ec.LD64
 	nonce  big.Int
 	kinv   big.Int
 	e      big.Int
-	w      big.Int // verify: s⁻¹ mod n from the batched inversion
-	u1, u2 big.Int // verify: e·w and r·w mod n
+	w      big.Int     // verify: s⁻¹ mod n from the batched inversion
+	u1, u2 big.Int     // verify: e·w and r·w mod n
+	rho    uint64      // verify: random linear-combination weight
+	rpt    ec.Affine64 // verify: recovered nonce point, pre-negated (−R)
+	lcDone bool        // verify: settled by the linear-combination pass
 	// results
 	res    ec.Affine
 	secret [SecretSize]byte
@@ -62,7 +68,13 @@ type request struct {
 	done   chan struct{}
 }
 
-func newRequest() *request { return &request{done: make(chan struct{}, 1)} }
+// newRequest starts with the no-hint sentinel: the zero byte is a
+// VALID hint (offset 0, even parity), so both construction and release
+// must reset it explicitly or a pooled request could smuggle a stale
+// hint into a plain Verify.
+func newRequest() *request {
+	return &request{hint: sign.HintNone, done: make(chan struct{}, 1)}
+}
 
 // release readies a finished request for pooling: it drops the
 // caller-owned references and scrubs the secret-bearing state — the
@@ -77,6 +89,7 @@ func (r *request) release() {
 	r.rand = nil
 	r.sig = nil
 	r.fb = nil
+	r.hint = sign.HintNone
 	koblitz.WipeInt(&r.nonce)
 	koblitz.WipeInt(&r.kinv)
 	r.secret = [SecretSize]byte{}
@@ -100,10 +113,44 @@ type batchScratch struct {
 	signQ   []*request
 	verifyQ []*request
 	reqs    []*request // slice-API staging
+	// linear-combination verification state: the multi-scalar
+	// evaluator, the hinted-request queue, the per-distinct-key
+	// coalescing groups, the batched-decompression staging, and the
+	// weight stream (ChaCha8 seeded once from the system RNG — the
+	// weights must be unpredictable to submitters, and drawing them
+	// from a per-scratch generator keeps the hot path allocation-free).
+	ms     core.MultiScalar
+	lcQ    []*request
+	groups []lcGroup
+	ng     int
+	rhoSrc *mrand.ChaCha8
+	xv     []gf233.Elem64 // recovered abscissae
+	x2     []gf233.Elem64 // their squares → batched inverses
+	x2s    []gf233.Elem64 // inversion scratch
+	xb     [gf233.ByteLen]byte
+	rb     big.Int // abscissa candidate r + offset·n
+	rh     big.Int // current weight ρ
+	pr     big.Int // ρ·u product
+	gs     big.Int // coalesced generator scalar Σρᵢu1ᵢ mod n
+}
+
+// lcGroup coalesces the u2 scalars of one distinct public key: all
+// requests of a batch against the same key collapse into a single
+// point term (Σρᵢu2ᵢ)·Q. in caches the per-batch subgroup check that
+// gates the key's LC eligibility.
+type lcGroup struct {
+	pub ec.Affine
+	fb  *core.FixedBase
+	c   big.Int
+	in  bool
 }
 
 func newBatchScratch() *batchScratch {
-	return &batchScratch{cs: core.NewScratch()}
+	var seed [32]byte
+	if _, err := crand.Read(seed[:]); err != nil {
+		panic("engine: system randomness unavailable: " + err.Error())
+	}
+	return &batchScratch{cs: core.NewScratch(), rhoSrc: mrand.NewChaCha8(seed)}
 }
 
 // kernelPool recycles batchScratch values for the synchronous slice
@@ -188,6 +235,9 @@ func processBatch(s *batchScratch, batch []*request) {
 			r.r.SetBytes(x[:])
 			core.ReduceModOrder(&r.r)
 		case opVerify:
+			if r.lcDone {
+				continue // verdict settled by the linear-combination pass
+			}
 			if r.ld.IsInfinity() {
 				continue // ok stays false
 			}
@@ -318,6 +368,7 @@ func (s *batchScratch) finishSigns(signQ []*request) {
 // verification — that is an ok=false outcome, not an error.
 func prepareVerify(r *request) bool {
 	r.ok = false
+	r.lcDone = false
 	if !sign.CheckVerifyInputs(r.point, r.sig) {
 		return false
 	}
@@ -325,26 +376,245 @@ func prepareVerify(r *request) bool {
 	return true
 }
 
-// verifyPoints computes every queued verification's joint point
-// R' = u1·G + u2·Q, left projective, with ONE batched mod-n inversion
-// for all the s values (batchInvert — the s components were
-// range-checked into [1, n−1] by prepareVerify). The LD→affine
-// conversions then ride the batch-wide field inversion with everything
-// else.
+// lcMinBatch is the smallest hinted-request count worth the
+// linear-combination pass: below it the shared Frobenius chain and
+// bucket fold cost more than the per-request ladders they replace.
+const lcMinBatch = 4
+
+// verifyPoints computes every queued verification with ONE batched
+// mod-n inversion for all the s values (batchInvert — the s components
+// were range-checked into [1, n−1] by prepareVerify), then settles the
+// verdicts in two tiers:
+//
+//	tier 1: requests carrying a recovery hint have their nonce points
+//	        recovered by batched decompression and are checked all at
+//	        once by the randomised linear-combination identity
+//	        Σρᵢ(u1ᵢ·G + u2ᵢ·Qᵢ − Rᵢ) = ∞ over one shared multi-scalar
+//	        pass (core.MultiScalar) — the generator terms of the whole
+//	        batch collapse into one scalar, the per-key terms into one
+//	        scalar per distinct key;
+//	tier 2: everything else — unhinted requests, failed recoveries,
+//	        off-subgroup keys, and the whole hinted set whenever the
+//	        aggregate check fails (so invalid signatures are identified
+//	        individually) — runs the per-request joint ladder exactly
+//	        as before.
+//
+// The fallback makes hints accelerators only: no hint value can change
+// a verdict, it can only route the request through the slow path. The
+// LD→affine conversions then ride the batch-wide field inversion with
+// everything else.
 func (s *batchScratch) verifyPoints(verifyQ []*request) {
 	s.batchInvert(verifyQ,
 		func(r *request) *big.Int { return r.sig.S },
 		func(r *request) *big.Int { return &r.w })
 	for _, r := range verifyQ {
-		// u1 = e·s⁻¹, u2 = r·s⁻¹; then the interleaved ladder, over the
-		// per-key table when the caller precomputed one.
+		// u1 = e·s⁻¹, u2 = r·s⁻¹.
 		s.mn.Mul(&r.u1, &r.e, &r.w)
 		s.mn.Mul(&r.u2, r.sig.R, &r.w)
+	}
+	lcQ := s.lcQ[:0]
+	for _, r := range verifyQ {
+		if r.hint < sign.HintNone {
+			lcQ = append(lcQ, r)
+		}
+	}
+	s.lcQ = lcQ
+	if len(lcQ) >= lcMinBatch {
+		for _, r := range s.verifyLC(lcQ) {
+			r.ok = true
+			r.lcDone = true
+			r.ld = ec.LD64Infinity
+		}
+	}
+	for _, r := range verifyQ {
+		if r.lcDone {
+			continue
+		}
+		// The interleaved ladder, over the per-key table when the
+		// caller precomputed one.
 		if r.fb != nil {
 			r.ld = s.cs.JointScalarMultFixedLD64(&r.u1, &r.u2, r.fb)
 		} else {
 			r.ld = s.cs.JointScalarMultLD64(&r.u1, &r.u2, r.point)
 		}
+	}
+}
+
+// recoverPoints reconstructs the nonce point R of every request in q
+// (all hinted) by compressed-point decompression of x = r + offset·n,
+// batched: the x⁻² terms of the quadratic λ² + λ = x + b/x² share one
+// field inversion, and the half-traces run on the frozen table solver
+// (ec.SolveQuadratic64). q is compacted in place to the requests whose
+// hint decoded to a curve point; the rest are silently left for the
+// per-request path. The recovered point is stored pre-negated
+// (−R = (x, x+y)), which is the form the linear-combination sum
+// consumes; it may lie OUTSIDE the prime-order subgroup — the
+// multi-scalar evaluator's exact weight recoding is what keeps that
+// sound.
+func (s *batchScratch) recoverPoints(q []*request) []*request {
+	xv := core.Grow(&s.xv, len(q))
+	x2 := core.Grow(&s.x2, len(q))
+	n := 0
+	for _, r := range q {
+		// x = r + offset·n must fit the field (offset 3 can push past
+		// 2^233 for large r).
+		s.rb.SetInt64(int64(r.hint >> 1))
+		s.rb.Mul(&s.rb, ec.Order)
+		s.rb.Add(&s.rb, r.sig.R)
+		if s.rb.BitLen() > gf233.M {
+			continue
+		}
+		s.rb.FillBytes(s.xb[:])
+		x, ok := gf233.FromBytes(s.xb)
+		if !ok {
+			continue
+		}
+		// x ≠ 0 always: r ∈ [1, n−1] and offset ≥ 0.
+		xe := gf233.ToElem64(x)
+		xv[n] = xe
+		x2[n] = gf233.Sqr64(xe)
+		q[n] = r
+		n++
+	}
+	x2s := core.Grow(&s.x2s, n)
+	gf233.InvBatch64(x2[:n], x2s)
+	m := 0
+	for i := 0; i < n; i++ {
+		r, x := q[i], xv[i]
+		// λ² + λ = x + b/x² with b = 1; solvability of the quadratic IS
+		// the on-curve check for x ≠ 0.
+		lam, ok := ec.SolveQuadratic64(gf233.Add64(x, x2[i]))
+		if !ok {
+			continue
+		}
+		if byte(lam[0]&1) != r.hint&1 {
+			lam = gf233.Add64(lam, gf233.One64)
+		}
+		y := gf233.Mul64(lam, x)
+		r.rpt = ec.Affine64{X: x, Y: gf233.Add64(x, y)}
+		q[m] = r
+		m++
+	}
+	return q[:m]
+}
+
+// verifyLC runs the randomised linear-combination check over the
+// recovered requests and returns the subset it proved valid (all of
+// lcQ on the eligible keys when the aggregate lands on ∞, nil when it
+// does not — the caller then falls back to per-request ladders, which
+// both identifies the culprits and bounds an attacker feeding invalid
+// signatures to ~1.3× the plain batch cost, since the LC pass is a
+// small fraction of the ladder work it tries to replace).
+//
+// Soundness: each weight ρᵢ is an independent uniform nonzero 63-bit
+// value unknown to submitters, so a batch containing any request with
+// u1ᵢ·G + u2ᵢ·Qᵢ ≠ Rᵢ passes with probability ≤ ~2⁻⁶². Faithfulness
+// off the happy path: the per-key coalescing reduces Σρᵢu2ᵢ mod n,
+// which matches the per-request ladders only on points of order n, so
+// keys outside the prime-order subgroup are detected per batch
+// (core.InSubgroup, cached per distinct key in the group table) and
+// excluded — their requests keep joint-ladder verdicts, bit-identical
+// to the one-shot verifier, no matter how the cofactor components
+// would have cancelled under aggregation.
+func (s *batchScratch) verifyLC(lcQ []*request) []*request {
+	s.ng = 0
+	for _, r := range lcQ {
+		s.groupFor(r)
+	}
+	// Coalescing-density gate: the pass only wins when requests share
+	// keys — each distinct key costs a subgroup check, a table (or
+	// α-table build) and its own ~m-digit term, together comparable to
+	// the single joint ladder it replaces. Mostly-distinct batches go
+	// straight to the per-request path before paying any per-key work.
+	if 2*s.ng > len(lcQ) {
+		return nil
+	}
+	for i := 0; i < s.ng; i++ {
+		g := &s.groups[i]
+		g.in = core.InSubgroup(g.pub)
+	}
+	kept := lcQ[:0]
+	for _, r := range lcQ {
+		if s.groupFor(r).in {
+			kept = append(kept, r)
+		}
+	}
+	kept = s.recoverPoints(kept)
+	if len(kept) < lcMinBatch {
+		return nil
+	}
+	s.gs.SetInt64(0)
+	for _, r := range kept {
+		rho := s.rhoSrc.Uint64() >> 1
+		if rho == 0 {
+			rho = 1
+		}
+		r.rho = rho
+		s.rh.SetUint64(rho)
+		s.mn.Mul(&s.pr, &s.rh, &r.u1)
+		addModOrder(&s.gs, &s.pr)
+		g := s.groupFor(r)
+		s.mn.Mul(&s.pr, &s.rh, &r.u2)
+		addModOrder(&g.c, &s.pr)
+	}
+	ms := &s.ms
+	ms.Reset()
+	ms.AddGen(&s.gs)
+	for i := 0; i < s.ng; i++ {
+		g := &s.groups[i]
+		if !g.in {
+			continue
+		}
+		if g.fb != nil {
+			ms.AddFixed(&g.c, g.fb)
+		} else {
+			ms.AddAffine(&g.c, g.pub.To64())
+		}
+	}
+	for _, r := range kept {
+		ms.AddWeighted(r.rho, r.rpt)
+	}
+	if !ms.Eval().IsInfinity() {
+		return nil
+	}
+	return kept
+}
+
+// groupFor finds or creates the coalescing group for the request's
+// public key — a linear scan over the batch's distinct keys (point
+// equality), which stays cheap because serving batches concentrate on
+// few keys. A request carrying a precomputed table upgrades a group
+// created without one; the subgroup eligibility check runs once per
+// distinct key per batch.
+func (s *batchScratch) groupFor(r *request) *lcGroup {
+	for i := 0; i < s.ng; i++ {
+		g := &s.groups[i]
+		if g.pub == r.point {
+			if g.fb == nil {
+				g.fb = r.fb
+			}
+			return g
+		}
+	}
+	if s.ng == len(s.groups) {
+		s.groups = append(s.groups, lcGroup{})
+	}
+	g := &s.groups[s.ng]
+	s.ng++
+	g.pub = r.point
+	g.fb = r.fb
+	g.c.SetInt64(0)
+	g.in = false // settled by verifyLC's per-key subgroup sweep
+	return g
+}
+
+// addModOrder accumulates dst = dst + a mod n for operands already in
+// [0, n): the sum is below 2n, so one conditional subtraction reduces
+// fully (and, unlike Mod, never allocates).
+func addModOrder(dst, a *big.Int) {
+	dst.Add(dst, a)
+	if dst.Cmp(ec.Order) >= 0 {
+		dst.Sub(dst, ec.Order)
 	}
 }
 
@@ -481,6 +751,48 @@ func BatchVerifyTables(pubs []ec.Affine, fbs []*core.FixedBase, digests [][]byte
 		r.sig = sigs[i]
 		if fbs != nil {
 			r.fb = fbs[i]
+		}
+	}
+	processBatch(s, batch)
+	for i, r := range batch {
+		ok[i] = r.ok
+	}
+	returnBatch(batch)
+	kernelPool.Put(s)
+}
+
+// BatchVerifyRecoverable is BatchVerifyTables with per-request nonce
+// recovery hints (sign.SignRecoverable / sign.RecoverHint): requests
+// whose hint decodes to the nonce point verify through the randomised
+// linear-combination pass — one shared multi-scalar evaluation for the
+// whole batch instead of one joint ladder per request. hints[i] values
+// ≥ sign.HintNone mean "no hint" and take the per-request path; hints
+// may also be nil for an all-unhinted batch. Verdicts are identical to
+// BatchVerify for every input: a wrong hint only costs the fast path,
+// and any aggregate-check failure falls back to per-request ladders to
+// identify the invalid signatures individually.
+func BatchVerifyRecoverable(pubs []ec.Affine, fbs []*core.FixedBase, digests [][]byte, sigs []*Signature, hints []byte, ok []bool) {
+	if len(digests) != len(pubs) || len(sigs) != len(pubs) || len(ok) != len(pubs) {
+		panic("engine: BatchVerifyRecoverable length mismatch")
+	}
+	if fbs != nil && len(fbs) != len(pubs) {
+		panic("engine: BatchVerifyRecoverable tables length mismatch")
+	}
+	if hints != nil && len(hints) != len(pubs) {
+		panic("engine: BatchVerifyRecoverable hints length mismatch")
+	}
+	s := kernelPool.Get().(*batchScratch)
+	batch := s.borrowBatch(len(pubs))
+	for i, r := range batch {
+		r.op = opVerify
+		r.point = pubs[i]
+		r.digest = digests[i]
+		r.sig = sigs[i]
+		if fbs != nil {
+			r.fb = fbs[i]
+		}
+		if hints != nil {
+			r.hint = hints[i]
 		}
 	}
 	processBatch(s, batch)

@@ -219,11 +219,7 @@ func (e *Engine) worker() {
 			// Deadline-bounded collect: the window opens when the batch
 			// does, so a submitter waits at most ~BatchWindow beyond its
 			// own processing time.
-			if timer == nil {
-				timer = time.NewTimer(e.cfg.BatchWindow)
-			} else {
-				timer.Reset(e.cfg.BatchWindow)
-			}
+			timer = resetWindowTimer(timer, e.cfg.BatchWindow)
 		window:
 			for len(batch) < e.cfg.MaxBatch {
 				select {
@@ -246,6 +242,29 @@ func (e *Engine) worker() {
 			r.done <- struct{}{}
 		}
 	}
+}
+
+// resetWindowTimer arms the batch-window timer, creating it on first
+// use. A previous window can leave a stale tick buffered in timer.C:
+// when the batch fills (or the channel closes) in the same instant the
+// timer fires, the window loop exits without reading the channel and
+// the worker's Stop comes too late to prevent the send. A bare Reset
+// on top of that tick would close the NEXT window immediately — the
+// lone request of a quiet period would stop seeing the configured
+// window and batches would quietly degrade to size one — so the stale
+// tick is drained first.
+func resetWindowTimer(timer *time.Timer, d time.Duration) *time.Timer {
+	if timer == nil {
+		return time.NewTimer(d)
+	}
+	if !timer.Stop() {
+		select {
+		case <-timer.C:
+		default:
+		}
+	}
+	timer.Reset(d)
+	return timer
 }
 
 // runBatch executes one batch through processBatch, containing any
@@ -405,6 +424,29 @@ func (e *Engine) Verify(pub ec.Affine, fb *core.FixedBase, digest []byte, sig *S
 	r.fb = fb
 	r.digest = digest
 	r.sig = sig
+	if err := e.do(r); err != nil {
+		e.put(r)
+		return false, err
+	}
+	ok, err := r.ok, r.err
+	e.put(r)
+	return ok, err
+}
+
+// VerifyRecoverable is Verify with a nonce-point recovery hint (from
+// sign.SignRecoverable or sign.RecoverHint): requests that land in the
+// same batch and carry usable hints share one randomised
+// linear-combination check — a single multi-scalar evaluation for the
+// whole batch — instead of one joint ladder each. A hint ≥
+// sign.HintNone (or simply a wrong one) selects the per-request path;
+// the verdict is identical to Verify for every (sig, hint) pair.
+func (e *Engine) VerifyRecoverable(pub ec.Affine, fb *core.FixedBase, digest []byte, sig *Signature, hint byte) (bool, error) {
+	r := e.get(opVerify)
+	r.point = pub
+	r.fb = fb
+	r.digest = digest
+	r.sig = sig
+	r.hint = hint
 	if err := e.do(r); err != nil {
 		e.put(r)
 		return false, err

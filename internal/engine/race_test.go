@@ -130,6 +130,71 @@ func TestConcurrentPublicAPI(t *testing.T) {
 	}
 }
 
+// TestConcurrentBatchVerifyRecoverable runs the linear-combination
+// batch-verification kernel from 32 goroutines over shared read-only
+// inputs — a mixed batch with known-corrupted entries — while the
+// field backend cycles through all three implementations mid-flight.
+// Each goroutine owns its verdict slice and scratch; the verdicts must
+// match the one-shot verifier on every entry, every iteration, under
+// every backend. Under -race this pins the kernel's per-scratch
+// isolation (including the per-scratch ChaCha8 weight source).
+func TestConcurrentBatchVerifyRecoverable(t *testing.T) {
+	_, pubs, digests, sigs, hints := recoverableFixture(t, 900, 32, 3)
+	for _, i := range []int{5, 13, 21} {
+		sigs[i] = &Signature{R: sigs[i].R, S: new(big.Int).Xor(sigs[i].S, big.NewInt(256))}
+	}
+	hints[7] = sign.HintNone // one unhinted entry rides the plain path
+	want := make([]bool, len(pubs))
+	for i := range pubs {
+		want[i] = sign.Verify(pubs[i], digests[i], sigs[i])
+	}
+
+	stop := make(chan struct{})
+	var togglers sync.WaitGroup
+	togglers.Add(1)
+	go func() {
+		defer togglers.Done()
+		prev := gf233.CurrentBackend()
+		defer gf233.SetBackend(prev)
+		cycle := []gf233.Backend{gf233.Backend32, gf233.Backend64, gf233.BackendCLMUL}
+		for i := 0; ; i++ {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			gf233.SetBackend(cycle[i%len(cycle)])
+		}
+	}()
+
+	const goroutines = 32
+	var wg sync.WaitGroup
+	errs := make(chan string, goroutines)
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			ok := make([]bool, len(pubs))
+			for j := 0; j < 6; j++ {
+				BatchVerifyRecoverable(pubs, nil, digests, sigs, hints, ok)
+				for i, got := range ok {
+					if got != want[i] {
+						errs <- "BatchVerifyRecoverable diverged from the one-shot verifier under concurrency"
+						return
+					}
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	close(stop)
+	togglers.Wait()
+	close(errs)
+	for msg := range errs {
+		t.Fatal(msg)
+	}
+}
+
 // TestSubmitCloseRace races 32 submitting goroutines against Close
 // (and a second, concurrent Close): every submission must either
 // complete normally or fail with ErrEngineClosed — never panic on a

@@ -1,0 +1,211 @@
+package engine
+
+import (
+	"crypto/sha256"
+	"math/big"
+	"math/rand"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/ec"
+	"repro/internal/gf233"
+	"repro/internal/sign"
+)
+
+// recoverableFixture builds n keys (cycling through distinct), their
+// digests, signatures and recovery hints.
+func recoverableFixture(t testing.TB, seed int64, n, keys int) ([]*core.PrivateKey, []ec.Affine, [][]byte, []*Signature, []byte) {
+	t.Helper()
+	rnd := rand.New(rand.NewSource(seed))
+	privs := make([]*core.PrivateKey, keys)
+	for i := range privs {
+		p, err := core.GenerateKey(rnd)
+		if err != nil {
+			t.Fatal(err)
+		}
+		privs[i] = p
+	}
+	pubs := make([]ec.Affine, n)
+	digests := make([][]byte, n)
+	sigs := make([]*Signature, n)
+	hints := make([]byte, n)
+	owners := make([]*core.PrivateKey, n)
+	for i := 0; i < n; i++ {
+		owners[i] = privs[i%keys]
+		pubs[i] = owners[i].Public
+		d := sha256.Sum256([]byte{byte(i), byte(seed)})
+		digests[i] = d[:]
+		sig, hint, err := sign.SignRecoverable(owners[i], digests[i], rnd)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sigs[i] = sig
+		hints[i] = hint
+	}
+	return privs, pubs, digests, sigs, hints
+}
+
+// TestBatchVerifyRecoverableValid: an all-valid, all-hinted batch —
+// the pure linear-combination fast path — accepts everything, over
+// single-key, multi-key, and precomputed-table shapes.
+func TestBatchVerifyRecoverableValid(t *testing.T) {
+	for _, keys := range []int{1, 5} {
+		_, pubs, digests, sigs, hints := recoverableFixture(t, 300+int64(keys), 24, keys)
+		ok := make([]bool, len(pubs))
+		BatchVerifyRecoverable(pubs, nil, digests, sigs, hints, ok)
+		for i, got := range ok {
+			if !got {
+				t.Fatalf("keys=%d: valid hinted signature %d rejected", keys, i)
+			}
+		}
+		// Per-key precomputed tables on half the entries.
+		fbs := make([]*core.FixedBase, len(pubs))
+		fb := core.NewFixedBase(pubs[0], core.WPrecomp)
+		for i := range fbs {
+			if pubs[i] == pubs[0] && i%2 == 0 {
+				fbs[i] = fb
+			}
+		}
+		BatchVerifyRecoverable(pubs, fbs, digests, sigs, hints, ok)
+		for i, got := range ok {
+			if !got {
+				t.Fatalf("keys=%d: valid signature %d rejected with tables", keys, i)
+			}
+		}
+	}
+}
+
+// TestBatchVerifyRecoverableDifferential throws adversarial batches at
+// the kernel — corrupted signatures, wrong hints, missing hints, wrong
+// digests, swapped keys — and holds every verdict to the one-shot
+// verifier's.
+func TestBatchVerifyRecoverableDifferential(t *testing.T) {
+	rnd := rand.New(rand.NewSource(77))
+	for trial := 0; trial < 8; trial++ {
+		_, pubs, digests, sigs, hints := recoverableFixture(t, 400+int64(trial), 16, 3)
+		for i := range sigs {
+			switch rnd.Intn(6) {
+			case 0: // corrupted s
+				sigs[i] = &Signature{R: sigs[i].R, S: new(big.Int).Xor(sigs[i].S, big.NewInt(64))}
+			case 1: // corrupted r (hint now points at garbage too)
+				sigs[i] = &Signature{R: new(big.Int).Xor(sigs[i].R, big.NewInt(32)), S: sigs[i].S}
+			case 2: // wrong hint on a valid signature
+				hints[i] = byte(rnd.Intn(8))
+			case 3: // no hint
+				hints[i] = sign.HintNone + byte(rnd.Intn(100))
+			case 4: // digest swap
+				digests[i] = digests[(i+1)%len(digests)]
+			}
+		}
+		ok := make([]bool, len(pubs))
+		BatchVerifyRecoverable(pubs, nil, digests, sigs, hints, ok)
+		for i, got := range ok {
+			if want := sign.Verify(pubs[i], digests[i], sigs[i]); got != want {
+				t.Fatalf("trial %d entry %d: batch=%v one-shot=%v (hint=%d)", trial, i, got, want, hints[i])
+			}
+		}
+	}
+}
+
+// TestBatchVerifyRecoverableCulprits corrupts a known subset of a
+// large hinted batch: the aggregate check must fail and the fallback
+// must identify exactly the corrupted entries.
+func TestBatchVerifyRecoverableCulprits(t *testing.T) {
+	_, pubs, digests, sigs, hints := recoverableFixture(t, 500, 64, 4)
+	corrupted := map[int]bool{3: true, 17: true, 40: true, 63: true}
+	for i := range corrupted {
+		sigs[i] = &Signature{R: sigs[i].R, S: new(big.Int).Xor(sigs[i].S, big.NewInt(128))}
+	}
+	ok := make([]bool, len(pubs))
+	BatchVerifyRecoverable(pubs, nil, digests, sigs, hints, ok)
+	for i, got := range ok {
+		if got == corrupted[i] {
+			t.Fatalf("entry %d: corrupted=%v but verdict %v", i, corrupted[i], got)
+		}
+	}
+}
+
+// TestBatchVerifyRecoverableOffSubgroupKey pins the cofactor
+// soundness gate. A public key Q' = Q + T with T the 2-torsion point
+// (0, 1) is on the curve but outside the prime-order subgroup; the
+// per-request verifier's partially-reduced scalars then pick up
+// small-order components that mod-n aggregation cannot reproduce, so
+// such keys must be excluded from the linear-combination pass — if
+// they were aggregated, a signature that is valid "mod n" could pass
+// the batch check with probability ~1/2 while the one-shot verifier
+// rejects it. The batch runs repeatedly because a faithfulness break
+// here would be probabilistic in the random weights.
+func TestBatchVerifyRecoverableOffSubgroupKey(t *testing.T) {
+	privs, pubs, digests, sigs, hints := recoverableFixture(t, 600, 12, 2)
+	torsion := ec.Affine{X: gf233.Zero, Y: gf233.One}
+	if !torsion.OnCurve() {
+		t.Fatal("(0,1) not on curve")
+	}
+	// Shift the first key's requests onto the off-subgroup twin; their
+	// signatures stay "valid mod n" but the one-shot verifier rejects
+	// them through the cofactor component.
+	off := privs[0].Public.Add(torsion)
+	if off.OnCurve() && core.InSubgroup(off) {
+		t.Fatal("twin unexpectedly in subgroup")
+	}
+	for i := range pubs {
+		if pubs[i] == privs[0].Public {
+			pubs[i] = off
+		}
+	}
+	want := make([]bool, len(pubs))
+	for i := range pubs {
+		want[i] = sign.Verify(pubs[i], digests[i], sigs[i])
+	}
+	ok := make([]bool, len(pubs))
+	for round := 0; round < 10; round++ {
+		BatchVerifyRecoverable(pubs, nil, digests, sigs, hints, ok)
+		for i, got := range ok {
+			if got != want[i] {
+				t.Fatalf("round %d entry %d: batch=%v one-shot=%v", round, i, got, want[i])
+			}
+		}
+	}
+}
+
+// TestEngineVerifyRecoverable drives the concurrent front end with
+// hinted verifies mixed into other traffic.
+func TestEngineVerifyRecoverable(t *testing.T) {
+	privs, pubs, digests, sigs, hints := recoverableFixture(t, 700, 8, 2)
+	e := New(Config{MaxBatch: 8, Workers: 2})
+	defer e.Close()
+	rnd := rand.New(rand.NewSource(701))
+	for i := range sigs {
+		if ok, err := e.VerifyRecoverable(pubs[i], nil, digests[i], sigs[i], hints[i]); err != nil || !ok {
+			t.Fatalf("engine rejected valid hinted signature %d (err=%v)", i, err)
+		}
+		wrong := (i + 1) % len(sigs)
+		if ok, err := e.VerifyRecoverable(pubs[i], nil, digests[wrong], sigs[i], hints[i]); err != nil || ok {
+			t.Fatalf("engine accepted signature %d over digest %d (err=%v)", i, wrong, err)
+		}
+		if _, err := e.Sign(privs[0], digests[i], rnd); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+// TestZeroAllocVerifyRecoverable pins the linear-combination batch
+// path at zero steady-state allocations, alongside the existing
+// BatchVerify guard.
+func TestZeroAllocVerifyRecoverable(t *testing.T) {
+	skipIfRace(t)
+	_, pubs, digests, sigs, hints := recoverableFixture(t, 800, 32, 2)
+	core.Warm()
+	ok := make([]bool, len(pubs))
+	BatchVerifyRecoverable(pubs, nil, digests, sigs, hints, ok) // steady state
+	if avg := testing.AllocsPerRun(20, func() {
+		BatchVerifyRecoverable(pubs, nil, digests, sigs, hints, ok)
+	}); avg != 0 {
+		t.Fatalf("BatchVerifyRecoverable allocates %v per batch, want 0", avg)
+	}
+	for i, got := range ok {
+		if !got {
+			t.Fatalf("valid signature %d rejected", i)
+		}
+	}
+}

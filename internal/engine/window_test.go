@@ -1,0 +1,99 @@
+// The batch-window tests run the engine test binary under the legacy
+// asynchronous timer-channel semantics. This module's go directive is
+// new enough that Timer.Reset discards a pending tick by itself, but
+// timer behaviour follows the MAIN module's go version — a consumer on
+// an older language version (or with asynctimerchan=1 set) links this
+// library against buffered timer channels, where a fired-but-unread
+// tick survives Reset. The engine must be robust in that regime, so
+// the tests pin it.
+//
+//go:debug asynctimerchan=1
+
+package engine
+
+import (
+	"math/rand"
+	"sync"
+	"testing"
+	"time"
+)
+
+// TestResetWindowTimerDrainsStaleTick pins the drain-before-Reset
+// idiom directly: a timer that fired without its tick being consumed
+// (the batch filled in the same instant the window expired) must not
+// poison the next window. Before the drain was added, the stale tick
+// survived Reset and the re-armed timer delivered immediately.
+func TestResetWindowTimerDrainsStaleTick(t *testing.T) {
+	timer := resetWindowTimer(nil, time.Microsecond)
+	time.Sleep(20 * time.Millisecond) // timer fires; tick stays unread
+
+	const window = 100 * time.Millisecond
+	timer = resetWindowTimer(timer, window)
+	start := time.Now()
+	select {
+	case <-timer.C:
+		if el := time.Since(start); el < window/2 {
+			t.Fatalf("window closed after %v, want ~%v: stale tick survived the reset", el, window)
+		}
+	case <-time.After(10 * window):
+		t.Fatal("re-armed timer never fired")
+	}
+
+	// And a timer stopped before firing re-arms cleanly too.
+	timer = resetWindowTimer(timer, time.Hour)
+	timer = resetWindowTimer(timer, time.Millisecond)
+	select {
+	case <-timer.C:
+	case <-time.After(5 * time.Second):
+		t.Fatal("re-armed timer never fired after early stop")
+	}
+}
+
+// TestBatchWindowNotPoisonedByStaleTick is the end-to-end regression:
+// rounds of two-request batches whose second request races the window
+// expiry manufacture the fired-but-unread timer state, and after every
+// round a lone probe request must still wait out the full window. With
+// the stale tick left buffered (the old worker ignored Stop's result
+// and never drained), probe windows collapse to ~the batch processing
+// time and the probe returns orders of magnitude early.
+func TestBatchWindowNotPoisonedByStaleTick(t *testing.T) {
+	if testing.Short() {
+		t.Skip("timing-sensitive window test")
+	}
+	const window = 10 * time.Millisecond
+	e := New(Config{MaxBatch: 2, Workers: 1, BatchWindow: window})
+	defer e.Close()
+	priv := testKey(t, 90)
+	digest := []byte{0xd1, 0x9e, 0x57}
+
+	// One nonce source per submitting goroutine.
+	rngA, rngB := rand.New(rand.NewSource(91)), rand.New(rand.NewSource(92))
+	sign := func(rng *rand.Rand) {
+		if _, err := e.Sign(priv, digest, rng); err != nil {
+			t.Error(err)
+		}
+	}
+	for round := 0; round < 40; round++ {
+		// First request opens a window; the second arrives right around
+		// its expiry, so some rounds fill the batch just as the timer
+		// fires — the state that leaves a stale tick behind.
+		var wg sync.WaitGroup
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			sign(rngA)
+		}()
+		time.Sleep(window + time.Duration(round%3-1)*time.Millisecond)
+		sign(rngB)
+		wg.Wait()
+
+		// Lone probe: nothing else in flight, so its batch can only
+		// close on the window. A collapse below half the window means
+		// the previous round's tick leaked into this one.
+		start := time.Now()
+		sign(rngB)
+		if el := time.Since(start); el < window/2 {
+			t.Fatalf("round %d: lone request completed in %v, want >= %v: batch window poisoned by stale timer tick", round, el, window)
+		}
+	}
+}

@@ -23,6 +23,13 @@
 //	          Response: TOK with 1 payload byte: 1 valid, 0 invalid.
 //	TECDH   — the peer's compressed public key (KeySize bytes).
 //	          Response: TOK with the shared abscissa (SecretSize).
+//	TVerifyR — hint(1) | key(KeySize) | sig(SigSize) |
+//	          digest(1..MaxDigest): a verify request carrying the
+//	          signature's nonce-point recovery hint, which lets the
+//	          server coalesce many verifications into one randomised
+//	          linear-combination pass. The hint is an accelerator, never
+//	          an input to the verdict — a wrong or out-of-range hint only
+//	          costs the fast path. Response: as TVerify.
 //
 // Error responses carry no payload: TBadRequest (malformed frame
 // contents), TOverload (load shed — retry against another replica or
@@ -45,10 +52,11 @@ import (
 
 // Request frame types.
 const (
-	TPing   = 0x01
-	TSign   = 0x02
-	TVerify = 0x03
-	TECDH   = 0x04
+	TPing    = 0x01
+	TSign    = 0x02
+	TVerify  = 0x03
+	TECDH    = 0x04
+	TVerifyR = 0x05
 )
 
 // Response frame types. TOK is the only one that carries a payload.
@@ -77,8 +85,8 @@ const (
 	// that a hostile length prefix cannot balloon the read buffer.
 	MaxPayload = 4096
 
-	headerLen = 4             // the length prefix itself
-	innerLen  = 8 + 1         // id + type
+	headerLen = 4     // the length prefix itself
+	innerLen  = 8 + 1 // id + type
 	maxFrame  = innerLen + MaxPayload
 )
 
@@ -183,6 +191,26 @@ func SplitVerify(p []byte) (key, sig, digest []byte, ok bool) {
 
 // AppendVerify assembles a TVerify request payload.
 func AppendVerify(dst, key, sig, digest []byte) []byte {
+	dst = append(dst, key...)
+	dst = append(dst, sig...)
+	return append(dst, digest...)
+}
+
+// SplitVerifyR decomposes a TVerifyR request payload into its hint,
+// key, signature and digest fields, reporting false for payloads whose
+// framing is structurally wrong. The hint byte itself is not validated
+// here: any value is wire-legal, and out-of-range hints simply route
+// the request through the plain verification path.
+func SplitVerifyR(p []byte) (hint byte, key, sig, digest []byte, ok bool) {
+	if len(p) <= 1+KeySize+SigSize || len(p) > 1+KeySize+SigSize+MaxDigest {
+		return 0, nil, nil, nil, false
+	}
+	return p[0], p[1 : 1+KeySize], p[1+KeySize : 1+KeySize+SigSize], p[1+KeySize+SigSize:], true
+}
+
+// AppendVerifyR assembles a TVerifyR request payload.
+func AppendVerifyR(dst []byte, hint byte, key, sig, digest []byte) []byte {
+	dst = append(dst, hint)
 	dst = append(dst, key...)
 	dst = append(dst, sig...)
 	return append(dst, digest...)

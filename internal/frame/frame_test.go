@@ -170,11 +170,38 @@ func TestSplitVerify(t *testing.T) {
 	}
 	for _, bad := range [][]byte{
 		nil,
-		p[:KeySize+SigSize],               // empty digest
+		p[:KeySize+SigSize],                   // empty digest
 		append(p, make([]byte, MaxDigest)...), // digest too long
 	} {
 		if _, _, _, ok := SplitVerify(bad); ok {
 			t.Fatalf("SplitVerify accepted %d-byte payload", len(bad))
 		}
+	}
+}
+
+func TestSplitVerifyR(t *testing.T) {
+	key := bytes.Repeat([]byte{1}, KeySize)
+	sig := bytes.Repeat([]byte{2}, SigSize)
+	digest := bytes.Repeat([]byte{3}, 32)
+	for _, hint := range []byte{0, 7, 8, 0xff} {
+		p := AppendVerifyR(nil, hint, key, sig, digest)
+		h, k, s, d, ok := SplitVerifyR(p)
+		if !ok || h != hint || !bytes.Equal(k, key) || !bytes.Equal(s, sig) || !bytes.Equal(d, digest) {
+			t.Fatalf("hint %d: SplitVerifyR did not invert AppendVerifyR", hint)
+		}
+	}
+	p := AppendVerifyR(nil, 3, key, sig, digest)
+	for _, bad := range [][]byte{
+		nil,
+		p[:1+KeySize+SigSize],                 // empty digest
+		append(p, make([]byte, MaxDigest)...), // digest too long
+	} {
+		if _, _, _, _, ok := SplitVerifyR(bad); ok {
+			t.Fatalf("SplitVerifyR accepted %d-byte payload", len(bad))
+		}
+	}
+	// A TVerifyR payload is exactly a hint byte ahead of TVerify's.
+	if got, want := AppendVerifyR(nil, 5, key, sig, digest), append([]byte{5}, AppendVerify(nil, key, sig, digest)...); !bytes.Equal(got, want) {
+		t.Fatal("TVerifyR payload is not hint||TVerify payload")
 	}
 }

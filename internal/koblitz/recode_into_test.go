@@ -1,0 +1,55 @@
+package koblitz
+
+import (
+	"math/big"
+	"math/rand"
+	"testing"
+)
+
+// TestRecodeIntoMatchesRecodeWide holds the caller-buffer recoding
+// digit-identical to the arena one.
+func TestRecodeIntoMatchesRecodeWide(t *testing.T) {
+	rnd := rand.New(rand.NewSource(17))
+	var s1, s2 Scratch
+	var buf []int16
+	bound := new(big.Int).Lsh(big.NewInt(1), 233)
+	for w := MinW; w <= MaxWide; w++ {
+		for i := 0; i < 10; i++ {
+			k := new(big.Int).Rand(rnd, bound)
+			want := s1.RecodeWide(k, w)
+			buf = s2.RecodeInto(k, w, buf)
+			if len(buf) != len(want) {
+				t.Fatalf("w=%d: length mismatch %d != %d", w, len(buf), len(want))
+			}
+			for j := range buf {
+				if buf[j] != want[j] {
+					t.Fatalf("w=%d: digit %d mismatch %d != %d", w, j, buf[j], want[j])
+				}
+			}
+		}
+	}
+}
+
+// TestRecodeIntIntoExact pins the defining property of the exact
+// integer recoding: the digit string reconstructs to exactly k + 0·τ
+// in Z[τ] — no partial reduction — so the recoding is valid for curve
+// points outside the prime-order subgroup.
+func TestRecodeIntIntoExact(t *testing.T) {
+	rnd := rand.New(rand.NewSource(19))
+	var s Scratch
+	var buf []int16
+	cases := []uint64{0, 1, 2, 3, 5, 1<<32 - 1, 1<<63 - 1}
+	for i := 0; i < 50; i++ {
+		cases = append(cases, rnd.Uint64()>>1)
+	}
+	for w := MinW; w <= MaxWide; w++ {
+		for _, k := range cases {
+			buf = s.RecodeIntInto(k, w, buf)
+			got := Reconstruct(buf, w)
+			want := ZTau{new(big.Int).SetUint64(k), big.NewInt(0)}
+			if !got.Equal(want) {
+				t.Fatalf("w=%d k=%d: reconstructed %v, want (%d, 0)", w, k, got, k)
+			}
+		}
+	}
+}

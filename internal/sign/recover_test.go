@@ -1,0 +1,97 @@
+package sign
+
+import (
+	"crypto/rand"
+	"math/big"
+	mrand "math/rand"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/ec"
+)
+
+// TestSignRecoverableMatchesSign pins that the recoverable signer
+// produces byte-identical signatures to Sign (deterministic nonces
+// make the comparison exact) and that its hint recovers the true nonce
+// point: RecoverNoncePoint(sig, hint) must satisfy the verification
+// equation as a full-point identity.
+func TestSignRecoverableMatchesSign(t *testing.T) {
+	priv, err := core.GenerateKey(rand.Reader)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 10; i++ {
+		digest := []byte{byte(i), 2, 3, 4, 5, 6, 7, 8}
+		want, err := SignDeterministic(priv, digest)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sig, hint, err := SignRecoverableDeterministic(priv, digest)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if sig.R.Cmp(want.R) != 0 || sig.S.Cmp(want.S) != 0 {
+			t.Fatalf("digest %d: recoverable signature differs from Sign", i)
+		}
+		if hint >= HintNone {
+			t.Fatalf("digest %d: signer returned no-hint sentinel %d", i, hint)
+		}
+		r, err := RecoverNoncePoint(sig, hint)
+		if err != nil {
+			t.Fatalf("digest %d: recovery failed: %v", i, err)
+		}
+		// R must satisfy u1·G + u2·Q = R exactly.
+		e := HashToInt(digest)
+		w := new(big.Int).ModInverse(sig.S, ec.Order)
+		u1 := new(big.Int).Mul(e, w)
+		u1.Mod(u1, ec.Order)
+		u2 := new(big.Int).Mul(sig.R, w)
+		u2.Mod(u2, ec.Order)
+		if rp := core.JointScalarMult(u1, u2, priv.Public); rp != r {
+			t.Fatalf("digest %d: recovered point is not the nonce point", i)
+		}
+		// RecoverHint agrees with the signer-provided hint.
+		got, err := RecoverHint(priv.Public, digest, sig)
+		if err != nil || got != hint {
+			t.Fatalf("digest %d: RecoverHint = (%d, %v), signer said %d", i, got, err, hint)
+		}
+	}
+}
+
+// TestVerifyRecoveredMatchesVerify holds hint-assisted verification to
+// plain Verify across valid signatures, corrupted signatures, and
+// deliberately wrong or absent hints.
+func TestVerifyRecoveredMatchesVerify(t *testing.T) {
+	rnd := mrand.New(mrand.NewSource(23))
+	priv, err := core.GenerateKey(rand.Reader)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fb := core.NewFixedBase(priv.Public, core.WPrecomp)
+	for i := 0; i < 20; i++ {
+		digest := []byte{0xa0, byte(i)}
+		sig, hint, err := SignRecoverableDeterministic(priv, digest)
+		if err != nil {
+			t.Fatal(err)
+		}
+		mut := &Signature{R: new(big.Int).Set(sig.R), S: new(big.Int).Set(sig.S)}
+		h := hint
+		switch i % 4 {
+		case 1: // corrupted s
+			mut.S.Add(mut.S, big.NewInt(1))
+			if mut.S.Cmp(ec.Order) >= 0 {
+				mut.S.SetInt64(1)
+			}
+		case 2: // wrong hint on a valid signature
+			h = byte(rnd.Intn(8))
+		case 3: // no hint
+			h = HintNone + byte(rnd.Intn(200))
+		}
+		for _, tab := range []*core.FixedBase{nil, fb} {
+			want := Verify(priv.Public, digest, mut)
+			if got := VerifyRecovered(priv.Public, tab, digest, mut, h); got != want {
+				t.Fatalf("case %d (fb=%v): VerifyRecovered=%v, Verify=%v", i, tab != nil, got, want)
+			}
+		}
+	}
+}

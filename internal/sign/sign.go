@@ -59,14 +59,23 @@ func HashToIntInto(e *big.Int, digest []byte) *big.Int {
 // Sign produces a signature over the message digest with the private
 // key, drawing the nonce from rand.
 func Sign(priv *core.PrivateKey, digest []byte, rand io.Reader) (*Signature, error) {
+	sig, _, err := signCore(priv, digest, rand)
+	return sig, err
+}
+
+// signCore is the shared signing loop: it additionally returns the
+// nonce point R = k·G so SignRecoverable can derive the recovery hint
+// without disturbing the signature bytes (Sign and SignRecoverable
+// draw identical nonces from the same rand, so their (r, s) agree).
+func signCore(priv *core.PrivateKey, digest []byte, rand io.Reader) (*Signature, ec.Affine, error) {
 	if priv == nil || priv.D == nil || priv.D.Sign() == 0 {
-		return nil, ErrInvalidKey
+		return nil, ec.Infinity, ErrInvalidKey
 	}
 	e := HashToInt(digest)
 	for tries := 0; tries < 100; tries++ {
 		nonce, err := core.GenerateKey(rand)
 		if err != nil {
-			return nil, err
+			return nil, ec.Infinity, err
 		}
 		k := nonce.D
 		// R = k·G; r = x(R) as an integer mod n.
@@ -86,9 +95,9 @@ func Sign(priv *core.PrivateKey, digest []byte, rand io.Reader) (*Signature, err
 		if s.Sign() == 0 {
 			continue
 		}
-		return &Signature{R: r, S: s}, nil
+		return &Signature{R: r, S: s}, rp, nil
 	}
-	return nil, ErrSigningFailed
+	return nil, ec.Infinity, ErrSigningFailed
 }
 
 // DeterministicNonceReader returns the RFC 6979-style HMAC-DRBG

@@ -1,0 +1,101 @@
+#!/bin/sh
+# bench_verify.sh - regenerate BENCH_verify.json from the verification
+# benchmarks: the one-shot algorithm ladder (separate seed verifier,
+# cold joint ladder, precomputed joint ladder), the batched joint
+# kernel, and the hinted linear-combination kernel
+# (BatchVerifyRecoverable) with its multikey fallback shape. Runs the
+# benchmarks once at a fixed -benchtime under -cpu 1 and rewrites the
+# JSON in place, so the file is reproducible up to machine noise.
+# Run from the repository root; used by `make bench-verify`.
+set -eu
+
+GO=${GO:-go}
+BENCHTIME=${BENCHTIME:-1s}
+OUT=${OUT:-BENCH_verify.json}
+
+raw=$(mktemp)
+trap 'rm -f "$raw"' EXIT INT TERM
+
+bench_re='BenchmarkVerify$|BenchmarkBatchVerify$|BenchmarkBatchVerifyRecoverable$'
+echo "bench-verify: running verification benchmarks (benchtime=$BENCHTIME)"
+$GO test -run '^$' -bench "$bench_re" -benchtime "$BENCHTIME" -count 1 -cpu 1 . | tee "$raw"
+
+cpu=$(grep -m1 'model name' /proc/cpuinfo 2>/dev/null | sed 's/.*: //' || true)
+[ -n "$cpu" ] || cpu="unknown"
+
+awk -v date="$(date +%F)" -v cpu="$cpu" -v benchtime="$BENCHTIME" '
+/^Benchmark/ {
+    name = $1
+    sub(/-[0-9]+$/, "", name)
+    sub(/^Benchmark/, "", name)
+    for (i = 2; i <= NF; i++) {
+        if ($i == "ns/op") ns[name] = $(i - 1)
+        if ($i == "allocs/op") al[name] = $(i - 1)
+    }
+}
+function ratio(a, b) { return (b > 0) ? sprintf("%.2f", a / b) : "0" }
+END {
+    seed = ns["Verify/separate"]
+    joint = ns["Verify/joint"]
+    printf "{\n"
+    printf "  \"meta\": {\n"
+    printf "    \"date\": \"%s\",\n", date
+    printf "    \"cpu\": \"%s (GOMAXPROCS=1)\",\n", cpu
+    printf "    \"go_bench\": \"go test -run ^$ -bench %s -benchtime=%s -cpu 1 . (scripts/bench_verify.sh)\",\n", "BenchmarkVerify$|BenchmarkBatchVerify$|BenchmarkBatchVerifyRecoverable$", benchtime
+    printf "    \"notes\": [\n"
+    printf "      \"separate = seed verifier (two disjoint scalar mults, affine add, big.Int.ModInverse, 4 field inversions) - kept verbatim as sign.VerifySeparate\",\n"
+    printf "      \"jointCold = interleaved tau-adic double-scalar ladder, per-call Q table (point-level sign.Verify)\",\n"
+    printf "      \"joint = same ladder over a per-key precomputed w=10 table (PublicKey.Precompute) - the one-shot server steady state and the baseline the batch gates are measured against\",\n"
+    printf "      \"batch numbers are ns per verification; batch_verify is the per-request joint kernel (shared inversions), batch_verify_recoverable is the hinted randomised linear-combination kernel: one multi-scalar evaluation settles the whole batch\",\n"
+    printf "      \"recoverable multikey64 = 64 distinct keys, nothing coalesces: the density gate sends the batch to per-request ladders, so it measures fallback overhead (grouping + subgroup sweep), not the LC win\",\n"
+    printf "      \"an invalid entry anywhere in a hinted batch fails the aggregate check and the batch re-verifies per request - total cost is bounded by ~1.3x the plain batched kernel, the DoS bound documented in README\"\n"
+    printf "    ]\n"
+    printf "  },\n"
+    printf "  \"one_shot_ns_per_op\": {\n"
+    printf "    \"separate_seed\": %d,\n", ns["Verify/separate"]
+    printf "    \"jointCold\": %d,\n", ns["Verify/jointCold"]
+    printf "    \"joint_precomputed\": %d\n", ns["Verify/joint"]
+    printf "  },\n"
+    printf "  \"one_shot_allocs_per_op\": {\n"
+    printf "    \"separate_seed\": %d,\n", al["Verify/separate"]
+    printf "    \"jointCold\": %d,\n", al["Verify/jointCold"]
+    printf "    \"joint_precomputed\": %d\n", al["Verify/joint"]
+    printf "  },\n"
+    printf "  \"one_shot_speedup_vs_seed\": {\n"
+    printf "    \"jointCold\": %s,\n", ratio(seed, ns["Verify/jointCold"])
+    printf "    \"joint_precomputed\": %s\n", ratio(seed, joint)
+    printf "  },\n"
+    printf "  \"batch_verify_ns_per_op\": {\n"
+    printf "    \"batch1\": %d,\n", ns["BatchVerify/1"]
+    printf "    \"batch8\": %d,\n", ns["BatchVerify/8"]
+    printf "    \"batch32\": %d,\n", ns["BatchVerify/32"]
+    printf "    \"batch128\": %d,\n", ns["BatchVerify/128"]
+    printf "    \"cold32_per_call_tables\": %d\n", ns["BatchVerify/cold32"]
+    printf "  },\n"
+    printf "  \"batch_speedup_vs_seed_one_shot\": {\n"
+    printf "    \"batch32\": %s,\n", ratio(seed, ns["BatchVerify/32"])
+    printf "    \"cold32\": %s\n", ratio(seed, ns["BatchVerify/cold32"])
+    printf "  },\n"
+    printf "  \"batch_verify_recoverable_ns_per_op\": {\n"
+    printf "    \"batch8\": %d,\n", ns["BatchVerifyRecoverable/8"]
+    printf "    \"batch32\": %d,\n", ns["BatchVerifyRecoverable/32"]
+    printf "    \"batch64\": %d,\n", ns["BatchVerifyRecoverable/64"]
+    printf "    \"batch128\": %d,\n", ns["BatchVerifyRecoverable/128"]
+    printf "    \"multikey64_fallback\": %d\n", ns["BatchVerifyRecoverable/multikey64"]
+    printf "  },\n"
+    printf "  \"batch_verify_recoverable_speedup_vs_joint_precomputed\": {\n"
+    printf "    \"batch8\": %s,\n", ratio(joint, ns["BatchVerifyRecoverable/8"])
+    printf "    \"batch32\": %s,\n", ratio(joint, ns["BatchVerifyRecoverable/32"])
+    printf "    \"batch64\": %s,\n", ratio(joint, ns["BatchVerifyRecoverable/64"])
+    printf "    \"batch128\": %s\n", ratio(joint, ns["BatchVerifyRecoverable/128"])
+    printf "  }\n"
+    printf "}\n"
+}' "$raw" > "$OUT"
+
+echo "bench-verify: wrote $OUT"
+
+speedup=$(sed -n '/recoverable_speedup/,/}/s/.*"batch64": \([0-9.]*\).*/\1/p' "$OUT")
+echo "bench-verify: hinted batch=64 vs one-shot precomputed: ${speedup}x (target >= 2.5x)"
+if [ "$(echo "$speedup < 2.5" | bc 2>/dev/null || echo 0)" = "1" ]; then
+    echo "bench-verify: WARNING: below the 2.5x batch=64 target on this host" >&2
+fi

@@ -70,3 +70,35 @@ func (pub *PublicKey) Verify(digest []byte, sig *Signature) bool {
 func (pub *PublicKey) VerifyASN1(digest, der []byte) bool {
 	return VerifyASN1(pub, digest, der)
 }
+
+// HintNone is the "no recovery hint" sentinel: every hint value >=
+// HintNone routes verification through the plain per-request path.
+// Usable hints (0..7) encode the nonce point R = k·G that the
+// signature's r component reduces away — offset<<1 | ỹ, with
+// x(R) = r + offset·n and ỹ the compressed-point recovery bit — and
+// let the batch verifier check many signatures in one randomised
+// linear-combination pass (see BatchVerifyRecoverable). Hints are an
+// accelerator, never an input to the verdict: a wrong or missing hint
+// only costs the fast path.
+const HintNone = sign.HintNone
+
+// SignRecoverable signs the (pre-hashed) digest and also returns the
+// recovery hint for the signature's nonce point, for submission to
+// hint-aware batch verifiers. The signature bytes are identical to the
+// plain signer's for the same key, digest and random source; a nil
+// rand selects the RFC 6979-style deterministic nonce, as in
+// PrivateKey.Sign.
+func SignRecoverable(rand io.Reader, priv *PrivateKey, digest []byte) (*Signature, byte, error) {
+	if rand == nil {
+		return sign.SignRecoverableDeterministic(priv.key, digest)
+	}
+	return sign.SignRecoverable(priv.key, digest, rand)
+}
+
+// RecoverHint computes the recovery hint for an existing valid
+// signature by re-running the verification equation — one joint
+// ladder, the price of a verification — for holders of signatures
+// from hint-less signers. Invalid signatures return an error.
+func RecoverHint(pub *PublicKey, digest []byte, sig *Signature) (byte, error) {
+	return sign.RecoverHint(pub.point, digest, sig)
+}
