@@ -9,6 +9,7 @@ import (
 	"runtime"
 	"sync"
 	"sync/atomic"
+	"syscall"
 	"time"
 
 	"repro"
@@ -128,11 +129,10 @@ func (s *server) serve(ln net.Listener) {
 			if s.draining.Load() {
 				return
 			}
-			// Transient (timeout-flavoured) accept errors — FD
-			// exhaustion, aborted handshakes — recover on their own;
-			// retry under a capped exponential backoff so a persistent
-			// condition does not spin the loop hot.
-			if ne, ok := err.(net.Error); ok && ne.Timeout() {
+			// Transient accept errors recover on their own; retry under
+			// a capped exponential backoff so a persistent condition
+			// does not spin the loop hot.
+			if retryableAccept(err) {
 				backoff = min(max(2*backoff, time.Millisecond), time.Second)
 				if !s.cfg.Quiet {
 					log.Printf("eccserve: accept: %v (retrying in %v)", err, backoff)
@@ -166,6 +166,23 @@ func (s *server) serve(ln net.Listener) {
 		s.m.conns.Add(1)
 		go s.handleConn(fc)
 	}
+}
+
+// retryableAccept classifies an Accept error as transient. Timeouts
+// announce themselves through net.Error, but the other recoverable
+// conditions do not: FD exhaustion (EMFILE/ENFILE — the table drains
+// as established connections close) and connections aborted by the
+// peer between SYN and accept(2) (ECONNABORTED) surface as plain
+// syscall errnos with Timeout() == false, and treating them as
+// permanent would turn a momentary FD spike into a full drain that
+// drops every established connection.
+func retryableAccept(err error) bool {
+	if ne, ok := err.(net.Error); ok && ne.Timeout() {
+		return true
+	}
+	return errors.Is(err, syscall.EMFILE) ||
+		errors.Is(err, syscall.ENFILE) ||
+		errors.Is(err, syscall.ECONNABORTED)
 }
 
 // handleConn owns the read side of one connection and fans requests

@@ -9,8 +9,10 @@ import (
 	"net"
 	"net/http"
 	"net/http/httptest"
+	"os"
 	"strings"
 	"sync"
+	"syscall"
 	"testing"
 	"time"
 
@@ -338,6 +340,31 @@ func TestServeTransientAcceptErrors(t *testing.T) {
 	f, err := fc.Roundtrip(1, frame.TPing)
 	if err != nil || f.Type != frame.TOK {
 		t.Fatalf("ping after transient accept errors: type %#x err %v", f.Type, err)
+	}
+}
+
+// TestServeErrnoAcceptErrors is the errno-classification regression:
+// accept(2) surfaces FD exhaustion (EMFILE/ENFILE) and handshakes
+// aborted before accept (ECONNABORTED) as plain syscall errnos whose
+// net.Error Timeout() is false, which the old classifier took for a
+// permanent listener failure — triggering a full drain that dropped
+// every established connection during a momentary FD spike. They must
+// be retried like timeouts, without shutting the server down.
+func TestServeErrnoAcceptErrors(t *testing.T) {
+	wrap := func(errno syscall.Errno) error {
+		return &net.OpError{Op: "accept", Net: "tcp", Err: os.NewSyscallError("accept", errno)}
+	}
+	s, addr := startFlakyServer(t,
+		wrap(syscall.EMFILE), wrap(syscall.ENFILE), wrap(syscall.ECONNABORTED))
+	fc := dialFrame(t, addr)
+	f, err := fc.Roundtrip(1, frame.TPing)
+	if err != nil || f.Type != frame.TOK {
+		t.Fatalf("ping after errno accept errors: type %#x err %v", f.Type, err)
+	}
+	select {
+	case <-s.stopped:
+		t.Fatal("transient errno accept error triggered a full shutdown")
+	default:
 	}
 }
 

@@ -1,0 +1,47 @@
+package core
+
+import (
+	"math/big"
+	"math/rand"
+	"testing"
+
+	"repro/internal/ec"
+	"repro/internal/gf233"
+)
+
+// TestInPrimeSubgroup64MatchesInSubgroup holds the halving-trace
+// membership test (ec.InPrimeSubgroup64) equal to the exact τ-adic
+// n·P check across every coset of the prime-order subgroup: random
+// subgroup points shifted by 0..3 times the order-4 torsion point
+// (1, 0) sweep the full Z₄ cofactor group.
+func TestInPrimeSubgroup64MatchesInSubgroup(t *testing.T) {
+	rnd := rand.New(rand.NewSource(42))
+	torsion := ec.Affine{X: gf233.One, Y: gf233.Zero} // order 4
+	if !torsion.OnCurve() || !torsion.Double().Double().Inf {
+		t.Fatal("(1, 0) is not an order-4 curve point")
+	}
+	shift := ec.Infinity
+	for c := 0; c < 4; c++ {
+		for trial := 0; trial < 25; trial++ {
+			k := new(big.Int).Rand(rnd, ec.Order)
+			p := ScalarBaseMult(k).Add(shift)
+			if p.Inf || p.X == gf233.Zero {
+				continue // x = 0 is outside InPrimeSubgroup64's domain
+			}
+			want := InSubgroup(p)
+			if want != (c == 0) {
+				t.Fatalf("coset %d: n·P test says in-subgroup=%v", c, want)
+			}
+			p64 := p.To64()
+			if got := ec.InPrimeSubgroup64(p64.X, p64.Y); got != want {
+				t.Fatalf("coset %d trial %d: trace test %v, n·P test %v", c, trial, got, want)
+			}
+			// Membership is invariant under negation.
+			n64 := p.Neg().To64()
+			if got := ec.InPrimeSubgroup64(n64.X, n64.Y); got != want {
+				t.Fatalf("coset %d trial %d: trace test disagrees on -P", c, trial)
+			}
+		}
+		shift = shift.Add(torsion)
+	}
+}

@@ -1,0 +1,35 @@
+package ec
+
+import "repro/internal/gf233"
+
+// InPrimeSubgroup64 reports whether the curve point (x, y), x ≠ 0,
+// lies in the prime-order subgroup, by the halving-based trace test —
+// two trace evaluations and one quadratic solve instead of the full
+// τ-adic n·P evaluation (core.InSubgroup, which this is held equal to
+// by differential test).
+//
+// #E = 4n and the curve has a single point of order two, (0, √b) —
+// doubling is undefined only at x = 0 and y² = b there — so the group
+// is cyclic of order 4n and the prime-order subgroup is exactly 4E,
+// the twice-halvable points. Halving solves the doubling formulas
+// backwards: 2Q = P with λ̂ = λ(Q) means λ̂² + λ̂ = x(P) + a, solvable
+// iff Tr(x + a) = 0 (a = 0 here), and then x(Q)² = y + (λ̂ + 1)·x.
+// P is halvable twice iff some half Q is itself halvable, i.e.
+// Tr(x(Q)) = Tr(x(Q)²) = 0 — squaring preserves the trace, and the
+// test is independent of both ambiguities (λ̂ vs λ̂ + 1, Q vs
+// Q + (0, √b)) because each shifts x(Q)² by x, whose trace is already
+// known zero. Hence:
+//
+//	P ∈ 4E  ⟺  Tr(x) = 0  ∧  Tr(y + (λ̂ + 1)·x) = 0.
+//
+// Callers must have checked (x, y) is on the curve. The x = 0 points
+// (∞ and the order-2 point) are excluded by the precondition; neither
+// non-identity one is in the subgroup.
+func InPrimeSubgroup64(x, y gf233.Elem64) bool {
+	lam, ok := SolveQuadratic64(x)
+	if !ok {
+		return false // Tr(x) = 1: not even halvable once
+	}
+	u2 := gf233.Add64(y, gf233.Mul64(gf233.Add64(lam, gf233.One64), x))
+	return gf233.TraceFast(u2.Elem()) == 0
+}

@@ -116,9 +116,10 @@ type batchScratch struct {
 	// linear-combination verification state: the multi-scalar
 	// evaluator, the hinted-request queue, the per-distinct-key
 	// coalescing groups, the batched-decompression staging, and the
-	// weight stream (ChaCha8 seeded once from the system RNG — the
-	// weights must be unpredictable to submitters, and drawing them
-	// from a per-scratch generator keeps the hot path allocation-free).
+	// weight stream (ChaCha8, lazily seeded from the system RNG by
+	// weightSource — the weights must be unpredictable to submitters,
+	// and drawing them from a per-scratch generator keeps the hot path
+	// allocation-free).
 	ms     core.MultiScalar
 	lcQ    []*request
 	groups []lcGroup
@@ -146,11 +147,26 @@ type lcGroup struct {
 }
 
 func newBatchScratch() *batchScratch {
-	var seed [32]byte
-	if _, err := crand.Read(seed[:]); err != nil {
-		panic("engine: system randomness unavailable: " + err.Error())
+	return &batchScratch{cs: core.NewScratch()}
+}
+
+// weightSource returns the scratch's linear-combination weight stream,
+// seeding it from the system RNG on first use. Seeding is lazy so that
+// scratch construction — which runs inside sync.Pool.New and engine
+// worker startup, on behalf of callers (BatchVerify, BatchSign) that
+// may never touch the LC path — cannot fail on a machine without
+// usable system randomness. If seeding fails the LC pass is skipped
+// (nil return): without submitter-unpredictable weights the aggregate
+// check is unsound, and the per-request ladders need no randomness.
+func (s *batchScratch) weightSource() *mrand.ChaCha8 {
+	if s.rhoSrc == nil {
+		var seed [32]byte
+		if _, err := crand.Read(seed[:]); err != nil {
+			return nil
+		}
+		s.rhoSrc = mrand.NewChaCha8(seed)
 	}
-	return &batchScratch{cs: core.NewScratch(), rhoSrc: mrand.NewChaCha8(seed)}
+	return s.rhoSrc
 }
 
 // kernelPool recycles batchScratch values for the synchronous slice
@@ -445,12 +461,20 @@ func (s *batchScratch) verifyPoints(verifyQ []*request) {
 // batched: the x⁻² terms of the quadratic λ² + λ = x + b/x² share one
 // field inversion, and the half-traces run on the frozen table solver
 // (ec.SolveQuadratic64). q is compacted in place to the requests whose
-// hint decoded to a curve point; the rest are silently left for the
-// per-request path. The recovered point is stored pre-negated
-// (−R = (x, x+y)), which is the form the linear-combination sum
-// consumes; it may lie OUTSIDE the prime-order subgroup — the
-// multi-scalar evaluator's exact weight recoding is what keeps that
-// sound.
+// hint decoded to a point of the prime-order subgroup; the rest are
+// silently left for the per-request path. The recovered point is
+// stored pre-negated (−R = (x, x+y)), which is the form the
+// linear-combination sum consumes.
+//
+// The subgroup membership check (ec.InPrimeSubgroup64, the cheap
+// halving-trace test) is soundness-critical, not an optimisation:
+// decompression alone only proves R is on the curve, and a forged
+// (r, s, hint) built from R = k·G + T with ord(T) ∈ {2, 4} — rejected
+// by the one-shot verifier, since x(R) ≠ x(R − T) — would contribute
+// a residual ρ·(−T) to the aggregate that vanishes whenever ord(T)
+// divides ρ, i.e. with probability 1/2 or 1/4 instead of ≤ 2⁻⁶².
+// Off-subgroup recoveries therefore take the per-request ladder path,
+// which reproduces the one-shot verdict exactly.
 func (s *batchScratch) recoverPoints(q []*request) []*request {
 	xv := core.Grow(&s.xv, len(q))
 	x2 := core.Grow(&s.x2, len(q))
@@ -491,6 +515,9 @@ func (s *batchScratch) recoverPoints(q []*request) []*request {
 			lam = gf233.Add64(lam, gf233.One64)
 		}
 		y := gf233.Mul64(lam, x)
+		if !ec.InPrimeSubgroup64(x, y) {
+			continue
+		}
 		r.rpt = ec.Affine64{X: x, Y: gf233.Add64(x, y)}
 		q[m] = r
 		m++
@@ -508,15 +535,24 @@ func (s *batchScratch) recoverPoints(q []*request) []*request {
 //
 // Soundness: each weight ρᵢ is an independent uniform nonzero 63-bit
 // value unknown to submitters, so a batch containing any request with
-// u1ᵢ·G + u2ᵢ·Qᵢ ≠ Rᵢ passes with probability ≤ ~2⁻⁶². Faithfulness
-// off the happy path: the per-key coalescing reduces Σρᵢu2ᵢ mod n,
-// which matches the per-request ladders only on points of order n, so
-// keys outside the prime-order subgroup are detected per batch
+// u1ᵢ·G + u2ᵢ·Qᵢ ≠ Rᵢ passes with probability ≤ ~2⁻⁶² — PROVIDED the
+// difference is a point of prime order, which is why every point
+// entering the aggregate is subgroup-checked: keys per batch here
 // (core.InSubgroup, cached per distinct key in the group table) and
-// excluded — their requests keep joint-ladder verdicts, bit-identical
-// to the one-shot verifier, no matter how the cofactor components
-// would have cancelled under aggregation.
+// recovered nonce points in recoverPoints (the halving-trace test).
+// The per-key coalescing reduces Σρᵢu2ᵢ mod n, which matches the
+// per-request ladders only on points of order n, so off-subgroup keys
+// are excluded — their requests keep joint-ladder verdicts,
+// bit-identical to the one-shot verifier, no matter how the cofactor
+// components would have cancelled under aggregation; an off-subgroup
+// recovered R would contribute a small-order residual that ρ kills
+// with probability 1/ord, so those requests fall back to the ladder
+// path too (see recoverPoints).
 func (s *batchScratch) verifyLC(lcQ []*request) []*request {
+	rhoSrc := s.weightSource()
+	if rhoSrc == nil {
+		return nil // no unpredictable weights, no aggregate check
+	}
 	s.ng = 0
 	for _, r := range lcQ {
 		s.groupFor(r)
@@ -545,7 +581,7 @@ func (s *batchScratch) verifyLC(lcQ []*request) []*request {
 	}
 	s.gs.SetInt64(0)
 	for _, r := range kept {
-		rho := s.rhoSrc.Uint64() >> 1
+		rho := rhoSrc.Uint64() >> 1
 		if rho == 0 {
 			rho = 1
 		}

@@ -5,7 +5,8 @@ package engine
 // bit-identical to the one-shot joint-ladder verifier's, on all three
 // field backends, for any mix of valid signatures, edge-case scalar
 // components (0, 1, n−1, n, ≥n as r or s), corrupted signatures,
-// wrong hints, missing hints and swapped digests. The fuzz input is a
+// wrong hints, missing hints, swapped digests and small-order-nonce
+// forgeries (off-subgroup recovered R). The fuzz input is a
 // mutation script over a fixed valid batch, so the fuzzer explores
 // batch compositions — including mixed batches where the aggregate
 // check fails and the fallback must identify exactly the culprits —
@@ -14,6 +15,7 @@ package engine
 
 import (
 	"math/big"
+	"math/rand"
 	"testing"
 
 	"repro/internal/ec"
@@ -22,12 +24,24 @@ import (
 )
 
 func FuzzMultiScalarVsJoint(f *testing.F) {
-	_, pubs, digests, sigs, hints := recoverableFixture(f, 1000, 16, 3)
+	privs, pubs, digests, sigs, hints := recoverableFixture(f, 1000, 16, 3)
+	// Per-entry small-order-nonce forgeries (R = k·G + T, ord(T) | 4):
+	// hint-recoverable, one-shot-invalid, and crafted so the aggregate
+	// residual cancels for a quarter to half of the random weights —
+	// the cofactor soundness shape mutation 12 swaps in.
+	rnd := rand.New(rand.NewSource(1001))
+	torsions := smallOrderTorsions()
+	forgedSigs := make([]*Signature, len(pubs))
+	forgedHints := make([]byte, len(pubs))
+	for i := range pubs {
+		forgedSigs[i], forgedHints[i] = forgeSmallOrderNonce(f, rnd, privs[i%3], digests[i], torsions[i%len(torsions)])
+	}
 
 	f.Add([]byte{})                           // all valid, pure LC path
 	f.Add([]byte{8, 8, 8, 8})                 // corrupted prefix: culprit identification
 	f.Add([]byte{1, 2, 3, 4, 5, 6, 7})        // every scalar edge in one batch
 	f.Add([]byte{9, 10, 9, 10, 9, 10, 9, 10}) // hint tampering only
+	f.Add([]byte{12, 12, 12, 12})             // small-order nonce forgeries
 	f.Add([]byte{0, 11, 0, 8, 0, 9, 0, 10, 0, 1, 0, 4, 0, 6, 0, 2})
 
 	f.Fuzz(func(t *testing.T, script []byte) {
@@ -39,7 +53,7 @@ func FuzzMultiScalarVsJoint(f *testing.F) {
 		copy(ss, sigs)
 		copy(hs, hints)
 		for i := 0; i < n && i < len(script); i++ {
-			switch script[i] % 12 {
+			switch script[i] % 13 {
 			case 0: // untouched
 			case 1:
 				ss[i] = &Signature{R: big.NewInt(0), S: ss[i].S}
@@ -63,6 +77,9 @@ func FuzzMultiScalarVsJoint(f *testing.F) {
 				hs[i] = sign.HintNone + script[i]%8
 			case 11: // digest swap
 				ds[i] = digests[(i+1)%n]
+			case 12: // small-order nonce forgery: off-subgroup R
+				ss[i] = forgedSigs[i]
+				hs[i] = forgedHints[i]
 			}
 		}
 		want := make([]bool, n)

@@ -168,6 +168,112 @@ func TestBatchVerifyRecoverableOffSubgroupKey(t *testing.T) {
 	}
 }
 
+// smallOrderTorsions are the non-identity points of the order-4
+// cyclic torsion subgroup of K-233: (0, 1) of order 2, (1, 0) and
+// (1, 1) of order 4.
+func smallOrderTorsions() []ec.Affine {
+	return []ec.Affine{
+		{X: gf233.Zero, Y: gf233.One},
+		{X: gf233.One, Y: gf233.Zero},
+		{X: gf233.One, Y: gf233.One},
+	}
+}
+
+// forgeSmallOrderNonce builds a hinted signature whose recovered nonce
+// point lies outside the prime-order subgroup: R = k·G + T for a
+// small-order torsion point T, r = x(R) mod n, s = k⁻¹(e + r·d). The
+// one-shot verifier rejects it — u1·G + u2·Q lands on k·G = R − T,
+// whose abscissa differs from x(R) — but its linear-combination
+// residual is ρ·(−T), which vanishes whenever ord(T) | ρ, so a batch
+// verifier admitting off-subgroup recoveries into the aggregate would
+// accept it with probability 1/2 (order 2) or 1/4 (order 4).
+func forgeSmallOrderNonce(t testing.TB, rnd *rand.Rand, priv *core.PrivateKey, digest []byte, torsion ec.Affine) (*Signature, byte) {
+	t.Helper()
+	e := sign.HashToInt(digest)
+	for tries := 0; tries < 100; tries++ {
+		k := new(big.Int).Rand(rnd, ec.Order)
+		if k.Sign() == 0 {
+			continue
+		}
+		rp := core.ScalarBaseMult(k).Add(torsion)
+		if rp.Inf {
+			continue
+		}
+		xb := rp.X.Bytes()
+		xi := new(big.Int).SetBytes(xb[:])
+		r := new(big.Int).Mod(xi, ec.Order)
+		if r.Sign() == 0 {
+			continue
+		}
+		s := new(big.Int).ModInverse(k, ec.Order)
+		s.Mul(s, new(big.Int).Add(e, new(big.Int).Mul(r, priv.D)))
+		s.Mod(s, ec.Order)
+		if s.Sign() == 0 {
+			continue
+		}
+		off := new(big.Int).Div(new(big.Int).Sub(xi, r), ec.Order)
+		lam, _ := gf233.Div(rp.Y, rp.X)
+		hint := byte(off.Uint64())<<1 | byte(lam.Bit(0))
+		sig := &Signature{R: r, S: s}
+		// The forgery must genuinely reach the aggregate: the hint
+		// recovers exactly R, and the one-shot verdict is reject.
+		if got, err := sign.RecoverNoncePoint(sig, hint); err != nil || !got.Equal(rp) {
+			t.Fatalf("forged hint does not recover the torsion-shifted nonce point: %v", err)
+		}
+		if sign.Verify(priv.Public, digest, sig) {
+			t.Fatal("forged small-order-nonce signature verifies one-shot")
+		}
+		return sig, hint
+	}
+	t.Fatal("could not forge a small-order-nonce signature")
+	return nil, 0
+}
+
+// TestBatchVerifyRecoverableSmallOrderNonce is the regression test for
+// the linear-combination soundness hole: a recovered nonce point with
+// a small-order cofactor component must never enter the aggregate.
+// Before the subgroup check in recoverPoints, each round accepted the
+// forgery with probability 1/2 (order-2 torsion) or 1/4 (order 4)
+// whenever the drawn weight ρ was divisible by the torsion order, so
+// 40 rounds catch the old code except with probability ≤ 2⁻⁴⁰.
+func TestBatchVerifyRecoverableSmallOrderNonce(t *testing.T) {
+	for ti, torsion := range smallOrderTorsions() {
+		if !torsion.OnCurve() || !torsion.Double().Double().Inf {
+			t.Fatalf("torsion %d is not a small-order curve point", ti)
+		}
+		privs, pubs, digests, sigs, hints := recoverableFixture(t, 900+int64(ti), 8, 1)
+		rnd := rand.New(rand.NewSource(910 + int64(ti)))
+		sigs[0], hints[0] = forgeSmallOrderNonce(t, rnd, privs[0], digests[0], torsion)
+		ok := make([]bool, len(pubs))
+		for round := 0; round < 40; round++ {
+			BatchVerifyRecoverable(pubs, nil, digests, sigs, hints, ok)
+			for i, got := range ok {
+				if want := i != 0; got != want {
+					t.Fatalf("torsion %d round %d entry %d: batch=%v one-shot=%v", ti, round, i, got, want)
+				}
+			}
+		}
+	}
+}
+
+// TestWeightSourceLazySeeding pins the scratch-construction contract:
+// building a batchScratch must not touch system randomness (it runs
+// inside sync.Pool.New and engine worker startup, for callers that
+// never use the LC path), and the weight stream is seeded exactly once
+// on first LC use.
+func TestWeightSourceLazySeeding(t *testing.T) {
+	s := newBatchScratch()
+	if s.rhoSrc != nil {
+		t.Fatal("scratch construction seeded the weight stream eagerly")
+	}
+	if s.weightSource() == nil {
+		t.Fatal("weightSource failed to seed from the system RNG")
+	}
+	if s.weightSource() != s.rhoSrc {
+		t.Fatal("weightSource reseeded an already-seeded scratch")
+	}
+}
+
 // TestEngineVerifyRecoverable drives the concurrent front end with
 // hinted verifies mixed into other traffic.
 func TestEngineVerifyRecoverable(t *testing.T) {
