@@ -23,6 +23,10 @@
 #                  reruns the verification benchmark ladder (one-shot
 #                  algorithms, batched joint kernel, hinted
 #                  linear-combination kernel) and rewrites the JSON
+#   make bench-ecqv - deterministic refresh of BENCH_ecqv.json: reruns
+#                  the ECQV benchmarks (issuance, one-shot extraction,
+#                  batched extraction) and checks the >= 2x batch=32
+#                  amortisation gate
 #   make load    - a quick eccload sweep of the batch engine
 #   make serve-smoke - end-to-end check of the serving stack: boots
 #                  eccserve on a loopback port, drives it with
@@ -32,7 +36,7 @@
 
 GO ?= go
 
-.PHONY: all build vet test test64 race fuzz alloc api bench bench-verify load serve-smoke ci
+.PHONY: all build vet test test64 race fuzz alloc api bench bench-verify bench-ecqv load serve-smoke ci
 
 all: ci
 
@@ -66,6 +70,8 @@ fuzz:
 	$(GO) test ./internal/gf233 -run='^$$' -fuzz=FuzzBatchInvVsSequential -fuzztime=10s
 	$(GO) test ./internal/core -run='^$$' -fuzz=FuzzJointScalarMultVsSeparate -fuzztime=10s
 	$(GO) test ./internal/engine -run='^$$' -fuzz=FuzzMultiScalarVsJoint -fuzztime=10s
+	$(GO) test . -run='^$$' -fuzz=FuzzParseCert -fuzztime=10s
+	$(GO) test . -run='^$$' -fuzz=FuzzParsePEM -fuzztime=10s
 
 # Zero-alloc guards: AllocsPerRun is meaningless under -race (the
 # detector allocates), so these run in their own non-race pass.
@@ -87,6 +93,9 @@ bench:
 
 bench-verify:
 	GO="$(GO)" sh scripts/bench_verify.sh
+
+bench-ecqv:
+	GO="$(GO)" sh scripts/bench_ecqv.sh
 
 load:
 	$(GO) run ./cmd/eccload -op ecdh -gs 1,8 -batches 1,32 -dur 2s

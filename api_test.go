@@ -62,6 +62,7 @@ func TestWireSizeConstants(t *testing.T) {
 		"PublicKeyCompressedSize": {PublicKeyCompressedSize, 31},
 		"SharedSecretSize":        {SharedSecretSize, 30},
 		"SignatureSize":           {SignatureSize, 60},
+		"CertSize":                {CertSize, 31},
 	} {
 		if c[0] != c[1] {
 			t.Errorf("%s = %d, want %d", name, c[0], c[1])

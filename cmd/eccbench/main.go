@@ -4,7 +4,7 @@
 //
 // Usage:
 //
-//	eccbench [table1|table2|table3|table4|table5|table6|table7|fig1|select|wsn|claims|backend|all]
+//	eccbench [table1|table2|table3|table4|table5|table6|table7|fig1|select|wsn|claims|backend|ecqv|all]
 //
 // With no argument, `all` is assumed.
 package main
@@ -33,11 +33,11 @@ func main() {
 		"table4": table4, "table5": table5, "table6": table6,
 		"table7": table7, "fig1": fig1, "select": selection,
 		"wsn": wsnCmd, "ablation": ablation, "claims": claims,
-		"backend": backend,
+		"backend": backend, "ecqv": ecqvCmd,
 	}
 	order := []string{"table1", "table2", "table3", "table4", "table5",
 		"table6", "table7", "fig1", "select", "wsn", "ablation", "claims",
-		"backend"}
+		"backend", "ecqv"}
 	if cmd == "all" {
 		for _, name := range order {
 			if err := commands[name](); err != nil {

@@ -42,7 +42,7 @@ import (
 
 var (
 	addrFlag    = flag.String("addr", "", "network mode: drive a running eccserve at this address instead of in-process engines")
-	opFlag      = flag.String("op", "ecdh", "operation to load: ecdh, sign, verify, or scalarmult (network mode adds ping, verifyr and mixed)")
+	opFlag      = flag.String("op", "ecdh", "operation to load: ecdh, sign, verify, or scalarmult (network mode adds ping, verifyr, cert and mixed)")
 	gsFlag      = flag.String("gs", "1,2,4,8", "comma-separated client goroutine counts to sweep")
 	batchesFlag = flag.String("batches", "1,8,32", "comma-separated engine batch sizes to sweep")
 	durFlag     = flag.Duration("dur", 2*time.Second, "measurement duration per configuration")

@@ -27,9 +27,21 @@ type netFixtures struct {
 	keys      [][]byte            // compressed public keys
 	privs     []*repro.PrivateKey // matching private keys
 	digests   [][]byte
-	sigs      [][]byte // raw signatures: sigs[i] by keys[i%len(keys)] over digests[i]
-	hints     []byte   // nonce-point recovery hint per signature
-	secrets   [][]byte // expected ECDH secret per key against the server
+	sigs      [][]byte     // raw signatures: sigs[i] by keys[i%len(keys)] over digests[i]
+	hints     []byte       // nonce-point recovery hint per signature
+	secrets   [][]byte     // expected ECDH secret per key against the server
+	certs     []*certState // per-worker enrolled identity, nil until the worker enrolls
+}
+
+// certState is one worker's ECQV enrollment: established by a live
+// TEnroll round trip on the worker's first cert op (reconstructing the
+// private key locally and cross-checking it against the extracted
+// public key), then exercised with TCertVerify requests over
+// presigned digests.
+type certState struct {
+	cert     []byte
+	identity []byte
+	sigs     [][]byte // deterministic signatures over fx.digests by the certified key
 }
 
 const netKeyPool = 16
@@ -161,6 +173,90 @@ func netOp(op string, conns []*frame.Conn, fx *netFixtures, c *netCounters) func
 			fail(w, "verifyr: response type %#x", f.Type)
 		}
 	}
+	// enroll performs the one-time TEnroll handshake for worker w: send
+	// a fresh certificate request, reconstruct the private key from the
+	// server's cert+contribution, cross-check it against the extracted
+	// public key, and presign the digest pool. Returns nil (without
+	// counting an error) on overload, so the next op retries.
+	enroll := func(w, i int) *certState {
+		identity := []byte(fmt.Sprintf("eccload-worker-%02d", w))
+		req, err := repro.RequestCert(rand.New(rand.NewSource(int64(1000+w))), identity)
+		if err != nil {
+			fail(w, "enroll: request: %v", err)
+			return nil
+		}
+		f, err := conns[w].Roundtrip(uint64(i+1), frame.TEnroll, frame.AppendEnroll(nil, req.Bytes(), identity))
+		if err != nil {
+			fail(w, "enroll: %v", err)
+			return nil
+		}
+		switch f.Type {
+		case frame.TOK:
+		case frame.TOverload:
+			c.shed.Add(1)
+			return nil
+		default:
+			fail(w, "enroll: response type %#x", f.Type)
+			return nil
+		}
+		if len(f.Payload) != frame.CertSize+frame.ContribSize {
+			fail(w, "enroll: %d-byte response payload", len(f.Payload))
+			return nil
+		}
+		certBytes := append([]byte(nil), f.Payload[:frame.CertSize]...)
+		contrib := f.Payload[frame.CertSize:]
+		cert, err := repro.ParseCert(certBytes, identity)
+		if err != nil {
+			fail(w, "enroll: server issued an unparsable certificate: %v", err)
+			return nil
+		}
+		priv, err := repro.ReconstructPrivateKey(req, cert, contrib, fx.serverPub)
+		if err != nil {
+			fail(w, "enroll: reconstruct: %v", err)
+			return nil
+		}
+		extracted, err := repro.ExtractPublicKey(cert, fx.serverPub)
+		if err != nil || !bytes.Equal(extracted.BytesCompressed(), priv.PublicKey().BytesCompressed()) {
+			fail(w, "enroll: extracted key disagrees with reconstructed key (%v)", err)
+			return nil
+		}
+		st := &certState{cert: certBytes, identity: identity}
+		for _, d := range fx.digests {
+			sig, _, err := repro.SignRecoverable(nil, priv, d)
+			if err != nil {
+				fail(w, "enroll: presign: %v", err)
+				return nil
+			}
+			st.sigs = append(st.sigs, sig.Bytes())
+		}
+		return st
+	}
+	cert := func(w, i int) {
+		st := fx.certs[w]
+		if st == nil {
+			if st = enroll(w, i); st == nil {
+				return
+			}
+			fx.certs[w] = st
+		}
+		idx := (w + i) % len(fx.digests)
+		req := frame.AppendCertVerify(nil, st.cert, st.identity, st.sigs[idx], fx.digests[idx])
+		f, err := conns[w].Roundtrip(uint64(i+1), frame.TCertVerify, req)
+		if err != nil {
+			fail(w, "certverify: %v", err)
+			return
+		}
+		switch f.Type {
+		case frame.TOK:
+			if !bytes.Equal(f.Payload, []byte{1}) {
+				fail(w, "certverify: server rejected a valid certified signature")
+			}
+		case frame.TOverload:
+			c.shed.Add(1)
+		default:
+			fail(w, "certverify: response type %#x", f.Type)
+		}
+	}
 	ecdh := func(w, i int) {
 		k := (w + i) % netKeyPool
 		f, err := conns[w].Roundtrip(uint64(i+1), frame.TECDH, fx.keys[k])
@@ -190,21 +286,25 @@ func netOp(op string, conns []*frame.Conn, fx *netFixtures, c *netCounters) func
 		return verifyr
 	case "ecdh":
 		return ecdh
+	case "cert":
+		return cert
 	case "mixed":
 		return func(w, i int) {
-			switch i % 4 {
+			switch i % 5 {
 			case 0:
 				sign(w, i)
 			case 1:
 				verify(w, i)
 			case 2:
 				verifyr(w, i)
+			case 3:
+				cert(w, i)
 			default:
 				ecdh(w, i)
 			}
 		}
 	default:
-		fmt.Fprintf(os.Stderr, "eccload: unknown network op %q (want ping, sign, verify, verifyr, ecdh or mixed)\n", op)
+		fmt.Fprintf(os.Stderr, "eccload: unknown network op %q (want ping, sign, verify, verifyr, ecdh, cert or mixed)\n", op)
 		os.Exit(2)
 		return nil
 	}
@@ -239,6 +339,7 @@ func netMain(addr string) {
 		fmt.Fprintln(os.Stderr, "eccload:", err)
 		os.Exit(1)
 	}
+	fx.certs = make([]*certState, maxG)
 
 	conns := make([]*frame.Conn, maxG)
 	for i := range conns {

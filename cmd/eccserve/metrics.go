@@ -17,11 +17,16 @@ import (
 // handlers). Everything here must be safe to bump from many
 // goroutines; nothing here may block.
 type metrics struct {
-	reqPing    atomic.Int64
-	reqSign    atomic.Int64
-	reqVerify  atomic.Int64
-	reqVerifyR atomic.Int64
-	reqECDH    atomic.Int64
+	reqPing       atomic.Int64
+	reqSign       atomic.Int64
+	reqVerify     atomic.Int64
+	reqVerifyR    atomic.Int64
+	reqECDH       atomic.Int64
+	reqEnroll     atomic.Int64
+	reqCertVerify atomic.Int64
+
+	enrollments atomic.Int64 // certificates issued (successful TEnroll)
+	extractions atomic.Int64 // public keys extracted from certificates
 
 	badRequest  atomic.Int64
 	shed        atomic.Int64 // load-shed with TOverload
@@ -77,6 +82,10 @@ func (m *metrics) writeProm(w io.Writer) {
 	fmt.Fprintf(w, "eccserve_requests_total{op=\"verify\"} %d\n", m.reqVerify.Load())
 	fmt.Fprintf(w, "eccserve_requests_total{op=\"verifyr\"} %d\n", m.reqVerifyR.Load())
 	fmt.Fprintf(w, "eccserve_requests_total{op=\"ecdh\"} %d\n", m.reqECDH.Load())
+	fmt.Fprintf(w, "eccserve_requests_total{op=\"enroll\"} %d\n", m.reqEnroll.Load())
+	fmt.Fprintf(w, "eccserve_requests_total{op=\"certverify\"} %d\n", m.reqCertVerify.Load())
+	counter("eccserve_enrollments_total", "Implicit certificates issued.", m.enrollments.Load())
+	counter("eccserve_extractions_total", "Public keys extracted from implicit certificates.", m.extractions.Load())
 	counter("eccserve_bad_requests_total", "Malformed requests answered TBadRequest.", m.badRequest.Load())
 	counter("eccserve_shed_total", "Requests load-shed with TOverload.", m.shed.Load())
 	counter("eccserve_drained_total", "Requests refused with TDraining during shutdown.", m.drained.Load())
@@ -111,6 +120,10 @@ func (m *metrics) snapshot() map[string]int64 {
 		"requests_verify":        m.reqVerify.Load(),
 		"requests_verifyr":       m.reqVerifyR.Load(),
 		"requests_ecdh":          m.reqECDH.Load(),
+		"requests_enroll":        m.reqEnroll.Load(),
+		"requests_certverify":    m.reqCertVerify.Load(),
+		"enrollments":            m.enrollments.Load(),
+		"extractions":            m.extractions.Load(),
 		"bad_requests":           m.badRequest.Load(),
 		"shed":                   m.shed.Load(),
 		"drained":                m.drained.Load(),

@@ -61,6 +61,10 @@ type server struct {
 	m    *metrics
 	priv *repro.PrivateKey
 	pub  []byte // the server identity, compressed
+	// ca issues implicit certificates under the server key: the
+	// service identity doubles as the trust anchor, so a TPing gives
+	// clients both the signature key and the extraction anchor.
+	ca *repro.CA
 
 	shards []*repro.BatchEngine
 	cache  *keyCache
@@ -94,6 +98,7 @@ func newServer(priv *repro.PrivateKey, cfg serverConfig) *server {
 		m:        m,
 		priv:     priv,
 		pub:      priv.PublicKey().BytesCompressed(),
+		ca:       repro.NewCA(priv),
 		cache:    newKeyCache(cfg.KeyCacheCap, m),
 		inflight: make(chan struct{}, cfg.MaxInflight),
 		conns:    make(map[*frame.Conn]struct{}),
@@ -268,7 +273,7 @@ func (s *server) process(fc *frame.Conn, shard *repro.BatchEngine, id uint64, ty
 			fc.Write(id, frame.TBadRequest)
 			return
 		}
-		pub, err := s.cache.get(key)
+		pub, err := s.cache.getKey(key)
 		if err != nil {
 			s.m.badRequest.Add(1)
 			fc.Write(id, frame.TBadRequest)
@@ -302,7 +307,7 @@ func (s *server) process(fc *frame.Conn, shard *repro.BatchEngine, id uint64, ty
 			fc.Write(id, frame.TBadRequest)
 			return
 		}
-		pub, err := s.cache.get(key)
+		pub, err := s.cache.getKey(key)
 		if err != nil {
 			s.m.badRequest.Add(1)
 			fc.Write(id, frame.TBadRequest)
@@ -345,6 +350,90 @@ func (s *server) process(fc *frame.Conn, shard *repro.BatchEngine, id uint64, ty
 			return
 		}
 		fc.Write(id, frame.TOK, secret)
+
+	case frame.TEnroll:
+		s.m.reqEnroll.Add(1)
+		reqPoint, identity, ok := frame.SplitEnroll(payload)
+		if !ok {
+			s.m.badRequest.Add(1)
+			fc.Write(id, frame.TBadRequest)
+			return
+		}
+		cert, contrib, err := s.ca.Issue(reqPoint, identity, rand.Reader)
+		if err != nil {
+			// Issue fails only on invalid input (request point or
+			// identity) or an RNG fault; the former dominates and the
+			// latter still is not an engine-lifecycle condition.
+			s.m.badRequest.Add(1)
+			fc.Write(id, frame.TBadRequest)
+			return
+		}
+		// Extract the certified key through the shard kernel and warm
+		// the cache under both namespaces: TCertVerify hits the
+		// cert-namespace entry, and a client presenting the extracted
+		// key directly to TVerify hits the key-namespace alias.
+		pub, err := shard.ExtractPublicKey(cert, s.ca.PublicKey())
+		if err != nil {
+			s.writeErr(fc, id, err)
+			return
+		}
+		s.m.extractions.Add(1)
+		pub.Precompute()
+		certBytes := cert.Bytes()
+		s.cache.put(certCacheKey(certBytes, identity), pub)
+		s.cache.put(keyCacheKey(pub.BytesCompressed()), pub)
+		s.m.enrollments.Add(1)
+		fc.Write(id, frame.TOK, certBytes, contrib)
+
+	case frame.TCertVerify:
+		s.m.reqCertVerify.Add(1)
+		certBytes, identity, rawSig, digest, ok := frame.SplitCertVerify(payload)
+		if !ok {
+			s.m.badRequest.Add(1)
+			fc.Write(id, frame.TBadRequest)
+			return
+		}
+		pub, err := s.cache.get(certCacheKey(certBytes, identity), func() (*repro.PublicKey, error) {
+			cert, err := repro.ParseCert(certBytes, identity)
+			if err != nil {
+				return nil, err
+			}
+			pub, err := shard.ExtractPublicKey(cert, s.ca.PublicKey())
+			if err != nil {
+				return nil, err
+			}
+			s.m.extractions.Add(1)
+			pub.Precompute()
+			return pub, nil
+		})
+		if err != nil {
+			if errors.Is(err, repro.ErrEngineClosed) {
+				s.writeErr(fc, id, err)
+				return
+			}
+			// Malformed or forged certificate: a protocol-level reject,
+			// same contract as an unparseable key in TVerify.
+			s.m.badRequest.Add(1)
+			fc.Write(id, frame.TBadRequest)
+			return
+		}
+		sig, err := repro.ParseSignature(rawSig)
+		if err != nil {
+			s.m.verifyFail.Add(1)
+			fc.Write(id, frame.TOK, []byte{0})
+			return
+		}
+		valid, err := shard.VerifyKey(pub, digest, sig)
+		if err != nil {
+			s.writeErr(fc, id, err)
+			return
+		}
+		if valid {
+			fc.Write(id, frame.TOK, []byte{1})
+		} else {
+			s.m.verifyFail.Add(1)
+			fc.Write(id, frame.TOK, []byte{0})
+		}
 
 	default:
 		s.m.badRequest.Add(1)

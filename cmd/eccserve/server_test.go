@@ -475,7 +475,7 @@ func TestKeyCacheLRUAndSingleflight(t *testing.T) {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
-			if _, err := c.get(keys[0]); err != nil {
+			if _, err := c.getKey(keys[0]); err != nil {
 				t.Error(err)
 			}
 		}()
@@ -486,13 +486,13 @@ func TestKeyCacheLRUAndSingleflight(t *testing.T) {
 	}
 
 	// LRU: cap 2, third key evicts the least recently used.
-	if _, err := c.get(keys[1]); err != nil {
+	if _, err := c.getKey(keys[1]); err != nil {
 		t.Fatal(err)
 	}
-	if _, err := c.get(keys[0]); err != nil { // key0 now most recent
+	if _, err := c.getKey(keys[0]); err != nil { // key0 now most recent
 		t.Fatal(err)
 	}
-	if _, err := c.get(keys[2]); err != nil { // evicts key1
+	if _, err := c.getKey(keys[2]); err != nil { // evicts key1
 		t.Fatal(err)
 	}
 	if c.len() != 2 {
@@ -502,7 +502,7 @@ func TestKeyCacheLRUAndSingleflight(t *testing.T) {
 		t.Fatalf("cacheEvicts = %d, want 1", m.cacheEvicts.Load())
 	}
 	hitsBefore := m.cacheHits.Load()
-	if _, err := c.get(keys[0]); err != nil { // survived the eviction
+	if _, err := c.getKey(keys[0]); err != nil { // survived the eviction
 		t.Fatal(err)
 	}
 	if m.cacheHits.Load() != hitsBefore+1 {
@@ -511,7 +511,7 @@ func TestKeyCacheLRUAndSingleflight(t *testing.T) {
 
 	// Errors are not cached.
 	bad := make([]byte, frame.KeySize)
-	if _, err := c.get(bad); err == nil {
+	if _, err := c.getKey(bad); err == nil {
 		t.Fatal("garbage key parsed")
 	}
 	if c.len() != 2 {
@@ -532,7 +532,7 @@ func TestKeyCacheWaiterOnFailedBuild(t *testing.T) {
 	// A registered-but-unresolved entry, exactly as the initiating get
 	// leaves it while the build runs outside the lock.
 	raw := make([]byte, frame.KeySize)
-	k := string(raw)
+	k := keyCacheKey(raw)
 	e := &keyEntry{key: k, ready: make(chan struct{})}
 	c.mu.Lock()
 	c.entries[k] = e
@@ -551,7 +551,7 @@ func TestKeyCacheWaiterOnFailedBuild(t *testing.T) {
 	// The waiter joins the in-flight build and blocks on ready.
 	done := make(chan error, 1)
 	go func() {
-		_, err := c.get(raw)
+		_, err := c.getKey(raw)
 		done <- err
 	}()
 	for joined := false; !joined; time.Sleep(time.Millisecond) {
@@ -592,10 +592,10 @@ func TestKeyCacheWaiterOnFailedBuild(t *testing.T) {
 		t.Fatal(err)
 	}
 	good := priv.PublicKey().BytesCompressed()
-	if _, err := c.get(good); err != nil {
+	if _, err := c.getKey(good); err != nil {
 		t.Fatal(err)
 	}
-	if _, err := c.get(good); err != nil {
+	if _, err := c.getKey(good); err != nil {
 		t.Fatal(err)
 	}
 	if m.cacheMisses.Load() != 1 || m.cacheBuilds.Load() != 1 || m.cacheHits.Load() != 1 {
@@ -603,7 +603,7 @@ func TestKeyCacheWaiterOnFailedBuild(t *testing.T) {
 			m.cacheMisses.Load(), m.cacheBuilds.Load(), m.cacheHits.Load())
 	}
 	// A direct failed build is a miss, never a hit or a wait failure.
-	if _, err := c.get(make([]byte, frame.KeySize)); err == nil {
+	if _, err := c.getKey(make([]byte, frame.KeySize)); err == nil {
 		t.Fatal("garbage key parsed")
 	}
 	if m.cacheMisses.Load() != 2 || m.cacheHits.Load() != 1 || m.cacheWaitFails.Load() != 1 {

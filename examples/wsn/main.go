@@ -18,20 +18,40 @@ import (
 )
 
 func main() {
-	// One concrete duty cycle, end to end: node and base station agree
-	// on a session key, then the node sends a signed, "encrypted"
-	// report (the symmetric step is keyed with the ECDH output). The
-	// radio carries only compact encodings: the 31-byte compressed
-	// public key and the fixed-width 60-byte raw signature, both
-	// re-parsed and validated on the base-station side.
-	node, err := repro.GenerateKey(rand.Reader)
-	if err != nil {
-		log.Fatal(err)
-	}
+	// Commissioning: the base station doubles as the certificate
+	// authority. The node sends an ECQV certificate request over the
+	// identity "node-17"; the CA answers with a 31-byte implicit
+	// certificate and a private-key contribution, from which the node
+	// reconstructs its operational key. No explicit public key ever
+	// crosses the radio — any verifier holding the CA key extracts it
+	// from the certificate itself.
 	base, err := repro.GenerateKey(rand.Reader)
 	if err != nil {
 		log.Fatal(err)
 	}
+	ca := repro.NewCA(base)
+	identity := []byte("node-17")
+	certReq, err := repro.RequestCert(rand.Reader, identity)
+	if err != nil {
+		log.Fatal(err)
+	}
+	cert, contrib, err := ca.Issue(certReq.Bytes(), identity, rand.Reader)
+	if err != nil {
+		log.Fatal(err)
+	}
+	node, err := repro.ReconstructPrivateKey(certReq, cert, contrib, ca.PublicKey())
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("enrollment: %q certified, cert %d bytes (an X.509 chain runs hundreds)\n",
+		identity, len(cert.Bytes()))
+
+	// One concrete duty cycle, end to end: node and base station agree
+	// on a session key, then the node sends a signed, "encrypted"
+	// report (the symmetric step is keyed with the ECDH output). The
+	// radio carries only compact encodings: the 31-byte implicit
+	// certificate and the fixed-width 60-byte raw signature, both
+	// re-parsed and validated on the base-station side.
 	session, err := node.ECDH(base.PublicKey(), 32)
 	if err != nil {
 		log.Fatal(err)
@@ -44,10 +64,16 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	// Over the radio: node identity + raw signature. The base station
-	// parses and validates both before verifying.
-	nodeID, sigWire := node.PublicKey().BytesCompressed(), sig.Bytes()
-	nodePub, err := repro.NewPublicKey(nodeID)
+	// Over the radio: implicit certificate + raw signature. The base
+	// station re-parses the certificate against the claimed identity,
+	// extracts the certified key and verifies under it — certificate
+	// validation and signature verification in one step.
+	certWire, sigWire := cert.Bytes(), sig.Bytes()
+	rxCert, err := repro.ParseCert(certWire, identity)
+	if err != nil {
+		log.Fatal(err)
+	}
+	nodePub, err := repro.ExtractPublicKey(rxCert, ca.PublicKey())
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -56,7 +82,7 @@ func main() {
 		log.Fatal(err)
 	}
 	fmt.Printf("duty cycle: session key %x…, wire %d+%d bytes, report authenticated: %v\n\n",
-		session[:8], len(nodeID), len(sigWire), nodePub.Verify(digest[:], rxSig))
+		session[:8], len(certWire), len(sigWire), nodePub.Verify(digest[:], rxSig))
 
 	// Lifetime study across implementations and rekeying intervals.
 	for _, cfg := range []struct {

@@ -34,6 +34,16 @@ type Scratch struct {
 	// slices handed to normalize64 never escape to the heap.
 	sd  [2]ec.LD64
 	sdA [2]ec.Affine64
+	// staging for the batched multi-point ladder (ScalarMultBatchLD64):
+	// per-point bases and their Frobenius images, the batch-wide sum/dif
+	// pairs and α tables. Kept separate from the single-point buffers so
+	// a batched build never invalidates a table a caller is holding.
+	bp     []ec.Affine64
+	btp    []ec.Affine64
+	bsd    []ec.LD64
+	bsdA   []ec.Affine64
+	btabLD []ec.LD64
+	btab   []ec.Affine64
 }
 
 // NewScratch returns an empty Scratch; buffers grow on first use.

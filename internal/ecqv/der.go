@@ -1,0 +1,59 @@
+package ecqv
+
+// DER interchange form for implicit certificates. The 31-byte
+// compressed point is the radio-link format; the DER form
+//
+//	SEQUENCE { OCTET STRING identity, OCTET STRING point(31) }
+//
+// is for disk and tooling interchange, hardened the same way the
+// signature DER parser is: the parse must round-trip byte-exactly
+// through the canonical encoder, which rejects every BER liberty
+// (indefinite lengths, non-minimal lengths, trailing data) before the
+// embedded point reaches validation.
+
+import (
+	"bytes"
+	"encoding/asn1"
+)
+
+// derCert is the ASN.1 shape of a certificate.
+type derCert struct {
+	Identity []byte
+	Point    []byte
+}
+
+// maxCertDERSize bounds any canonical certificate encoding: sequence
+// header, two octet-string headers, identity and point bodies.
+const maxCertDERSize = 4 + (2 + MaxIdentity) + (2 + CertSize)
+
+// MarshalDER returns the canonical DER encoding of the certificate.
+func (c *Cert) MarshalDER() ([]byte, error) {
+	if len(c.Identity) < MinIdentity || len(c.Identity) > MaxIdentity {
+		return nil, ErrInvalidIdentity
+	}
+	return asn1.Marshal(derCert{Identity: c.Identity, Point: c.Bytes()})
+}
+
+// ParseCertDER parses a DER certificate, accepting only the canonical
+// encoding and validating the embedded point exactly as ParseCert
+// does (framing first, then curve membership, then the subgroup
+// check).
+func ParseCertDER(der []byte) (*Cert, error) {
+	if len(der) == 0 || len(der) > maxCertDERSize {
+		return nil, ErrInvalidCert
+	}
+	var dc derCert
+	rest, err := asn1.Unmarshal(der, &dc)
+	if err != nil || len(rest) != 0 {
+		return nil, ErrInvalidCert
+	}
+	cert, err := ParseCert(dc.Point, dc.Identity)
+	if err != nil {
+		return nil, err
+	}
+	canon, err := cert.MarshalDER()
+	if err != nil || !bytes.Equal(canon, der) {
+		return nil, ErrInvalidCert
+	}
+	return cert, nil
+}

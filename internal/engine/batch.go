@@ -32,6 +32,23 @@ const (
 	opECDH
 	opSign
 	opVerify
+	opExtract
+)
+
+// Errors returned by the implicit-certificate extraction op. Both mean
+// the certificate input was rejected — callers map them onto their own
+// invalid-certificate errors.
+var (
+	// ErrExtractPoint reports a certificate point that failed the
+	// kernel's own validation (infinity, off curve, or outside the
+	// prime-order subgroup). Parsed certificates were already validated
+	// at the boundary; the kernel re-checks with the cheap halving-trace
+	// test so a forged point can never reach the ladders even through a
+	// caller that skipped parsing.
+	ErrExtractPoint = errors.New("engine: extract: invalid certificate point")
+	// ErrExtractDegenerate reports a degenerate extraction: a zero
+	// certificate hash, or a result that is not a usable public key.
+	ErrExtractDegenerate = errors.New("engine: extract: degenerate result")
 )
 
 // request carries one operation through the batch pipeline. All
@@ -49,6 +66,7 @@ type request struct {
 	sig    *sign.Signature // verify: the signature under test
 	fb     *core.FixedBase // verify: optional per-key table
 	hint   byte            // verify: nonce-point recovery hint (≥ sign.HintNone: none)
+	ca     ec.Affine64     // extract: the CA public key Q_CA (validated by the caller)
 	// intermediates
 	ld     ec.LD64
 	nonce  big.Int
@@ -113,6 +131,13 @@ type batchScratch struct {
 	signQ   []*request
 	verifyQ []*request
 	reqs    []*request // slice-API staging
+	// extraction staging: the queued requests and the contiguous
+	// (scalar, point, result) views the batched multi-point ladder
+	// consumes.
+	exQ   []*request
+	expts []ec.Affine
+	exks  []*big.Int
+	exlds []ec.LD64
 	// linear-combination verification state: the multi-scalar
 	// evaluator, the hinted-request queue, the per-distinct-key
 	// coalescing groups, the batched-decompression staging, and the
@@ -187,6 +212,7 @@ var kernelPool = sync.Pool{New: func() any { return newBatchScratch() }}
 func processBatch(s *batchScratch, batch []*request) {
 	signQ := s.signQ[:0]
 	verifyQ := s.verifyQ[:0]
+	exQ := s.exQ[:0]
 	for _, r := range batch {
 		r.err = nil
 		switch r.op {
@@ -212,12 +238,22 @@ func processBatch(s *batchScratch, batch []*request) {
 				continue
 			}
 			verifyQ = append(verifyQ, r)
+		case opExtract:
+			if !s.prepareExtract(r) {
+				r.ld = ec.LD64Infinity
+				continue
+			}
+			exQ = append(exQ, r)
 		}
 	}
 	s.signQ = signQ
 	s.verifyQ = verifyQ
+	s.exQ = exQ
 	if len(verifyQ) > 0 {
 		s.verifyPoints(verifyQ)
+	}
+	if len(exQ) > 0 {
+		s.extractPoints(exQ)
 	}
 
 	// One inversion for the whole batch. Z = 0 (infinity or errored
@@ -264,6 +300,28 @@ func processBatch(s *batchScratch, batch []*request) {
 			r.u1.SetBytes(x[:])
 			core.ReduceModOrder(&r.u1)
 			r.ok = r.u1.Cmp(r.sig.R) == 0
+		case opExtract:
+			if r.ld.IsInfinity() {
+				// e·P_U = −Q_CA: not a usable public key. Unreachable for
+				// honestly issued certificates (probability ~2⁻²³²).
+				r.err = ErrExtractDegenerate
+				continue
+			}
+			// Convert through the shared inverse and subgroup-validate the
+			// output in the 64-bit representation before it leaves the
+			// kernel: both inputs were subgroup points so the sum must be
+			// too, but extracted keys feed the subgroup-assuming verify
+			// kernels, so the property is checked, not argued. The
+			// halving-trace test (ec.InPrimeSubgroup64) is exact and is
+			// held equal to the τ-adic n·P check by differential tests.
+			zi := zs[i]
+			x64 := gf233.Mul64(r.ld.X, zi)
+			y64 := gf233.Mul64(r.ld.Y, gf233.Sqr64(zi))
+			if x64 == gf233.Zero64 || !ec.InPrimeSubgroup64(x64, y64) {
+				r.err = ErrExtractDegenerate
+				continue
+			}
+			r.res = ec.Affine{X: x64.Elem(), Y: y64.Elem()}
 		}
 	}
 
@@ -390,6 +448,57 @@ func prepareVerify(r *request) bool {
 	}
 	sign.HashToIntInto(&r.e, r.digest)
 	return true
+}
+
+// prepareExtract validates one extraction request: the certificate
+// point — attacker-controlled wire input — is re-checked inside the
+// kernel (on curve, x ≠ 0, prime-order subgroup via the cheap
+// halving-trace test) so that a small-order or off-curve point can
+// never reach a ladder even if a caller bypassed certificate parsing;
+// then the certificate hash scalar e is formed from the caller-
+// computed digest. The CA point in r.ca is operator-controlled and
+// validated at key construction, so it is trusted here.
+func (s *batchScratch) prepareExtract(r *request) bool {
+	p := r.point
+	if p.Inf || !p.OnCurve() || r.ca.Inf {
+		r.err = ErrExtractPoint
+		return false
+	}
+	p64 := p.To64()
+	// x = 0 is the order-2 point (the on-curve x = 0 solution): outside
+	// the halving-trace test's precondition and never a certificate.
+	if p64.X == gf233.Zero64 || !ec.InPrimeSubgroup64(p64.X, p64.Y) {
+		r.err = ErrExtractPoint
+		return false
+	}
+	sign.HashToIntInto(&r.e, r.digest)
+	core.ReduceModOrder(&r.e)
+	if r.e.Sign() == 0 {
+		r.err = ErrExtractDegenerate
+		return false
+	}
+	return true
+}
+
+// extractPoints computes e·P_U + Q_CA for every queued extraction,
+// left projective: the ladders run through the batched multi-point
+// scalar multiplication (core.ScalarMultBatchLD64), whose α-table
+// normalisations share two inversions across the whole queue instead
+// of two per request, and the CA additions are mixed-coordinate (no
+// inversion). The LD→affine conversions then ride the batch-wide
+// field inversion with every other op.
+func (s *batchScratch) extractPoints(exQ []*request) {
+	pts := core.Grow(&s.expts, len(exQ))
+	ks := core.Grow(&s.exks, len(exQ))
+	lds := core.Grow(&s.exlds, len(exQ))
+	for i, r := range exQ {
+		pts[i] = r.point
+		ks[i] = &r.e
+	}
+	s.cs.ScalarMultBatchLD64(lds, ks, pts)
+	for i, r := range exQ {
+		r.ld = lds[i].AddMixed(r.ca)
+	}
 }
 
 // lcMinBatch is the smallest hinted-request count worth the
@@ -834,6 +943,54 @@ func BatchVerifyRecoverable(pubs []ec.Affine, fbs []*core.FixedBase, digests [][
 	processBatch(s, batch)
 	for i, r := range batch {
 		ok[i] = r.ok
+	}
+	returnBatch(batch)
+	kernelPool.Put(s)
+}
+
+// ExtractResult is one BatchExtract outcome.
+type ExtractResult struct {
+	Pub ec.Affine
+	Err error
+}
+
+// BatchExtract computes the implicit-certificate public-key extraction
+// Q_U = e·P_U + Q_CA for every certificate point, writing outcomes
+// into out (len(out) == len(certs)). digests[i] is the certificate
+// hash input for certs[i] (the kernel folds it to the scalar e); ca is
+// the issuing CA's public key point, which must be a validated
+// subgroup point (it comes from an opaque key at every call site).
+// Certificate points are re-validated inside the kernel and corrupt
+// entries fail individually with ErrExtractPoint — a mixed batch still
+// extracts every valid certificate.
+//
+// The batch amortisation is threefold: the α-table sum/dif
+// normalisations of all ladders share one field inversion, the α
+// tables themselves share another, and the final LD→affine
+// conversions share the batch-wide inversion — against four
+// inversions (plus a full τ-adic subgroup ladder for output
+// validation) on the one-shot path.
+func BatchExtract(certs []ec.Affine, ca ec.Affine, digests [][]byte, out []ExtractResult) {
+	if len(digests) != len(certs) || len(out) != len(certs) {
+		panic("engine: BatchExtract length mismatch")
+	}
+	ca64 := ca.To64()
+	s := kernelPool.Get().(*batchScratch)
+	batch := s.borrowBatch(len(certs))
+	for i, r := range batch {
+		r.op = opExtract
+		r.point = certs[i]
+		r.digest = digests[i]
+		r.ca = ca64
+	}
+	processBatch(s, batch)
+	for i, r := range batch {
+		out[i].Err = r.err
+		if r.err == nil {
+			out[i].Pub = r.res
+		} else {
+			out[i].Pub = ec.Infinity
+		}
 	}
 	returnBatch(batch)
 	kernelPool.Put(s)

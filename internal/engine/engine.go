@@ -346,6 +346,30 @@ func (e *Engine) ScalarMult(k *big.Int, p ec.Affine) (ec.Affine, error) {
 	return res, err
 }
 
+// Extract computes the implicit-certificate public-key extraction
+// Q_U = e·P_U + Q_CA, batched with whatever else is in flight: the
+// ladder's table normalisations and the final LD→affine conversion
+// all ride batch-wide inversions (see BatchExtract). cert is the
+// certificate point (re-validated inside the kernel — a corrupt point
+// fails with ErrExtractPoint, it cannot reach the ladders); digest is
+// the certificate hash input; ca must be a validated subgroup point.
+func (e *Engine) Extract(cert ec.Affine, ca ec.Affine, digest []byte) (ec.Affine, error) {
+	r := e.get(opExtract)
+	r.point = cert
+	r.ca = ca.To64()
+	r.digest = digest
+	if err := e.do(r); err != nil {
+		e.put(r)
+		return ec.Infinity, err
+	}
+	res, err := r.res, r.err
+	e.put(r)
+	if err != nil {
+		return ec.Infinity, err
+	}
+	return res, nil
+}
+
 // SharedSecretAppend computes the ECDH shared secret d·Q against the
 // validated peer and appends the shared abscissa to dst (steady-state
 // allocation-free when dst has capacity). The peer is fully validated

@@ -30,6 +30,17 @@
 //	          linear-combination pass. The hint is an accelerator, never
 //	          an input to the verdict — a wrong or out-of-range hint only
 //	          costs the fast path. Response: as TVerify.
+//	TEnroll — reqPoint(CertSize) | identity(1..MaxIdentity): an ECQV
+//	          enrollment. The server (acting as CA) issues an implicit
+//	          certificate over the request point, extracts and caches
+//	          the certified key, and responds TOK with
+//	          cert(CertSize) | contrib(ContribSize) — everything the
+//	          client needs to reconstruct its private key.
+//	TCertVerify — cert(CertSize) | idLen(1) | identity(1..MaxIdentity) |
+//	          sig(SigSize) | digest(1..MaxDigest): verify a signature
+//	          under the public key extracted from an implicit
+//	          certificate (cache-accelerated server side). Response: as
+//	          TVerify.
 //
 // Error responses carry no payload: TBadRequest (malformed frame
 // contents), TOverload (load shed — retry against another replica or
@@ -52,11 +63,13 @@ import (
 
 // Request frame types.
 const (
-	TPing    = 0x01
-	TSign    = 0x02
-	TVerify  = 0x03
-	TECDH    = 0x04
-	TVerifyR = 0x05
+	TPing       = 0x01
+	TSign       = 0x02
+	TVerify     = 0x03
+	TECDH       = 0x04
+	TVerifyR    = 0x05
+	TEnroll     = 0x06
+	TCertVerify = 0x07
 )
 
 // Response frame types. TOK is the only one that carries a payload.
@@ -79,6 +92,16 @@ const (
 	// MaxDigest caps the digest length accepted in sign and verify
 	// requests (SHA-512 output is the largest standard digest).
 	MaxDigest = 64
+	// CertSize is an ECQV implicit certificate (and a certificate
+	// request point): one compressed point, same shape as KeySize.
+	CertSize = 1 + gf233.ByteLen
+	// ContribSize is the ECQV private-key contribution the CA returns
+	// alongside the certificate: a fixed-width scalar at the private
+	// key width.
+	ContribSize = gf233.ByteLen
+	// MaxIdentity caps a certified identity, mirroring the certificate
+	// subsystem's bound.
+	MaxIdentity = 64
 	// MaxPayload caps a frame payload; frames announcing more are a
 	// protocol error and the connection is torn down. Big enough for
 	// every defined request with slack for evolution, small enough
@@ -212,6 +235,52 @@ func SplitVerifyR(p []byte) (hint byte, key, sig, digest []byte, ok bool) {
 func AppendVerifyR(dst []byte, hint byte, key, sig, digest []byte) []byte {
 	dst = append(dst, hint)
 	dst = append(dst, key...)
+	dst = append(dst, sig...)
+	return append(dst, digest...)
+}
+
+// SplitEnroll decomposes a TEnroll request payload into the request
+// point and the identity, reporting false for payloads whose framing
+// is structurally wrong (the identity bounds included).
+func SplitEnroll(p []byte) (reqPoint, identity []byte, ok bool) {
+	if len(p) <= CertSize || len(p) > CertSize+MaxIdentity {
+		return nil, nil, false
+	}
+	return p[:CertSize], p[CertSize:], true
+}
+
+// AppendEnroll assembles a TEnroll request payload.
+func AppendEnroll(dst, reqPoint, identity []byte) []byte {
+	dst = append(dst, reqPoint...)
+	return append(dst, identity...)
+}
+
+// SplitCertVerify decomposes a TCertVerify request payload into its
+// certificate, identity, signature and digest fields. The identity is
+// length-prefixed (one byte) because, unlike every other variable
+// field, it is not the frame tail.
+func SplitCertVerify(p []byte) (cert, identity, sig, digest []byte, ok bool) {
+	if len(p) < CertSize+1 {
+		return nil, nil, nil, nil, false
+	}
+	idLen := int(p[CertSize])
+	if idLen < 1 || idLen > MaxIdentity {
+		return nil, nil, nil, nil, false
+	}
+	rest := p[CertSize+1:]
+	if len(rest) <= idLen+SigSize || len(rest) > idLen+SigSize+MaxDigest {
+		return nil, nil, nil, nil, false
+	}
+	return p[:CertSize], rest[:idLen], rest[idLen : idLen+SigSize], rest[idLen+SigSize:], true
+}
+
+// AppendCertVerify assembles a TCertVerify request payload. The
+// identity length must already be within [1, MaxIdentity]; the server
+// side re-checks on split.
+func AppendCertVerify(dst, cert, identity, sig, digest []byte) []byte {
+	dst = append(dst, cert...)
+	dst = append(dst, byte(len(identity)))
+	dst = append(dst, identity...)
 	dst = append(dst, sig...)
 	return append(dst, digest...)
 }

@@ -205,3 +205,64 @@ func TestSplitVerifyR(t *testing.T) {
 		t.Fatal("TVerifyR payload is not hint||TVerify payload")
 	}
 }
+
+func TestSplitEnroll(t *testing.T) {
+	reqPoint := bytes.Repeat([]byte{4}, CertSize)
+	identity := []byte("sensor-node-17")
+	p := AppendEnroll(nil, reqPoint, identity)
+	rp, id, ok := SplitEnroll(p)
+	if !ok || !bytes.Equal(rp, reqPoint) || !bytes.Equal(id, identity) {
+		t.Fatal("SplitEnroll did not invert AppendEnroll")
+	}
+	// Identity length bounds ride the frame tail.
+	if _, id, ok := SplitEnroll(AppendEnroll(nil, reqPoint, []byte{9})); !ok || len(id) != 1 {
+		t.Fatal("minimum identity rejected")
+	}
+	max := bytes.Repeat([]byte{9}, MaxIdentity)
+	if _, id, ok := SplitEnroll(AppendEnroll(nil, reqPoint, max)); !ok || len(id) != MaxIdentity {
+		t.Fatal("maximum identity rejected")
+	}
+	for _, bad := range [][]byte{
+		nil,
+		reqPoint,                                // empty identity
+		p[:CertSize-1],                          // truncated point
+		append(p, make([]byte, MaxIdentity)...), // identity too long
+	} {
+		if _, _, ok := SplitEnroll(bad); ok {
+			t.Fatalf("SplitEnroll accepted %d-byte payload", len(bad))
+		}
+	}
+}
+
+func TestSplitCertVerify(t *testing.T) {
+	cert := bytes.Repeat([]byte{4}, CertSize)
+	identity := []byte("node-a")
+	sig := bytes.Repeat([]byte{2}, SigSize)
+	digest := bytes.Repeat([]byte{3}, 32)
+	p := AppendCertVerify(nil, cert, identity, sig, digest)
+	c, id, s, d, ok := SplitCertVerify(p)
+	if !ok || !bytes.Equal(c, cert) || !bytes.Equal(id, identity) || !bytes.Equal(s, sig) || !bytes.Equal(d, digest) {
+		t.Fatal("SplitCertVerify did not invert AppendCertVerify")
+	}
+	// Hostile identity length prefixes: zero, beyond MaxIdentity, and a
+	// length that swallows the signature.
+	zeroLen := bytes.Clone(p)
+	zeroLen[CertSize] = 0
+	overMax := bytes.Clone(p)
+	overMax[CertSize] = MaxIdentity + 1
+	swallow := bytes.Clone(p)
+	swallow[CertSize] = byte(len(identity) + SigSize)
+	for i, bad := range [][]byte{
+		nil,
+		cert,                                  // no identity length byte
+		p[:CertSize+1+len(identity)+SigSize],  // empty digest
+		append(p, make([]byte, MaxDigest)...), // digest too long
+		zeroLen,
+		overMax,
+		swallow,
+	} {
+		if _, _, _, _, ok := SplitCertVerify(bad); ok {
+			t.Fatalf("SplitCertVerify accepted hostile payload %d", i)
+		}
+	}
+}

@@ -1,0 +1,225 @@
+package repro
+
+// SEC1/X9.62 key interchange: the encodings the standard tooling
+// ecosystem (OpenSSL, PKCS stacks, Go's crypto/x509 conventions)
+// speaks, so keys move between this module and the outside world
+// without hand-rolled glue:
+//
+//   - RFC 5915 ECPrivateKey ("EC PRIVATE KEY" PEM): SEQUENCE of
+//     version 1, the private scalar as a fixed-width octet string
+//     (29 bytes — the order width, per RFC 5915), the named-curve OID
+//     and the uncompressed public point;
+//   - X9.62 SubjectPublicKeyInfo ("PUBLIC KEY" PEM): the
+//     id-ecPublicKey algorithm with the named-curve parameter and the
+//     point as a bit string.
+//
+// Parsing is hardened the same way the signature and certificate DER
+// parsers are: encoding/asn1 already rejects most BER liberties, and
+// a byte-exact comparison against the canonical re-encoding rejects
+// the rest — a parsed key always round-trips to the bytes it came
+// from. Private keys are accepted in canonical form only; public
+// keys may carry the point compressed or uncompressed (both are
+// X9.62-legal and the compressed form is this module's radio
+// format), canonical in every other respect.
+
+import (
+	"bytes"
+	"encoding/asn1"
+	"encoding/pem"
+	"errors"
+
+	"repro/internal/ec"
+)
+
+// PEM block types.
+const (
+	pemPrivateKeyType = "EC PRIVATE KEY"
+	pemPublicKeyType  = "PUBLIC KEY"
+)
+
+// Errors returned by the interchange parsers.
+var (
+	// ErrInvalidKeyEncoding reports a DER or PEM key encoding that is
+	// malformed, non-canonical, for a different curve, or carries an
+	// invalid key.
+	ErrInvalidKeyEncoding = errors.New("repro: invalid key encoding")
+)
+
+// ASN.1 object identifiers: id-ecPublicKey (X9.62) and sect233k1
+// (SEC 2, the NIST K-233 curve this module implements).
+var (
+	oidECPublicKey = asn1.ObjectIdentifier{1, 2, 840, 10045, 2, 1}
+	oidSect233k1   = asn1.ObjectIdentifier{1, 3, 132, 0, 26}
+)
+
+// orderSize is the RFC 5915 private-scalar octet-string width:
+// ceil(log2 n / 8) = 29 bytes for sect233k1 (the module's own raw
+// format pads to the 30-byte field width instead; the two differ only
+// in one leading zero byte).
+var orderSize = (ec.Order.BitLen() + 7) / 8
+
+// ecPrivateKeyASN1 is the RFC 5915 ECPrivateKey shape.
+type ecPrivateKeyASN1 struct {
+	Version    int
+	PrivateKey []byte
+	NamedCurve asn1.ObjectIdentifier `asn1:"optional,explicit,tag:0"`
+	PublicKey  asn1.BitString        `asn1:"optional,explicit,tag:1"`
+}
+
+// algorithmIdentifier is the SPKI algorithm field with a named-curve
+// parameter.
+type algorithmIdentifier struct {
+	Algorithm  asn1.ObjectIdentifier
+	NamedCurve asn1.ObjectIdentifier
+}
+
+// subjectPublicKeyInfo is the X9.62 SubjectPublicKeyInfo shape.
+type subjectPublicKeyInfo struct {
+	Algorithm algorithmIdentifier
+	PublicKey asn1.BitString
+}
+
+// MarshalECPrivateKey returns the RFC 5915 DER encoding of the key:
+// version 1, the 29-byte fixed-width scalar, the sect233k1 OID and
+// the uncompressed public point.
+func MarshalECPrivateKey(priv *PrivateKey) ([]byte, error) {
+	raw := priv.Bytes()
+	return asn1.Marshal(ecPrivateKeyASN1{
+		Version:    1,
+		PrivateKey: raw[len(raw)-orderSize:],
+		NamedCurve: oidSect233k1,
+		PublicKey:  asn1.BitString{Bytes: priv.pub.Bytes(), BitLength: 8 * PublicKeySize},
+	})
+}
+
+// ParseECPrivateKey parses an RFC 5915 DER private key, accepting
+// only the canonical form MarshalECPrivateKey produces (version 1,
+// named curve sect233k1, fixed-width scalar, uncompressed public
+// point, byte-exact round trip). The scalar range and the embedded
+// public point are both validated — a mismatched point is rejected,
+// never silently recomputed.
+func ParseECPrivateKey(der []byte) (*PrivateKey, error) {
+	var ek ecPrivateKeyASN1
+	rest, err := asn1.Unmarshal(der, &ek)
+	if err != nil || len(rest) != 0 {
+		return nil, ErrInvalidKeyEncoding
+	}
+	if ek.Version != 1 || !ek.NamedCurve.Equal(oidSect233k1) || len(ek.PrivateKey) != orderSize {
+		return nil, ErrInvalidKeyEncoding
+	}
+	raw := make([]byte, PrivateKeySize)
+	copy(raw[PrivateKeySize-orderSize:], ek.PrivateKey)
+	priv, err := NewPrivateKey(raw)
+	if err != nil {
+		return nil, ErrInvalidKeyEncoding
+	}
+	canon, err := MarshalECPrivateKey(priv)
+	if err != nil || !bytes.Equal(canon, der) {
+		return nil, ErrInvalidKeyEncoding
+	}
+	return priv, nil
+}
+
+// MarshalPKIXPublicKey returns the X9.62 SubjectPublicKeyInfo DER
+// encoding of the key with the point uncompressed (the interchange
+// default; the module's 31-byte compressed form is for its own wire
+// protocols).
+func MarshalPKIXPublicKey(pub *PublicKey) ([]byte, error) {
+	return marshalSPKI(pub.Bytes())
+}
+
+// marshalSPKI renders the SubjectPublicKeyInfo around an encoded point
+// (compressed or uncompressed) — shared by the marshaller and the
+// parser's canonical re-encoding check.
+func marshalSPKI(pt []byte) ([]byte, error) {
+	return asn1.Marshal(subjectPublicKeyInfo{
+		Algorithm: algorithmIdentifier{Algorithm: oidECPublicKey, NamedCurve: oidSect233k1},
+		PublicKey: asn1.BitString{Bytes: pt, BitLength: 8 * len(pt)},
+	})
+}
+
+// ParsePKIXPublicKey parses an X9.62 SubjectPublicKeyInfo public key.
+// The algorithm must be id-ecPublicKey over sect233k1; the point may
+// be compressed or uncompressed (both X9.62-legal) and is fully
+// validated (curve membership, prime-order subgroup); the encoding
+// must otherwise round-trip byte-exactly.
+func ParsePKIXPublicKey(der []byte) (*PublicKey, error) {
+	var ki subjectPublicKeyInfo
+	rest, err := asn1.Unmarshal(der, &ki)
+	if err != nil || len(rest) != 0 {
+		return nil, ErrInvalidKeyEncoding
+	}
+	if !ki.Algorithm.Algorithm.Equal(oidECPublicKey) || !ki.Algorithm.NamedCurve.Equal(oidSect233k1) {
+		return nil, ErrInvalidKeyEncoding
+	}
+	pt := ki.PublicKey.Bytes
+	if ki.PublicKey.BitLength != 8*len(pt) {
+		return nil, ErrInvalidKeyEncoding
+	}
+	if len(pt) != PublicKeySize && len(pt) != PublicKeyCompressedSize {
+		return nil, ErrInvalidKeyEncoding
+	}
+	pub, err := NewPublicKey(pt)
+	if err != nil {
+		return nil, ErrInvalidKeyEncoding
+	}
+	canon, err := marshalSPKI(pt)
+	if err != nil || !bytes.Equal(canon, der) {
+		return nil, ErrInvalidKeyEncoding
+	}
+	return pub, nil
+}
+
+// MarshalECPrivateKeyPEM is MarshalECPrivateKey wrapped in an
+// "EC PRIVATE KEY" PEM block.
+func MarshalECPrivateKeyPEM(priv *PrivateKey) ([]byte, error) {
+	der, err := MarshalECPrivateKey(priv)
+	if err != nil {
+		return nil, err
+	}
+	return pem.EncodeToMemory(&pem.Block{Type: pemPrivateKeyType, Bytes: der}), nil
+}
+
+// ParseECPrivateKeyPEM parses a single "EC PRIVATE KEY" PEM block
+// (nothing but whitespace may follow it) through ParseECPrivateKey.
+func ParseECPrivateKeyPEM(data []byte) (*PrivateKey, error) {
+	der, err := pemBody(data, pemPrivateKeyType)
+	if err != nil {
+		return nil, err
+	}
+	return ParseECPrivateKey(der)
+}
+
+// MarshalPKIXPublicKeyPEM is MarshalPKIXPublicKey wrapped in a
+// "PUBLIC KEY" PEM block.
+func MarshalPKIXPublicKeyPEM(pub *PublicKey) ([]byte, error) {
+	der, err := MarshalPKIXPublicKey(pub)
+	if err != nil {
+		return nil, err
+	}
+	return pem.EncodeToMemory(&pem.Block{Type: pemPublicKeyType, Bytes: der}), nil
+}
+
+// ParsePKIXPublicKeyPEM parses a single "PUBLIC KEY" PEM block
+// (nothing but whitespace may follow it) through ParsePKIXPublicKey.
+func ParsePKIXPublicKeyPEM(data []byte) (*PublicKey, error) {
+	der, err := pemBody(data, pemPublicKeyType)
+	if err != nil {
+		return nil, err
+	}
+	return ParsePKIXPublicKey(der)
+}
+
+// pemBody extracts the DER body of the single PEM block of the given
+// type, rejecting missing blocks, wrong types, PEM headers, and any
+// non-whitespace trailer.
+func pemBody(data []byte, typ string) ([]byte, error) {
+	block, rest := pem.Decode(data)
+	if block == nil || block.Type != typ || len(block.Headers) != 0 {
+		return nil, ErrInvalidKeyEncoding
+	}
+	if len(bytes.TrimSpace(rest)) != 0 {
+		return nil, ErrInvalidKeyEncoding
+	}
+	return block.Bytes, nil
+}

@@ -2,10 +2,12 @@
 # serve_smoke.sh - end-to-end smoke test of cmd/eccserve + cmd/eccload.
 #
 # Builds both binaries, boots eccserve on an ephemeral loopback port,
-# runs a short mixed-traffic eccload sweep against it, asserts the
-# summary reports non-zero completed operations with zero sheds and
-# zero errors, then SIGTERMs the server and requires a clean drain
-# (exit 0). Run from the repository root; used by `make serve-smoke`.
+# runs a short mixed-traffic eccload sweep against it (the mix
+# includes ECQV certificate traffic: enroll + cert-verify), then a
+# dedicated certificate-workload run, asserts each summary reports
+# non-zero completed operations with zero sheds and zero errors, then
+# SIGTERMs the server and requires a clean drain (exit 0). Run from
+# the repository root; used by `make serve-smoke`.
 set -eu
 
 GO=${GO:-go}
@@ -58,25 +60,35 @@ done
 addr=$(cat "$tmp/addr")
 echo "serve-smoke: server up on $addr"
 
+# check_load <op-label> <output-file>: assert an eccload summary line
+# reports completed work with zero sheds and zero errors.
+check_load() {
+    summary=$(grep '^eccload-net:' "$2")
+    ops=$(echo "$summary" | sed -n 's/.*ops=\([0-9]*\).*/\1/p')
+    shed=$(echo "$summary" | sed -n 's/.*shed=\([0-9]*\).*/\1/p')
+    errors=$(echo "$summary" | sed -n 's/.*errors=\([0-9]*\).*/\1/p')
+    if [ -z "$ops" ] || [ "$ops" -eq 0 ]; then
+        echo "serve-smoke: FAIL: no $1 operations completed" >&2
+        exit 1
+    fi
+    if [ "$shed" -ne 0 ]; then
+        echo "serve-smoke: FAIL: $shed $1 requests shed at smoke-test load" >&2
+        exit 1
+    fi
+    if [ "$errors" -ne 0 ]; then
+        echo "serve-smoke: FAIL: $errors $1 request errors" >&2
+        exit 1
+    fi
+}
+
 "$tmp/eccload" -addr "$addr" -op mixed -gs 4 -dur "$DUR" | tee "$tmp/load.out"
+check_load mixed "$tmp/load.out"
 
-summary=$(grep '^eccload-net:' "$tmp/load.out")
-ops=$(echo "$summary" | sed -n 's/.*ops=\([0-9]*\).*/\1/p')
-shed=$(echo "$summary" | sed -n 's/.*shed=\([0-9]*\).*/\1/p')
-errors=$(echo "$summary" | sed -n 's/.*errors=\([0-9]*\).*/\1/p')
-
-if [ -z "$ops" ] || [ "$ops" -eq 0 ]; then
-    echo "serve-smoke: FAIL: no operations completed" >&2
-    exit 1
-fi
-if [ "$shed" -ne 0 ]; then
-    echo "serve-smoke: FAIL: $shed requests shed at smoke-test load" >&2
-    exit 1
-fi
-if [ "$errors" -ne 0 ]; then
-    echo "serve-smoke: FAIL: $errors request errors" >&2
-    exit 1
-fi
+# Dedicated certificate workload: every worker enrolls over the wire
+# (reconstructing its private key client-side) and then hammers
+# TCertVerify against the server's extraction cache.
+"$tmp/eccload" -addr "$addr" -op cert -gs 4 -dur "$DUR" | tee "$tmp/cert.out"
+check_load cert "$tmp/cert.out"
 
 echo "serve-smoke: draining server (SIGTERM)"
 kill -TERM "$server_pid"
