@@ -27,6 +27,13 @@
 #                  the ECQV benchmarks (issuance, one-shot extraction,
 #                  batched extraction) and checks the >= 2x batch=32
 #                  amortisation gate
+#   make chaos   - the seeded fault-injection suite: the internal/fault
+#                  unit tests, the eccserve chaos integration tests
+#                  (five scripted fault shapes under mixed traffic,
+#                  drain-under-stall, the stalled-writer inflight-slot
+#                  regression, max-conns handshake rejects, injected
+#                  accept errors) and the frame-level deadline tests,
+#                  all with -race and a goroutine-leak check
 #   make load    - a quick eccload sweep of the batch engine
 #   make serve-smoke - end-to-end check of the serving stack: boots
 #                  eccserve on a loopback port, drives it with
@@ -36,7 +43,7 @@
 
 GO ?= go
 
-.PHONY: all build vet test test64 race fuzz alloc api bench bench-verify bench-ecqv load serve-smoke ci
+.PHONY: all build vet test test64 race fuzz alloc api bench bench-verify bench-ecqv chaos load serve-smoke ci
 
 all: ci
 
@@ -97,10 +104,21 @@ bench-verify:
 bench-ecqv:
 	GO="$(GO)" sh scripts/bench_ecqv.sh
 
+# Seeded fault-injection suite. -count=1 because the chaos tests drive
+# real loopback sockets and timers; a cached pass proves nothing about
+# the current binary's lifecycle handling.
+chaos:
+	$(GO) test -race -count=1 ./internal/fault
+	$(GO) test -race -count=1 ./cmd/eccserve \
+	    -run 'TestChaos|TestDrainTimeout|TestStalledWriter|TestMaxConns'
+	$(GO) test -race -count=1 ./cmd/eccload -run 'TestRconn'
+	$(GO) test -race -count=1 ./internal/frame \
+	    -run 'TestWriteStall|TestRoundtripTimeout|TestReadIdleTimeout'
+
 load:
 	$(GO) run ./cmd/eccload -op ecdh -gs 1,8 -batches 1,32 -dur 2s
 
 serve-smoke:
 	GO="$(GO)" sh scripts/serve_smoke.sh
 
-ci: build vet race test64 fuzz alloc api serve-smoke
+ci: build vet race test64 fuzz alloc api chaos serve-smoke

@@ -49,6 +49,11 @@ var (
 	workersFlag = flag.Int("workers", 0, "engine worker goroutines (0 = GOMAXPROCS)")
 	naiveFlag   = flag.Bool("naive", true, "also run the naive per-goroutine baseline")
 	backendFlag = flag.String("backend", "", "pin the field backend: 32, 64 or clmul (default: fastest supported; also settable via GF233_BACKEND)")
+
+	// Network-mode robustness knobs.
+	netTimeoutFlag = flag.Duration("net-timeout", 5*time.Second, "network mode: per-roundtrip deadline (0 = none)")
+	retriesFlag    = flag.Int("retries", 3, "network mode: retry attempts per operation after an I/O failure (every wire op is a pure request/response, so retry is safe)")
+	errBudgetFlag  = flag.Int("err-budget", 0, "network mode: exit 1 only if more than this many operations fail after retries")
 )
 
 func parseList(s string) []int {

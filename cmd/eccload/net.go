@@ -11,6 +11,9 @@ import (
 	"net"
 	"os"
 	"runtime"
+	"sort"
+	"strings"
+	"sync"
 	"sync/atomic"
 	"time"
 
@@ -85,92 +88,211 @@ func buildNetFixtures(serverKey []byte) (*netFixtures, error) {
 
 // netCounters aggregates outcomes across workers. Overload responses
 // are not errors — they are the server's backpressure working — but
-// they are not counted as completed ops either.
+// they are not counted as completed ops either. Errors are counted
+// per operation so a chaos run reports where the failures landed
+// instead of aborting on the first one.
 type netCounters struct {
-	shed atomic.Int64
-	errs atomic.Int64
+	shed       atomic.Int64
+	errs       atomic.Int64
+	retries    atomic.Int64 // roundtrip attempts beyond the first
+	reconnects atomic.Int64 // successful redials after a connection died
+
+	mu   sync.Mutex
+	byOp map[string]int64
+}
+
+// fail records one failed operation against its per-op counter. The
+// first few failures per op are echoed to stderr; the rest only count
+// (a chaos run injecting hundreds of faults should not drown the
+// summary line the harness parses).
+func (c *netCounters) fail(op string, w int, format string, args ...any) {
+	c.errs.Add(1)
+	c.mu.Lock()
+	if c.byOp == nil {
+		c.byOp = make(map[string]int64)
+	}
+	c.byOp[op]++
+	n := c.byOp[op]
+	c.mu.Unlock()
+	if n <= 5 {
+		fmt.Fprintf(os.Stderr, "eccload: worker %d: "+op+": "+format+"\n", append([]any{w}, args...)...)
+	}
+}
+
+// errsByOp renders the per-op error breakdown in sorted order.
+func (c *netCounters) errsByOp() string {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	ops := make([]string, 0, len(c.byOp))
+	for op := range c.byOp {
+		ops = append(ops, op)
+	}
+	sort.Strings(ops)
+	var b strings.Builder
+	for _, op := range ops {
+		fmt.Fprintf(&b, " %s=%d", op, c.byOp[op])
+	}
+	return b.String()
+}
+
+// accounted reports how many errors the per-op counters explain; the
+// summary's unaccounted field is errs minus this, and anything nonzero
+// there means the accounting itself is broken.
+func (c *netCounters) accounted() int64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	var t int64
+	for _, n := range c.byOp {
+		t += n
+	}
+	return t
+}
+
+// rconn is a reconnecting framed connection: one worker's wire
+// endpoint, retrying failed roundtrips under a capped exponential
+// backoff. Any roundtrip error poisons the synchronous id-matching
+// contract (a late response could pair with the next request), so the
+// connection is closed and redialed rather than reused. Every wire op
+// is a pure request/response, so retrying is always safe. Not safe for
+// concurrent use — each worker owns its rconn, the same ownership
+// shape as the plain conns it replaces.
+type rconn struct {
+	addr    string
+	timeout time.Duration // per-roundtrip deadline
+	retries int           // attempts beyond the first
+	c       *netCounters
+
+	fc    *frame.Conn // nil when disconnected
+	dials int
+}
+
+func (r *rconn) dial() error {
+	fc, err := dialNet(r.addr)
+	if err != nil {
+		return err
+	}
+	if r.timeout > 0 {
+		fc.SetRoundtripTimeout(r.timeout)
+	}
+	r.fc = fc
+	r.dials++
+	if r.dials > 1 {
+		r.c.reconnects.Add(1)
+	}
+	return nil
+}
+
+// roundtrip performs one request/response exchange, redialing and
+// retrying on failure. The returned payload is only valid until the
+// next roundtrip on this rconn.
+func (r *rconn) roundtrip(id uint64, typ byte, segs ...[]byte) (frame.Frame, error) {
+	var lastErr error
+	backoff := 5 * time.Millisecond
+	for attempt := 0; attempt <= r.retries; attempt++ {
+		if attempt > 0 {
+			r.c.retries.Add(1)
+			time.Sleep(backoff)
+			backoff = min(2*backoff, 250*time.Millisecond)
+		}
+		if r.fc == nil {
+			if lastErr = r.dial(); lastErr != nil {
+				continue
+			}
+		}
+		f, err := r.fc.Roundtrip(id, typ, segs...)
+		if err == nil {
+			return f, nil
+		}
+		lastErr = err
+		r.fc.Close()
+		r.fc = nil
+	}
+	return frame.Frame{}, lastErr
+}
+
+func (r *rconn) close() {
+	if r.fc != nil {
+		r.fc.Close()
+		r.fc = nil
+	}
 }
 
 // netOp returns the per-goroutine loop body for one wire operation.
 // Each worker owns one connection (the synchronous one-in-flight
 // client shape); responses are structurally checked on every op and
 // cryptographically spot-checked on a sample.
-func netOp(op string, conns []*frame.Conn, fx *netFixtures, c *netCounters) func(int, int) {
-	fail := func(w int, format string, args ...any) {
-		c.errs.Add(1)
-		fmt.Fprintf(os.Stderr, "eccload: worker %d: "+format+"\n", append([]any{w}, args...)...)
-	}
+func netOp(op string, rcs []*rconn, fx *netFixtures, c *netCounters) func(int, int) {
 	ping := func(w, i int) {
-		f, err := conns[w].Roundtrip(uint64(i+1), frame.TPing)
+		f, err := rcs[w].roundtrip(uint64(i+1), frame.TPing)
 		if err != nil {
-			fail(w, "ping: %v", err)
+			c.fail("ping", w, "%v", err)
 			return
 		}
 		if f.Type != frame.TOK || len(f.Payload) != frame.KeySize {
-			fail(w, "ping: response type %#x len %d", f.Type, len(f.Payload))
+			c.fail("ping", w, "response type %#x len %d", f.Type, len(f.Payload))
 		}
 	}
 	sign := func(w, i int) {
 		d := fx.digests[(w+i)%len(fx.digests)]
-		f, err := conns[w].Roundtrip(uint64(i+1), frame.TSign, d)
+		f, err := rcs[w].roundtrip(uint64(i+1), frame.TSign, d)
 		if err != nil {
-			fail(w, "sign: %v", err)
+			c.fail("sign", w, "%v", err)
 			return
 		}
 		switch f.Type {
 		case frame.TOK:
 			if len(f.Payload) != frame.SigSize {
-				fail(w, "sign: %d-byte signature", len(f.Payload))
+				c.fail("sign", w, "%d-byte signature", len(f.Payload))
 				return
 			}
 			if i%64 == 0 {
 				sig, err := repro.ParseSignature(f.Payload)
 				if err != nil || !fx.serverPub.Verify(d, sig) {
-					fail(w, "sign: server signature failed local verification (%v)", err)
+					c.fail("sign", w, "server signature failed local verification (%v)", err)
 				}
 			}
 		case frame.TOverload:
 			c.shed.Add(1)
 		default:
-			fail(w, "sign: response type %#x", f.Type)
+			c.fail("sign", w, "response type %#x", f.Type)
 		}
 	}
 	verify := func(w, i int) {
 		idx := (w + i) % len(fx.digests)
 		req := frame.AppendVerify(nil, fx.keys[idx%netKeyPool], fx.sigs[idx], fx.digests[idx])
-		f, err := conns[w].Roundtrip(uint64(i+1), frame.TVerify, req)
+		f, err := rcs[w].roundtrip(uint64(i+1), frame.TVerify, req)
 		if err != nil {
-			fail(w, "verify: %v", err)
+			c.fail("verify", w, "%v", err)
 			return
 		}
 		switch f.Type {
 		case frame.TOK:
 			if !bytes.Equal(f.Payload, []byte{1}) {
-				fail(w, "verify: server rejected a valid signature")
+				c.fail("verify", w, "server rejected a valid signature")
 			}
 		case frame.TOverload:
 			c.shed.Add(1)
 		default:
-			fail(w, "verify: response type %#x", f.Type)
+			c.fail("verify", w, "response type %#x", f.Type)
 		}
 	}
 	verifyr := func(w, i int) {
 		idx := (w + i) % len(fx.digests)
 		req := frame.AppendVerifyR(nil, fx.hints[idx], fx.keys[idx%netKeyPool], fx.sigs[idx], fx.digests[idx])
-		f, err := conns[w].Roundtrip(uint64(i+1), frame.TVerifyR, req)
+		f, err := rcs[w].roundtrip(uint64(i+1), frame.TVerifyR, req)
 		if err != nil {
-			fail(w, "verifyr: %v", err)
+			c.fail("verifyr", w, "%v", err)
 			return
 		}
 		switch f.Type {
 		case frame.TOK:
 			if !bytes.Equal(f.Payload, []byte{1}) {
-				fail(w, "verifyr: server rejected a valid hinted signature")
+				c.fail("verifyr", w, "server rejected a valid hinted signature")
 			}
 		case frame.TOverload:
 			c.shed.Add(1)
 		default:
-			fail(w, "verifyr: response type %#x", f.Type)
+			c.fail("verifyr", w, "response type %#x", f.Type)
 		}
 	}
 	// enroll performs the one-time TEnroll handshake for worker w: send
@@ -182,12 +304,12 @@ func netOp(op string, conns []*frame.Conn, fx *netFixtures, c *netCounters) func
 		identity := []byte(fmt.Sprintf("eccload-worker-%02d", w))
 		req, err := repro.RequestCert(rand.New(rand.NewSource(int64(1000+w))), identity)
 		if err != nil {
-			fail(w, "enroll: request: %v", err)
+			c.fail("enroll", w, "request: %v", err)
 			return nil
 		}
-		f, err := conns[w].Roundtrip(uint64(i+1), frame.TEnroll, frame.AppendEnroll(nil, req.Bytes(), identity))
+		f, err := rcs[w].roundtrip(uint64(i+1), frame.TEnroll, frame.AppendEnroll(nil, req.Bytes(), identity))
 		if err != nil {
-			fail(w, "enroll: %v", err)
+			c.fail("enroll", w, "%v", err)
 			return nil
 		}
 		switch f.Type {
@@ -196,35 +318,35 @@ func netOp(op string, conns []*frame.Conn, fx *netFixtures, c *netCounters) func
 			c.shed.Add(1)
 			return nil
 		default:
-			fail(w, "enroll: response type %#x", f.Type)
+			c.fail("enroll", w, "response type %#x", f.Type)
 			return nil
 		}
 		if len(f.Payload) != frame.CertSize+frame.ContribSize {
-			fail(w, "enroll: %d-byte response payload", len(f.Payload))
+			c.fail("enroll", w, "%d-byte response payload", len(f.Payload))
 			return nil
 		}
 		certBytes := append([]byte(nil), f.Payload[:frame.CertSize]...)
 		contrib := f.Payload[frame.CertSize:]
 		cert, err := repro.ParseCert(certBytes, identity)
 		if err != nil {
-			fail(w, "enroll: server issued an unparsable certificate: %v", err)
+			c.fail("enroll", w, "server issued an unparsable certificate: %v", err)
 			return nil
 		}
 		priv, err := repro.ReconstructPrivateKey(req, cert, contrib, fx.serverPub)
 		if err != nil {
-			fail(w, "enroll: reconstruct: %v", err)
+			c.fail("enroll", w, "reconstruct: %v", err)
 			return nil
 		}
 		extracted, err := repro.ExtractPublicKey(cert, fx.serverPub)
 		if err != nil || !bytes.Equal(extracted.BytesCompressed(), priv.PublicKey().BytesCompressed()) {
-			fail(w, "enroll: extracted key disagrees with reconstructed key (%v)", err)
+			c.fail("enroll", w, "extracted key disagrees with reconstructed key (%v)", err)
 			return nil
 		}
 		st := &certState{cert: certBytes, identity: identity}
 		for _, d := range fx.digests {
 			sig, _, err := repro.SignRecoverable(nil, priv, d)
 			if err != nil {
-				fail(w, "enroll: presign: %v", err)
+				c.fail("enroll", w, "presign: %v", err)
 				return nil
 			}
 			st.sigs = append(st.sigs, sig.Bytes())
@@ -241,38 +363,38 @@ func netOp(op string, conns []*frame.Conn, fx *netFixtures, c *netCounters) func
 		}
 		idx := (w + i) % len(fx.digests)
 		req := frame.AppendCertVerify(nil, st.cert, st.identity, st.sigs[idx], fx.digests[idx])
-		f, err := conns[w].Roundtrip(uint64(i+1), frame.TCertVerify, req)
+		f, err := rcs[w].roundtrip(uint64(i+1), frame.TCertVerify, req)
 		if err != nil {
-			fail(w, "certverify: %v", err)
+			c.fail("certverify", w, "%v", err)
 			return
 		}
 		switch f.Type {
 		case frame.TOK:
 			if !bytes.Equal(f.Payload, []byte{1}) {
-				fail(w, "certverify: server rejected a valid certified signature")
+				c.fail("certverify", w, "server rejected a valid certified signature")
 			}
 		case frame.TOverload:
 			c.shed.Add(1)
 		default:
-			fail(w, "certverify: response type %#x", f.Type)
+			c.fail("certverify", w, "response type %#x", f.Type)
 		}
 	}
 	ecdh := func(w, i int) {
 		k := (w + i) % netKeyPool
-		f, err := conns[w].Roundtrip(uint64(i+1), frame.TECDH, fx.keys[k])
+		f, err := rcs[w].roundtrip(uint64(i+1), frame.TECDH, fx.keys[k])
 		if err != nil {
-			fail(w, "ecdh: %v", err)
+			c.fail("ecdh", w, "%v", err)
 			return
 		}
 		switch f.Type {
 		case frame.TOK:
 			if !bytes.Equal(f.Payload, fx.secrets[k]) {
-				fail(w, "ecdh: secret mismatch")
+				c.fail("ecdh", w, "secret mismatch")
 			}
 		case frame.TOverload:
 			c.shed.Add(1)
 		default:
-			fail(w, "ecdh: response type %#x", f.Type)
+			c.fail("ecdh", w, "response type %#x", f.Type)
 		}
 	}
 	switch op {
@@ -321,46 +443,55 @@ func netMain(addr string) {
 		}
 	}
 
-	// Handshake on a throwaway connection: fetch the server identity
-	// the fixtures are built against.
-	hc, err := dialNet(addr)
-	if err != nil {
-		fmt.Fprintln(os.Stderr, "eccload:", err)
-		os.Exit(1)
+	c := &netCounters{}
+	newRconn := func() *rconn {
+		return &rconn{addr: addr, timeout: *netTimeoutFlag, retries: *retriesFlag, c: c}
 	}
-	f, err := hc.Roundtrip(1, frame.TPing)
+
+	// Handshake on a throwaway connection: fetch the server identity
+	// the fixtures are built against. The retry machinery applies here
+	// too (a chaos-mode server may fault the very first exchange), but
+	// without the identity nothing downstream can run, so exhausting the
+	// handshake retries is still fatal.
+	hc := newRconn()
+	f, err := hc.roundtrip(1, frame.TPing)
 	if err != nil || f.Type != frame.TOK {
 		fmt.Fprintf(os.Stderr, "eccload: ping handshake failed (type %#x, err %v)\n", f.Type, err)
 		os.Exit(1)
 	}
 	fx, err := buildNetFixtures(f.Payload)
-	hc.Close()
+	hc.close()
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "eccload:", err)
 		os.Exit(1)
 	}
 	fx.certs = make([]*certState, maxG)
 
-	conns := make([]*frame.Conn, maxG)
-	for i := range conns {
-		if conns[i], err = dialNet(addr); err != nil {
-			fmt.Fprintln(os.Stderr, "eccload:", err)
-			os.Exit(1)
-		}
-		defer conns[i].Close()
+	// Workers dial lazily on their first roundtrip: a dial refused at
+	// the server's connection cap is a counted, retried error like any
+	// other, not a startup abort.
+	rcs := make([]*rconn, maxG)
+	for i := range rcs {
+		rcs[i] = newRconn()
+		defer rcs[i].close()
 	}
 
-	fmt.Printf("eccload: net addr=%s op=%s dur=%s GOMAXPROCS=%d\n",
-		addr, *opFlag, *durFlag, runtime.GOMAXPROCS(0))
+	fmt.Printf("eccload: net addr=%s op=%s dur=%s GOMAXPROCS=%d timeout=%v retries=%d\n",
+		addr, *opFlag, *durFlag, runtime.GOMAXPROCS(0), *netTimeoutFlag, *retriesFlag)
 	var totalOps int
-	c := &netCounters{}
 	for _, g := range gs {
-		res := run(g, *durFlag, 1, netOp(*opFlag, conns, fx, c))
+		res := run(g, *durFlag, 1, netOp(*opFlag, rcs, fx, c))
 		totalOps += res.ops
 		fmt.Printf("g=%-3d net        : %s\n", g, res)
 	}
-	fmt.Printf("eccload-net: ops=%d shed=%d errors=%d\n", totalOps, c.shed.Load(), c.errs.Load())
-	if c.errs.Load() > 0 {
+	errs := c.errs.Load()
+	unaccounted := errs - c.accounted()
+	fmt.Printf("eccload-net: ops=%d shed=%d errors=%d retries=%d reconnects=%d unaccounted=%d\n",
+		totalOps, c.shed.Load(), errs, c.retries.Load(), c.reconnects.Load(), unaccounted)
+	if errs > 0 {
+		fmt.Printf("eccload-net: errors by op:%s\n", c.errsByOp())
+	}
+	if errs > int64(*errBudgetFlag) || unaccounted != 0 {
 		os.Exit(1)
 	}
 }

@@ -1,0 +1,122 @@
+package main
+
+import (
+	"testing"
+	"time"
+
+	"net"
+
+	"repro/internal/frame"
+)
+
+// startRetryServer runs a minimal frame server whose per-connection
+// behaviour is chosen by the 1-based accept index — the shape every
+// rconn test needs: misbehave on the first connection, behave on the
+// redial.
+func startRetryServer(t *testing.T, handle func(n int, fc *frame.Conn)) string {
+	t.Helper()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { ln.Close() })
+	go func() {
+		for n := 1; ; n++ {
+			nc, err := ln.Accept()
+			if err != nil {
+				return
+			}
+			go handle(n, frame.NewConn(nc))
+		}
+	}()
+	return ln.Addr().String()
+}
+
+func TestRconnRetriesAfterConnDrop(t *testing.T) {
+	addr := startRetryServer(t, func(n int, fc *frame.Conn) {
+		defer fc.Close()
+		for {
+			f, err := fc.Read()
+			if err != nil {
+				return
+			}
+			if n == 1 {
+				return // hang up mid-roundtrip without replying
+			}
+			fc.Write(f.ID, frame.TOK)
+		}
+	})
+	c := &netCounters{}
+	r := &rconn{addr: addr, timeout: 2 * time.Second, retries: 3, c: c}
+	defer r.close()
+	f, err := r.roundtrip(1, frame.TPing)
+	if err != nil || f.Type != frame.TOK {
+		t.Fatalf("roundtrip with retry: type %#x, err %v", f.Type, err)
+	}
+	if c.retries.Load() < 1 {
+		t.Fatalf("retries = %d, want >= 1", c.retries.Load())
+	}
+	if c.reconnects.Load() < 1 {
+		t.Fatalf("reconnects = %d, want >= 1", c.reconnects.Load())
+	}
+	if c.errs.Load() != 0 {
+		t.Fatalf("a retried-to-success op counted %d errors", c.errs.Load())
+	}
+}
+
+func TestRconnRetriesAfterRoundtripTimeout(t *testing.T) {
+	addr := startRetryServer(t, func(n int, fc *frame.Conn) {
+		defer fc.Close()
+		for {
+			f, err := fc.Read()
+			if err != nil {
+				return
+			}
+			if n == 1 {
+				continue // swallow the request; the client's deadline fires
+			}
+			fc.Write(f.ID, frame.TOK)
+		}
+	})
+	c := &netCounters{}
+	r := &rconn{addr: addr, timeout: 150 * time.Millisecond, retries: 3, c: c}
+	defer r.close()
+	start := time.Now()
+	f, err := r.roundtrip(1, frame.TPing)
+	if err != nil || f.Type != frame.TOK {
+		t.Fatalf("roundtrip after timeout retry: type %#x, err %v", f.Type, err)
+	}
+	if time.Since(start) > 5*time.Second {
+		t.Fatalf("retried roundtrip took %v", time.Since(start))
+	}
+	if c.retries.Load() < 1 {
+		t.Fatalf("retries = %d, want >= 1", c.retries.Load())
+	}
+}
+
+func TestRconnRetryBudgetExhausted(t *testing.T) {
+	addr := startRetryServer(t, func(n int, fc *frame.Conn) {
+		defer fc.Close()
+		for {
+			if _, err := fc.Read(); err != nil {
+				return // every connection swallows every request
+			}
+		}
+	})
+	c := &netCounters{}
+	r := &rconn{addr: addr, timeout: 100 * time.Millisecond, retries: 2, c: c}
+	defer r.close()
+	_, err := r.roundtrip(1, frame.TPing)
+	if err == nil {
+		t.Fatal("roundtrip against a mute server succeeded")
+	}
+	if got := c.retries.Load(); got != 2 {
+		t.Fatalf("retries = %d, want exactly the budget of 2", got)
+	}
+	// An exhausted op is the caller's error to record; the per-op
+	// accounting reconciles against the total.
+	c.fail("ping", 0, "%v", err)
+	if c.errs.Load() != 1 || c.accounted() != 1 {
+		t.Fatalf("errs=%d accounted=%d, want 1/1", c.errs.Load(), c.accounted())
+	}
+}

@@ -20,6 +20,17 @@
 //   - Graceful drain: SIGTERM/SIGINT stops accepting, answers new
 //     frames with TDraining, waits up to -drain for in-flight work,
 //     then exits 0.
+//   - Connection robustness: -read-idle closes connections whose peer
+//     goes silent, -write-timeout bounds each response write so a
+//     stalled reader cannot wedge its connection's writers, and
+//     -max-conns rejects connections beyond the cap with a TOverload
+//     handshake frame (distinct from per-request shedding). Timeouts
+//     and faults close only the offending connection, never the
+//     listener.
+//   - Chaos mode: -fault-rate injects seeded, replayable connection
+//     faults (resets, stalls, partial and torn writes) into accepted
+//     connections via internal/fault — a self-test mode for the
+//     robustness machinery; -fault-seed replays a specific run.
 //   - Observability: -metrics serves Prometheus-text /metrics, expvar
 //     /debug/vars and the pprof suite.
 package main
@@ -39,6 +50,7 @@ import (
 	"crypto/rand"
 
 	"repro"
+	"repro/internal/fault"
 )
 
 func main() {
@@ -53,6 +65,11 @@ func main() {
 		cacheCap = flag.Int("keycache", 1024, "resident precomputed verification keys")
 		keyFile  = flag.String("key", "", "hex-encoded private key file (empty = ephemeral key)")
 		drain    = flag.Duration("drain", 5*time.Second, "max time to wait for in-flight requests on shutdown")
+		readIdle = flag.Duration("read-idle", 2*time.Minute, "close a connection whose peer sends nothing for this long (0 = never)")
+		writeTO  = flag.Duration("write-timeout", 10*time.Second, "per-response write deadline; a peer that stops reading is disconnected (0 = never)")
+		maxConns = flag.Int("max-conns", 0, "max accepted connections; beyond the cap new connections get a TOverload handshake reject (0 = unlimited)")
+		faultPct = flag.Float64("fault-rate", 0, "chaos mode: per-call probability of injecting a connection fault (0 = off)")
+		faultSd  = flag.Int64("fault-seed", 1, "chaos mode: PRNG seed, same seed replays the same fault sequence")
 	)
 	flag.Parse()
 	log.SetFlags(0)
@@ -67,13 +84,21 @@ func main() {
 		MaxBatch:     *batch,
 		Window:       *window,
 		MaxInflight:  *maxInfl,
+		MaxConns:     *maxConns,
 		KeyCacheCap:  *cacheCap,
 		DrainTimeout: *drain,
+		ReadIdle:     *readIdle,
+		WriteTimeout: *writeTO,
 	})
 
 	ln, err := net.Listen("tcp", *addr)
 	if err != nil {
 		log.Fatalf("eccserve: listen: %v", err)
+	}
+	var faultCtr *fault.Counters
+	if *faultPct > 0 {
+		ln, faultCtr = chaosListener(ln, *faultPct, *faultSd, s.m)
+		log.Printf("eccserve: chaos mode: fault rate %.3g, seed %d", *faultPct, *faultSd)
 	}
 	if *addrFile != "" {
 		if err := os.WriteFile(*addrFile, []byte(ln.Addr().String()), 0o644); err != nil {
@@ -108,7 +133,34 @@ func main() {
 	// serve returns once the listener closes; wait for the drain to
 	// finish before exiting so in-flight responses get flushed.
 	s.shutdown()
+	if faultCtr != nil {
+		log.Printf("eccserve: chaos: injected %d faults (%s)", faultCtr.Total(), faultCtr)
+	}
 	log.Printf("eccserve: drained, bye")
+}
+
+// chaosListener wraps ln in the fault-injection layer: every accepted
+// connection gets its own seeded plan (seed+index, so connections
+// draw independent but replayable fault sequences), accepts draw from
+// the same rate, and every injection is mirrored into the server's
+// faults_injected metric so a chaos run can reconcile injected faults
+// against observed connection errors.
+func chaosListener(ln net.Listener, rate float64, seed int64, m *metrics) (net.Listener, *fault.Counters) {
+	mix := fault.Mix{
+		PartialRead:  rate,
+		PartialWrite: rate,
+		Reset:        rate,
+		ReadStall:    rate,
+		WriteStall:   rate,
+		TornWrite:    rate,
+		Stall:        3 * time.Second,
+	}
+	ctr := &fault.Counters{OnInject: func(fault.Kind) { m.faultsInjected.Add(1) }}
+	fl := fault.WrapListener(ln,
+		func(conn int) fault.Plan { return fault.NewSeeded(seed+int64(conn), mix) },
+		fault.NewSeeded(seed, fault.Mix{AcceptError: rate}),
+		ctr)
+	return fl, ctr
 }
 
 // loadKey reads a hex-encoded private scalar from path, or generates

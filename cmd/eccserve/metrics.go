@@ -34,6 +34,11 @@ type metrics struct {
 	internalErr atomic.Int64
 	verifyFail  atomic.Int64 // well-formed verifies that answered "invalid"
 
+	connTimeouts   atomic.Int64 // conns closed on a read-idle or write deadline
+	connsRejected  atomic.Int64 // conns refused at the -max-conns cap
+	connErrors     atomic.Int64 // conns closed on a transport fault
+	faultsInjected atomic.Int64 // chaos-mode faults injected (internal/fault)
+
 	batches   atomic.Int64
 	batchOps  atomic.Int64
 	batchHist [len(batchBuckets) + 1]atomic.Int64
@@ -91,6 +96,10 @@ func (m *metrics) writeProm(w io.Writer) {
 	counter("eccserve_drained_total", "Requests refused with TDraining during shutdown.", m.drained.Load())
 	counter("eccserve_internal_errors_total", "Requests failed inside the server.", m.internalErr.Load())
 	counter("eccserve_verify_invalid_total", "Well-formed verifications that answered invalid.", m.verifyFail.Load())
+	counter("eccserve_conn_timeouts_total", "Connections closed on a read-idle or write deadline.", m.connTimeouts.Load())
+	counter("eccserve_conns_rejected_total", "Connections refused at the max-conns cap.", m.connsRejected.Load())
+	counter("eccserve_conn_errors_total", "Connections closed on a transport fault.", m.connErrors.Load())
+	counter("eccserve_faults_injected_total", "Chaos-mode faults injected into accepted connections.", m.faultsInjected.Load())
 	counter("eccserve_batches_total", "Engine batches processed.", m.batches.Load())
 	fmt.Fprintf(w, "# HELP eccserve_batch_size Engine batch size distribution.\n# TYPE eccserve_batch_size histogram\n")
 	cum := int64(0)
@@ -129,6 +138,10 @@ func (m *metrics) snapshot() map[string]int64 {
 		"drained":                m.drained.Load(),
 		"internal_errors":        m.internalErr.Load(),
 		"verify_invalid":         m.verifyFail.Load(),
+		"conn_timeouts":          m.connTimeouts.Load(),
+		"conns_rejected":         m.connsRejected.Load(),
+		"conn_errors":            m.connErrors.Load(),
+		"faults_injected":        m.faultsInjected.Load(),
 		"batches":                m.batches.Load(),
 		"batch_ops":              m.batchOps.Load(),
 		"keycache_hits":          m.cacheHits.Load(),

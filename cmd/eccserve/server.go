@@ -23,8 +23,11 @@ type serverConfig struct {
 	MaxBatch     int           // per-shard batch ceiling
 	Window       time.Duration // adaptive batch window (0 = greedy only)
 	MaxInflight  int           // concurrent requests before shedding
+	MaxConns     int           // accepted-connection cap; 0 = unlimited
 	KeyCacheCap  int           // resident Precompute tables
 	DrainTimeout time.Duration // bound on waiting for in-flight work
+	ReadIdle     time.Duration // per-connection read idle timeout; 0 = none
+	WriteTimeout time.Duration // per-response write deadline; 0 = none
 	Quiet        bool          // suppress per-connection logging
 }
 
@@ -41,11 +44,20 @@ func (c *serverConfig) fill() {
 	if c.MaxInflight <= 0 {
 		c.MaxInflight = 4 * c.Shards * c.MaxBatch
 	}
+	if c.MaxConns < 0 {
+		c.MaxConns = 0
+	}
 	if c.KeyCacheCap <= 0 {
 		c.KeyCacheCap = 1024
 	}
 	if c.DrainTimeout <= 0 {
 		c.DrainTimeout = 5 * time.Second
+	}
+	if c.ReadIdle < 0 {
+		c.ReadIdle = 0
+	}
+	if c.WriteTimeout < 0 {
+		c.WriteTimeout = 0
 	}
 }
 
@@ -157,6 +169,8 @@ func (s *server) serve(ln net.Listener) {
 		}
 		backoff = 0
 		fc := frame.NewConn(nc)
+		fc.SetReadIdleTimeout(s.cfg.ReadIdle)
+		fc.SetWriteTimeout(s.cfg.WriteTimeout)
 		s.connMu.Lock()
 		if s.draining.Load() {
 			// Accepted in the window between ln.Close and this check;
@@ -165,12 +179,33 @@ func (s *server) serve(ln net.Listener) {
 			fc.Close()
 			continue
 		}
+		if s.cfg.MaxConns > 0 && len(s.conns) >= s.cfg.MaxConns {
+			// At the connection cap: reject at the handshake with an
+			// explicit overload frame (id 0 — this is a connection-level
+			// verdict, there is no request to correlate it to), distinct
+			// from per-request inflight shedding so clients and dashboards
+			// can tell "too many conns" from "too many requests".
+			s.connMu.Unlock()
+			s.m.connsRejected.Add(1)
+			go rejectConn(fc)
+			continue
+		}
 		s.conns[fc] = struct{}{}
 		s.connWG.Add(1)
 		s.connMu.Unlock()
 		s.m.conns.Add(1)
 		go s.handleConn(fc)
 	}
+}
+
+// rejectConn tells a capped-out client why it is being dropped and
+// closes the connection. Runs off the accept loop so a client that
+// does not drain its socket cannot stall accepts; the write deadline
+// bounds the goroutine's lifetime.
+func rejectConn(fc *frame.Conn) {
+	fc.SetWriteTimeout(time.Second)
+	fc.Write(0, frame.TOverload)
+	fc.Close()
 }
 
 // retryableAccept classifies an Accept error as transient. Timeouts
@@ -206,9 +241,7 @@ func (s *server) handleConn(fc *frame.Conn) {
 	for {
 		f, err := fc.Read()
 		if err != nil {
-			if !s.cfg.Quiet && err != io.EOF && !errors.Is(err, net.ErrClosed) {
-				log.Printf("eccserve: %v: read: %v", fc.RemoteAddr(), err)
-			}
+			s.noteReadErr(fc, err)
 			return
 		}
 		select {
@@ -217,7 +250,7 @@ func (s *server) handleConn(fc *frame.Conn) {
 			// At capacity: shed rather than queue unboundedly. The
 			// client sees an explicit overload frame it can back off on.
 			s.m.shed.Add(1)
-			fc.Write(f.ID, frame.TOverload)
+			s.write(fc, f.ID, frame.TOverload)
 			continue
 		}
 		s.reqMu.RLock()
@@ -225,7 +258,7 @@ func (s *server) handleConn(fc *frame.Conn) {
 			s.reqMu.RUnlock()
 			<-s.inflight
 			s.m.drained.Add(1)
-			fc.Write(f.ID, frame.TDraining)
+			s.write(fc, f.ID, frame.TDraining)
 			continue
 		}
 		s.reqWG.Add(1)
@@ -236,6 +269,64 @@ func (s *server) handleConn(fc *frame.Conn) {
 		payload := append([]byte(nil), f.Payload...)
 		go s.process(fc, shard, f.ID, f.Type, payload)
 	}
+}
+
+// isTimeout reports whether err carries a net.Error deadline expiry.
+func isTimeout(err error) bool {
+	var ne net.Error
+	return errors.As(err, &ne) && ne.Timeout()
+}
+
+// noteReadErr classifies the error that ended a connection's read
+// loop. EOF and ErrClosed are the ordinary ways a connection ends
+// (peer hangup, our own shutdown or a write-side close) and count
+// nothing; a deadline expiry is the read-idle timeout firing; anything
+// else is a transport fault. Only this connection is affected either
+// way — the listener keeps accepting.
+func (s *server) noteReadErr(fc *frame.Conn, err error) {
+	switch {
+	case err == io.EOF || errors.Is(err, net.ErrClosed):
+	case isTimeout(err):
+		s.m.connTimeouts.Add(1)
+		if !s.cfg.Quiet {
+			log.Printf("eccserve: %v: read idle timeout", fc.RemoteAddr())
+		}
+	default:
+		s.m.connErrors.Add(1)
+		if !s.cfg.Quiet {
+			log.Printf("eccserve: %v: read: %v", fc.RemoteAddr(), err)
+		}
+	}
+}
+
+// write sends a response frame and classifies any failure: a deadline
+// expiry means a stalled peer held the write past WriteTimeout, any
+// other fresh error is a transport fault, and either way the stream
+// can no longer be framed so the connection is closed — which also
+// unblocks its reader. ErrWriteBroken repeats a failure that was
+// already classified when the stream first broke, and ErrClosed means
+// the close already happened; neither counts again. Requests already
+// submitted to a shard complete and simply fail their writes here: a
+// stalled client costs its own connection, never the shard.
+func (s *server) write(fc *frame.Conn, id uint64, typ byte, segs ...[]byte) {
+	err := fc.Write(id, typ, segs...)
+	if err == nil {
+		return
+	}
+	switch {
+	case errors.Is(err, frame.ErrWriteBroken) || errors.Is(err, net.ErrClosed):
+	case isTimeout(err):
+		s.m.connTimeouts.Add(1)
+		if !s.cfg.Quiet {
+			log.Printf("eccserve: %v: write timeout (request %d)", fc.RemoteAddr(), id)
+		}
+	default:
+		s.m.connErrors.Add(1)
+		if !s.cfg.Quiet {
+			log.Printf("eccserve: %v: write: %v", fc.RemoteAddr(), err)
+		}
+	}
+	fc.Close()
 }
 
 // process executes one request against the connection's shard and
@@ -249,13 +340,13 @@ func (s *server) process(fc *frame.Conn, shard *repro.BatchEngine, id uint64, ty
 	switch typ {
 	case frame.TPing:
 		s.m.reqPing.Add(1)
-		fc.Write(id, frame.TOK, s.pub)
+		s.write(fc, id, frame.TOK, s.pub)
 
 	case frame.TSign:
 		s.m.reqSign.Add(1)
 		if len(payload) == 0 || len(payload) > frame.MaxDigest {
 			s.m.badRequest.Add(1)
-			fc.Write(id, frame.TBadRequest)
+			s.write(fc, id, frame.TBadRequest)
 			return
 		}
 		sig, err := shard.Sign(s.priv, payload, rand.Reader)
@@ -263,20 +354,20 @@ func (s *server) process(fc *frame.Conn, shard *repro.BatchEngine, id uint64, ty
 			s.writeErr(fc, id, err)
 			return
 		}
-		fc.Write(id, frame.TOK, sig.Bytes())
+		s.write(fc, id, frame.TOK, sig.Bytes())
 
 	case frame.TVerify:
 		s.m.reqVerify.Add(1)
 		key, rawSig, digest, ok := frame.SplitVerify(payload)
 		if !ok {
 			s.m.badRequest.Add(1)
-			fc.Write(id, frame.TBadRequest)
+			s.write(fc, id, frame.TBadRequest)
 			return
 		}
 		pub, err := s.cache.getKey(key)
 		if err != nil {
 			s.m.badRequest.Add(1)
-			fc.Write(id, frame.TBadRequest)
+			s.write(fc, id, frame.TBadRequest)
 			return
 		}
 		sig, err := repro.ParseSignature(rawSig)
@@ -284,7 +375,7 @@ func (s *server) process(fc *frame.Conn, shard *repro.BatchEngine, id uint64, ty
 			// Structurally framed but cryptographically malformed: that
 			// is a verification answer (invalid), not a protocol error.
 			s.m.verifyFail.Add(1)
-			fc.Write(id, frame.TOK, []byte{0})
+			s.write(fc, id, frame.TOK, []byte{0})
 			return
 		}
 		valid, err := shard.VerifyKey(pub, digest, sig)
@@ -293,10 +384,10 @@ func (s *server) process(fc *frame.Conn, shard *repro.BatchEngine, id uint64, ty
 			return
 		}
 		if valid {
-			fc.Write(id, frame.TOK, []byte{1})
+			s.write(fc, id, frame.TOK, []byte{1})
 		} else {
 			s.m.verifyFail.Add(1)
-			fc.Write(id, frame.TOK, []byte{0})
+			s.write(fc, id, frame.TOK, []byte{0})
 		}
 
 	case frame.TVerifyR:
@@ -304,19 +395,19 @@ func (s *server) process(fc *frame.Conn, shard *repro.BatchEngine, id uint64, ty
 		hint, key, rawSig, digest, ok := frame.SplitVerifyR(payload)
 		if !ok {
 			s.m.badRequest.Add(1)
-			fc.Write(id, frame.TBadRequest)
+			s.write(fc, id, frame.TBadRequest)
 			return
 		}
 		pub, err := s.cache.getKey(key)
 		if err != nil {
 			s.m.badRequest.Add(1)
-			fc.Write(id, frame.TBadRequest)
+			s.write(fc, id, frame.TBadRequest)
 			return
 		}
 		sig, err := repro.ParseSignature(rawSig)
 		if err != nil {
 			s.m.verifyFail.Add(1)
-			fc.Write(id, frame.TOK, []byte{0})
+			s.write(fc, id, frame.TOK, []byte{0})
 			return
 		}
 		valid, err := shard.VerifyKeyRecoverable(pub, digest, sig, hint)
@@ -325,23 +416,23 @@ func (s *server) process(fc *frame.Conn, shard *repro.BatchEngine, id uint64, ty
 			return
 		}
 		if valid {
-			fc.Write(id, frame.TOK, []byte{1})
+			s.write(fc, id, frame.TOK, []byte{1})
 		} else {
 			s.m.verifyFail.Add(1)
-			fc.Write(id, frame.TOK, []byte{0})
+			s.write(fc, id, frame.TOK, []byte{0})
 		}
 
 	case frame.TECDH:
 		s.m.reqECDH.Add(1)
 		if len(payload) != frame.KeySize {
 			s.m.badRequest.Add(1)
-			fc.Write(id, frame.TBadRequest)
+			s.write(fc, id, frame.TBadRequest)
 			return
 		}
 		peer, err := repro.NewPublicKey(payload)
 		if err != nil {
 			s.m.badRequest.Add(1)
-			fc.Write(id, frame.TBadRequest)
+			s.write(fc, id, frame.TBadRequest)
 			return
 		}
 		secret, err := shard.SharedSecretKey(s.priv, peer)
@@ -349,14 +440,14 @@ func (s *server) process(fc *frame.Conn, shard *repro.BatchEngine, id uint64, ty
 			s.writeErr(fc, id, err)
 			return
 		}
-		fc.Write(id, frame.TOK, secret)
+		s.write(fc, id, frame.TOK, secret)
 
 	case frame.TEnroll:
 		s.m.reqEnroll.Add(1)
 		reqPoint, identity, ok := frame.SplitEnroll(payload)
 		if !ok {
 			s.m.badRequest.Add(1)
-			fc.Write(id, frame.TBadRequest)
+			s.write(fc, id, frame.TBadRequest)
 			return
 		}
 		cert, contrib, err := s.ca.Issue(reqPoint, identity, rand.Reader)
@@ -365,7 +456,7 @@ func (s *server) process(fc *frame.Conn, shard *repro.BatchEngine, id uint64, ty
 			// identity) or an RNG fault; the former dominates and the
 			// latter still is not an engine-lifecycle condition.
 			s.m.badRequest.Add(1)
-			fc.Write(id, frame.TBadRequest)
+			s.write(fc, id, frame.TBadRequest)
 			return
 		}
 		// Extract the certified key through the shard kernel and warm
@@ -383,14 +474,14 @@ func (s *server) process(fc *frame.Conn, shard *repro.BatchEngine, id uint64, ty
 		s.cache.put(certCacheKey(certBytes, identity), pub)
 		s.cache.put(keyCacheKey(pub.BytesCompressed()), pub)
 		s.m.enrollments.Add(1)
-		fc.Write(id, frame.TOK, certBytes, contrib)
+		s.write(fc, id, frame.TOK, certBytes, contrib)
 
 	case frame.TCertVerify:
 		s.m.reqCertVerify.Add(1)
 		certBytes, identity, rawSig, digest, ok := frame.SplitCertVerify(payload)
 		if !ok {
 			s.m.badRequest.Add(1)
-			fc.Write(id, frame.TBadRequest)
+			s.write(fc, id, frame.TBadRequest)
 			return
 		}
 		pub, err := s.cache.get(certCacheKey(certBytes, identity), func() (*repro.PublicKey, error) {
@@ -414,13 +505,13 @@ func (s *server) process(fc *frame.Conn, shard *repro.BatchEngine, id uint64, ty
 			// Malformed or forged certificate: a protocol-level reject,
 			// same contract as an unparseable key in TVerify.
 			s.m.badRequest.Add(1)
-			fc.Write(id, frame.TBadRequest)
+			s.write(fc, id, frame.TBadRequest)
 			return
 		}
 		sig, err := repro.ParseSignature(rawSig)
 		if err != nil {
 			s.m.verifyFail.Add(1)
-			fc.Write(id, frame.TOK, []byte{0})
+			s.write(fc, id, frame.TOK, []byte{0})
 			return
 		}
 		valid, err := shard.VerifyKey(pub, digest, sig)
@@ -429,15 +520,15 @@ func (s *server) process(fc *frame.Conn, shard *repro.BatchEngine, id uint64, ty
 			return
 		}
 		if valid {
-			fc.Write(id, frame.TOK, []byte{1})
+			s.write(fc, id, frame.TOK, []byte{1})
 		} else {
 			s.m.verifyFail.Add(1)
-			fc.Write(id, frame.TOK, []byte{0})
+			s.write(fc, id, frame.TOK, []byte{0})
 		}
 
 	default:
 		s.m.badRequest.Add(1)
-		fc.Write(id, frame.TBadRequest)
+		s.write(fc, id, frame.TBadRequest)
 	}
 }
 
@@ -447,14 +538,14 @@ func (s *server) process(fc *frame.Conn, shard *repro.BatchEngine, id uint64, ty
 func (s *server) writeErr(fc *frame.Conn, id uint64, err error) {
 	if errors.Is(err, repro.ErrEngineClosed) {
 		s.m.drained.Add(1)
-		fc.Write(id, frame.TDraining)
+		s.write(fc, id, frame.TDraining)
 		return
 	}
 	s.m.internalErr.Add(1)
 	if !s.cfg.Quiet {
 		log.Printf("eccserve: request %d: %v", id, err)
 	}
-	fc.Write(id, frame.TInternal)
+	s.write(fc, id, frame.TInternal)
 }
 
 // shutdown drains the server: stop accepting, answer new frames with

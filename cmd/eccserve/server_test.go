@@ -632,6 +632,10 @@ func TestMetricsEndpoints(t *testing.T) {
 		`eccserve_requests_total{op="sign"} 1`,
 		"eccserve_batch_size_bucket{le=\"+Inf\"}",
 		"eccserve_shed_total 0",
+		"eccserve_conn_timeouts_total 0",
+		"eccserve_conns_rejected_total 0",
+		"eccserve_conn_errors_total 0",
+		"eccserve_faults_injected_total 0",
 	} {
 		if !strings.Contains(body, want) {
 			t.Fatalf("/metrics missing %q\n%s", want, body)

@@ -1,0 +1,515 @@
+// Package fault is a deterministic fault-injection layer for net.Conn
+// and net.Listener: the chaos tooling behind eccserve's hardened
+// connection lifecycle. The paper's WSN setting assumes lossy radios
+// and flaky peers; this package makes those failures a first-class,
+// replayable test input instead of something only production traffic
+// discovers.
+//
+// A wrapped connection consults a Plan before every Read, Write and
+// Accept and executes the Action it returns:
+//
+//   - KindPartialRead — deliver at most Cut bytes of this read.
+//   - KindPartialWrite — write Cut bytes, then fail with ECONNRESET
+//     (the stream is now corrupt, as after a real mid-frame reset).
+//   - KindReset — fail immediately with ECONNRESET and close the
+//     connection (with SO_LINGER=0 on TCP, so the peer sees a real
+//     RST, not a FIN).
+//   - KindReadStall / KindWriteStall — block for Delay before the
+//     operation, honouring the connection's deadline and Close exactly
+//     like a stalled peer seen through the deadline machinery.
+//   - KindTornWrite — write Cut bytes, then close: the peer receives a
+//     torn frame at a chosen byte offset.
+//   - KindAcceptError — Accept fails with a transient
+//     (timeout-flavoured) error without touching the real listener.
+//
+// Plans come in two shapes. A Script pins an Action to the Nth call of
+// each operation — the deterministic form unit and regression tests
+// want. A Seeded plan draws faults from per-call probabilities using a
+// seeded PRNG — the chaos form: the same seed replays the same fault
+// sequence, so a failure found by a chaos run is reproducible. Both
+// are safe for the concurrent call pattern of a served connection (one
+// reader, many writers).
+//
+// Counters aggregate injected faults per kind across everything
+// sharing them, so a harness can assert "faults actually fired" and an
+// operator running eccserve's -fault-rate chaos mode can account every
+// injected failure against the server's own error metrics.
+package fault
+
+import (
+	"fmt"
+	"math/rand"
+	"net"
+	"os"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"syscall"
+	"time"
+)
+
+// Kind enumerates the injectable fault shapes.
+type Kind int
+
+const (
+	KindNone Kind = iota
+	KindPartialRead
+	KindPartialWrite
+	KindReset
+	KindReadStall
+	KindWriteStall
+	KindTornWrite
+	KindAcceptError
+	numKinds
+)
+
+// String names a kind the way the counters report it.
+func (k Kind) String() string {
+	switch k {
+	case KindNone:
+		return "none"
+	case KindPartialRead:
+		return "partial-read"
+	case KindPartialWrite:
+		return "partial-write"
+	case KindReset:
+		return "reset"
+	case KindReadStall:
+		return "read-stall"
+	case KindWriteStall:
+		return "write-stall"
+	case KindTornWrite:
+		return "torn-write"
+	case KindAcceptError:
+		return "accept-error"
+	}
+	return fmt.Sprintf("kind(%d)", int(k))
+}
+
+// Op is the connection operation a Plan is consulted for.
+type Op int
+
+const (
+	OpRead Op = iota
+	OpWrite
+	OpAccept
+)
+
+// Action is one scripted fault. The zero Action is a no-op (the
+// operation proceeds untouched).
+type Action struct {
+	Kind  Kind
+	Cut   int           // PartialRead/PartialWrite/TornWrite: byte offset to cut at
+	Delay time.Duration // ReadStall/WriteStall: how long the stall lasts
+	Err   error         // optional override for the injected error
+}
+
+// Plan decides the fault action for the nth (1-based, per-operation)
+// call on one connection or listener. Implementations must be safe for
+// concurrent use: a served connection calls Next(OpWrite, ·) from many
+// goroutines at once.
+type Plan interface {
+	Next(op Op, n int) Action
+}
+
+// Script is the deterministic Plan: the nth call of an operation
+// executes the nth entry of its list (a missing or zero entry is a
+// no-op). Build the lists before wiring the Script into a connection
+// and do not mutate them afterwards; Next only reads.
+type Script struct {
+	Reads   []Action
+	Writes  []Action
+	Accepts []Action
+}
+
+// Next returns the scripted action for the nth call of op.
+func (s *Script) Next(op Op, n int) Action {
+	var list []Action
+	switch op {
+	case OpRead:
+		list = s.Reads
+	case OpWrite:
+		list = s.Writes
+	case OpAccept:
+		list = s.Accepts
+	}
+	if n >= 1 && n <= len(list) {
+		return list[n-1]
+	}
+	return Action{}
+}
+
+// Nth builds an action list whose nth (1-based) entry is a and every
+// earlier entry a no-op — the common "fault exactly the Nth call"
+// script shape.
+func Nth(n int, a Action) []Action {
+	l := make([]Action, n)
+	l[n-1] = a
+	return l
+}
+
+// Mix is the per-call fault probability table for a Seeded plan.
+// Fields are probabilities in [0, 1]; read faults draw from
+// {PartialRead, Reset, ReadStall}, write faults from {PartialWrite,
+// Reset, WriteStall, TornWrite}, accepts from {AcceptError}.
+type Mix struct {
+	PartialRead  float64
+	PartialWrite float64
+	Reset        float64
+	ReadStall    float64
+	WriteStall   float64
+	TornWrite    float64
+	AcceptError  float64
+	Stall        time.Duration // stall duration (default 1s)
+}
+
+// Seeded is the probabilistic Plan: every call draws from the Mix with
+// a PRNG seeded at construction, so the same seed replays the same
+// fault decisions in the same call order. The PRNG consumes a fixed
+// number of draws per call regardless of outcome, keeping the sequence
+// stable as probabilities are tuned.
+type Seeded struct {
+	mu  sync.Mutex
+	rng *rand.Rand
+	mix Mix
+}
+
+// NewSeeded builds a Seeded plan.
+func NewSeeded(seed int64, mix Mix) *Seeded {
+	if mix.Stall <= 0 {
+		mix.Stall = time.Second
+	}
+	return &Seeded{rng: rand.New(rand.NewSource(seed)), mix: mix}
+}
+
+// Next draws the action for the nth call of op.
+func (s *Seeded) Next(op Op, n int) Action {
+	s.mu.Lock()
+	roll := s.rng.Float64()
+	cut := 1 + s.rng.Intn(8)
+	s.mu.Unlock()
+	type entry struct {
+		k Kind
+		p float64
+	}
+	var table []entry
+	switch op {
+	case OpRead:
+		table = []entry{
+			{KindPartialRead, s.mix.PartialRead},
+			{KindReset, s.mix.Reset},
+			{KindReadStall, s.mix.ReadStall},
+		}
+	case OpWrite:
+		table = []entry{
+			{KindPartialWrite, s.mix.PartialWrite},
+			{KindReset, s.mix.Reset},
+			{KindWriteStall, s.mix.WriteStall},
+			{KindTornWrite, s.mix.TornWrite},
+		}
+	case OpAccept:
+		table = []entry{{KindAcceptError, s.mix.AcceptError}}
+	}
+	acc := 0.0
+	for _, e := range table {
+		acc += e.p
+		if roll < acc {
+			return Action{Kind: e.k, Cut: cut, Delay: s.mix.Stall}
+		}
+	}
+	return Action{}
+}
+
+// Counters aggregates injected faults per kind. One Counters value is
+// typically shared by a listener and every connection it wraps. All
+// methods are safe for concurrent use; set OnInject (if at all) before
+// the counters see traffic.
+type Counters struct {
+	counts [numKinds]atomic.Int64
+
+	// OnInject, when non-nil, is called once per injected fault (after
+	// the count is recorded). It must be safe for concurrent use and
+	// must not block — it runs on the faulted connection's hot path.
+	OnInject func(Kind)
+}
+
+func (c *Counters) note(k Kind) {
+	if k == KindNone {
+		return
+	}
+	c.counts[k].Add(1)
+	if c.OnInject != nil {
+		c.OnInject(k)
+	}
+}
+
+// Count reports how many faults of kind k were injected.
+func (c *Counters) Count(k Kind) int64 {
+	if k < 0 || k >= numKinds {
+		return 0
+	}
+	return c.counts[k].Load()
+}
+
+// Total reports how many faults were injected across all kinds.
+func (c *Counters) Total() int64 {
+	var t int64
+	for i := range c.counts {
+		t += c.counts[i].Load()
+	}
+	return t
+}
+
+// String renders the non-zero counts ("reset=2 torn-write=1"), or
+// "none" when nothing fired.
+func (c *Counters) String() string {
+	var parts []string
+	for k := Kind(1); k < numKinds; k++ {
+		if n := c.counts[k].Load(); n > 0 {
+			parts = append(parts, fmt.Sprintf("%s=%d", k, n))
+		}
+	}
+	if len(parts) == 0 {
+		return "none"
+	}
+	return strings.Join(parts, " ")
+}
+
+// Conn wraps a net.Conn with fault injection. It tracks the deadlines
+// set through it so injected stalls interact with the deadline
+// machinery exactly like a real stalled peer: a stall ends early with
+// a timeout error when the deadline expires first, and ends with a
+// closed-connection error when the connection is closed mid-stall.
+type Conn struct {
+	nc   net.Conn
+	plan Plan
+	ctr  *Counters
+
+	reads  atomic.Int64
+	writes atomic.Int64
+
+	closeOnce sync.Once
+	closed    chan struct{}
+
+	dlMu sync.Mutex
+	rdl  time.Time
+	wdl  time.Time
+}
+
+// WrapConn wraps nc with fault injection under plan, recording
+// injected faults in ctr (a nil ctr allocates a private one).
+func WrapConn(nc net.Conn, plan Plan, ctr *Counters) *Conn {
+	if ctr == nil {
+		ctr = &Counters{}
+	}
+	return &Conn{nc: nc, plan: plan, ctr: ctr, closed: make(chan struct{})}
+}
+
+// Read consults the plan, then reads from the underlying connection.
+func (c *Conn) Read(p []byte) (int, error) {
+	a := c.plan.Next(OpRead, int(c.reads.Add(1)))
+	switch a.Kind {
+	case KindPartialRead:
+		c.ctr.note(a.Kind)
+		if a.Cut >= 1 && a.Cut < len(p) {
+			p = p[:a.Cut]
+		}
+	case KindReset:
+		c.ctr.note(a.Kind)
+		c.reset()
+		return 0, actionErr(a, "read", syscall.ECONNRESET)
+	case KindReadStall:
+		c.ctr.note(a.Kind)
+		if err := c.stall(a.Delay, c.deadline(&c.rdl), "read"); err != nil {
+			return 0, err
+		}
+	}
+	return c.nc.Read(p)
+}
+
+// Write consults the plan, then writes to the underlying connection.
+func (c *Conn) Write(p []byte) (int, error) {
+	a := c.plan.Next(OpWrite, int(c.writes.Add(1)))
+	switch a.Kind {
+	case KindPartialWrite:
+		c.ctr.note(a.Kind)
+		n, _ := c.nc.Write(p[:clampCut(a.Cut, len(p))])
+		return n, actionErr(a, "write", syscall.ECONNRESET)
+	case KindTornWrite:
+		c.ctr.note(a.Kind)
+		n, _ := c.nc.Write(p[:clampCut(a.Cut, len(p))])
+		c.Close()
+		return n, actionErr(a, "write", syscall.ECONNRESET)
+	case KindReset:
+		c.ctr.note(a.Kind)
+		c.reset()
+		return 0, actionErr(a, "write", syscall.ECONNRESET)
+	case KindWriteStall:
+		c.ctr.note(a.Kind)
+		if err := c.stall(a.Delay, c.deadline(&c.wdl), "write"); err != nil {
+			return 0, err
+		}
+	}
+	return c.nc.Write(p)
+}
+
+// stall blocks for d, bounded by the operation deadline and by Close —
+// the two ways a real stalled operation ends.
+func (c *Conn) stall(d time.Duration, deadline time.Time, op string) error {
+	wait := d
+	timedOut := false
+	if !deadline.IsZero() {
+		if until := time.Until(deadline); until < wait {
+			wait = until
+			timedOut = true
+		}
+	}
+	if wait > 0 {
+		t := time.NewTimer(wait)
+		defer t.Stop()
+		select {
+		case <-t.C:
+		case <-c.closed:
+			return &net.OpError{Op: op, Net: "fault", Err: net.ErrClosed}
+		}
+	}
+	if timedOut {
+		return &net.OpError{Op: op, Net: "fault", Err: os.ErrDeadlineExceeded}
+	}
+	return nil
+}
+
+func (c *Conn) deadline(which *time.Time) time.Time {
+	c.dlMu.Lock()
+	defer c.dlMu.Unlock()
+	return *which
+}
+
+// reset closes the connection the hard way: SO_LINGER=0 on TCP so the
+// peer sees an RST instead of an orderly FIN.
+func (c *Conn) reset() {
+	if tc, ok := c.nc.(*net.TCPConn); ok {
+		tc.SetLinger(0)
+	}
+	c.Close()
+}
+
+// Close closes the underlying connection and wakes any in-flight
+// stall. Idempotent.
+func (c *Conn) Close() error {
+	var err error
+	c.closeOnce.Do(func() {
+		close(c.closed)
+		err = c.nc.Close()
+	})
+	return err
+}
+
+// The deadline setters record the deadline (for stall bounding) and
+// delegate to the underlying connection.
+
+func (c *Conn) SetDeadline(t time.Time) error {
+	c.dlMu.Lock()
+	c.rdl, c.wdl = t, t
+	c.dlMu.Unlock()
+	return c.nc.SetDeadline(t)
+}
+
+func (c *Conn) SetReadDeadline(t time.Time) error {
+	c.dlMu.Lock()
+	c.rdl = t
+	c.dlMu.Unlock()
+	return c.nc.SetReadDeadline(t)
+}
+
+func (c *Conn) SetWriteDeadline(t time.Time) error {
+	c.dlMu.Lock()
+	c.wdl = t
+	c.dlMu.Unlock()
+	return c.nc.SetWriteDeadline(t)
+}
+
+func (c *Conn) LocalAddr() net.Addr  { return c.nc.LocalAddr() }
+func (c *Conn) RemoteAddr() net.Addr { return c.nc.RemoteAddr() }
+
+func clampCut(cut, n int) int {
+	if cut < 0 {
+		cut = 0
+	}
+	if cut > n {
+		cut = n
+	}
+	return cut
+}
+
+func actionErr(a Action, op string, def error) error {
+	if a.Err != nil {
+		return a.Err
+	}
+	return &net.OpError{Op: op, Net: "fault", Err: def}
+}
+
+// Listener wraps a net.Listener: accepts consult an accept plan
+// (error-on-Nth-accept), and each accepted connection is wrapped with
+// the plan returned by plans for its 1-based accept index.
+type Listener struct {
+	ln      net.Listener
+	plans   func(conn int) Plan
+	accepts Plan
+	ctr     *Counters
+
+	acceptN atomic.Int64
+	connN   atomic.Int64
+}
+
+// WrapListener wraps ln. plans may be nil (no connection faults) and
+// may return nil for a connection that should pass through unwrapped;
+// accepts may be nil (no accept faults); a nil ctr allocates a private
+// one.
+func WrapListener(ln net.Listener, plans func(conn int) Plan, accepts Plan, ctr *Counters) *Listener {
+	if ctr == nil {
+		ctr = &Counters{}
+	}
+	return &Listener{ln: ln, plans: plans, accepts: accepts, ctr: ctr}
+}
+
+// Accept waits for the next connection, injecting scripted accept
+// errors and wrapping accepted connections with their fault plan.
+func (l *Listener) Accept() (net.Conn, error) {
+	if l.accepts != nil {
+		if a := l.accepts.Next(OpAccept, int(l.acceptN.Add(1))); a.Kind == KindAcceptError {
+			l.ctr.note(KindAcceptError)
+			if a.Err != nil {
+				return nil, a.Err
+			}
+			return nil, &net.OpError{Op: "accept", Net: "fault", Err: tempTimeout{}}
+		}
+	}
+	nc, err := l.ln.Accept()
+	if err != nil || l.plans == nil {
+		return nc, err
+	}
+	plan := l.plans(int(l.connN.Add(1)))
+	if plan == nil {
+		return nc, nil
+	}
+	return WrapConn(nc, plan, l.ctr), nil
+}
+
+// Close closes the underlying listener.
+func (l *Listener) Close() error { return l.ln.Close() }
+
+// Addr reports the underlying listener's address.
+func (l *Listener) Addr() net.Addr { return l.ln.Addr() }
+
+// Counters returns the counters shared by this listener and the
+// connections it wrapped.
+func (l *Listener) Counters() *Counters { return l.ctr }
+
+// tempTimeout is the transient accept error: it reports Timeout() true
+// so accept loops classify it as retryable.
+type tempTimeout struct{}
+
+func (tempTimeout) Error() string   { return "fault: injected accept error" }
+func (tempTimeout) Timeout() bool   { return true }
+func (tempTimeout) Temporary() bool { return true }

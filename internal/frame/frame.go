@@ -56,6 +56,7 @@ import (
 	"io"
 	"net"
 	"sync"
+	"time"
 
 	"repro/internal/gf233"
 	"repro/internal/sign"
@@ -119,6 +120,14 @@ var ErrFrameTooLarge = errors.New("frame: frame exceeds MaxPayload")
 // ErrFrameTooShort reports a length prefix too small to hold id+type.
 var ErrFrameTooShort = errors.New("frame: frame shorter than header")
 
+// ErrWriteBroken reports a Write on a connection whose outgoing frame
+// stream was already corrupted by an earlier failed write: a frame
+// write that errors mid-way (deadline expiry, reset) may have left a
+// partial frame on the wire, after which no later frame can be framed
+// correctly. Writers get this error immediately instead of queueing
+// behind a dead connection.
+var ErrWriteBroken = errors.New("frame: write stream broken by earlier error")
+
 // Frame is one decoded frame. Payload aliases the connection's read
 // buffer and is valid only until the next Read on the same Conn —
 // copy it before handing it to another goroutine.
@@ -137,8 +146,15 @@ type Conn struct {
 	br   *bufio.Reader
 	rbuf [maxFrame]byte
 
+	// Timeout knobs; set before the Conn sees concurrent traffic (the
+	// setters do not synchronise with Read/Write).
+	readIdle     time.Duration
+	writeTimeout time.Duration
+	rtTimeout    time.Duration
+
 	wmu  sync.Mutex
 	wbuf []byte
+	werr error // sticky: first write error, stream corrupt after it
 }
 
 // NewConn wraps c.
@@ -146,9 +162,30 @@ func NewConn(c net.Conn) *Conn {
 	return &Conn{nc: c, br: bufio.NewReaderSize(c, 4<<10)}
 }
 
+// SetReadIdleTimeout arms a read deadline of d before every Read: a
+// peer that goes silent (or stalls mid-frame) for longer than d makes
+// Read fail with a timeout error instead of blocking forever. Zero
+// disables. Call before sharing the Conn across goroutines.
+func (c *Conn) SetReadIdleTimeout(d time.Duration) { c.readIdle = d }
+
+// SetWriteTimeout arms a write deadline of d before every frame write:
+// a peer that stops draining its socket makes Write fail with a
+// timeout error after d instead of blocking its caller — and every
+// writer queued behind it — forever. Zero disables. Call before
+// sharing the Conn across goroutines.
+func (c *Conn) SetWriteTimeout(d time.Duration) { c.writeTimeout = d }
+
+// SetRoundtripTimeout bounds each Roundtrip call to d end to end
+// (request write + response read) via one connection deadline. Zero
+// disables. Call before sharing the Conn across goroutines.
+func (c *Conn) SetRoundtripTimeout(d time.Duration) { c.rtTimeout = d }
+
 // Read decodes the next frame. The returned payload is only valid
 // until the next Read.
 func (c *Conn) Read() (Frame, error) {
+	if c.readIdle > 0 {
+		c.nc.SetReadDeadline(time.Now().Add(c.readIdle))
+	}
 	if _, err := io.ReadFull(c.br, c.rbuf[:headerLen]); err != nil {
 		return Frame{}, err
 	}
@@ -184,6 +221,9 @@ func (c *Conn) Write(id uint64, typ byte, segs ...[]byte) error {
 	}
 	c.wmu.Lock()
 	defer c.wmu.Unlock()
+	if c.werr != nil {
+		return fmt.Errorf("%w: %v", ErrWriteBroken, c.werr)
+	}
 	b := append(c.wbuf[:0], 0, 0, 0, 0)
 	binary.BigEndian.PutUint32(b, uint32(innerLen+total))
 	b = binary.BigEndian.AppendUint64(b, id)
@@ -192,7 +232,16 @@ func (c *Conn) Write(id uint64, typ byte, segs ...[]byte) error {
 		b = append(b, s...)
 	}
 	c.wbuf = b
+	if c.writeTimeout > 0 {
+		c.nc.SetWriteDeadline(time.Now().Add(c.writeTimeout))
+	}
 	_, err := c.nc.Write(b)
+	if err != nil {
+		// The frame may have been written partially: the stream can no
+		// longer be framed. Fail later writers fast instead of letting
+		// them queue on the mutex of a dead connection.
+		c.werr = err
+	}
 	return err
 }
 
@@ -288,8 +337,14 @@ func AppendCertVerify(dst, cert, identity, sig, digest []byte) []byte {
 // Roundtrip sends one request frame and blocks for the next response
 // frame — the synchronous client idiom (one request in flight per
 // connection). The returned payload is only valid until the next
-// Read.
+// Read. With SetRoundtripTimeout armed the whole exchange is bounded;
+// after a timeout the connection is unusable for further roundtrips
+// (a late response would desynchronise the id matching), so callers
+// should close and redial.
 func (c *Conn) Roundtrip(id uint64, typ byte, segs ...[]byte) (Frame, error) {
+	if c.rtTimeout > 0 {
+		c.nc.SetDeadline(time.Now().Add(c.rtTimeout))
+	}
 	if err := c.Write(id, typ, segs...); err != nil {
 		return Frame{}, err
 	}

@@ -8,6 +8,7 @@ import (
 	"net"
 	"sync"
 	"testing"
+	"time"
 )
 
 // pipePair returns two framed ends of an in-memory connection.
@@ -156,6 +157,119 @@ func TestWriteOversizePayloadRejected(t *testing.T) {
 	big := make([]byte, MaxPayload+1)
 	if err := fc.Write(1, TSign, big); !errors.Is(err, ErrFrameTooLarge) {
 		t.Fatalf("err = %v, want ErrFrameTooLarge", err)
+	}
+}
+
+// isTimeout reports whether err is a net.Error with Timeout() true —
+// the shape deadline expiry must take so callers can classify it.
+func isTimeout(err error) bool {
+	var ne net.Error
+	return errors.As(err, &ne) && ne.Timeout()
+}
+
+// TestWriteStallTimeoutBounded is the regression test for the
+// held-mutex-across-blocking-write hazard: a peer that never drains
+// its socket must turn Write into a bounded timeout, not an unbounded
+// hang, and the connection must then fail later writers fast.
+func TestWriteStallTimeoutBounded(t *testing.T) {
+	client, server := pipePair() // net.Pipe: a write blocks until read
+	defer client.Close()
+	defer server.Close()
+	_ = server // never reads: the peer is stalled
+
+	client.SetWriteTimeout(100 * time.Millisecond)
+	start := time.Now()
+	err := client.Write(1, TPing, []byte("payload"))
+	elapsed := time.Since(start)
+	if !isTimeout(err) {
+		t.Fatalf("stalled write err = %v, want a timeout", err)
+	}
+	if elapsed > 5*time.Second {
+		t.Fatalf("stalled write took %v to time out, want ~100ms", elapsed)
+	}
+	// The stream may hold a partial frame; later writes fail immediately
+	// with the sticky error instead of arming another deadline.
+	start = time.Now()
+	if err := client.Write(2, TPing); !errors.Is(err, ErrWriteBroken) {
+		t.Fatalf("write after broken stream err = %v, want ErrWriteBroken", err)
+	}
+	if time.Since(start) > time.Second {
+		t.Fatal("ErrWriteBroken was not fast")
+	}
+}
+
+// TestWriteStallDoesNotWedgeConcurrentWriters pins the bounded-wait
+// contract under contention: with a stalled peer, every queued writer
+// returns within the deadline-bounded window (first gets the timeout,
+// the rest the sticky ErrWriteBroken) — none wedge forever.
+func TestWriteStallDoesNotWedgeConcurrentWriters(t *testing.T) {
+	client, server := pipePair()
+	defer client.Close()
+	defer server.Close()
+	_ = server // stalled peer
+
+	client.SetWriteTimeout(100 * time.Millisecond)
+	const N = 5
+	errs := make(chan error, N)
+	for i := 0; i < N; i++ {
+		go func(i int) {
+			errs <- client.Write(uint64(i), TPing, []byte("x"))
+		}(i)
+	}
+	timeouts, broken := 0, 0
+	deadline := time.After(5 * time.Second)
+	for i := 0; i < N; i++ {
+		select {
+		case err := <-errs:
+			switch {
+			case errors.Is(err, ErrWriteBroken):
+				broken++
+			case isTimeout(err):
+				timeouts++
+			default:
+				t.Fatalf("concurrent writer err = %v, want timeout or ErrWriteBroken", err)
+			}
+		case <-deadline:
+			t.Fatalf("writers wedged: only %d of %d returned", i, N)
+		}
+	}
+	if timeouts != 1 || broken != N-1 {
+		t.Fatalf("timeouts=%d broken=%d, want exactly one timeout and %d fast failures", timeouts, broken, N-1)
+	}
+}
+
+func TestRoundtripTimeout(t *testing.T) {
+	client, server := pipePair()
+	defer client.Close()
+	defer server.Close()
+	// The server reads the request but never responds.
+	go server.Read()
+
+	client.SetRoundtripTimeout(100 * time.Millisecond)
+	start := time.Now()
+	_, err := client.Roundtrip(1, TPing)
+	if !isTimeout(err) {
+		t.Fatalf("roundtrip to a mute server err = %v, want a timeout", err)
+	}
+	if time.Since(start) > 5*time.Second {
+		t.Fatalf("roundtrip took %v to time out, want ~100ms", time.Since(start))
+	}
+}
+
+func TestReadIdleTimeout(t *testing.T) {
+	client, server := pipePair()
+	defer client.Close()
+	defer server.Close()
+	_ = client // silent peer
+
+	server.SetReadIdleTimeout(100 * time.Millisecond)
+	start := time.Now()
+	_, err := server.Read()
+	if !isTimeout(err) {
+		t.Fatalf("idle read err = %v, want a timeout", err)
+	}
+	if time.Since(start) > 5*time.Second {
+		t.Fatalf("idle read took %v to time out, want ~100ms", time.Since(start))
 	}
 }
 

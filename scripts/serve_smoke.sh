@@ -6,8 +6,16 @@
 # includes ECQV certificate traffic: enroll + cert-verify), then a
 # dedicated certificate-workload run, asserts each summary reports
 # non-zero completed operations with zero sheds and zero errors, then
-# SIGTERMs the server and requires a clean drain (exit 0). Run from
-# the repository root; used by `make serve-smoke`.
+# SIGTERMs the server and requires a clean drain (exit 0).
+#
+# A second, chaos-mode leg then reboots the server with -fault-rate so
+# the listener injects seeded connection faults (stalls, resets, torn
+# and partial writes, accept errors) and drives it with eccload's
+# retry/reconnect path. Assertions: work still completes, the server
+# actually injected faults, every client-side failure is accounted to
+# an operation (unaccounted=0), and the drain is still clean.
+#
+# Run from the repository root; used by `make serve-smoke`.
 set -eu
 
 GO=${GO:-go}
@@ -90,23 +98,85 @@ check_load mixed "$tmp/load.out"
 "$tmp/eccload" -addr "$addr" -op cert -gs 4 -dur "$DUR" | tee "$tmp/cert.out"
 check_load cert "$tmp/cert.out"
 
-echo "serve-smoke: draining server (SIGTERM)"
-kill -TERM "$server_pid"
+# drain <log-file>: SIGTERM the server and require a clean exit.
+drain() {
+    echo "serve-smoke: draining server (SIGTERM)"
+    kill -TERM "$server_pid"
+    i=0
+    while kill -0 "$server_pid" 2>/dev/null; do
+        i=$((i + 1))
+        if [ "$i" -gt 100 ]; then
+            echo "serve-smoke: FAIL: server did not exit within 10s of SIGTERM" >&2
+            cat "$1" >&2
+            exit 1
+        fi
+        sleep 0.1
+    done
+    if ! wait "$server_pid"; then
+        echo "serve-smoke: FAIL: server exited non-zero after SIGTERM" >&2
+        cat "$1" >&2
+        exit 1
+    fi
+    server_pid=""
+}
+
+drain "$tmp/server.log"
+clean_ops=$ops
+
+# --- Chaos leg: the same stack under seeded fault injection. ---------
+# The fault listener wraps every accepted connection with a seeded
+# plan, so a deterministic fraction of reads/writes stall, reset, or
+# tear mid-frame. eccload's reconnecting client retries each failed
+# op; the error budget is generous because the point is accounting,
+# not a clean run: ops must still complete, every failure must be
+# attributed to an operation, and the drain must stay clean.
+echo "serve-smoke: chaos leg (-fault-rate 0.01, seed 42)"
+"$tmp/eccserve" -addr 127.0.0.1:0 -addr-file "$tmp/addr2" \
+    -read-idle 2s -write-timeout 1s -fault-rate 0.01 -fault-seed 42 \
+    >"$tmp/chaos-server.log" 2>&1 &
+server_pid=$!
 i=0
-while kill -0 "$server_pid" 2>/dev/null; do
+while [ ! -s "$tmp/addr2" ]; do
     i=$((i + 1))
     if [ "$i" -gt 100 ]; then
-        echo "serve-smoke: FAIL: server did not exit within 10s of SIGTERM" >&2
-        cat "$tmp/server.log" >&2
+        echo "serve-smoke: chaos server never published its address" >&2
+        cat "$tmp/chaos-server.log" >&2
+        exit 1
+    fi
+    if ! kill -0 "$server_pid" 2>/dev/null; then
+        echo "serve-smoke: chaos server exited during startup" >&2
+        cat "$tmp/chaos-server.log" >&2
         exit 1
     fi
     sleep 0.1
 done
-if ! wait "$server_pid"; then
-    echo "serve-smoke: FAIL: server exited non-zero after SIGTERM" >&2
-    cat "$tmp/server.log" >&2
+addr=$(cat "$tmp/addr2")
+echo "serve-smoke: chaos server up on $addr"
+
+"$tmp/eccload" -addr "$addr" -op mixed -gs 4 -dur "$DUR" \
+    -net-timeout 1s -retries 4 -err-budget 1000 | tee "$tmp/chaos.out"
+
+summary=$(grep '^eccload-net:' "$tmp/chaos.out" | head -1)
+ops=$(echo "$summary" | sed -n 's/.*ops=\([0-9]*\).*/\1/p')
+unaccounted=$(echo "$summary" | sed -n 's/.*unaccounted=\([0-9]*\).*/\1/p')
+if [ -z "$ops" ] || [ "$ops" -eq 0 ]; then
+    echo "serve-smoke: FAIL: no operations completed under fault injection" >&2
     exit 1
 fi
-server_pid=""
+if [ -z "$unaccounted" ] || [ "$unaccounted" -ne 0 ]; then
+    echo "serve-smoke: FAIL: unaccounted errors under fault injection: ${unaccounted:-missing}" >&2
+    exit 1
+fi
 
-echo "serve-smoke: PASS ($ops ops, 0 shed, 0 errors, clean drain)"
+drain "$tmp/chaos-server.log"
+
+# The server logs its injection tally on shutdown; the chaos leg is
+# only meaningful if faults actually fired.
+injected=$(sed -n 's/.*chaos: injected \([0-9]*\) faults.*/\1/p' "$tmp/chaos-server.log")
+if [ -z "$injected" ] || [ "$injected" -eq 0 ]; then
+    echo "serve-smoke: FAIL: chaos run injected no faults" >&2
+    cat "$tmp/chaos-server.log" >&2
+    exit 1
+fi
+
+echo "serve-smoke: PASS ($clean_ops clean ops; chaos: $ops ops, $injected faults injected, 0 unaccounted, clean drain)"
