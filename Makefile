@@ -27,6 +27,19 @@
 #                  the ECQV benchmarks (issuance, one-shot extraction,
 #                  batched extraction) and checks the >= 2x batch=32
 #                  amortisation gate
+#   make bench-sign - deterministic refresh of BENCH_sign.json: reruns
+#                  the signing benchmarks (fast and hardened, one-shot
+#                  and batch=32) and checks the <= 3x hardened-vs-fast
+#                  overhead gate
+#   make ct      - the side-channel regression harness: the armv6m
+#                  trace-equality tests (the constant-time ladder must
+#                  produce identical instruction and data-address
+#                  traces for different secrets, and the paper's
+#                  variable-time path must NOT), the hardened
+#                  differential and scrub tests, and the dudect timing
+#                  smoke (Welch's t on hardened Sign/ECDH). CT_FULL=1
+#                  runs the full-strength dudect pass (30k samples,
+#                  |t| < 4.5) plus the detector self-validation
 #   make chaos   - the seeded fault-injection suite: the internal/fault
 #                  unit tests, the eccserve chaos integration tests
 #                  (five scripted fault shapes under mixed traffic,
@@ -43,7 +56,7 @@
 
 GO ?= go
 
-.PHONY: all build vet test test64 race fuzz alloc api bench bench-verify bench-ecqv chaos load serve-smoke ci
+.PHONY: all build vet test test64 race fuzz alloc api bench bench-verify bench-ecqv bench-sign ct chaos load serve-smoke ci
 
 all: ci
 
@@ -104,6 +117,26 @@ bench-verify:
 bench-ecqv:
 	GO="$(GO)" sh scripts/bench_ecqv.sh
 
+bench-sign:
+	GO="$(GO)" sh scripts/bench_sign.sh
+
+# Side-channel regression harness. Three legs, cheapest proof first:
+# the armv6m trace checker (exact instruction- and data-address trace
+# equality across secrets on the simulated M0+ — and trace INEQUALITY
+# for the paper's variable-time path, so the detector itself is
+# validated), the differential tests pinning every hardened output
+# byte-identical to the fast path, and the dudect timing smoke on the
+# host. -count=1 for the timing leg: a cached verdict about an old
+# binary is worthless. CT_FULL=1 escalates dudect to 30k samples with
+# the conventional |t| < 4.5 gate.
+ct:
+	$(GO) test ./internal/codegen -run 'TestCTLadder|TestPointMulTracesDiffer' -count=1
+	$(GO) test ./internal/koblitz -run 'TestRecodeCT' -count=1
+	$(GO) test ./internal/core -run 'CT' -count=1
+	$(GO) test . -run 'TestHardened' -count=1
+	$(GO) test ./internal/engine -run 'TestBatchScratchScrubbed' -count=1
+	$(GO) test ./internal/dudect -count=1 -v -run 'TestDudect'
+
 # Seeded fault-injection suite. -count=1 because the chaos tests drive
 # real loopback sockets and timers; a cached pass proves nothing about
 # the current binary's lifecycle handling.
@@ -121,4 +154,4 @@ load:
 serve-smoke:
 	GO="$(GO)" sh scripts/serve_smoke.sh
 
-ci: build vet race test64 fuzz alloc api chaos serve-smoke
+ci: build vet race test64 fuzz alloc api ct chaos serve-smoke

@@ -106,6 +106,21 @@ func WithBatchObserver(f func(batchSize int)) EngineOption {
 	return func(o *engineOptions) { o.cfg.OnBatch = f }
 }
 
+// WithConstTime routes every secret-scalar operation submitted to the
+// engine — signing nonces and ECDH — through the constant-time
+// evaluators, regardless of whether the submitting key is hardened
+// (PrivateKey.Hardened; a hardened key is constant-time on any
+// engine). Signatures are byte-identical to the fast path for the
+// same nonce stream; hardened signatures skip the batched
+// Montgomery-trick nonce inversion (whose shared chain is
+// variable-time) in favour of per-request fixed-iteration Fermat
+// ladders, so the per-op cost roughly doubles. Verification — public
+// inputs only — is unaffected and keeps full batch amortisation. See
+// the README's "Hardened mode" section.
+func WithConstTime() EngineOption {
+	return func(o *engineOptions) { o.cfg.ConstTime = true }
+}
+
 // WithWarmTables controls whether the shared precomputation tables
 // (generator comb, wTNAF table, recoding caches) are built eagerly at
 // construction. The default is true, so a server's first requests do

@@ -651,6 +651,33 @@ func BenchmarkSign(b *testing.B) {
 			}
 		}
 	})
+	// The hardened (constant-time) arm of the same key, one-shot and
+	// batched: the overhead against the fast sub-benchmarks above is
+	// the cost of hardening, gated at <= 3x by scripts/bench_sign.sh.
+	hard := *priv
+	hard.ConstTime = true
+	b.Run("hardened", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, err := sign.Sign(&hard, digests[i%len(digests)], rnd); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("hardenedBatch32", func(b *testing.B) {
+		out := make([]engine.SignResult, len(digests))
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i += len(digests) {
+			engine.BatchSign(&hard, digests, rnd, out)
+		}
+		b.StopTimer()
+		for i := range out {
+			if out[i].Err != nil {
+				b.Fatal(out[i].Err)
+			}
+		}
+	})
 }
 
 // benchVerifyInputs builds a server key with a precomputed

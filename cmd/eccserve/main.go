@@ -70,6 +70,7 @@ func main() {
 		maxConns = flag.Int("max-conns", 0, "max accepted connections; beyond the cap new connections get a TOverload handshake reject (0 = unlimited)")
 		faultPct = flag.Float64("fault-rate", 0, "chaos mode: per-call probability of injecting a connection fault (0 = off)")
 		faultSd  = flag.Int64("fault-seed", 1, "chaos mode: PRNG seed, same seed replays the same fault sequence")
+		cTime    = flag.Bool("const-time", false, "hardened mode: run signing and ECDH on the constant-time evaluators (<=3x sign cost, identical outputs)")
 	)
 	flag.Parse()
 	log.SetFlags(0)
@@ -89,6 +90,7 @@ func main() {
 		DrainTimeout: *drain,
 		ReadIdle:     *readIdle,
 		WriteTimeout: *writeTO,
+		ConstTime:    *cTime,
 	})
 
 	ln, err := net.Listen("tcp", *addr)
@@ -107,6 +109,9 @@ func main() {
 	}
 	log.Printf("eccserve: listening on %s (%d shards, batch %d, window %v)",
 		ln.Addr(), s.cfg.Shards, s.cfg.MaxBatch, s.cfg.Window)
+	if *cTime {
+		log.Printf("eccserve: hardened mode: signing and ECDH on the constant-time evaluators")
+	}
 
 	if *metrics != "" {
 		mln, err := net.Listen("tcp", *metrics)

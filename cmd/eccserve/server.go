@@ -28,6 +28,7 @@ type serverConfig struct {
 	DrainTimeout time.Duration // bound on waiting for in-flight work
 	ReadIdle     time.Duration // per-connection read idle timeout; 0 = none
 	WriteTimeout time.Duration // per-response write deadline; 0 = none
+	ConstTime    bool          // hardened signing/ECDH (constant-time evaluators)
 	Quiet        bool          // suppress per-connection logging
 }
 
@@ -118,13 +119,17 @@ func newServer(priv *repro.PrivateKey, cfg serverConfig) *server {
 	}
 	repro.Warm()
 	for i := 0; i < cfg.Shards; i++ {
-		s.shards = append(s.shards, repro.NewBatchEngine(
+		opts := []repro.EngineOption{
 			repro.WithWorkers(1),
 			repro.WithMaxBatch(cfg.MaxBatch),
 			repro.WithBatchWindow(cfg.Window),
 			repro.WithBatchObserver(m.observeBatch),
 			repro.WithWarmTables(false),
-		))
+		}
+		if cfg.ConstTime {
+			opts = append(opts, repro.WithConstTime())
+		}
+		s.shards = append(s.shards, repro.NewBatchEngine(opts...))
 	}
 	publishExpvar(m)
 	return s

@@ -88,6 +88,21 @@ type Machine struct {
 	// to synthesise a supply-current waveform.
 	Tracer func(c Class, cycles uint64)
 
+	// TraceInstr, when non-nil, is invoked once per executed
+	// instruction with the address it was fetched from — the
+	// instruction-address side channel. Two runs of a constant-time
+	// routine on different secrets must produce identical TraceInstr
+	// streams; any divergence is a secret-dependent branch. The
+	// side-channel regression harness (internal/codegen's trace tests)
+	// hangs off this and TraceData.
+	TraceInstr func(pc uint32)
+	// TraceData, when non-nil, is invoked for every DATA memory access
+	// (loads and stores; instruction fetches are excluded) with the
+	// byte address and the direction — the data-address side channel a
+	// cache or SRAM-bank attacker observes. Constant-time code must
+	// produce identical TraceData streams for any two secrets.
+	TraceData func(addr uint32, write bool)
+
 	halted bool
 	fault  *Fault
 }
@@ -138,6 +153,7 @@ func (m *Machine) ReadWord(addr uint32) uint32 {
 		m.setFault(fmt.Sprintf("word read out of range at %#x", addr))
 		return 0
 	}
+	m.traceData(addr, false)
 	return uint32(m.Mem[addr]) | uint32(m.Mem[addr+1])<<8 |
 		uint32(m.Mem[addr+2])<<16 | uint32(m.Mem[addr+3])<<24
 }
@@ -152,6 +168,7 @@ func (m *Machine) WriteWord(addr, v uint32) {
 		m.setFault(fmt.Sprintf("word write out of range at %#x", addr))
 		return
 	}
+	m.traceData(addr, true)
 	m.Mem[addr] = byte(v)
 	m.Mem[addr+1] = byte(v >> 8)
 	m.Mem[addr+2] = byte(v >> 16)
@@ -168,6 +185,7 @@ func (m *Machine) ReadHalf(addr uint32) uint32 {
 		m.setFault(fmt.Sprintf("halfword read out of range at %#x", addr))
 		return 0
 	}
+	m.traceData(addr, false)
 	return uint32(m.Mem[addr]) | uint32(m.Mem[addr+1])<<8
 }
 
@@ -181,6 +199,7 @@ func (m *Machine) WriteHalf(addr, v uint32) {
 		m.setFault(fmt.Sprintf("halfword write out of range at %#x", addr))
 		return
 	}
+	m.traceData(addr, true)
 	m.Mem[addr] = byte(v)
 	m.Mem[addr+1] = byte(v >> 8)
 }
@@ -191,6 +210,7 @@ func (m *Machine) LoadByte(addr uint32) uint32 {
 		m.setFault(fmt.Sprintf("byte read out of range at %#x", addr))
 		return 0
 	}
+	m.traceData(addr, false)
 	return uint32(m.Mem[addr])
 }
 
@@ -200,7 +220,30 @@ func (m *Machine) StoreByte(addr, v uint32) {
 		m.setFault(fmt.Sprintf("byte write out of range at %#x", addr))
 		return
 	}
+	m.traceData(addr, true)
 	m.Mem[addr] = byte(v)
+}
+
+// traceData reports one data access to the side-channel trace hook.
+func (m *Machine) traceData(addr uint32, write bool) {
+	if m.TraceData != nil {
+		m.TraceData(addr, write)
+	}
+}
+
+// fetchHalf is ReadHalf for instruction fetch: identical checks, but
+// the access is NOT reported to TraceData (fetch addresses are already
+// captured, in order, by TraceInstr).
+func (m *Machine) fetchHalf(addr uint32) uint32 {
+	if addr%2 != 0 {
+		m.setFault(fmt.Sprintf("unaligned instruction fetch at %#x", addr))
+		return 0
+	}
+	if int(addr)+2 > len(m.Mem) {
+		m.setFault(fmt.Sprintf("instruction fetch out of range at %#x", addr))
+		return 0
+	}
+	return uint32(m.Mem[addr]) | uint32(m.Mem[addr+1])<<8
 }
 
 // charge accounts one retired instruction of the given class and cycle

@@ -16,9 +16,12 @@ func (m *Machine) Step() {
 		return
 	}
 	pc := m.R[PC]
-	instr := m.ReadHalf(pc)
+	instr := m.fetchHalf(pc)
 	if m.fault != nil {
 		return
+	}
+	if m.TraceInstr != nil {
+		m.TraceInstr(pc)
 	}
 	next := pc + 2
 
@@ -231,7 +234,7 @@ func (m *Machine) Step() {
 		m.branchTo((pc + 4 + off) | 1)
 		return
 	case 0b11110: // BL prefix (32-bit encoding)
-		lo := m.ReadHalf(pc + 2)
+		lo := m.fetchHalf(pc + 2)
 		if m.fault != nil {
 			return
 		}

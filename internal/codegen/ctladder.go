@@ -1,0 +1,499 @@
+package codegen
+
+import (
+	"fmt"
+	"math/big"
+
+	"repro/internal/armv6m"
+	"repro/internal/ec"
+	"repro/internal/gf233"
+)
+
+// This file assembles the constant-time contrast to pointmul.go's
+// τ-and-add driver: an x-only López–Dahab Montgomery ladder whose
+// instruction stream and data-address stream are independent of the
+// scalar. The τ-and-add driver branches on every recoded digit and
+// indexes the precomputation table with it — exactly the
+// secret-dependent control flow and addressing a power or cache
+// adversary reads — so the pair gives the side-channel regression
+// harness both a known-good and a known-bad subject: the ladder's
+// traces must be identical for any two secrets, the τ-and-add traces
+// must differ (proving the detector actually detects).
+//
+// Ladder state is the projective x-line pair (X1:Z1) = [m]P,
+// (X2:Z2) = [m+1]P, seeded at m = 0 with ((1:0), (x:1)) so all 232
+// scalar bits are processed in a fixed-length loop with no top-bit
+// normalisation. Per bit b: cswap(b), then
+//
+//	madd:    Z2' = (X1·Z2 + X2·Z1)²,  X2' = x·Z2' + (X1·Z2)(X2·Z1)
+//	mdouble: X1' = X1⁴ + Z1⁴,         Z1' = X1²·Z1²   (b = 1 on K-233)
+//
+// then cswap(b) again. The swap itself is XOR-masked word arithmetic
+// (mask = 0 − bit) at fixed addresses; the bit is located by the
+// public loop counter (word i/32, shift i%32), so neither fetch nor
+// data addresses depend on the secret.
+
+// The paper's field routines themselves are not data-address clean:
+// mul_fixed_asm looks its López–Dahab table rows up by secret operand
+// nibbles and sqr_asm indexes its 256-entry table with secret bytes.
+// On the cache-less M0+ that costs no time, but it is visible to the
+// address side channel this harness checks, so the ladder composes
+// its steps from two dedicated routines instead: ct_mul (bit-serial
+// masked accumulation over a public-address shift table) and ct_sqr
+// (branch-free bit interleaving with mask constants), sharing a
+// word-level reduction for f(x) = x²³³ + x⁷⁴ + 1.
+
+// Data-segment layout (offsets from pmBase; every buffer 8 words).
+// X1‖Z1 and X2‖Z2 are contiguous 16-word blocks so one fixed-address
+// masked pass swaps both coordinates.
+const (
+	ctX1 = 0x000 // ladder lower leg, X
+	ctZ1 = 0x020 // ladder lower leg, Z
+	ctX2 = 0x040 // ladder upper leg, X
+	ctZ2 = 0x060 // ladder upper leg, Z
+	ctXP = 0x080 // x(P), the ladder's invariant difference
+	ctK  = 0x0a0 // scalar, 8 little-endian words
+	ctT1 = 0x0c0 // temporaries
+	ctT2 = 0x0e0
+	ctT3 = 0x100
+	ctT4 = 0x120
+
+	// ct_mul scratch: 32 shifted copies of the second operand
+	// (9 words each, walked by the public bit index) followed by the
+	// 16-word product accumulator shared with ct_sqr.
+	ctShifts = 0xc00
+	ctAcc    = ctShifts + 32*36
+)
+
+// ctBits is the fixed ladder length: every scalar in [1, n−1] fits in
+// 232 bits, and the (1:0) infinity seed makes leading zero bits
+// harmless, so all scalars take exactly this many iterations.
+const ctBits = 232
+
+// genCTBitmask emits the subroutine loading scalar bit r5 of K into a
+// branchless mask in r4 (0 when the bit is clear, all-ones when set).
+// The addressing is public: word index r5/32, in-register shift r5%32.
+func genCTBitmask(g *gen) {
+	g.label("ct_bitmask")
+	g.emit("lsrs r0, r5, #5")
+	g.emit("lsls r0, r0, #2")
+	emitAddr(g, "r1", ctK)
+	g.emit("ldr r1, [r1, r0]")
+	g.emit("movs r2, #31")
+	g.emit("mov r3, r5")
+	g.emit("ands r3, r2")
+	g.emit("lsrs r1, r3")
+	g.emit("movs r2, #1")
+	g.emit("ands r1, r2")
+	g.emit("rsbs r4, r1, #0")
+	g.emit("bx lr")
+}
+
+// genCTCswap emits the masked conditional swap of the two 16-word
+// ladder legs (X1‖Z1 ↔ X2‖Z2) under the mask in r4. Both legs are
+// read and written in full at fixed addresses whatever the mask, so
+// the data trace is bit-independent.
+func genCTCswap(g *gen) {
+	g.label("ct_cswap")
+	emitAddr(g, "r0", ctX1)
+	emitAddr(g, "r1", ctX2)
+	for j := 0; j < 16; j++ {
+		off := 4 * j
+		g.emit("ldr r2, [r0, #%d]", off)
+		g.emit("ldr r3, [r1, #%d]", off)
+		g.emit("mov r6, r2")
+		g.emit("eors r6, r3")
+		g.emit("ands r6, r4")
+		g.emit("eors r2, r6")
+		g.emit("eors r3, r6")
+		g.emit("str r2, [r0, #%d]", off)
+		g.emit("str r3, [r1, #%d]", off)
+	}
+	g.emit("bx lr")
+}
+
+// emitCTMul emits out = a·b through the constant-trace multiplier.
+func emitCTMul(g *gen, a, b, out int) {
+	emitFieldCall(g, "ct_mul", a, b, out, ctShifts)
+}
+
+// emitCTSqr emits out = in² through the constant-trace squarer.
+func emitCTSqr(g *gen, in, out int) {
+	emitFieldCall(g, "ct_sqr", in, out, ctAcc)
+}
+
+// genCTStep emits one ladder step: the differential addition into the
+// upper leg followed by the doubling of the lower leg, composed from
+// straight-line BL calls into the constant-trace field routines (no
+// digit branches, no secret-indexed loads).
+func genCTStep(g *gen) {
+	g.label("ct_step")
+	g.emit("push {lr}")
+	g.comment("madd: (X2, Z2) <- (X1:Z1) + (X2:Z2)")
+	emitCTMul(g, ctX1, ctZ2, ctT1) // T1 = X1·Z2
+	emitCTMul(g, ctX2, ctZ1, ctT2) // T2 = X2·Z1
+	emitAdd(g, ctT1, ctT2, ctT3)   // T3 = T1 + T2
+	emitCTSqr(g, ctT3, ctZ2)       // Z2 = (T1+T2)²
+	emitCTMul(g, ctT1, ctT2, ctT3) // T3 = T1·T2
+	emitCTMul(g, ctXP, ctZ2, ctT1) // T1 = x·Z2
+	emitAdd(g, ctT1, ctT3, ctX2)   // X2 = x·Z2 + T1·T2
+	g.comment("mdouble: (X1, Z1) <- 2·(X1:Z1), b = 1")
+	emitCTSqr(g, ctX1, ctT1)       // T1 = X1²
+	emitCTSqr(g, ctZ1, ctT2)       // T2 = Z1²
+	emitCTMul(g, ctT1, ctT2, ctZ1) // Z1 = X1²·Z1²
+	emitCTSqr(g, ctT1, ctT3)       // T3 = X1⁴
+	emitCTSqr(g, ctT2, ctT4)       // T4 = Z1⁴
+	emitAdd(g, ctT3, ctT4, ctX1)   // X1 = X1⁴ + Z1⁴
+	g.emit("pop {pc}")
+}
+
+// genCTMul emits the constant-trace multiplication (r0 = &x, r1 = &y,
+// r2 = &out, r3 = scratch). It first materialises y≪t for t = 0..31
+// at public addresses, then for every bit of x (public position,
+// secret value) folds the matching shifted copy into the accumulator
+// under an XOR mask — the same 45-access pattern whether the bit is 0
+// or 1. Roughly 10× the cycles of mul_fixed_asm: the price of losing
+// the secret-indexed row lookup.
+func genCTMul(g *gen) {
+	g.label("ct_mul")
+	g.emit("push {r4-r7, lr}")
+	g.emit("mov r8, r0")
+	g.emit("mov r9, r2")
+	g.emit("mov r7, r3")
+	g.comment("shift table: entry 0 is y itself, zero-extended to 9 words")
+	g.emit("mov r2, r7")
+	for i := 0; i < numWords; i++ {
+		g.emit("ldr r3, [r1, #%d]", 4*i)
+		g.emit("str r3, [r2, #%d]", 4*i)
+	}
+	g.emit("movs r3, #0")
+	g.emit("str r3, [r2, #32]")
+	g.comment("entries 1..31: each the previous shifted left one bit")
+	g.emit("movs r5, #31")
+	g.label("ctm_shl")
+	g.emit("mov r3, r2")
+	g.emit("adds r3, #36")
+	g.emit("ldr r0, [r2, #0]")
+	g.emit("lsls r1, r0, #1")
+	g.emit("str r1, [r3, #0]")
+	for i := 1; i <= 8; i++ {
+		g.emit("ldr r4, [r2, #%d]", 4*i)
+		g.emit("lsls r1, r4, #1")
+		g.emit("lsrs r6, r0, #31")
+		g.emit("orrs r1, r6")
+		g.emit("str r1, [r3, #%d]", 4*i)
+		g.emit("mov r0, r4")
+	}
+	g.emit("mov r2, r3")
+	g.emit("subs r5, #1")
+	g.emit("bne ctm_shl")
+	g.comment("clear the 16-word accumulator at scratch+1152")
+	g.emit("movs r2, #144")
+	g.emit("lsls r2, r2, #3")
+	g.emit("add r2, r7")
+	g.emit("mov r10, r2")
+	g.emit("movs r3, #0")
+	for i := 0; i < 16; i++ {
+		g.emit("str r3, [r2, #%d]", 4*i)
+	}
+	for w := 0; w < numWords; w++ {
+		g.comment("fold the 32 bits of x[%d] (word offset is public)", w)
+		g.emit("mov r0, r8")
+		g.emit("ldr r5, [r0, #%d]", 4*w)
+		g.emit("mov r6, r10")
+		if w > 0 {
+			g.emit("adds r6, #%d", 4*w)
+		}
+		g.emit("mov r0, r7")
+		g.emit("movs r1, #32")
+		g.label(fmt.Sprintf("ctm_acc%d", w))
+		g.emit("movs r4, #1")
+		g.emit("ands r4, r5")
+		g.emit("rsbs r4, r4, #0")
+		g.emit("lsrs r5, r5, #1")
+		for i := 0; i <= 8; i++ {
+			g.emit("ldr r2, [r0, #%d]", 4*i)
+			g.emit("ands r2, r4")
+			g.emit("ldr r3, [r6, #%d]", 4*i)
+			g.emit("eors r3, r2")
+			g.emit("str r3, [r6, #%d]", 4*i)
+		}
+		g.emit("adds r0, #36")
+		g.emit("subs r1, #1")
+		g.emit("bne ctm_acc%d", w)
+	}
+	g.emit("mov r3, r10")
+	g.emit("bl ct_reduce")
+	g.emit("mov r0, r10")
+	g.emit("mov r1, r9")
+	for i := 0; i < numWords; i++ {
+		g.emit("ldr r2, [r0, #%d]", 4*i)
+		g.emit("str r2, [r1, #%d]", 4*i)
+	}
+	g.emit("pop {r4-r7, pc}")
+}
+
+// genCTSqr emits the constant-trace squaring (r0 = &x, r1 = &out,
+// r2 = &acc): each halfword is spread to 32 bits by four mask-shift
+// interleave steps — pure register arithmetic, no squaring table —
+// then the double-length result is reduced in place.
+func genCTSqr(g *gen) {
+	g.label("ct_sqr")
+	g.emit("push {r4-r7, lr}")
+	g.emit("mov r8, r0")
+	g.emit("mov r9, r1")
+	g.emit("mov r10, r2")
+	for i := 0; i < numWords; i++ {
+		g.emit("mov r0, r8")
+		g.emit("ldr r5, [r0, #%d]", 4*i)
+		g.emit("lsls r2, r5, #16")
+		g.emit("lsrs r2, r2, #16")
+		g.emit("bl ct_spread")
+		g.emit("mov r0, r10")
+		g.emit("str r2, [r0, #%d]", 8*i)
+		g.emit("lsrs r2, r5, #16")
+		g.emit("bl ct_spread")
+		g.emit("mov r0, r10")
+		g.emit("str r2, [r0, #%d]", 8*i+4)
+	}
+	g.emit("mov r3, r10")
+	g.emit("bl ct_reduce")
+	g.emit("mov r0, r10")
+	g.emit("mov r1, r9")
+	for i := 0; i < numWords; i++ {
+		g.emit("ldr r2, [r0, #%d]", 4*i)
+		g.emit("str r2, [r1, #%d]", 4*i)
+	}
+	g.emit("pop {r4-r7, pc}")
+}
+
+// genCTSpread emits the halfword bit-interleave helper: r2 (16 bits
+// in) becomes r2 with those bits at even positions; clobbers r3, r4.
+func genCTSpread(g *gen) {
+	g.label("ct_spread")
+	for _, step := range []struct {
+		lo    int // mask byte, duplicated across the word
+		shift int
+	}{
+		{0xFF, 8}, {0x0F, 4}, {0x33, 2}, {0x55, 1},
+	} {
+		if step.lo == 0xFF {
+			// 0x00FF00FF
+			g.emit("movs r4, #255")
+			g.emit("lsls r4, r4, #16")
+			g.emit("adds r4, #255")
+		} else {
+			g.emit("movs r4, #%d", step.lo)
+			g.emit("lsls r4, r4, #8")
+			g.emit("adds r4, #%d", step.lo)
+			g.emit("mov r3, r4")
+			g.emit("lsls r3, r3, #16")
+			g.emit("orrs r4, r3")
+		}
+		g.emit("lsls r3, r2, #%d", step.shift)
+		g.emit("orrs r2, r3")
+		g.emit("ands r2, r4")
+	}
+	g.emit("bx lr")
+}
+
+// genCTReduce emits the word-level reduction for the shared K-/B-233
+// trinomial f(x) = x²³³ + x⁷⁴ + 1 (Hankerson et al., Alg. 2.42):
+// r3 = &acc, 16 words reduced in place so words 0..7 hold the field
+// element; clobbers r0, r1, r2, r4. Straight-line — every shift count
+// and offset is fixed.
+func genCTReduce(g *gen) {
+	g.label("ct_reduce")
+	xorInto := func(off int, srcReg string) {
+		g.emit("ldr r2, [r3, #%d]", off)
+		g.emit("eors r2, %s", srcReg)
+		g.emit("str r2, [r3, #%d]", off)
+	}
+	for i := 15; i >= 8; i-- {
+		g.emit("ldr r0, [r3, #%d]", 4*i)
+		g.emit("lsls r1, r0, #23")
+		xorInto(4*(i-8), "r1")
+		g.emit("lsrs r1, r0, #9")
+		xorInto(4*(i-7), "r1")
+		g.emit("lsls r1, r0, #1")
+		xorInto(4*(i-5), "r1")
+		g.emit("lsrs r1, r0, #31")
+		xorInto(4*(i-4), "r1")
+	}
+	g.comment("fold the 23 overflow bits of word 7")
+	g.emit("ldr r0, [r3, #28]")
+	g.emit("lsrs r1, r0, #9")
+	xorInto(0, "r1")
+	g.emit("lsls r4, r1, #10")
+	xorInto(8, "r4")
+	g.emit("lsrs r4, r1, #22")
+	xorInto(12, "r4")
+	g.emit("movs r2, #255")
+	g.emit("lsls r2, r2, #1")
+	g.emit("adds r2, #1")
+	g.emit("ands r0, r2")
+	g.emit("str r0, [r3, #28]")
+	g.emit("bx lr")
+}
+
+// CTLadderProgram generates the full constant-time kP image: driver,
+// bitmask, cswap and step subroutines plus the field routines. The
+// runner pre-loads the ladder state, x(P), the scalar words and the
+// squaring table; the driver takes no registers and leaves the result
+// in (X1:Z1).
+func CTLadderProgram() string {
+	g := &gen{}
+	g.label("ct_ladder")
+	g.comment("fixed %d-iteration x-only Montgomery ladder", ctBits)
+	g.emit("push {r4-r7, lr}")
+	g.comment("r7 = data-segment base, r5 = bit index; live across calls")
+	g.emit("movs r7, #%d", pmBase>>12)
+	g.emit("lsls r7, r7, #12")
+	g.emit("movs r5, #%d", ctBits)
+	g.label("ctl_loop")
+	g.emit("subs r5, #1")
+	g.emit("bl ct_bitmask")
+	g.emit("bl ct_cswap")
+	g.emit("bl ct_step")
+	g.emit("bl ct_bitmask")
+	g.emit("bl ct_cswap")
+	g.emit("cmp r5, #0")
+	g.emit("bne ctl_loop")
+	g.emit("pop {r4-r7, pc}")
+	g.b.WriteString("\n")
+
+	genCTBitmask(g)
+	g.b.WriteString("\n")
+	genCTCswap(g)
+	g.b.WriteString("\n")
+	genCTStep(g)
+	g.b.WriteString("\n")
+	genCTMul(g)
+	g.b.WriteString("\n")
+	genCTSqr(g)
+	g.b.WriteString("\n")
+	genCTSpread(g)
+	g.b.WriteString("\n")
+	genCTReduce(g)
+	g.b.WriteString("\n")
+	genFieldAdd(g)
+	return g.b.String()
+}
+
+// fnv64Offset and fnv64Prime are the FNV-1a parameters used to fold
+// address streams into order-sensitive digests.
+const (
+	fnv64Offset = 14695981039346656037
+	fnv64Prime  = 1099511628211
+)
+
+// TraceRecorder folds a machine's instruction-address and
+// data-address streams into order-sensitive digests, so multi-million
+// event traces can be compared for exact equality in O(1) memory. Two
+// runs have equal (InstrHash, Instrs) exactly when they executed the
+// identical instruction-address sequence (up to FNV collision), and
+// likewise for the data stream with its read/write direction.
+type TraceRecorder struct {
+	InstrHash uint64 // FNV-1a over fetch addresses, in order
+	DataHash  uint64 // FNV-1a over (addr<<1 | isWrite), in order
+	Instrs    uint64 // instructions executed
+	Accesses  uint64 // data accesses performed
+}
+
+// NewTraceRecorder returns an empty recorder.
+func NewTraceRecorder() *TraceRecorder {
+	return &TraceRecorder{InstrHash: fnv64Offset, DataHash: fnv64Offset}
+}
+
+// Attach installs the recorder's hooks on m. Attach after writing the
+// machine's inputs, or the setup stores pollute the data digest.
+func (t *TraceRecorder) Attach(m *armv6m.Machine) {
+	m.TraceInstr = func(pc uint32) {
+		t.InstrHash = (t.InstrHash ^ uint64(pc)) * fnv64Prime
+		t.Instrs++
+	}
+	m.TraceData = func(addr uint32, write bool) {
+		v := uint64(addr) << 1
+		if write {
+			v |= 1
+		}
+		t.DataHash = (t.DataHash ^ v) * fnv64Prime
+		t.Accesses++
+	}
+}
+
+// Equal reports whether two recorders saw identical traces.
+func (t *TraceRecorder) Equal(o *TraceRecorder) bool {
+	return t.InstrHash == o.InstrHash && t.DataHash == o.DataHash &&
+		t.Instrs == o.Instrs && t.Accesses == o.Accesses
+}
+
+// CTLadderResult reports an on-simulator constant-time point
+// multiplication.
+type CTLadderResult struct {
+	X      gf233.Elem // affine x-coordinate of kP
+	Cycles uint64
+	Stats  Stats
+}
+
+// ctProgram caches the assembled ladder image.
+var ctProgram *Routine
+
+func buildCTLadder() (*Routine, error) {
+	if ctProgram != nil {
+		return ctProgram, nil
+	}
+	r, err := NewRoutine(CTLadderProgram(), "ct_ladder")
+	if err != nil {
+		return nil, err
+	}
+	ctProgram = r
+	return r, nil
+}
+
+// RunCTLadder executes the constant-time ladder for k·P on the
+// simulator, k in [1, n−1]. When rec is non-nil its hooks are
+// attached after input setup, so the digests cover exactly the
+// ladder's own execution.
+func RunCTLadder(k *big.Int, p ec.Affine, rec *TraceRecorder) (*CTLadderResult, error) {
+	if k.Sign() <= 0 || k.Cmp(ec.Order) >= 0 {
+		return nil, fmt.Errorf("codegen: ladder scalar out of range [1, n-1]")
+	}
+	r, err := buildCTLadder()
+	if err != nil {
+		return nil, err
+	}
+	m := armv6m.New(memSize)
+	m.LoadProgram(0, r.prog.Code)
+	// Seed (X1:Z1) = (1:0) = O, (X2:Z2) = (x:1) = P.
+	writeElemAt(m, ctX1, gf233.One)
+	writeElemAt(m, ctX2, p.X)
+	writeElemAt(m, ctZ2, gf233.One)
+	writeElemAt(m, ctXP, p.X)
+	// Scalar as 8 little-endian words.
+	var kb [32]byte
+	k.FillBytes(kb[:])
+	for i := 0; i < 8; i++ {
+		w := uint32(kb[31-4*i]) | uint32(kb[30-4*i])<<8 |
+			uint32(kb[29-4*i])<<16 | uint32(kb[28-4*i])<<24
+		m.WriteWord(uint32(pmBase+ctK+4*i), w)
+	}
+	if rec != nil {
+		rec.Attach(m)
+	}
+	cycles, err := m.Call(r.entry, maxCycles)
+	if err != nil {
+		return nil, err
+	}
+	x1 := readElemAt(m, ctX1)
+	z1 := readElemAt(m, ctZ1)
+	zinv, ok := gf233.Inv(z1)
+	if !ok {
+		return nil, fmt.Errorf("codegen: ladder produced the point at infinity")
+	}
+	return &CTLadderResult{
+		X:      gf233.Mul(x1, zinv),
+		Cycles: cycles,
+		Stats:  stats(m, cycles),
+	}, nil
+}

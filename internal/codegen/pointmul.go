@@ -273,6 +273,14 @@ func readElemAt(m *armv6m.Machine, off int) gf233.Elem {
 // and table (digits least-significant first, as koblitz.WTNAF returns;
 // the table must hold the 2^(w-2) positive odd multiples).
 func RunPointMulDigits(digits []int8, table []ec.Affine, w int) (*PointMulResult, error) {
+	return runPointMulDigits(digits, table, w, nil)
+}
+
+// runPointMulDigits is RunPointMulDigits with an optional machine
+// hook invoked after input setup and before execution — the
+// side-channel harness uses it to attach a TraceRecorder and show the
+// digit-branching driver's traces are secret-dependent.
+func runPointMulDigits(digits []int8, table []ec.Affine, w int, attach func(*armv6m.Machine)) (*PointMulResult, error) {
 	if len(digits) < 2 {
 		return nil, fmt.Errorf("codegen: digit string too short")
 	}
@@ -324,6 +332,9 @@ func RunPointMulDigits(digits []int8, table []ec.Affine, w int) (*PointMulResult
 		}
 	}
 	m.R[0] = uint32(rest)
+	if attach != nil {
+		attach(m)
+	}
 	cycles, err := m.Call(r.entry, maxCycles)
 	if err != nil {
 		return nil, err

@@ -26,6 +26,17 @@ import (
 // apply here).
 const WComb = 8
 
+// WCombCT is the comb width for the hardened generator table. The
+// constant-time evaluator cannot index the table by the secret column
+// pattern — it scans every entry and selects with masks — so its cost
+// is d·(2^w − 1) masked entry reads plus d point operations, and the
+// fast path's width is exactly wrong: at w = 8 the scan sweeps 29·255
+// entries (≈460 KiB of traffic) per call. Width 5 scans 47·31 entries
+// from a 2 KiB table that stays L1-resident, which is near the
+// d·(2^w−1) + d·pointop minimum; both combs evaluate the same k·G, so
+// the hardened result stays bit-identical to the fast path.
+const WCombCT = 5
+
 // Comb holds the per-point comb precomputation.
 type Comb struct {
 	w, d  int

@@ -349,12 +349,32 @@ type PrivateKey struct {
 	D *big.Int
 	// Public is D·G.
 	Public ec.Affine
+	// ConstTime routes every secret-scalar operation with this key —
+	// signing, ECDH, key derivation — through the constant-time
+	// evaluators (ct.go, modn_ct.go): no secret-dependent branches or
+	// table addresses, at roughly 2-3× the fast path's cost. Results
+	// are bit-identical to the fast path. Verification, which handles
+	// only public inputs, is unaffected.
+	ConstTime bool
 }
 
 // GenerateKey draws a key pair from the given random source using
 // rejection sampling (so D is uniform modulo the group order). The
 // public key is computed with the paper's fixed-point method.
 func GenerateKey(rand io.Reader) (*PrivateKey, error) {
+	return generateKey(rand, false)
+}
+
+// GenerateKeyCT is GenerateKey on the hardened path: the same
+// rejection sampler consuming the same bytes from rand (so the drawn
+// scalar is identical for a given stream), with the public point
+// derived by the constant-time comb. The returned key has ConstTime
+// set, so all subsequent secret-scalar operations stay hardened.
+func GenerateKeyCT(rand io.Reader) (*PrivateKey, error) {
+	return generateKey(rand, true)
+}
+
+func generateKey(rand io.Reader, ct bool) (*PrivateKey, error) {
 	byteLen := (ec.Order.BitLen() + 7) / 8
 	buf := make([]byte, byteLen)
 	for tries := 0; tries < 1000; tries++ {
@@ -366,6 +386,9 @@ func GenerateKey(rand io.Reader) (*PrivateKey, error) {
 		d.Rsh(d, uint(8*byteLen-ec.Order.BitLen()))
 		if CheckScalar(d) != nil {
 			continue
+		}
+		if ct {
+			return &PrivateKey{D: d, Public: ScalarBaseMultCT(d), ConstTime: true}, nil
 		}
 		return &PrivateKey{D: d, Public: ScalarBaseMult(d)}, nil
 	}

@@ -1,0 +1,92 @@
+package core
+
+import (
+	"math/big"
+	"math/rand"
+	"testing"
+
+	"repro/internal/ec"
+)
+
+func ctEvalScalars() []*big.Int {
+	n := ec.Order
+	scalars := []*big.Int{
+		big.NewInt(1), big.NewInt(2), big.NewInt(3),
+		new(big.Int).Sub(n, big.NewInt(1)),
+		new(big.Int).Sub(n, big.NewInt(2)),
+		new(big.Int).Lsh(big.NewInt(1), 231),
+		// The comb doubling-collision shape: bits {28, 56} make the
+		// accumulator equal the next table entry mid-evaluation, the
+		// exceptional case ctAddMixed must resolve by masked select.
+		new(big.Int).SetBit(new(big.Int).SetBit(big.NewInt(0), 28, 1), 56, 1),
+	}
+	rng := rand.New(rand.NewSource(99))
+	for i := 0; i < 40; i++ {
+		scalars = append(scalars, new(big.Int).Rand(rng, n))
+	}
+	return scalars
+}
+
+// TestScalarBaseMultCTMatchesFast pins the constant-time comb to the
+// fast path bit for bit across edge and random scalars.
+func TestScalarBaseMultCTMatchesFast(t *testing.T) {
+	s := NewScratch()
+	for _, k := range ctEvalScalars() {
+		want := s.ScalarBaseMult(k)
+		got := s.ScalarBaseMultCT(k)
+		if !pointsEqualCT(got, want) {
+			t.Fatalf("k=%v: CT comb %v != fast %v", k, got, want)
+		}
+	}
+}
+
+// TestScalarMultCTMatchesFast pins the constant-time τ-adic evaluator
+// to the fast path for arbitrary points.
+func TestScalarMultCTMatchesFast(t *testing.T) {
+	s := NewScratch()
+	// A couple of distinct base points: the generator and a random
+	// subgroup multiple of it.
+	points := []ec.Affine{ec.Gen()}
+	points = append(points, s.ScalarBaseMult(big.NewInt(0x1234567)))
+	for _, p := range points {
+		for _, k := range ctEvalScalars() {
+			want := s.ScalarMult(k, p)
+			got := s.ScalarMultCT(k, p)
+			if !pointsEqualCT(got, want) {
+				t.Fatalf("k=%v: CT ladder %v != fast %v", k, got, want)
+			}
+		}
+	}
+}
+
+// TestScalarMultCTZeroAndInfinity covers the degenerate inputs.
+func TestScalarMultCTZeroAndInfinity(t *testing.T) {
+	s := NewScratch()
+	if got := s.ScalarMultCT(big.NewInt(0), ec.Gen()); !got.Inf {
+		t.Fatalf("0·G = %v, want infinity", got)
+	}
+	if got := s.ScalarBaseMultCT(big.NewInt(0)); !got.Inf {
+		t.Fatalf("comb 0·G = %v, want infinity", got)
+	}
+	if got := s.ScalarMultCT(big.NewInt(5), ec.Infinity); !got.Inf {
+		t.Fatalf("5·∞ = %v, want infinity", got)
+	}
+}
+
+// TestCTPackageEntryPoints exercises the pooled wrappers.
+func TestCTPackageEntryPoints(t *testing.T) {
+	k := big.NewInt(0xdeadbeef)
+	if got, want := ScalarBaseMultCT(k), ScalarBaseMult(k); !pointsEqualCT(got, want) {
+		t.Fatalf("package ScalarBaseMultCT mismatch")
+	}
+	if got, want := ScalarMultCT(k, ec.Gen()), ScalarMult(k, ec.Gen()); !pointsEqualCT(got, want) {
+		t.Fatalf("package ScalarMultCT mismatch")
+	}
+}
+
+func pointsEqualCT(a, b ec.Affine) bool {
+	if a.Inf || b.Inf {
+		return a.Inf == b.Inf
+	}
+	return a.X == b.X && a.Y == b.Y
+}

@@ -1,0 +1,85 @@
+package core
+
+import (
+	"math/big"
+	"math/rand"
+	"testing"
+
+	"repro/internal/ec"
+)
+
+func modnScalars() []*big.Int {
+	n := ec.Order
+	vals := []*big.Int{
+		big.NewInt(1), big.NewInt(2), big.NewInt(3),
+		new(big.Int).Sub(n, big.NewInt(1)),
+		new(big.Int).Sub(n, big.NewInt(2)),
+		new(big.Int).Lsh(big.NewInt(1), 231),
+		big.NewInt(0xffffffff),
+	}
+	rng := rand.New(rand.NewSource(11))
+	for i := 0; i < 128; i++ {
+		v := new(big.Int).Rand(rng, n)
+		if v.Sign() == 0 {
+			v.SetInt64(1)
+		}
+		vals = append(vals, v)
+	}
+	return vals
+}
+
+// TestInvCTMatchesEEA pins the Fermat ladder to the fast binary EEA
+// bit for bit.
+func TestInvCTMatchesEEA(t *testing.T) {
+	var m ModN
+	want, got := new(big.Int), new(big.Int)
+	for _, a := range modnScalars() {
+		m.Inv(want, a)
+		m.InvCT(got, a)
+		if want.Cmp(got) != 0 {
+			t.Fatalf("a=%v: InvCT %v != Inv %v", a, got, want)
+		}
+	}
+}
+
+// TestMulCTMatchesBig pins Montgomery multiplication to big.Int.
+func TestMulCTMatchesBig(t *testing.T) {
+	var m ModN
+	vals := modnScalars()
+	want, got := new(big.Int), new(big.Int)
+	for i := 0; i+1 < len(vals); i += 2 {
+		a, b := vals[i], vals[i+1]
+		want.Mul(a, b)
+		want.Mod(want, ec.Order)
+		m.MulCT(got, a, b)
+		if want.Cmp(got) != 0 {
+			t.Fatalf("a=%v b=%v: MulCT %v != %v", a, b, got, want)
+		}
+	}
+	// Zero operands round-trip too.
+	m.MulCT(got, big.NewInt(0), vals[0])
+	if got.Sign() != 0 {
+		t.Fatalf("0·a = %v, want 0", got)
+	}
+}
+
+// TestSignSCTMatchesBig pins the fixed-width ECDSA assembly to the
+// big.Int formula s = k⁻¹(e + r·d) mod n.
+func TestSignSCTMatchesBig(t *testing.T) {
+	var m ModN
+	vals := modnScalars()
+	n := ec.Order
+	want, got, kinv := new(big.Int), new(big.Int), new(big.Int)
+	for i := 0; i+3 < len(vals); i += 4 {
+		k, e, r, d := vals[i], vals[i+1], vals[i+2], vals[i+3]
+		kinv.ModInverse(k, n)
+		want.Mul(r, d)
+		want.Add(want, e)
+		want.Mul(want, kinv)
+		want.Mod(want, n)
+		m.SignSCT(got, k, e, r, d)
+		if want.Cmp(got) != 0 {
+			t.Fatalf("SignSCT mismatch: got %v want %v", got, want)
+		}
+	}
+}

@@ -34,14 +34,16 @@ import (
 // race tests can hammer first-use initialisation on fresh instances;
 // the package serves every caller from the single genTables instance.
 type tableRegistry struct {
-	combOnce  sync.Once
-	comb      *Comb
-	tnafOnce  sync.Once
-	tnaf      *FixedBase
-	ordOnce   sync.Once
-	ord       []int8
-	jointOnce sync.Once
-	joint     *FixedBase
+	combOnce   sync.Once
+	comb       *Comb
+	combCTOnce sync.Once
+	combCT     *combCT
+	tnafOnce   sync.Once
+	tnaf       *FixedBase
+	ordOnce    sync.Once
+	ord        []int8
+	jointOnce  sync.Once
+	joint      *FixedBase
 }
 
 // genTables is the process-wide registry for the sect233k1 generator.
@@ -53,6 +55,18 @@ func (r *tableRegistry) generatorComb() *Comb {
 		r.comb = NewComb(ec.Gen(), WComb)
 	})
 	return r.comb
+}
+
+// generatorCombCT returns the frozen width-WCombCT split comb for G:
+// the hardened ScalarBaseMult path. A separate, narrower comb because
+// the masked full-table scan makes the fast comb's width a liability
+// (see WCombCT); the tables are frozen under their own Once with the
+// same concurrency contract as the fast comb.
+func (r *tableRegistry) generatorCombCT() *combCT {
+	r.combCTOnce.Do(func() {
+		r.combCT = newCombCT(NewComb(ec.Gen(), WCombCT))
+	})
+	return r.combCT
 }
 
 // generatorTNAF returns the frozen wTNAF w=WFixed table for G.
@@ -88,9 +102,10 @@ func (r *tableRegistry) orderDigits() []int8 {
 	return r.ord
 }
 
-func generatorComb() *Comb { return genTables.generatorComb() }
-func genBase() *FixedBase  { return genTables.generatorTNAF() }
-func genJoint() *FixedBase { return genTables.generatorJoint() }
+func generatorComb() *Comb   { return genTables.generatorComb() }
+func generatorCombCT() *combCT { return genTables.generatorCombCT() }
+func genBase() *FixedBase    { return genTables.generatorTNAF() }
+func genJoint() *FixedBase   { return genTables.generatorJoint() }
 
 // Warm eagerly builds every shared table the hot paths consult lazily:
 // the generator comb and wTNAF tables, the order digit string, the
@@ -100,6 +115,7 @@ func genJoint() *FixedBase { return genTables.generatorJoint() }
 // call concurrently.
 func Warm() {
 	genTables.generatorComb()
+	genTables.generatorCombCT()
 	genTables.generatorTNAF()
 	genTables.generatorJoint()
 	genTables.orderDigits()

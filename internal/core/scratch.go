@@ -44,6 +44,10 @@ type Scratch struct {
 	bsdA   []ec.Affine64
 	btabLD []ec.LD64
 	btab   []ec.Affine64
+	// kw/kb stage a secret scalar in fixed-width form for the
+	// constant-time evaluators (ct.go); both are zeroed by Wipe.
+	kw [4]uint64
+	kb [32]byte
 }
 
 // NewScratch returns an empty Scratch; buffers grow on first use.
@@ -72,6 +76,12 @@ func putScratch(s *Scratch) {
 func (s *Scratch) Wipe() {
 	s.rec.Wipe()
 	koblitz.WipeInt(&s.mod)
+	for i := range s.kw {
+		s.kw[i] = 0
+	}
+	for i := range s.kb {
+		s.kb[i] = 0
+	}
 }
 
 // Grow returns *buf resized to length n, reallocating only when the

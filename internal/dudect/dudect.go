@@ -1,0 +1,160 @@
+// Package dudect implements the statistical half of the side-channel
+// regression harness: a Welch's t-test over wall-clock timing samples
+// of two input classes, after dudect (Reparaz, Balasch, Verbauwhede,
+// "Dude, is my code constant time?", DATE 2017). The armv6m trace
+// checker proves address-trace equality on the simulated M0+; this
+// package checks the host-side hardened paths, where the compiler and
+// the allocator — not the generated assembly — decide what actually
+// executes.
+//
+// Protocol: run the operation under test with two fixed input classes
+// (e.g. a minimal-weight and a near-maximal-weight private scalar),
+// interleaved in a deterministic pseudo-random order so both classes
+// sample the same noise environment. Crop the spike tail (scheduler
+// preemptions, GC) at a pooled quantile, then compare class means
+// with Welch's t. |t| below the threshold is consistent with
+// constant time; |t| far above it is a leak. The smoke gate uses a
+// small sample count and a generous threshold so CI stays non-flaky;
+// CT_FULL=1 runs the real thing.
+package dudect
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+	"time"
+)
+
+// Welford is a streaming mean/variance accumulator (Welford's
+// algorithm), numerically stable over millions of samples.
+type Welford struct {
+	N    float64
+	Mean float64
+	m2   float64
+}
+
+// Add folds one sample in.
+func (w *Welford) Add(x float64) {
+	w.N++
+	d := x - w.Mean
+	w.Mean += d / w.N
+	w.m2 += d * (x - w.Mean)
+}
+
+// Var returns the sample variance.
+func (w *Welford) Var() float64 {
+	if w.N < 2 {
+		return 0
+	}
+	return w.m2 / (w.N - 1)
+}
+
+// TStat is Welch's t-statistic for the difference of the two
+// accumulated means.
+func TStat(a, b *Welford) float64 {
+	if a.N < 2 || b.N < 2 {
+		return 0
+	}
+	se := math.Sqrt(a.Var()/a.N + b.Var()/b.N)
+	if se == 0 {
+		return 0
+	}
+	return (a.Mean - b.Mean) / se
+}
+
+// TFromSamples crops both classes at the pooled crop-quantile (to
+// shed timer and scheduler spikes, which land in either class at
+// random and only add variance) and returns Welch's t over what
+// remains. crop <= 0 or >= 1 disables cropping.
+func TFromSamples(class0, class1 []float64, crop float64) float64 {
+	cut := math.Inf(1)
+	if crop > 0 && crop < 1 {
+		pooled := make([]float64, 0, len(class0)+len(class1))
+		pooled = append(pooled, class0...)
+		pooled = append(pooled, class1...)
+		sort.Float64s(pooled)
+		cut = pooled[int(float64(len(pooled)-1)*crop)]
+	}
+	var a, b Welford
+	for _, x := range class0 {
+		if x <= cut {
+			a.Add(x)
+		}
+	}
+	for _, x := range class1 {
+		if x <= cut {
+			b.Add(x)
+		}
+	}
+	return TStat(&a, &b)
+}
+
+// Result reports one measurement run.
+type Result struct {
+	T        float64 // Welch's t after cropping
+	Samples  int     // per-class sample count before cropping
+	Class0Ns float64 // mean of class 0, nanoseconds (uncropped)
+	Class1Ns float64
+}
+
+// Options configures Measure.
+type Options struct {
+	// Samples is the per-class sample count.
+	Samples int
+	// Warmup operations are run (alternating classes) and discarded
+	// before measurement, so cold caches and lazy table builds don't
+	// land in class 0. Defaults to Samples/10.
+	Warmup int
+	// CropQuantile is the pooled quantile above which samples are
+	// discarded. Defaults to 0.95.
+	CropQuantile float64
+	// Seed drives the deterministic class interleaving.
+	Seed int64
+}
+
+// Measure times ops[0] and ops[1] in a deterministic pseudo-random
+// interleave and returns the cropped Welch's t between their timing
+// distributions. The two closures must perform the same operation on
+// different fixed secrets; everything else they touch should be
+// identical.
+func Measure(opt Options, ops [2]func()) Result {
+	if opt.Samples <= 0 {
+		opt.Samples = 1000
+	}
+	if opt.Warmup == 0 {
+		opt.Warmup = opt.Samples / 10
+	}
+	if opt.CropQuantile == 0 {
+		opt.CropQuantile = 0.95
+	}
+	rng := rand.New(rand.NewSource(opt.Seed))
+	for i := 0; i < opt.Warmup; i++ {
+		ops[i%2]()
+	}
+	samples := [2][]float64{
+		make([]float64, 0, opt.Samples),
+		make([]float64, 0, opt.Samples),
+	}
+	for len(samples[0]) < opt.Samples || len(samples[1]) < opt.Samples {
+		c := rng.Intn(2)
+		if len(samples[c]) >= opt.Samples {
+			c = 1 - c
+		}
+		start := time.Now()
+		ops[c]()
+		samples[c] = append(samples[c], float64(time.Since(start).Nanoseconds()))
+	}
+	var m0, m1 Welford
+	for _, x := range samples[0] {
+		m0.Add(x)
+	}
+	for _, x := range samples[1] {
+		m1.Add(x)
+	}
+	return Result{
+		T:        TFromSamples(samples[0], samples[1], opt.CropQuantile),
+		Samples:  opt.Samples,
+		Class0Ns: m0.Mean,
+		Class1Ns: m1.Mean,
+	}
+}

@@ -1,0 +1,82 @@
+package dudect
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// TestWelford checks the accumulator against closed-form values.
+func TestWelford(t *testing.T) {
+	var w Welford
+	for _, x := range []float64{2, 4, 4, 4, 5, 5, 7, 9} {
+		w.Add(x)
+	}
+	if w.Mean != 5 {
+		t.Fatalf("mean = %v, want 5", w.Mean)
+	}
+	if got := w.Var(); math.Abs(got-32.0/7) > 1e-12 {
+		t.Fatalf("var = %v, want %v", got, 32.0/7)
+	}
+}
+
+// TestTStatSeparates is the deterministic self-test: identical
+// synthetic distributions must sit near t = 0, and a mean shift well
+// inside the noise floor of a leaky implementation must exceed any
+// gate threshold by orders of magnitude. If this fails, every timing
+// verdict from the harness is meaningless.
+func TestTStatSeparates(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	same0 := make([]float64, 20000)
+	same1 := make([]float64, 20000)
+	leak := make([]float64, 20000)
+	for i := range same0 {
+		same0[i] = 1000 + 50*rng.NormFloat64()
+		same1[i] = 1000 + 50*rng.NormFloat64()
+		// 2% mean shift — a small leak by timing-attack standards.
+		leak[i] = 1020 + 50*rng.NormFloat64()
+	}
+	if tv := TFromSamples(same0, same1, 0.95); math.Abs(tv) > 4.5 {
+		t.Fatalf("identical distributions flagged: t = %v", tv)
+	}
+	if tv := TFromSamples(same0, leak, 0.95); math.Abs(tv) < 20 {
+		t.Fatalf("2%% mean shift not detected: t = %v", tv)
+	}
+}
+
+// TestCropShedsSpikes verifies the crop: rare large outliers dumped
+// into one class must not fake a leak.
+func TestCropSheds(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	a := make([]float64, 10000)
+	b := make([]float64, 10000)
+	for i := range a {
+		a[i] = 1000 + 10*rng.NormFloat64()
+		b[i] = 1000 + 10*rng.NormFloat64()
+		if i%97 == 0 {
+			b[i] += 50000 // scheduler-style spike, one class only
+		}
+	}
+	if tv := TFromSamples(a, b, 0.95); math.Abs(tv) > 4.5 {
+		t.Fatalf("spikes above the crop flagged as a leak: t = %v", tv)
+	}
+}
+
+// TestMeasureRuns exercises the timing loop end to end on a trivially
+// equal pair.
+func TestMeasureRuns(t *testing.T) {
+	sink := 0
+	op := func() {
+		for i := 0; i < 1000; i++ {
+			sink += i
+		}
+	}
+	res := Measure(Options{Samples: 200, Seed: 3}, [2]func(){op, op})
+	if res.Samples != 200 || res.Class0Ns <= 0 || res.Class1Ns <= 0 {
+		t.Fatalf("bad result: %+v", res)
+	}
+	if math.Abs(res.T) > 50 {
+		t.Fatalf("identical closures flagged: t = %v", res.T)
+	}
+	_ = sink
+}

@@ -81,7 +81,15 @@ func sharedSecret(validate func(ec.Affine) error, priv *core.PrivateKey, peer ec
 	if err := validate(peer); err != nil {
 		return nil, err
 	}
-	p := core.ScalarMult(priv.D, peer)
+	// A hardened key evaluates d·Q with the constant-time τ-adic
+	// ladder (fixed-length recoding, masked table scans); the result
+	// is bit-identical to the fast path.
+	var p ec.Affine
+	if priv.ConstTime {
+		p = core.ScalarMultCT(priv.D, peer)
+	} else {
+		p = core.ScalarMult(priv.D, peer)
+	}
 	if p.Inf {
 		return nil, ErrWeakSharedPoint
 	}

@@ -67,6 +67,7 @@ type request struct {
 	fb     *core.FixedBase // verify: optional per-key table
 	hint   byte            // verify: nonce-point recovery hint (≥ sign.HintNone: none)
 	ca     ec.Affine64     // extract: the CA public key Q_CA (validated by the caller)
+	ct     bool            // sign/ECDH: route through the constant-time evaluators
 	// intermediates
 	ld     ec.LD64
 	nonce  big.Int
@@ -108,6 +109,7 @@ func (r *request) release() {
 	r.sig = nil
 	r.fb = nil
 	r.hint = sign.HintNone
+	r.ct = false
 	koblitz.WipeInt(&r.nonce)
 	koblitz.WipeInt(&r.kinv)
 	r.secret = [SecretSize]byte{}
@@ -129,6 +131,7 @@ type batchScratch struct {
 	minv, t big.Int
 	buf     [32]byte
 	signQ   []*request
+	fastQ   []*request // finishSigns: the non-hardened subset of signQ
 	verifyQ []*request
 	reqs    []*request // slice-API staging
 	// extraction staging: the queued requests and the contiguous
@@ -224,7 +227,11 @@ func processBatch(s *batchScratch, batch []*request) {
 				r.ld = ec.LD64Infinity
 				continue
 			}
-			r.ld = s.cs.ScalarMultLD64(r.priv.D, r.point)
+			if r.ct || r.priv.ConstTime {
+				r.ld = s.cs.ScalarMultCTLD64(r.priv.D, r.point)
+			} else {
+				r.ld = s.cs.ScalarMultLD64(r.priv.D, r.point)
+			}
 		case opSign:
 			if err := s.prepareSign(r); err != nil {
 				r.err = err
@@ -328,11 +335,32 @@ func processBatch(s *batchScratch, batch []*request) {
 	if len(signQ) > 0 {
 		s.finishSigns(signQ)
 	}
-	// The core scratch retains the LAST scalar's recoding (digit
-	// strings are invertible back to the scalar), and every batch kind
-	// runs secret scalars through it — private keys for ECDH, nonces
-	// for signing — so wipe before the scratch idles.
+	s.scrub()
+}
+
+// scrub zeroes every secret-bearing transient the scratch retains,
+// unconditionally after every batch (not just sign-carrying ones — a
+// pooled or worker-held scratch idles indefinitely, and an earlier
+// batch's residue must not survive into that idle window):
+//
+//   - the core scratch, which retains the LAST scalar's recoding
+//     (digit strings are invertible back to the scalar) and the
+//     fixed-width staging words of the constant-time evaluators —
+//     every batch kind runs secret scalars through it (private keys
+//     for ECDH, nonces for signing);
+//   - the nonce sampling buffer, the nonce prefix products and the
+//     Montgomery-trick inversion state of the batched signing path.
+func (s *batchScratch) scrub() {
 	s.cs.Wipe()
+	s.buf = [32]byte{}
+	for _, p := range s.pfx {
+		if p != nil {
+			koblitz.WipeInt(p)
+		}
+	}
+	koblitz.WipeInt(&s.minv)
+	koblitz.WipeInt(&s.t)
+	s.mn.Wipe()
 }
 
 // affineFrom converts a projective result using its precomputed
@@ -354,6 +382,7 @@ func (s *batchScratch) prepareSign(r *request) error {
 	if r.priv == nil || r.priv.D == nil || r.priv.D.Sign() == 0 {
 		return sign.ErrInvalidKey
 	}
+	r.ct = r.ct || r.priv.ConstTime
 	sign.HashToIntInto(&r.e, r.digest)
 	byteLen := (ec.Order.BitLen() + 7) / 8
 	for tries := 0; ; tries++ {
@@ -369,7 +398,14 @@ func (s *batchScratch) prepareSign(r *request) error {
 			break
 		}
 	}
-	r.ld = s.cs.ScalarBaseMultLD64(&r.nonce)
+	// The hardened nonce point runs the constant-time comb; the nonce
+	// sampler above is shared (same bytes consumed from rand), so
+	// hardened and fast signatures agree byte for byte per stream.
+	if r.ct {
+		r.ld = s.cs.ScalarBaseMultCTLD64(&r.nonce)
+	} else {
+		r.ld = s.cs.ScalarBaseMultLD64(&r.nonce)
+	}
 	return nil
 }
 
@@ -400,39 +436,44 @@ func (s *batchScratch) batchInvert(q []*request, val, dst func(*request) *big.In
 	}
 }
 
-// finishSigns computes every queued signature's s = k⁻¹(e + r·d) with
-// ONE modular inversion for all the nonces (batchInvert), then
-// assembles the results. Requests that hit the r = 0 / s = 0 rejection
-// corners (probability ~2^-232 each) retry sequentially.
+// finishSigns computes every queued signature's s = k⁻¹(e + r·d).
+// Fast requests share ONE modular inversion for all their nonces
+// (batchInvert); hardened requests never enter the Montgomery trick —
+// its shared EEA inversion and the chained products are variable-time
+// in the nonces — and instead assemble per-request on fixed-width
+// words with the Fermat ladder (core.ModN.SignSCT), which produces
+// bit-identical signatures. Requests that hit the r = 0 / s = 0
+// rejection corners (probability ~2^-232 each) retry sequentially.
 func (s *batchScratch) finishSigns(signQ []*request) {
-	s.batchInvert(signQ,
-		func(r *request) *big.Int { return &r.nonce },
-		func(r *request) *big.Int { return &r.kinv })
+	fastQ := s.fastQ[:0]
+	for _, r := range signQ {
+		if !r.ct {
+			fastQ = append(fastQ, r)
+		}
+	}
+	s.fastQ = fastQ
+	if len(fastQ) > 0 {
+		s.batchInvert(fastQ,
+			func(r *request) *big.Int { return &r.nonce },
+			func(r *request) *big.Int { return &r.kinv })
+	}
 	for _, r := range signQ {
 		if r.r.Sign() == 0 {
 			s.retrySign(r)
 			continue
 		}
 		// s = k⁻¹(e + r·d) mod n.
-		r.s.Mul(&r.r, r.priv.D)
-		r.s.Add(&r.s, &r.e)
-		s.mn.Mul(&r.s, &r.s, &r.kinv)
+		if r.ct {
+			s.mn.SignSCT(&r.s, &r.nonce, &r.e, &r.r, r.priv.D)
+		} else {
+			r.s.Mul(&r.r, r.priv.D)
+			r.s.Add(&r.s, &r.e)
+			s.mn.Mul(&r.s, &r.s, &r.kinv)
+		}
 		if r.s.Sign() == 0 {
 			s.retrySign(r)
 		}
 	}
-	// Scrub the nonce-derived transients: the sampling buffer, the
-	// nonce prefix products, and the inversion state all idle in the
-	// pooled scratch between batches.
-	s.buf = [32]byte{}
-	for _, p := range s.pfx {
-		if p != nil {
-			koblitz.WipeInt(p)
-		}
-	}
-	koblitz.WipeInt(&s.minv)
-	koblitz.WipeInt(&s.t)
-	s.mn.Wipe()
 }
 
 // prepareVerify applies the verification input checks — the same
@@ -764,9 +805,17 @@ func addModOrder(dst, a *big.Int) {
 }
 
 // retrySign redoes one signature sequentially with fresh nonces — the
-// rare-corner fallback, allowed to allocate.
+// rare-corner fallback, allowed to allocate. An engine-hardened
+// request whose key is not itself hardened signs through a hardened
+// view of the key, so the retry stays on the constant-time path.
 func (s *batchScratch) retrySign(r *request) {
-	sig, err := sign.Sign(r.priv, r.digest, r.rand)
+	priv := r.priv
+	if r.ct && !priv.ConstTime {
+		hardened := *priv
+		hardened.ConstTime = true
+		priv = &hardened
+	}
+	sig, err := sign.Sign(priv, r.digest, r.rand)
 	if err != nil {
 		r.err = err
 		return

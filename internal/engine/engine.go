@@ -98,6 +98,15 @@ type Config struct {
 	// SkipWarm defers the eager core.Warm() table construction New
 	// performs by default; the first requests then pay it lazily.
 	SkipWarm bool
+	// ConstTime routes every secret-scalar operation in this engine —
+	// signing nonces and ECDH — through the constant-time evaluators,
+	// regardless of the per-key ConstTime flag (a hardened key stays
+	// hardened either way). Signatures are byte-identical to the fast
+	// path; the per-op cost roughly doubles, and hardened signatures
+	// skip the batched Montgomery-trick nonce inversion (whose shared
+	// EEA is variable-time) in favour of per-request Fermat ladders.
+	// Verification, which handles only public inputs, is unaffected.
+	ConstTime bool
 }
 
 // fill applies defaults and clamps every knob into its documented
@@ -379,6 +388,7 @@ func (e *Engine) SharedSecretAppend(dst []byte, priv *core.PrivateKey, peer ec.A
 	r := e.get(opECDH)
 	r.priv = priv
 	r.point = peer
+	r.ct = e.cfg.ConstTime || priv.ConstTime
 	if err := e.do(r); err != nil {
 		e.put(r)
 		return dst, err
@@ -405,6 +415,7 @@ func (e *Engine) SignInto(sig *Signature, priv *core.PrivateKey, digest []byte, 
 	r.priv = priv
 	r.digest = digest
 	r.rand = rand
+	r.ct = e.cfg.ConstTime || priv.ConstTime
 	if err := e.do(r); err != nil {
 		e.put(r)
 		return err

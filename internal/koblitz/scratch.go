@@ -31,6 +31,11 @@ type Scratch struct {
 	// consumers.
 	digitsW  []int16
 	digitsW2 []int16
+	// digitsCT is the fixed-length buffer of the constant-time
+	// recoding (RecodeCT) and ctBuf its scalar staging area; both
+	// carry secrets and are zeroed by Wipe.
+	digitsCT []int8
+	ctBuf    [32]byte
 }
 
 // begin resets the arena for a fresh top-level recoding.
@@ -72,7 +77,10 @@ func (s *Scratch) Wipe() {
 	for _, v := range s.ints {
 		WipeInt(v)
 	}
-	for _, buf := range [][]int8{s.digits, s.digits2} {
+	for i := range s.ctBuf {
+		s.ctBuf[i] = 0
+	}
+	for _, buf := range [][]int8{s.digits, s.digits2, s.digitsCT} {
 		digits := buf[:cap(buf)]
 		for i := range digits {
 			digits[i] = 0

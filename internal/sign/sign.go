@@ -19,6 +19,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/ec"
+	"repro/internal/koblitz"
 )
 
 // Signature is an (r, s) pair with 1 <= r, s < n.
@@ -67,13 +68,32 @@ func Sign(priv *core.PrivateKey, digest []byte, rand io.Reader) (*Signature, err
 // nonce point R = k·G so SignRecoverable can derive the recovery hint
 // without disturbing the signature bytes (Sign and SignRecoverable
 // draw identical nonces from the same rand, so their (r, s) agree).
+//
+// A key with ConstTime set routes through the hardened arms: the nonce
+// point comes from the constant-time comb (core.GenerateKeyCT — same
+// rejection sampler, same bytes consumed from rand, so the nonce is
+// identical for a given stream) and s = k⁻¹(e + r·d) assembles on
+// fixed-width mod-n words with a fixed-iteration Fermat inversion
+// (core.ModN.SignSCT) instead of big.Int.ModInverse. Both arms are
+// mathematically identical, so hardened signatures are byte-identical
+// to fast ones for the same rand stream.
 func signCore(priv *core.PrivateKey, digest []byte, rand io.Reader) (*Signature, ec.Affine, error) {
 	if priv == nil || priv.D == nil || priv.D.Sign() == 0 {
 		return nil, ec.Infinity, ErrInvalidKey
 	}
+	hardened := priv.ConstTime
 	e := HashToInt(digest)
+	var mn core.ModN
 	for tries := 0; tries < 100; tries++ {
-		nonce, err := core.GenerateKey(rand)
+		var (
+			nonce *core.PrivateKey
+			err   error
+		)
+		if hardened {
+			nonce, err = core.GenerateKeyCT(rand)
+		} else {
+			nonce, err = core.GenerateKey(rand)
+		}
 		if err != nil {
 			return nil, ec.Infinity, err
 		}
@@ -87,14 +107,20 @@ func signCore(priv *core.PrivateKey, digest []byte, rand io.Reader) (*Signature,
 			continue
 		}
 		// s = k⁻¹ (e + r·d) mod n.
-		kinv := new(big.Int).ModInverse(k, ec.Order)
-		s := new(big.Int).Mul(r, priv.D)
-		s.Add(s, e)
-		s.Mul(s, kinv)
-		s.Mod(s, ec.Order)
+		s := new(big.Int)
+		if hardened {
+			mn.SignSCT(s, k, e, r, priv.D)
+		} else {
+			kinv := new(big.Int).ModInverse(k, ec.Order)
+			s.Mul(r, priv.D)
+			s.Add(s, e)
+			s.Mul(s, kinv)
+			s.Mod(s, ec.Order)
+		}
 		if s.Sign() == 0 {
 			continue
 		}
+		koblitz.WipeInt(k)
 		return &Signature{R: r, S: s}, rp, nil
 	}
 	return nil, ec.Infinity, ErrSigningFailed

@@ -156,6 +156,46 @@ func GenerateKey(rand io.Reader) (*PrivateKey, error) {
 	return wrapKey(k), nil
 }
 
+// GenerateKeyHardened is GenerateKey on the constant-time path: the
+// same rejection sampler consuming the same bytes from rand (so the
+// drawn scalar is identical for a given stream), with the public
+// point derived by the constant-time comb. The returned key is
+// hardened — see Hardened for what that means.
+func GenerateKeyHardened(rand io.Reader) (*PrivateKey, error) {
+	k, err := core.GenerateKeyCT(rand)
+	if err != nil {
+		return nil, err
+	}
+	return wrapKey(k), nil
+}
+
+// Hardened returns a view of the key on which every secret-scalar
+// operation — Sign, ECDH, SharedSecret, and the batch-engine signing
+// paths — runs through the constant-time evaluators: fixed-length
+// τ-adic recoding, full masked table scans instead of secret-indexed
+// loads, branchless group arithmetic, and fixed-iteration mod-n
+// inversion. Signatures and shared secrets are byte-identical to the
+// fast path (for the same nonce stream); the cost is roughly 2-3× per
+// operation — see the README's "Hardened mode" section for what is
+// and is not covered. Verification is unaffected: it handles only
+// public inputs.
+//
+// The receiver is unchanged (keys are immutable); the returned key
+// shares its scalar and public key with the receiver. Calling
+// Hardened on an already-hardened key returns the receiver.
+func (priv *PrivateKey) Hardened() *PrivateKey {
+	if priv.key.ConstTime {
+		return priv
+	}
+	k := *priv.key
+	k.ConstTime = true
+	return &PrivateKey{key: &k, pub: priv.pub}
+}
+
+// IsHardened reports whether this key routes its secret-scalar
+// operations through the constant-time evaluators (see Hardened).
+func (priv *PrivateKey) IsHardened() bool { return priv.key.ConstTime }
+
 // NewPrivateKey reconstructs a key pair from a serialized scalar
 // (PrivateKeySize bytes, big-endian, fixed width), recomputing the
 // public point. The scalar range 0 < d < n is enforced by

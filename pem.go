@@ -181,7 +181,7 @@ func MarshalECPrivateKeyPEM(priv *PrivateKey) ([]byte, error) {
 }
 
 // ParseECPrivateKeyPEM parses a single "EC PRIVATE KEY" PEM block
-// (nothing but whitespace may follow it) through ParseECPrivateKey.
+// (canonical presentation, nothing following it) through ParseECPrivateKey.
 func ParseECPrivateKeyPEM(data []byte) (*PrivateKey, error) {
 	der, err := pemBody(data, pemPrivateKeyType)
 	if err != nil {
@@ -201,7 +201,7 @@ func MarshalPKIXPublicKeyPEM(pub *PublicKey) ([]byte, error) {
 }
 
 // ParsePKIXPublicKeyPEM parses a single "PUBLIC KEY" PEM block
-// (nothing but whitespace may follow it) through ParsePKIXPublicKey.
+// (canonical presentation, nothing following it) through ParsePKIXPublicKey.
 func ParsePKIXPublicKeyPEM(data []byte) (*PublicKey, error) {
 	der, err := pemBody(data, pemPublicKeyType)
 	if err != nil {
@@ -211,14 +211,24 @@ func ParsePKIXPublicKeyPEM(data []byte) (*PublicKey, error) {
 }
 
 // pemBody extracts the DER body of the single PEM block of the given
-// type, rejecting missing blocks, wrong types, PEM headers, and any
-// non-whitespace trailer.
+// type, rejecting missing blocks, wrong types, PEM headers, any
+// trailer, and any non-canonical presentation of the block itself.
 func pemBody(data []byte, typ string) ([]byte, error) {
 	block, rest := pem.Decode(data)
 	if block == nil || block.Type != typ || len(block.Headers) != 0 {
 		return nil, ErrInvalidKeyEncoding
 	}
 	if len(bytes.TrimSpace(rest)) != 0 {
+		return nil, ErrInvalidKeyEncoding
+	}
+	// The presentation itself must be canonical — 64-column base64,
+	// trailing newline, no decorations — so that parse→marshal is the
+	// identity on accepted inputs, the same strictness the DER layer
+	// already enforces. pem.Decode is lenient about wrapping and
+	// whitespace; comparing against the re-encoding closes that gap
+	// (found by FuzzParsePEM: an unwrapped single-line body parsed
+	// fine but could never round-trip).
+	if !bytes.Equal(data, pem.EncodeToMemory(block)) {
 		return nil, ErrInvalidKeyEncoding
 	}
 	return block.Bytes, nil
